@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The heavy
+shared inputs (suite measurements, the trained synthesizer) are built once
+per session at a scale controlled by the ``REPRO_BENCH_SCALE`` environment
+variable: ``quick`` (default, minutes) or ``full`` (paper-scale synthetic
+kernel counts).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_clgen,
+    measure_suites,
+    synthesize_and_measure,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale == "full":
+        return ExperimentConfig.full()
+    config = ExperimentConfig.quick()
+    config.synthetic_kernel_count = 50
+    return config
+
+
+@pytest.fixture(scope="session")
+def bench_clgen(bench_config):
+    return build_clgen(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_data(bench_config, bench_clgen):
+    data = measure_suites(bench_config)
+    return synthesize_and_measure(bench_config, data, clgen=bench_clgen)

@@ -1,0 +1,109 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* identifier rewriting on/off → language-model quality (vocabulary, loss),
+* language-model backend (n-gram order sweep),
+* synthetic-benchmark count vs predictive-model behaviour,
+* generator comparison (CLgen vs CLSmith vs GENESIS templates) in feature space.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import generate_clsmith_kernels, generate_genesis_kernels
+from repro.corpus import Corpus, mine_content_files
+from repro.experiments import run_figure7
+from repro.features import extract_static_features
+from repro.model import NgramLanguageModel
+from repro.suites import all_benchmarks
+
+
+def test_bench_ablation_identifier_rewriting(benchmark, bench_config):
+    """Rewriting ablation: vocabulary size and model loss with/without renaming."""
+    texts = mine_content_files(bench_config.corpus_repository_count // 2, seed=3)
+
+    def build_both():
+        renamed = Corpus.from_content_files(texts, rename_identifiers=True)
+        raw = Corpus.from_content_files(texts, rename_identifiers=False)
+        return renamed, raw
+
+    renamed, raw = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    model_renamed = NgramLanguageModel(order=6)
+    loss_renamed = model_renamed.fit(renamed.training_text()).final_loss
+    model_raw = NgramLanguageModel(order=6)
+    loss_raw = model_raw.fit(raw.training_text()).final_loss
+    print(f"\n[ablation/rewrite] vocab renamed={len(renamed.character_vocabulary())} "
+          f"raw={len(raw.character_vocabulary())}; loss renamed={loss_renamed:.3f} raw={loss_raw:.3f}")
+    assert loss_renamed <= loss_raw * 1.2
+
+
+def test_bench_ablation_ngram_order(benchmark, bench_config):
+    """Backend ablation: acceptance-relevant model quality vs n-gram order."""
+    corpus = Corpus.mine_and_build(bench_config.corpus_repository_count // 2, seed=5)
+    text = corpus.training_text()
+    held_out = text[: len(text) // 10]
+
+    def sweep():
+        results = {}
+        for order in (3, 6, 10, 14):
+            model = NgramLanguageModel(order=order)
+            model.fit(text)
+            results[order] = model.perplexity(held_out[:500])
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n[ablation/order] perplexity by order: "
+          + ", ".join(f"{order}: {value:.2f}" for order, value in results.items()))
+    assert results[10] <= results[3]
+
+
+def test_bench_ablation_synthetic_count(benchmark, bench_config, bench_data, bench_clgen):
+    """Training-set ablation: Figure 7 improvement as synthetic kernels are added."""
+    def run_with_counts():
+        improvements = {}
+        full = bench_data.synthetic_measurements
+        for count in (0, len(full) // 4, len(full)):
+            subset = full[:count]
+            trimmed = type(bench_data)(
+                config=bench_data.config,
+                suite_measurements=bench_data.suite_measurements,
+                benchmark_measurements=bench_data.benchmark_measurements,
+                synthetic_measurements=subset,
+                synthesis=bench_data.synthesis,
+            )
+            result = run_figure7(bench_config, trimmed)
+            improvements[count] = result.platforms["AMD"].with_clgen_average
+        return improvements
+
+    improvements = benchmark.pedantic(run_with_counts, rounds=1, iterations=1)
+    print(f"\n[ablation/synthetic-count] AMD speedup vs #synthetic kernels: "
+          + ", ".join(f"{count}: {value:.2f}x" for count, value in improvements.items()))
+    assert all(value > 0 for value in improvements.values())
+
+
+def test_bench_ablation_generator_comparison(benchmark, bench_config, bench_clgen):
+    """Generator ablation: CLgen vs GENESIS templates vs CLSmith in feature space."""
+    signatures = set()
+    for suite_benchmark in all_benchmarks():
+        features = extract_static_features(suite_benchmark.source)
+        if features is not None:
+            signatures.add(features.as_extended_tuple())
+    count = 30
+
+    def compare():
+        clgen_sources = [k.source for k in bench_clgen.generate_kernels(count, seed=3).kernels]
+        genesis_sources = generate_genesis_kernels(count, seed=3)
+        clsmith_sources = generate_clsmith_kernels(count, seed=3)
+        fractions = {}
+        for label, sources in (("CLgen", clgen_sources), ("GENESIS", genesis_sources),
+                               ("CLSmith", clsmith_sources)):
+            matches = 0
+            for source in sources:
+                features = extract_static_features(source)
+                if features is not None and features.as_extended_tuple() in signatures:
+                    matches += 1
+            fractions[label] = matches / max(len(sources), 1)
+        return fractions
+
+    fractions = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\n[ablation/generators] benchmark-feature match rate: "
+          + ", ".join(f"{label}: {value:.1%}" for label, value in fractions.items()))
+    assert fractions["CLgen"] >= fractions["CLSmith"]

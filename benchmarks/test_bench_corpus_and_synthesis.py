@@ -1,0 +1,62 @@
+"""Benchmarks for the corpus pipeline (§4.1) and kernel synthesis (§4.3).
+
+Regenerates the corpus statistics (discard rates with/without the shim,
+vocabulary reduction) and measures CLgen's synthesis throughput and
+acceptance rate.
+"""
+
+from __future__ import annotations
+
+from repro.corpus import GitHubMiner
+from repro.experiments import run_corpus_stats
+from repro.preprocess import PreprocessingPipeline
+from repro.synthesis import ArgumentSpec
+
+
+def test_bench_corpus_statistics(benchmark, bench_config):
+    """§4.1: content files -> corpus, with the shim enabled."""
+    mining = GitHubMiner(seed=bench_config.seed).mine(bench_config.corpus_repository_count)
+    texts = [cf.text for cf in mining.content_files]
+
+    result = benchmark.pedantic(lambda: PreprocessingPipeline(use_shim=True).run(texts), rounds=1, iterations=1)
+    stats = result.statistics
+    print(f"\n[corpus] files={stats.content_files} discard={stats.discard_rate:.1%} "
+          f"kernels={stats.kernel_functions} vocab_reduction={stats.vocabulary_reduction:.1%}")
+    assert stats.discard_rate < 0.6
+    assert stats.vocabulary_reduction > 0.6
+
+
+def test_bench_shim_ablation(benchmark, bench_config):
+    """§4.1 ablation: discard rate without the shim header (paper: 40% vs 32%)."""
+    stats = benchmark.pedantic(run_corpus_stats, args=(bench_config,), rounds=1, iterations=1)
+    print(f"\n[shim] without={stats.discard_rate_without_shim:.1%} "
+          f"with={stats.discard_rate_with_shim:.1%} (paper: 40% -> 32%)")
+    assert stats.discard_rate_with_shim < stats.discard_rate_without_shim
+
+
+def test_bench_kernel_synthesis(benchmark, bench_clgen, bench_config):
+    """§4.3: synthesis throughput and acceptance rate of Algorithm 1 + rejection filter."""
+    count = max(10, bench_config.synthetic_kernel_count // 5)
+
+    def synthesize():
+        return bench_clgen.generate_kernels(count, seed=1, max_attempts_per_kernel=40)
+
+    result = benchmark.pedantic(synthesize, rounds=1, iterations=1)
+    stats = result.statistics
+    print(f"\n[synthesis] generated={stats.generated}/{stats.requested} "
+          f"acceptance={stats.acceptance_rate:.1%} chars/kernel="
+          f"{stats.characters_sampled / max(stats.generated, 1):.0f}")
+    assert stats.generated > 0
+
+
+def test_bench_argument_spec_sampling_modes(benchmark, bench_clgen):
+    """§4.3: sampling with an explicit argument specification (Figure 6's spec)."""
+    import random
+
+    spec = ArgumentSpec.paper_default()
+
+    def sample_once():
+        return bench_clgen.sample_candidate(spec, random.Random(7))
+
+    candidate = benchmark.pedantic(sample_once, rounds=3, iterations=1)
+    assert candidate.text.startswith("__kernel void A(")

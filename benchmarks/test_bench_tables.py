@@ -1,0 +1,41 @@
+"""Benchmarks regenerating the paper's tables (Table 1, Table 3) and Figure 2."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    average_benchmarks_per_paper,
+    coverage_of_top_suites,
+    figure2_series,
+    run_table1,
+)
+from repro.suites import suite_summary
+
+
+def test_bench_figure2_survey(benchmark):
+    """Figure 2: average number of benchmarks per paper, by suite."""
+    series = benchmark.pedantic(figure2_series, rounds=3, iterations=1)
+    print(f"\n[figure2] avg benchmarks/paper={average_benchmarks_per_paper():.1f} (paper: 17); "
+          f"top-7 coverage={coverage_of_top_suites():.0%} (paper: 92%)")
+    assert series["Rodinia"] > series["SHOC"]
+
+
+def test_bench_table1_cross_suite(benchmark, bench_config, bench_data):
+    """Table 1: Grewe model trained on suite X, tested on suite Y (AMD)."""
+    result = benchmark.pedantic(run_table1, args=(bench_config, bench_data), rounds=1, iterations=1)
+    best_suite, best_value = result.best_training_suite()
+    worst = result.worst_cell()
+    print("\n[table1]")
+    for row in result.rows():
+        print("  " + "  ".join(f"{cell:>12s}" for cell in row))
+    print(f"  best training suite: {best_suite} ({best_value:.0%}); "
+          f"worst pair: {worst[0]} -> {worst[1]} ({worst[2]:.1%})")
+    assert worst[2] < best_value
+
+
+def test_bench_table3_inventory(benchmark):
+    """Table 3: the benchmark inventory (7 suites, 71 programs, ~256 kernels)."""
+    rows = benchmark.pedantic(suite_summary, rounds=3, iterations=1)
+    total = rows[-1]
+    print(f"\n[table3] {total['benchmarks']} benchmarks, {total['kernels']} kernels "
+          f"(paper: 71 / 256)")
+    assert total["benchmarks"] == 71

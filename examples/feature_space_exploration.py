@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Exploring the feature space: CLgen vs CLSmith vs GitHub (Figure 9, Listing 2).
+
+Shows the second contribution of the paper: because CLgen can generate an
+unbounded number of human-like kernels, it exposes *feature collisions* —
+programs with identical feature vectors but different optimal mappings —
+which indicate that a feature set is not discriminative enough (the paper's
+Listing 2 example, fixed by adding a branch-count feature).
+
+Run:  python examples/feature_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines import generate_clsmith_kernels
+from repro.driver import DriverConfig, HostDriver
+from repro.experiments import ExperimentConfig, build_clgen, run_figure9
+from repro.features import extract_static_features
+
+
+def main() -> None:
+    config = ExperimentConfig.quick()
+    config.synthetic_kernel_count = 60
+    clgen = build_clgen(config)
+
+    print("== Figure 9: who covers the benchmark feature space? ==")
+    figure9 = run_figure9(config, clgen=clgen, kernel_count=60)
+    for label, series in figure9.series.items():
+        print(f"  {label:8s}: {series.match_counts[-1]:3d} of {series.kernel_counts[-1]:3d} kernels "
+              f"share static features with a benchmark ({series.final_match_fraction:.0%})")
+    print("  (CLSmith almost never lands near real programs; CLgen does, and is unbounded)\n")
+
+    print("== Feature collisions (the Listing 2 effect) ==")
+    driver = HostDriver(config=DriverConfig(executed_global_size=64, local_size=32))
+    kernels = clgen.generate_kernels(60, seed=4).kernels
+    by_signature = defaultdict(list)
+    for index, kernel in enumerate(kernels):
+        features = extract_static_features(kernel.source)
+        measurement = driver.measure_source(kernel.source, name=f"clgen.{index}",
+                                            dataset_scale=128.0)
+        if features is None or measurement is None:
+            continue
+        # The original Grewe features ignore branches: group by the Table 2a tuple.
+        by_signature[features.as_tuple()].append((kernel, features, measurement.oracle("AMD")))
+
+    collisions = 0
+    for signature, group in by_signature.items():
+        mappings = {oracle for _, _, oracle in group}
+        branch_counts = {features.branches for _, features, _ in group}
+        if len(group) > 1 and len(mappings) > 1:
+            collisions += 1
+            if collisions <= 2:
+                print(f"  signature comp/mem/localmem/coalesced = {signature}: "
+                      f"{len(group)} kernels, optimal mappings {sorted(mappings)}, "
+                      f"branch counts {sorted(branch_counts)}")
+    if collisions:
+        print(f"  {collisions} colliding feature signatures found -> the Table 2a features are "
+              "not discriminative enough; adding the branch feature separates them (section 8.2)")
+    else:
+        print("  no collisions at this sample size; increase synthetic_kernel_count to find them")
+
+    print("\n== What CLSmith code looks like (why judges detect it instantly) ==")
+    print(generate_clsmith_kernels(1, seed=0)[0][:400] + "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Training the numpy LSTM backend (the paper's §4.2 architecture at laptop scale).
+
+The paper trains a 3-layer, 2048-wide LSTM for 50 epochs (three weeks on a
+GTX Titan).  This example trains the same architecture family at a size that
+finishes in about a minute on a CPU, reports the loss trajectory, samples a
+few characters, and saves/loads a checkpoint.
+
+Run:  python examples/train_lstm.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.corpus import Corpus
+from repro.model import LSTMConfig, LSTMLanguageModel, load_model, save_model
+
+
+def main() -> None:
+    corpus = Corpus.mine_and_build(repository_count=40, seed=2)
+    text = corpus.training_text()
+    print(f"corpus: {corpus.size} kernels, {len(text)} characters")
+
+    paper = LSTMConfig.paper_configuration()
+    print(f"paper configuration: {paper.num_layers} layers x {paper.hidden_size} units, "
+          f"SGD lr={paper.learning_rate} halved every {paper.lr_decay_interval} epochs "
+          "(~17M parameters, 3 weeks on a GTX Titan)")
+
+    config = LSTMConfig(hidden_size=64, num_layers=1, sequence_length=48, batch_size=8,
+                        epochs=6, optimizer="sgd", learning_rate=0.002, seed=0)
+    model = LSTMLanguageModel(config)
+    print(f"training a laptop-scale model on {min(len(text), 20000)} characters...")
+    summary = model.fit(text[:20000])
+    print(f"parameters: {summary.parameters}")
+    print("loss per epoch: " + ", ".join(f"{loss:.3f}" for loss in summary.losses))
+
+    sampler = model.make_sampler("__kernel void A(__global float* a")
+    sample = "".join(sampler.sample(random.Random(0), temperature=0.8) for _ in range(80))
+    print(f"\nsampled continuation:\n__kernel void A(__global float* a{sample}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_model(model, Path(tmp) / "lstm.json.gz")
+        restored = load_model(path)
+        print(f"\ncheckpoint round-trip OK ({path.stat().st_size / 1024:.0f} KiB); "
+              f"vocabulary size {restored.vocabulary.size}")
+
+
+if __name__ == "__main__":
+    main()

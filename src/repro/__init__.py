@@ -1,0 +1,43 @@
+"""repro — a from-scratch reproduction of CLgen (CGO 2017).
+
+"Synthesizing Benchmarks for Predictive Modeling", C. Cummins, P. Petoumenos,
+Z. Wang and H. Leather.
+
+The package is organised as the paper's pipeline (Figure 4):
+
+* :mod:`repro.corpus` — mining an OpenCL language corpus (simulated GitHub).
+* :mod:`repro.preprocess` — shim header, rejection filter, code rewriter.
+* :mod:`repro.clc` — the OpenCL C frontend the toolchain is built on.
+* :mod:`repro.model` — character-level language models (numpy LSTM, n-gram).
+* :mod:`repro.synthesis` — CLgen, the benchmark synthesizer.
+* :mod:`repro.driver` — host driver: payloads, dynamic checker, profiling.
+* :mod:`repro.execution` — simulated OpenCL devices and NDRange interpreter.
+* :mod:`repro.features` / :mod:`repro.predictive` — the Grewe et al. model.
+* :mod:`repro.suites` — the seven GPGPU benchmark suites of Table 3.
+* :mod:`repro.baselines` — CLSmith- and GENESIS-style comparators.
+* :mod:`repro.experiments` — regeneration of every table and figure.
+"""
+
+from repro.corpus import Corpus
+from repro.driver import DynamicChecker, HostDriver
+from repro.errors import CompileError, ReproError
+from repro.model import LSTMLanguageModel, NgramLanguageModel
+from repro.predictive import ExtendedModel, GreweModel
+from repro.synthesis import ArgumentSpec, CLgen
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArgumentSpec",
+    "CLgen",
+    "CompileError",
+    "Corpus",
+    "DynamicChecker",
+    "ExtendedModel",
+    "GreweModel",
+    "HostDriver",
+    "LSTMLanguageModel",
+    "NgramLanguageModel",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""``repro.baselines`` — comparator program generators (CLSmith, GENESIS)."""
+
+from repro.baselines.clsmith import CLSmithConfig, CLSmithGenerator, generate_clsmith_kernels
+from repro.baselines.genesis import (
+    FeatureDistribution,
+    GenesisConfig,
+    GenesisGenerator,
+    generate_genesis_kernels,
+)
+
+__all__ = [
+    "CLSmithConfig",
+    "CLSmithGenerator",
+    "FeatureDistribution",
+    "GenesisConfig",
+    "GenesisGenerator",
+    "generate_clsmith_kernels",
+    "generate_genesis_kernels",
+]

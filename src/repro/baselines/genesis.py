@@ -1,0 +1,121 @@
+"""A GENESIS-style template benchmark generator (related-work baseline).
+
+GENESIS (Chiu, Garvey and Abdelrahman, CF 2015) is the template approach the
+paper contrasts against: an expert annotates a parameterised program
+skeleton with statistical distributions over features, and instances are
+drawn from those distributions.  It is effective inside a constrained domain
+(stencils are the canonical example) but cannot invent programs outside the
+templates an expert wrote.
+
+This module reproduces that approach for the comparison experiments: a
+handful of expert-written stencil/map skeletons whose knobs (footprint,
+compute intensity, bounds handling) are drawn from user-supplied
+distributions.  Used by the ablation benchmarks to show where template
+generation sits between CLSmith and CLgen in feature-space coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FeatureDistribution:
+    """A discrete distribution over a template parameter."""
+
+    values: list[int | float | str]
+    weights: list[float] | None = None
+
+    def sample(self, rng: random.Random):
+        return rng.choices(self.values, weights=self.weights, k=1)[0]
+
+
+@dataclass
+class GenesisConfig:
+    """Distributions over the template parameters."""
+
+    stencil_radius: FeatureDistribution = field(
+        default_factory=lambda: FeatureDistribution([1, 1, 2, 3])
+    )
+    compute_intensity: FeatureDistribution = field(
+        default_factory=lambda: FeatureDistribution([1, 2, 4, 8])
+    )
+    data_type: FeatureDistribution = field(
+        default_factory=lambda: FeatureDistribution(["float", "float", "double"])
+    )
+    bounds_check: FeatureDistribution = field(
+        default_factory=lambda: FeatureDistribution([True, False], [0.8, 0.2])
+    )
+    seed: int = 0
+
+
+class GenesisGenerator:
+    """Instantiates stencil/map templates from statistical distributions."""
+
+    def __init__(self, config: GenesisConfig | None = None):
+        self.config = config or GenesisConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def generate_kernel(self, index: int = 0) -> str:
+        rng = self._rng
+        template = rng.choice(["stencil1d", "map"])
+        if template == "stencil1d":
+            return self._stencil1d(index)
+        return self._map(index)
+
+    def generate_kernels(self, count: int) -> list[str]:
+        return [self.generate_kernel(i) for i in range(count)]
+
+    # ------------------------------------------------------------------
+
+    def _stencil1d(self, index: int) -> str:
+        rng = self._rng
+        radius = int(self.config.stencil_radius.sample(rng))
+        dtype = str(self.config.data_type.sample(rng))
+        intensity = int(self.config.compute_intensity.sample(rng))
+        taps = []
+        for offset in range(-radius, radius + 1):
+            weight = round(1.0 / (2 * radius + 1), 4)
+            sign = "+" if offset >= 0 else "-"
+            taps.append(f"{weight}f * in[i {sign} {abs(offset)}]")
+        accumulate = " + ".join(taps)
+        compute = "\n".join(
+            f"    acc = acc * 0.99f + {0.01 * (k + 1):.3f}f;" for k in range(intensity)
+        )
+        return (
+            f"__kernel void genesis_stencil_{index}(__global const {dtype}* in, "
+            f"__global {dtype}* out, const int n) {{\n"
+            f"  int i = get_global_id(0);\n"
+            f"  if (i >= {radius} && i < n - {radius}) {{\n"
+            f"    {dtype} acc = {accumulate};\n"
+            f"{compute}\n"
+            f"    out[i] = acc;\n"
+            f"  }}\n"
+            f"}}\n"
+        )
+
+    def _map(self, index: int) -> str:
+        rng = self._rng
+        dtype = str(self.config.data_type.sample(rng))
+        intensity = int(self.config.compute_intensity.sample(rng))
+        bounds = bool(self.config.bounds_check.sample(rng))
+        compute = "\n".join(
+            f"  v = v * 1.01f + {0.5 / (k + 1):.3f}f;" for k in range(intensity)
+        )
+        check = "  if (i >= n) return;\n" if bounds else ""
+        return (
+            f"__kernel void genesis_map_{index}(__global const {dtype}* in, "
+            f"__global {dtype}* out, const int n) {{\n"
+            f"  int i = get_global_id(0);\n"
+            f"{check}"
+            f"  {dtype} v = in[i];\n"
+            f"{compute}\n"
+            f"  out[i] = v;\n"
+            f"}}\n"
+        )
+
+
+def generate_genesis_kernels(count: int, seed: int = 0) -> list[str]:
+    """Convenience wrapper: *count* template-generated kernels."""
+    return GenesisGenerator(GenesisConfig(seed=seed)).generate_kernels(count)

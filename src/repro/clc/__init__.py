@@ -1,0 +1,123 @@
+"""``repro.clc`` — a pure-Python OpenCL C frontend.
+
+This package stands in for the Clang/LLVM + PTX toolchain used by the paper.
+It provides preprocessing, lexing, parsing, semantic checking and lowering to
+a PTX-like IR, and the single high-level entry point :func:`compile_source`
+used by the rejection filter, the feature extractor and the execution
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc import ast_nodes
+from repro.clc.ast_nodes import FunctionDecl, TranslationUnit
+from repro.clc.codegen import lower
+from repro.clc.ir import IRModule
+from repro.clc.lexer import Token, TokenKind, tokenize
+from repro.clc.parser import Parser, parse, parse_kernel
+from repro.clc.preprocessor import IncludeResolver, Preprocessor, preprocess
+from repro.clc.semantics import SemanticReport, check
+from repro.clc.types import (
+    AddressSpace,
+    PointerType,
+    ScalarType,
+    StructType,
+    Type,
+    TypeTable,
+    VectorType,
+)
+from repro.errors import CompileError
+
+__all__ = [
+    "AddressSpace",
+    "CompilationResult",
+    "CompileError",
+    "FunctionDecl",
+    "IRModule",
+    "IncludeResolver",
+    "Parser",
+    "PointerType",
+    "Preprocessor",
+    "ScalarType",
+    "SemanticReport",
+    "StructType",
+    "Token",
+    "TokenKind",
+    "TranslationUnit",
+    "Type",
+    "TypeTable",
+    "VectorType",
+    "ast_nodes",
+    "check",
+    "compile_source",
+    "lower",
+    "parse",
+    "parse_kernel",
+    "preprocess",
+    "tokenize",
+]
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by a successful compilation of one source input."""
+
+    source: str
+    preprocessed: str
+    unit: TranslationUnit
+    ir: IRModule
+    semantics: SemanticReport
+    included_headers: list[str] = field(default_factory=list)
+
+    @property
+    def kernels(self) -> list[FunctionDecl]:
+        return self.unit.kernels
+
+    @property
+    def static_instruction_count(self) -> int:
+        return self.ir.static_instruction_count
+
+
+def compile_source(
+    source: str,
+    include_resolver: IncludeResolver | None = None,
+    require_kernel: bool = True,
+    strict: bool = True,
+) -> CompilationResult:
+    """Compile OpenCL C *source* through the full frontend.
+
+    Runs the preprocessor, parser, semantic checker and IR lowering.  With
+    ``strict=True`` (the default, matching the rejection filter's behaviour)
+    any semantic issue raises :class:`~repro.errors.CompileError`; with
+    ``strict=False`` the issues are recorded on the result instead.
+
+    Args:
+        source: OpenCL C source text (a content file or a single kernel).
+        include_resolver: Optional resolver for ``#include`` directives
+            (for example, the shim header resolver).
+        require_kernel: Require at least one ``__kernel`` function.
+        strict: Raise on semantic issues instead of recording them.
+
+    Returns:
+        A :class:`CompilationResult`.
+
+    Raises:
+        CompileError: On preprocessing, lexing, parsing, semantic or
+            lowering failures.
+    """
+    result = preprocess(source, include_resolver=include_resolver)
+    unit = parse(result.text)
+    report = check(unit, require_kernel=require_kernel)
+    if strict:
+        report.raise_if_failed()
+    ir = lower(unit)
+    return CompilationResult(
+        source=source,
+        preprocessed=result.text,
+        unit=unit,
+        ir=ir,
+        semantics=report,
+        included_headers=result.included_headers,
+    )

@@ -1,0 +1,329 @@
+"""Abstract syntax tree node definitions for the OpenCL C subset.
+
+Nodes are plain dataclasses with no behaviour beyond structural equality;
+all analyses (semantic checks, IR lowering, interpretation, feature
+extraction, identifier rewriting) are implemented as external visitors so
+the tree stays a pure data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc.types import AddressSpace, Type
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expression(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expression):
+    value: int
+    text: str = ""
+
+
+@dataclass
+class FloatLiteral(Expression):
+    value: float
+    text: str = ""
+
+
+@dataclass
+class CharLiteral(Expression):
+    value: str
+
+
+@dataclass
+class StringLiteral(Expression):
+    value: str
+
+
+@dataclass
+class Identifier(Expression):
+    name: str
+
+
+@dataclass
+class UnaryOp(Expression):
+    """Prefix unary operator: ``-``, ``+``, ``!``, ``~``, ``*``, ``&``, ``++``, ``--``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class PostfixOp(Expression):
+    """Postfix ``++`` or ``--``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Assignment(Expression):
+    """Assignment, including compound forms (``+=``, ``*=``, ...)."""
+
+    op: str
+    target: Expression
+    value: Expression
+
+
+@dataclass
+class TernaryOp(Expression):
+    condition: Expression
+    if_true: Expression
+    if_false: Expression
+
+
+@dataclass
+class Call(Expression):
+    callee: str
+    arguments: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expression):
+    base: Expression
+    index: Expression
+
+
+@dataclass
+class Member(Expression):
+    """Member access, used for vector components (``v.x``, ``v.s3``) and structs."""
+
+    base: Expression
+    member: str
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expression):
+    target_type: Type
+    target_type_name: str
+    operand: Expression
+
+
+@dataclass
+class VectorLiteral(Expression):
+    """An OpenCL vector construction, e.g. ``(float4)(0.0f, 1.0f, x, y)``."""
+
+    target_type: Type
+    target_type_name: str
+    elements: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class SizeOf(Expression):
+    target_type_name: str
+
+
+@dataclass
+class InitializerList(Expression):
+    elements: list[Expression] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    pass
+
+
+@dataclass
+class CompoundStmt(Statement):
+    statements: list[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Declarator(Node):
+    """A single declared name within a declaration statement."""
+
+    name: str
+    declared_type: Type
+    type_name: str = ""
+    array_size: Expression | None = None
+    initializer: Expression | None = None
+    address_space: AddressSpace = AddressSpace.PRIVATE
+
+
+@dataclass
+class DeclStmt(Statement):
+    declarators: list[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Statement):
+    expression: Expression | None = None
+
+
+@dataclass
+class IfStmt(Statement):
+    condition: Expression = None  # type: ignore[assignment]
+    then_branch: Statement = None  # type: ignore[assignment]
+    else_branch: Statement | None = None
+
+
+@dataclass
+class ForStmt(Statement):
+    init: Statement | None = None
+    condition: Expression | None = None
+    increment: Expression | None = None
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class WhileStmt(Statement):
+    condition: Expression = None  # type: ignore[assignment]
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhileStmt(Statement):
+    body: Statement = None  # type: ignore[assignment]
+    condition: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class ReturnStmt(Statement):
+    value: Expression | None = None
+
+
+@dataclass
+class BreakStmt(Statement):
+    pass
+
+
+@dataclass
+class ContinueStmt(Statement):
+    pass
+
+
+@dataclass
+class SwitchCase(Node):
+    value: Expression | None = None  # ``None`` means ``default:``
+    body: list[Statement] = field(default_factory=list)
+
+
+@dataclass
+class SwitchStmt(Statement):
+    condition: Expression = None  # type: ignore[assignment]
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class EmptyStmt(Statement):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Declarations / top level.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParameterDecl(Node):
+    name: str
+    declared_type: Type = None  # type: ignore[assignment]
+    type_name: str = ""
+    address_space: AddressSpace = AddressSpace.PRIVATE
+    is_const: bool = False
+    access: str | None = None
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str
+    return_type: Type = None  # type: ignore[assignment]
+    return_type_name: str = "void"
+    parameters: list[ParameterDecl] = field(default_factory=list)
+    body: CompoundStmt | None = None
+    is_kernel: bool = False
+    is_inline: bool = False
+    attributes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class TypedefDecl(Node):
+    name: str
+    target_type: Type = None  # type: ignore[assignment]
+    target_type_name: str = ""
+
+
+@dataclass
+class StructDecl(Node):
+    name: str
+    fields: list[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class GlobalVarDecl(Node):
+    declarator: Declarator = None  # type: ignore[assignment]
+    is_constant: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    """Root of the AST for one content file or one synthesized kernel."""
+
+    functions: list[FunctionDecl] = field(default_factory=list)
+    typedefs: list[TypedefDecl] = field(default_factory=list)
+    structs: list[StructDecl] = field(default_factory=list)
+    globals: list[GlobalVarDecl] = field(default_factory=list)
+
+    @property
+    def kernels(self) -> list[FunctionDecl]:
+        """Kernel functions (``__kernel``-qualified, with a body)."""
+        return [f for f in self.functions if f.is_kernel and f.body is not None]
+
+    @property
+    def helper_functions(self) -> list[FunctionDecl]:
+        """Non-kernel functions with bodies."""
+        return [f for f in self.functions if not f.is_kernel and f.body is not None]
+
+    def kernel(self, name: str) -> FunctionDecl:
+        """Return the kernel named *name* (raises ``KeyError`` if absent)."""
+        for function in self.kernels:
+            if function.name == name:
+                return function
+        raise KeyError(name)
+
+
+def walk(node: Node):
+    """Yield *node* and all of its descendant nodes, depth-first.
+
+    This generic traversal is the backbone of the feature extractors and of
+    several invariants tested with hypothesis.
+    """
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)

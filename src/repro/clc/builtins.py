@@ -1,0 +1,247 @@
+"""Catalogue of OpenCL C built-in functions and identifiers.
+
+The semantic checker consults this module to decide whether an identifier is
+"undeclared" (the single largest cause of rejected GitHub content files in
+the paper, §4.1), the code rewriter uses it to avoid renaming language
+built-ins, and the execution simulator maps these names to Python
+implementations.
+"""
+
+from __future__ import annotations
+
+#: Work-item query functions (take a single dimension index argument).
+WORK_ITEM_FUNCTIONS = frozenset(
+    {
+        "get_global_id",
+        "get_local_id",
+        "get_group_id",
+        "get_global_size",
+        "get_local_size",
+        "get_num_groups",
+        "get_work_dim",
+        "get_global_offset",
+    }
+)
+
+#: Synchronization functions.
+SYNC_FUNCTIONS = frozenset({"barrier", "mem_fence", "read_mem_fence", "write_mem_fence"})
+
+#: Common math built-ins (component-wise over vectors).
+MATH_FUNCTIONS = frozenset(
+    {
+        "sqrt",
+        "rsqrt",
+        "cbrt",
+        "sin",
+        "cos",
+        "tan",
+        "asin",
+        "acos",
+        "atan",
+        "atan2",
+        "sinh",
+        "cosh",
+        "tanh",
+        "exp",
+        "exp2",
+        "exp10",
+        "log",
+        "log2",
+        "log10",
+        "pow",
+        "pown",
+        "powr",
+        "fabs",
+        "fma",
+        "mad",
+        "fmin",
+        "fmax",
+        "fmod",
+        "floor",
+        "ceil",
+        "round",
+        "trunc",
+        "rint",
+        "hypot",
+        "copysign",
+        "sign",
+        "native_sin",
+        "native_cos",
+        "native_exp",
+        "native_log",
+        "native_sqrt",
+        "native_rsqrt",
+        "native_divide",
+        "native_recip",
+        "half_sqrt",
+        "half_exp",
+        "half_log",
+        "degrees",
+        "radians",
+        "erf",
+        "erfc",
+        "tgamma",
+        "lgamma",
+    }
+)
+
+#: Integer built-ins.
+INTEGER_FUNCTIONS = frozenset(
+    {
+        "abs",
+        "abs_diff",
+        "add_sat",
+        "sub_sat",
+        "hadd",
+        "rhadd",
+        "clz",
+        "popcount",
+        "rotate",
+        "mad24",
+        "mul24",
+        "mad_hi",
+        "mul_hi",
+        "upsample",
+    }
+)
+
+#: Common built-ins shared between integer and floating types.
+COMMON_FUNCTIONS = frozenset(
+    {
+        "min",
+        "max",
+        "clamp",
+        "mix",
+        "step",
+        "smoothstep",
+        "select",
+        "bitselect",
+        "isnan",
+        "isinf",
+        "isfinite",
+        "isnormal",
+        "signbit",
+        "any",
+        "all",
+    }
+)
+
+#: Geometric built-ins.
+GEOMETRIC_FUNCTIONS = frozenset(
+    {"dot", "cross", "length", "distance", "normalize", "fast_length", "fast_normalize"}
+)
+
+#: Vector data load/store built-ins.
+VECTOR_DATA_FUNCTIONS = frozenset(
+    {
+        "vload2",
+        "vload3",
+        "vload4",
+        "vload8",
+        "vload16",
+        "vstore2",
+        "vstore3",
+        "vstore4",
+        "vstore8",
+        "vstore16",
+    }
+)
+
+#: Atomic built-ins.
+ATOMIC_FUNCTIONS = frozenset(
+    {
+        "atomic_add",
+        "atomic_sub",
+        "atomic_inc",
+        "atomic_dec",
+        "atomic_xchg",
+        "atomic_cmpxchg",
+        "atomic_min",
+        "atomic_max",
+        "atomic_and",
+        "atomic_or",
+        "atomic_xor",
+        "atom_add",
+        "atom_sub",
+        "atom_inc",
+        "atom_dec",
+        "atom_xchg",
+        "atom_cmpxchg",
+        "atom_min",
+        "atom_max",
+    }
+)
+
+#: Reinterpretation / conversion builtin prefixes (``as_float4``,
+#: ``convert_int4``...).  Checked by prefix rather than enumerated.
+CONVERSION_PREFIXES = ("as_", "convert_")
+
+#: Asynchronous copy / prefetch functions.
+ASYNC_FUNCTIONS = frozenset(
+    {"async_work_group_copy", "async_work_group_strided_copy", "wait_group_events", "prefetch"}
+)
+
+#: printf is available in OpenCL 1.2+ device code found on GitHub.
+MISC_FUNCTIONS = frozenset({"printf"})
+
+#: Built-in constant-like identifiers.
+BUILTIN_CONSTANTS = frozenset(
+    {
+        "CLK_LOCAL_MEM_FENCE",
+        "CLK_GLOBAL_MEM_FENCE",
+        "MAXFLOAT",
+        "HUGE_VALF",
+        "INFINITY",
+        "NAN",
+        "FLT_MAX",
+        "FLT_MIN",
+        "FLT_EPSILON",
+        "DBL_MAX",
+        "DBL_MIN",
+        "INT_MAX",
+        "INT_MIN",
+        "UINT_MAX",
+        "LONG_MAX",
+        "LONG_MIN",
+        "ULONG_MAX",
+        "CHAR_MAX",
+        "CHAR_MIN",
+        "M_PI",
+        "M_PI_F",
+        "M_E",
+        "M_E_F",
+        "true",
+        "false",
+        "NULL",
+    }
+)
+
+ALL_BUILTIN_FUNCTIONS = (
+    WORK_ITEM_FUNCTIONS
+    | SYNC_FUNCTIONS
+    | MATH_FUNCTIONS
+    | INTEGER_FUNCTIONS
+    | COMMON_FUNCTIONS
+    | GEOMETRIC_FUNCTIONS
+    | VECTOR_DATA_FUNCTIONS
+    | ATOMIC_FUNCTIONS
+    | ASYNC_FUNCTIONS
+    | MISC_FUNCTIONS
+)
+
+
+def is_builtin_function(name: str) -> bool:
+    """True if *name* is an OpenCL built-in function (including ``as_``/``convert_`` forms)."""
+    if name in ALL_BUILTIN_FUNCTIONS:
+        return True
+    return name.startswith(CONVERSION_PREFIXES)
+
+
+def is_builtin_constant(name: str) -> bool:
+    """True if *name* is a built-in constant identifier."""
+    return name in BUILTIN_CONSTANTS
+
+
+def is_builtin(name: str) -> bool:
+    """True if *name* refers to any OpenCL built-in (function or constant)."""
+    return is_builtin_function(name) or is_builtin_constant(name)

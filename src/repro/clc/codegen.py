@@ -1,0 +1,742 @@
+"""Lowering from the OpenCL C AST to the PTX-like IR.
+
+The goal of this pass is *not* to produce runnable machine code (kernel
+execution is handled by the AST interpreter in :mod:`repro.execution`), but
+to provide the two static artefacts the paper's toolchain derives from PTX:
+
+* a static instruction count for the rejection filter (≥ 3 instructions), and
+* per-kernel static operation counts for the Grewe et al. features
+  (compute operations, global/local memory accesses, coalesced accesses,
+  branches).
+
+The lowering therefore mirrors how a simple compiler would translate the
+source: one arithmetic instruction per source-level operation, explicit
+loads/stores for pointer dereferences annotated with their address space and
+a coalescing classification, and explicit branch instructions for control
+flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc import ast_nodes as ast
+from repro.clc.builtins import (
+    MATH_FUNCTIONS,
+    SYNC_FUNCTIONS,
+    WORK_ITEM_FUNCTIONS,
+    is_builtin_function,
+)
+from repro.clc.ir import Instruction, IRFunction, IRModule
+from repro.clc.types import AddressSpace, PointerType, Type
+from repro.errors import CodegenError
+
+_BINARY_OPCODES = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "rem",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+    "&&": "and",
+    "||": "or",
+}
+
+_COMPARISON_OPS = {"==", "!=", "<", ">", "<=", ">="}
+
+_MATH_OPCODES = {
+    "sqrt": "sqrt",
+    "native_sqrt": "sqrt",
+    "half_sqrt": "sqrt",
+    "rsqrt": "rsqrt",
+    "native_rsqrt": "rsqrt",
+    "sin": "sin",
+    "native_sin": "sin",
+    "cos": "cos",
+    "native_cos": "cos",
+    "exp": "ex2",
+    "exp2": "ex2",
+    "native_exp": "ex2",
+    "log": "lg2",
+    "log2": "lg2",
+    "native_log": "lg2",
+    "fabs": "abs",
+    "abs": "abs",
+    "fmin": "min",
+    "min": "min",
+    "fmax": "max",
+    "max": "max",
+    "fma": "fma",
+    "mad": "mad",
+    "pow": "ex2",
+}
+
+
+@dataclass
+class _FunctionContext:
+    """Mutable state while lowering a single function."""
+
+    function: IRFunction
+    address_spaces: dict[str, str] = field(default_factory=dict)
+    gid_aliases: set[str] = field(default_factory=set)
+    lid_aliases: set[str] = field(default_factory=set)
+    next_register: int = 0
+    next_label: int = 0
+
+    def new_register(self, prefix: str = "r") -> str:
+        name = f"%{prefix}{self.next_register}"
+        self.next_register += 1
+        return name
+
+    def new_label(self, prefix: str = "L") -> str:
+        name = f"{prefix}_{self.next_label}"
+        self.next_label += 1
+        return name
+
+    def emit(self, instruction: Instruction) -> str | None:
+        self.function.instructions.append(instruction)
+        return instruction.result
+
+
+class CodeGenerator:
+    """Lowers a :class:`TranslationUnit` to an :class:`IRModule`."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self._unit = unit
+        self._global_spaces = {
+            g.declarator.name: ("constant" if g.is_constant else "private")
+            for g in unit.globals
+            if g.declarator
+        }
+
+    def lower(self) -> IRModule:
+        module = IRModule()
+        for function in self._unit.functions:
+            if function.body is None:
+                continue
+            module.functions.append(self._lower_function(function))
+        return module
+
+    # ------------------------------------------------------------------
+    # Functions.
+    # ------------------------------------------------------------------
+
+    def _lower_function(self, function: ast.FunctionDecl) -> IRFunction:
+        ir_function = IRFunction(
+            name=function.name,
+            is_kernel=function.is_kernel,
+            parameters=tuple(p.name for p in function.parameters),
+        )
+        context = _FunctionContext(function=ir_function)
+        context.address_spaces.update(self._global_spaces)
+
+        for parameter in function.parameters:
+            space = self._space_of_type(parameter.declared_type, parameter.address_space)
+            context.address_spaces[parameter.name] = space
+            register = context.new_register("p")
+            context.emit(
+                Instruction(
+                    opcode="ld",
+                    result=register,
+                    operands=(f"[{parameter.name}]",),
+                    address_space="param",
+                    type_suffix=self._type_suffix(parameter.declared_type),
+                    comment=f"parameter {parameter.name}",
+                )
+            )
+
+        self._lower_statement(function.body, context)
+        if not ir_function.instructions or ir_function.instructions[-1].opcode != "ret":
+            context.emit(Instruction(opcode="ret"))
+        return ir_function
+
+    @staticmethod
+    def _space_of_type(declared_type: Type | None, default: AddressSpace) -> str:
+        if isinstance(declared_type, PointerType):
+            return declared_type.address_space.value
+        return default.value if isinstance(default, AddressSpace) else "private"
+
+    @staticmethod
+    def _type_suffix(declared_type: Type | None) -> str:
+        if declared_type is None:
+            return "b32"
+        if isinstance(declared_type, PointerType):
+            return "u64"
+        text = str(declared_type)
+        if text.startswith("float") or text.startswith("half"):
+            return "f32"
+        if text.startswith("double"):
+            return "f64"
+        if text.startswith(("uint", "uchar", "ushort", "ulong", "size_t", "bool")):
+            return "u32"
+        return "s32"
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def _lower_statement(self, statement: ast.Statement | None, context: _FunctionContext) -> None:
+        if statement is None or isinstance(statement, (ast.EmptyStmt,)):
+            return
+        if isinstance(statement, ast.CompoundStmt):
+            for child in statement.statements:
+                self._lower_statement(child, context)
+        elif isinstance(statement, ast.DeclStmt):
+            self._lower_declaration(statement, context)
+        elif isinstance(statement, ast.ExprStmt):
+            if statement.expression is not None:
+                self._lower_expression(statement.expression, context)
+        elif isinstance(statement, ast.IfStmt):
+            self._lower_if(statement, context)
+        elif isinstance(statement, ast.ForStmt):
+            self._lower_for(statement, context)
+        elif isinstance(statement, ast.WhileStmt):
+            self._lower_while(statement, context)
+        elif isinstance(statement, ast.DoWhileStmt):
+            self._lower_do_while(statement, context)
+        elif isinstance(statement, ast.ReturnStmt):
+            if statement.value is not None:
+                self._lower_expression(statement.value, context)
+            context.emit(Instruction(opcode="ret"))
+        elif isinstance(statement, (ast.BreakStmt, ast.ContinueStmt)):
+            context.emit(Instruction(opcode="bra", operands=(context.new_label("EXIT"),)))
+        elif isinstance(statement, ast.SwitchStmt):
+            self._lower_switch(statement, context)
+        else:
+            raise CodegenError(f"cannot lower statement {type(statement).__name__}")
+
+    def _lower_declaration(self, statement: ast.DeclStmt, context: _FunctionContext) -> None:
+        for declarator in statement.declarators:
+            space = declarator.address_space.value
+            if isinstance(declarator.declared_type, PointerType):
+                space = declarator.declared_type.address_space.value
+            context.address_spaces[declarator.name] = space
+            if declarator.initializer is not None:
+                value = self._lower_expression(declarator.initializer, context)
+                context.emit(
+                    Instruction(
+                        opcode="mov",
+                        result=context.new_register(),
+                        operands=(value or declarator.name,),
+                        type_suffix=self._type_suffix(declarator.declared_type),
+                        comment=f"init {declarator.name}",
+                    )
+                )
+                if self._is_gid_expression(declarator.initializer, context):
+                    context.gid_aliases.add(declarator.name)
+                if self._is_lid_expression(declarator.initializer):
+                    context.lid_aliases.add(declarator.name)
+
+    def _lower_condition_and_branch(
+        self, condition: ast.Expression | None, context: _FunctionContext, target: str
+    ) -> None:
+        if condition is not None:
+            value = self._lower_expression(condition, context)
+            predicate = context.new_register("p")
+            context.emit(
+                Instruction(
+                    opcode="setp",
+                    result=predicate,
+                    operands=(value or "0", "0"),
+                    comment="branch condition",
+                )
+            )
+        context.emit(Instruction(opcode="bra", operands=(target,), comment="conditional"))
+
+    def _lower_if(self, statement: ast.IfStmt, context: _FunctionContext) -> None:
+        else_label = context.new_label("ELSE")
+        end_label = context.new_label("ENDIF")
+        self._lower_condition_and_branch(statement.condition, context, else_label)
+        self._lower_statement(statement.then_branch, context)
+        if statement.else_branch is not None:
+            context.emit(Instruction(opcode="bra", operands=(end_label,)))
+            context.emit(Instruction(opcode="label", operands=(else_label,)))
+            self._lower_statement(statement.else_branch, context)
+            context.emit(Instruction(opcode="label", operands=(end_label,)))
+        else:
+            context.emit(Instruction(opcode="label", operands=(else_label,)))
+
+    def _lower_for(self, statement: ast.ForStmt, context: _FunctionContext) -> None:
+        self._lower_statement(statement.init, context)
+        head = context.new_label("FOR")
+        exit_label = context.new_label("ENDFOR")
+        context.emit(Instruction(opcode="label", operands=(head,)))
+        self._lower_condition_and_branch(statement.condition, context, exit_label)
+        self._lower_statement(statement.body, context)
+        if statement.increment is not None:
+            self._lower_expression(statement.increment, context)
+        context.emit(Instruction(opcode="bra", operands=(head,), comment="loop back-edge"))
+        context.emit(Instruction(opcode="label", operands=(exit_label,)))
+
+    def _lower_while(self, statement: ast.WhileStmt, context: _FunctionContext) -> None:
+        head = context.new_label("WHILE")
+        exit_label = context.new_label("ENDWHILE")
+        context.emit(Instruction(opcode="label", operands=(head,)))
+        self._lower_condition_and_branch(statement.condition, context, exit_label)
+        self._lower_statement(statement.body, context)
+        context.emit(Instruction(opcode="bra", operands=(head,), comment="loop back-edge"))
+        context.emit(Instruction(opcode="label", operands=(exit_label,)))
+
+    def _lower_do_while(self, statement: ast.DoWhileStmt, context: _FunctionContext) -> None:
+        head = context.new_label("DO")
+        context.emit(Instruction(opcode="label", operands=(head,)))
+        self._lower_statement(statement.body, context)
+        self._lower_condition_and_branch(statement.condition, context, head)
+
+    def _lower_switch(self, statement: ast.SwitchStmt, context: _FunctionContext) -> None:
+        value = self._lower_expression(statement.condition, context)
+        end_label = context.new_label("ENDSWITCH")
+        for case in statement.cases:
+            case_label = context.new_label("CASE")
+            if case.value is not None:
+                case_value = self._lower_expression(case.value, context)
+                predicate = context.new_register("p")
+                context.emit(
+                    Instruction(
+                        opcode="setp",
+                        result=predicate,
+                        operands=(value or "0", case_value or "0"),
+                    )
+                )
+            context.emit(Instruction(opcode="bra", operands=(case_label,)))
+            context.emit(Instruction(opcode="label", operands=(case_label,)))
+            for child in case.body:
+                self._lower_statement(child, context)
+        context.emit(Instruction(opcode="label", operands=(end_label,)))
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+
+    def _lower_expression(self, expression: ast.Expression, context: _FunctionContext) -> str | None:
+        if isinstance(expression, (ast.IntLiteral,)):
+            return str(expression.value)
+        if isinstance(expression, ast.FloatLiteral):
+            return repr(expression.value)
+        if isinstance(expression, (ast.CharLiteral, ast.StringLiteral)):
+            return "0"
+        if isinstance(expression, ast.Identifier):
+            return f"%{expression.name}"
+        if isinstance(expression, ast.BinaryOp):
+            return self._lower_binary(expression, context)
+        if isinstance(expression, ast.UnaryOp):
+            return self._lower_unary(expression, context)
+        if isinstance(expression, ast.PostfixOp):
+            operand = self._lower_expression(expression.operand, context)
+            result = context.new_register()
+            context.emit(
+                Instruction(
+                    opcode="add" if expression.op == "++" else "sub",
+                    result=result,
+                    operands=(operand or "0", "1"),
+                )
+            )
+            return result
+        if isinstance(expression, ast.Assignment):
+            return self._lower_assignment(expression, context)
+        if isinstance(expression, ast.TernaryOp):
+            condition = self._lower_expression(expression.condition, context)
+            if_true = self._lower_expression(expression.if_true, context)
+            if_false = self._lower_expression(expression.if_false, context)
+            predicate = context.new_register("p")
+            context.emit(Instruction(opcode="setp", result=predicate, operands=(condition or "0", "0")))
+            result = context.new_register()
+            context.emit(
+                Instruction(
+                    opcode="selp",
+                    result=result,
+                    operands=(if_true or "0", if_false or "0", predicate),
+                )
+            )
+            return result
+        if isinstance(expression, ast.Call):
+            return self._lower_call(expression, context)
+        if isinstance(expression, ast.Index):
+            return self._lower_load(expression, context)
+        if isinstance(expression, ast.Member):
+            base = self._lower_expression(expression.base, context)
+            result = context.new_register()
+            context.emit(
+                Instruction(
+                    opcode="mov",
+                    result=result,
+                    operands=(f"{base}.{expression.member}",),
+                    comment="vector/struct component read",
+                )
+            )
+            return result
+        if isinstance(expression, ast.Cast):
+            operand = self._lower_expression(expression.operand, context)
+            result = context.new_register()
+            context.emit(
+                Instruction(
+                    opcode="cvt",
+                    result=result,
+                    operands=(operand or "0",),
+                    type_suffix=self._type_suffix(expression.target_type),
+                )
+            )
+            return result
+        if isinstance(expression, ast.VectorLiteral):
+            result = context.new_register("v")
+            for element in expression.elements:
+                value = self._lower_expression(element, context)
+                context.emit(
+                    Instruction(
+                        opcode="mov",
+                        result=context.new_register(),
+                        operands=(value or "0",),
+                        comment="vector literal element",
+                    )
+                )
+            return result
+        if isinstance(expression, ast.SizeOf):
+            return "8"
+        if isinstance(expression, ast.InitializerList):
+            for element in expression.elements:
+                self._lower_expression(element, context)
+            return context.new_register()
+        raise CodegenError(f"cannot lower expression {type(expression).__name__}")
+
+    def _lower_binary(self, expression: ast.BinaryOp, context: _FunctionContext) -> str:
+        left = self._lower_expression(expression.left, context)
+        right = self._lower_expression(expression.right, context)
+        result = context.new_register()
+        if expression.op in _COMPARISON_OPS:
+            context.emit(
+                Instruction(
+                    opcode="setp",
+                    result=result,
+                    operands=(left or "0", right or "0"),
+                    comment=f"compare {expression.op}",
+                )
+            )
+            return result
+        if expression.op == ",":
+            return right or "0"
+        opcode = _BINARY_OPCODES.get(expression.op)
+        if opcode is None:
+            raise CodegenError(f"unsupported binary operator {expression.op!r}")
+        context.emit(Instruction(opcode=opcode, result=result, operands=(left or "0", right or "0")))
+        return result
+
+    def _lower_unary(self, expression: ast.UnaryOp, context: _FunctionContext) -> str:
+        if expression.op == "*":
+            return self._lower_pointer_dereference(expression.operand, context)
+        if expression.op == "&":
+            operand = self._lower_expression(expression.operand, context)
+            return operand or "0"
+        operand = self._lower_expression(expression.operand, context)
+        result = context.new_register()
+        opcode = {"-": "neg", "+": "mov", "!": "not", "~": "not", "++": "add", "--": "sub"}[
+            expression.op
+        ]
+        operands = (operand or "0", "1") if expression.op in ("++", "--") else (operand or "0",)
+        context.emit(Instruction(opcode=opcode, result=result, operands=operands))
+        return result
+
+    def _lower_assignment(self, expression: ast.Assignment, context: _FunctionContext) -> str:
+        value = self._lower_expression(expression.value, context)
+
+        # Compound assignment implies a read-modify-write of the target.
+        if expression.op != "=":
+            self._lower_read_of_target(expression.target, context)
+            operator = expression.op[:-1]
+            opcode = _BINARY_OPCODES.get(operator, "add")
+            combined = context.new_register()
+            context.emit(Instruction(opcode=opcode, result=combined, operands=(value or "0", "0")))
+            value = combined
+
+        target = expression.target
+        if isinstance(target, ast.Index):
+            self._lower_store(target, value, context)
+        elif isinstance(target, ast.Member) and isinstance(target.base, ast.Index):
+            self._lower_store(target.base, value, context)
+        elif isinstance(target, ast.Member):
+            context.emit(
+                Instruction(
+                    opcode="mov",
+                    result=context.new_register(),
+                    operands=(value or "0",),
+                    comment="vector component write",
+                )
+            )
+        elif isinstance(target, ast.UnaryOp) and target.op == "*":
+            self._lower_store_through_pointer(target.operand, value, context)
+        elif isinstance(target, ast.Identifier):
+            context.emit(
+                Instruction(
+                    opcode="mov",
+                    result=f"%{target.name}",
+                    operands=(value or "0",),
+                )
+            )
+            if expression.op == "=" and self._is_gid_expression(expression.value, context):
+                context.gid_aliases.add(target.name)
+        else:
+            context.emit(
+                Instruction(opcode="mov", result=context.new_register(), operands=(value or "0",))
+            )
+        return value or "0"
+
+    def _lower_read_of_target(self, target: ast.Expression, context: _FunctionContext) -> None:
+        if isinstance(target, ast.Index):
+            self._lower_load(target, context)
+        elif isinstance(target, ast.Member) and isinstance(target.base, ast.Index):
+            self._lower_load(target.base, context)
+
+    def _lower_call(self, expression: ast.Call, context: _FunctionContext) -> str:
+        name = expression.callee
+        arguments = [self._lower_expression(a, context) for a in expression.arguments]
+        result = context.new_register()
+
+        if name in WORK_ITEM_FUNCTIONS:
+            register_name = {
+                "get_global_id": "%tid_global",
+                "get_local_id": "%tid_local",
+                "get_group_id": "%ctaid",
+                "get_global_size": "%ntid_global",
+                "get_local_size": "%ntid",
+                "get_num_groups": "%nctaid",
+            }.get(name, "%sreg")
+            context.emit(
+                Instruction(
+                    opcode="mov",
+                    result=result,
+                    operands=(register_name,),
+                    comment=name,
+                )
+            )
+            return result
+        if name in SYNC_FUNCTIONS:
+            context.emit(Instruction(opcode="bar", operands=("0",), comment=name))
+            return result
+        if name in _MATH_OPCODES:
+            context.emit(
+                Instruction(
+                    opcode=_MATH_OPCODES[name],
+                    result=result,
+                    operands=tuple(a or "0" for a in arguments),
+                    type_suffix="f32",
+                )
+            )
+            return result
+        if name.startswith(("as_", "convert_")):
+            context.emit(
+                Instruction(opcode="cvt", result=result, operands=tuple(a or "0" for a in arguments))
+            )
+            return result
+        if name.startswith(("atomic_", "atom_")):
+            context.emit(
+                Instruction(
+                    opcode="atom",
+                    result=result,
+                    operands=tuple(a or "0" for a in arguments),
+                    address_space="global",
+                    comment=name,
+                )
+            )
+            return result
+        if name.startswith("vload"):
+            context.emit(
+                Instruction(
+                    opcode="ld",
+                    result=result,
+                    operands=tuple(a or "0" for a in arguments),
+                    address_space=self._space_of_call_pointer(expression, context),
+                    comment=name,
+                )
+            )
+            return result
+        if name.startswith("vstore"):
+            context.emit(
+                Instruction(
+                    opcode="st",
+                    operands=tuple(a or "0" for a in arguments),
+                    address_space=self._space_of_call_pointer(expression, context),
+                    comment=name,
+                )
+            )
+            return result
+        if is_builtin_function(name):
+            context.emit(
+                Instruction(
+                    opcode="add" if name in MATH_FUNCTIONS else "call",
+                    result=result,
+                    operands=tuple(a or "0" for a in arguments),
+                    comment=name,
+                )
+            )
+            return result
+        context.emit(
+            Instruction(
+                opcode="call",
+                result=result,
+                operands=(name,) + tuple(a or "0" for a in arguments),
+            )
+        )
+        return result
+
+    def _space_of_call_pointer(self, expression: ast.Call, context: _FunctionContext) -> str:
+        for argument in expression.arguments:
+            if isinstance(argument, ast.Identifier):
+                space = context.address_spaces.get(argument.name)
+                if space in ("global", "local", "constant"):
+                    return space
+        return "global"
+
+    # ------------------------------------------------------------------
+    # Memory accesses.
+    # ------------------------------------------------------------------
+
+    def _base_name(self, expression: ast.Expression) -> str | None:
+        if isinstance(expression, ast.Identifier):
+            return expression.name
+        if isinstance(expression, ast.Index):
+            return self._base_name(expression.base)
+        if isinstance(expression, ast.Member):
+            return self._base_name(expression.base)
+        if isinstance(expression, ast.UnaryOp):
+            return self._base_name(expression.operand)
+        if isinstance(expression, ast.BinaryOp):
+            return self._base_name(expression.left) or self._base_name(expression.right)
+        if isinstance(expression, ast.Cast):
+            return self._base_name(expression.operand)
+        return None
+
+    def _space_of_access(self, base: ast.Expression, context: _FunctionContext) -> str:
+        name = self._base_name(base)
+        if name is None:
+            return "private"
+        return context.address_spaces.get(name, "private")
+
+    def _lower_load(self, expression: ast.Index, context: _FunctionContext) -> str:
+        index_value = self._lower_expression(expression.index, context)
+        space = self._space_of_access(expression.base, context)
+        result = context.new_register()
+        context.emit(
+            Instruction(
+                opcode="ld",
+                result=result,
+                operands=(f"[{self._base_name(expression.base) or 'ptr'} + {index_value}]",),
+                address_space=space,
+                coalesced=space == "global"
+                and self._is_coalesced_index(expression.index, context),
+            )
+        )
+        return result
+
+    def _lower_store(self, target: ast.Index, value: str | None, context: _FunctionContext) -> None:
+        index_value = self._lower_expression(target.index, context)
+        space = self._space_of_access(target.base, context)
+        context.emit(
+            Instruction(
+                opcode="st",
+                operands=(
+                    f"[{self._base_name(target.base) or 'ptr'} + {index_value}]",
+                    value or "0",
+                ),
+                address_space=space,
+                coalesced=space == "global" and self._is_coalesced_index(target.index, context),
+            )
+        )
+
+    def _lower_pointer_dereference(self, pointer: ast.Expression, context: _FunctionContext) -> str:
+        self._lower_expression(pointer, context)
+        space = self._space_of_access(pointer, context)
+        result = context.new_register()
+        context.emit(
+            Instruction(
+                opcode="ld",
+                result=result,
+                operands=(f"[{self._base_name(pointer) or 'ptr'}]",),
+                address_space=space,
+                coalesced=False,
+            )
+        )
+        return result
+
+    def _lower_store_through_pointer(
+        self, pointer: ast.Expression, value: str | None, context: _FunctionContext
+    ) -> None:
+        space = self._space_of_access(pointer, context)
+        context.emit(
+            Instruction(
+                opcode="st",
+                operands=(f"[{self._base_name(pointer) or 'ptr'}]", value or "0"),
+                address_space=space,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Coalescing analysis.
+    # ------------------------------------------------------------------
+
+    def _is_gid_expression(self, expression: ast.Expression | None, context: _FunctionContext) -> bool:
+        """True if *expression* evaluates (syntactically) to a global-id-like value."""
+        if expression is None:
+            return False
+        if isinstance(expression, ast.Call) and expression.callee == "get_global_id":
+            return True
+        if isinstance(expression, ast.Identifier):
+            return expression.name in context.gid_aliases
+        if isinstance(expression, ast.Cast):
+            return self._is_gid_expression(expression.operand, context)
+        if isinstance(expression, ast.BinaryOp) and expression.op in ("+", "-"):
+            return self._is_gid_expression(expression.left, context) or self._is_gid_expression(
+                expression.right, context
+            )
+        # get_group_id(0) * get_local_size(0) + get_local_id(0) is also gid-linear.
+        if isinstance(expression, ast.BinaryOp) and expression.op == "*":
+            left_is_group = self._mentions_call(expression.left, "get_group_id") or self._mentions_call(
+                expression.right, "get_group_id"
+            )
+            right_is_size = self._mentions_call(expression.left, "get_local_size") or self._mentions_call(
+                expression.right, "get_local_size"
+            )
+            return left_is_group and right_is_size
+        return False
+
+    @staticmethod
+    def _is_lid_expression(expression: ast.Expression | None) -> bool:
+        return isinstance(expression, ast.Call) and expression.callee == "get_local_id"
+
+    @staticmethod
+    def _mentions_call(expression: ast.Expression, callee: str) -> bool:
+        for node in ast.walk(expression):
+            if isinstance(node, ast.Call) and node.callee == callee:
+                return True
+        return False
+
+    def _is_coalesced_index(self, index: ast.Expression, context: _FunctionContext) -> bool:
+        """Heuristic coalescing classification of a global-memory index.
+
+        An access ``a[i]`` is counted as coalesced when consecutive work-items
+        touch consecutive addresses: the index is the global id (possibly via
+        a local alias), optionally plus/minus a work-item-invariant term.  An
+        index in which the global id is multiplied or divided (strided
+        access), or an index that does not depend on the work-item id at all,
+        is not coalesced.
+        """
+        if self._is_gid_expression(index, context):
+            return True
+        if isinstance(index, ast.BinaryOp) and index.op in ("+", "-"):
+            return self._is_coalesced_index(index.left, context) or self._is_coalesced_index(
+                index.right, context
+            )
+        if isinstance(index, ast.BinaryOp) and index.op == "%":
+            # Wrapping a coalesced index by a work-item-invariant bound keeps
+            # consecutive work-items on consecutive addresses almost everywhere.
+            return self._is_coalesced_index(index.left, context)
+        if isinstance(index, ast.Cast):
+            return self._is_coalesced_index(index.operand, context)
+        return False
+
+
+def lower(unit: ast.TranslationUnit) -> IRModule:
+    """Lower *unit* to the PTX-like IR."""
+    return CodeGenerator(unit).lower()

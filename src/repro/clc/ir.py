@@ -1,0 +1,213 @@
+"""A small PTX-like intermediate representation.
+
+The paper's rejection filter compiles candidate kernels to NVIDIA PTX and
+requires a minimum static instruction count of three.  We lower our AST to
+this register-based IR to provide the same signal, and the static feature
+extractor (Grewe et al. features, Table 2a) is computed over the same
+instructions so that "compute operation", "global memory access",
+"local memory access" and "branch" have a single, consistent definition
+throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class OpCategory(Enum):
+    """Coarse instruction categories used by instruction counting and features."""
+
+    ARITHMETIC = auto()
+    COMPARISON = auto()
+    LOGICAL = auto()
+    CONVERSION = auto()
+    MOVE = auto()
+    LOAD = auto()
+    STORE = auto()
+    BRANCH = auto()
+    CALL = auto()
+    SYNC = auto()
+    RETURN = auto()
+    LABEL = auto()
+    OTHER = auto()
+
+
+#: Mapping from opcode mnemonics to categories.
+_OPCODE_CATEGORIES: dict[str, OpCategory] = {
+    "add": OpCategory.ARITHMETIC,
+    "sub": OpCategory.ARITHMETIC,
+    "mul": OpCategory.ARITHMETIC,
+    "div": OpCategory.ARITHMETIC,
+    "rem": OpCategory.ARITHMETIC,
+    "mad": OpCategory.ARITHMETIC,
+    "neg": OpCategory.ARITHMETIC,
+    "abs": OpCategory.ARITHMETIC,
+    "min": OpCategory.ARITHMETIC,
+    "max": OpCategory.ARITHMETIC,
+    "fma": OpCategory.ARITHMETIC,
+    "sqrt": OpCategory.ARITHMETIC,
+    "rsqrt": OpCategory.ARITHMETIC,
+    "sin": OpCategory.ARITHMETIC,
+    "cos": OpCategory.ARITHMETIC,
+    "ex2": OpCategory.ARITHMETIC,
+    "lg2": OpCategory.ARITHMETIC,
+    "and": OpCategory.LOGICAL,
+    "or": OpCategory.LOGICAL,
+    "xor": OpCategory.LOGICAL,
+    "not": OpCategory.LOGICAL,
+    "shl": OpCategory.LOGICAL,
+    "shr": OpCategory.LOGICAL,
+    "setp": OpCategory.COMPARISON,
+    "selp": OpCategory.MOVE,
+    "cvt": OpCategory.CONVERSION,
+    "mov": OpCategory.MOVE,
+    "ld": OpCategory.LOAD,
+    "st": OpCategory.STORE,
+    "bra": OpCategory.BRANCH,
+    "call": OpCategory.CALL,
+    "bar": OpCategory.SYNC,
+    "ret": OpCategory.RETURN,
+    "label": OpCategory.LABEL,
+    "atom": OpCategory.STORE,
+}
+
+
+@dataclass
+class Instruction:
+    """A single IR instruction.
+
+    Attributes:
+        opcode: Mnemonic, e.g. ``"add"``, ``"ld"``, ``"bra"``.
+        result: Destination register name, or ``None``.
+        operands: Source operands (register names, immediates or labels).
+        address_space: For loads/stores, the OpenCL address space
+            (``"global"``, ``"local"``, ``"constant"``, ``"private"``,
+            ``"param"``).
+        type_suffix: Textual operand type, e.g. ``"f32"``, ``"s32"``.
+        coalesced: For global loads/stores, whether the access pattern is
+            coalesced (consecutive work-items touch consecutive elements).
+        comment: Free-form annotation used in dumps and tests.
+    """
+
+    opcode: str
+    result: str | None = None
+    operands: tuple[str, ...] = ()
+    address_space: str | None = None
+    type_suffix: str = "b32"
+    coalesced: bool = False
+    comment: str = ""
+
+    @property
+    def category(self) -> OpCategory:
+        return _OPCODE_CATEGORIES.get(self.opcode, OpCategory.OTHER)
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.category in (OpCategory.LOAD, OpCategory.STORE)
+
+    def render(self) -> str:
+        """Render the instruction in a PTX-flavoured textual form."""
+        if self.category is OpCategory.LABEL:
+            return f"{self.operands[0]}:"
+        parts = [self.opcode]
+        if self.address_space:
+            parts[0] = f"{self.opcode}.{self.address_space}"
+        parts[0] = f"{parts[0]}.{self.type_suffix}"
+        rendered_operands = []
+        if self.result:
+            rendered_operands.append(self.result)
+        rendered_operands.extend(self.operands)
+        text = f"    {parts[0]} " + ", ".join(rendered_operands) + ";"
+        if self.comment:
+            text += f"  // {self.comment}"
+        return text
+
+
+@dataclass
+class IRFunction:
+    """The lowered form of a single OpenCL function."""
+
+    name: str
+    is_kernel: bool = False
+    parameters: tuple[str, ...] = ()
+    instructions: list[Instruction] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Static counting helpers (the numbers the rejection filter and the
+    # Grewe feature extractor are built from).
+    # ------------------------------------------------------------------
+
+    @property
+    def static_instruction_count(self) -> int:
+        """Number of real (non-label) static instructions."""
+        return sum(1 for inst in self.instructions if inst.category is not OpCategory.LABEL)
+
+    def count_category(self, category: OpCategory) -> int:
+        return sum(1 for inst in self.instructions if inst.category is category)
+
+    @property
+    def compute_operations(self) -> int:
+        """Arithmetic, logical, comparison and conversion operations."""
+        return sum(
+            1
+            for inst in self.instructions
+            if inst.category
+            in (OpCategory.ARITHMETIC, OpCategory.LOGICAL, OpCategory.COMPARISON, OpCategory.CONVERSION)
+        )
+
+    @property
+    def global_memory_accesses(self) -> int:
+        return sum(
+            1 for inst in self.instructions if inst.is_memory_access and inst.address_space == "global"
+        )
+
+    @property
+    def local_memory_accesses(self) -> int:
+        return sum(
+            1 for inst in self.instructions if inst.is_memory_access and inst.address_space == "local"
+        )
+
+    @property
+    def coalesced_memory_accesses(self) -> int:
+        return sum(
+            1
+            for inst in self.instructions
+            if inst.is_memory_access and inst.address_space == "global" and inst.coalesced
+        )
+
+    @property
+    def branch_operations(self) -> int:
+        return self.count_category(OpCategory.BRANCH)
+
+    def render(self) -> str:
+        """Render the function as PTX-flavoured text."""
+        qualifier = ".entry" if self.is_kernel else ".func"
+        header = f"{qualifier} {self.name}(" + ", ".join(self.parameters) + ")"
+        body = "\n".join(inst.render() for inst in self.instructions)
+        return f"{header}\n{{\n{body}\n}}\n"
+
+
+@dataclass
+class IRModule:
+    """The lowered form of a translation unit."""
+
+    functions: list[IRFunction] = field(default_factory=list)
+
+    @property
+    def kernels(self) -> list[IRFunction]:
+        return [f for f in self.functions if f.is_kernel]
+
+    def function(self, name: str) -> IRFunction:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    @property
+    def static_instruction_count(self) -> int:
+        return sum(f.static_instruction_count for f in self.functions)
+
+    def render(self) -> str:
+        header = "//\n// Generated by repro.clc (PTX-like IR)\n//\n.version 5.0\n.target sm_52\n\n"
+        return header + "\n".join(f.render() for f in self.functions)

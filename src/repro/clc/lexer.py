@@ -1,0 +1,332 @@
+"""Tokenizer for the OpenCL C subset understood by this reproduction.
+
+The lexer is deliberately permissive: it recognises the full C operator set,
+integer/floating literals with OpenCL suffixes, character and string
+literals, identifiers and keywords.  Anything else raises :class:`LexerError`
+with a line/column so the rejection filter can report *why* a GitHub content
+file failed to compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import LexerError
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    IDENTIFIER = auto()
+    KEYWORD = auto()
+    INT_LITERAL = auto()
+    FLOAT_LITERAL = auto()
+    CHAR_LITERAL = auto()
+    STRING_LITERAL = auto()
+    PUNCTUATOR = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: The lexical category.
+        text: The exact source text of the token.
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+#: Keywords of the OpenCL C language subset (C99 keywords plus OpenCL
+#: qualifiers).  Type names are handled by the parser via the type table so
+#: that typedefs behave uniformly.
+KEYWORDS = frozenset(
+    {
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "switch",
+        "case",
+        "default",
+        "goto",
+        "sizeof",
+        "struct",
+        "union",
+        "enum",
+        "typedef",
+        "const",
+        "volatile",
+        "restrict",
+        "static",
+        "inline",
+        "extern",
+        "register",
+        "signed",
+        "unsigned",
+        "void",
+        # OpenCL address space / access qualifiers.
+        "__kernel",
+        "kernel",
+        "__global",
+        "global",
+        "__local",
+        "local",
+        "__constant",
+        "constant",
+        "__private",
+        "private",
+        "__read_only",
+        "read_only",
+        "__write_only",
+        "write_only",
+        "__read_write",
+        "read_write",
+        "__attribute__",
+    }
+)
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+class Lexer:
+    """Converts OpenCL C source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return the full token stream, terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    # Internal machinery.
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos : self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n\f\v":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._column
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexerError("unterminated block comment", start_line, start_col)
+            elif ch == "\\" and self._peek(1) == "\n":
+                # Line continuation outside of the preprocessor; harmless.
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self._pos >= len(self._source):
+            return Token(TokenKind.EOF, "", self._line, self._column)
+
+        line, column = self._line, self._column
+        ch = self._peek()
+
+        if ch in _IDENT_START:
+            return self._lex_identifier(line, column)
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        if ch == "#":
+            # Stray preprocessor directives after preprocessing are an error,
+            # but hash tokens inside macros may survive; treat as punctuator.
+            self._advance()
+            return Token(TokenKind.PUNCTUATOR, "#", line, column)
+
+        for punct in _PUNCTUATORS:
+            if self._source.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCTUATOR, punct, line, column)
+
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self._source[start : self._pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+        return Token(kind, text, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        is_float = False
+
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+        else:
+            while self._peek() in _DIGITS:
+                self._advance()
+            if self._peek() == ".":
+                is_float = True
+                self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+            if self._peek() in ("e", "E") and (
+                self._peek(1) in _DIGITS
+                or (self._peek(1) in "+-" and self._peek(2) in _DIGITS)
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+
+        # Suffixes: u, U, l, L, f, F, h (half) in any reasonable combination.
+        while self._peek() in "uUlLfFhH":
+            if self._peek() in "fFhH":
+                is_float = True
+            self._advance()
+
+        text = self._source[start : self._pos]
+        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+        return Token(kind, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        while True:
+            if self._pos >= len(self._source):
+                raise LexerError("unterminated string literal", line, column)
+            ch = self._peek()
+            if ch == "\\":
+                self._advance(2)
+            elif ch == '"':
+                self._advance()
+                break
+            else:
+                self._advance()
+        return Token(TokenKind.STRING_LITERAL, self._source[start : self._pos], line, column)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        while True:
+            if self._pos >= len(self._source):
+                raise LexerError("unterminated character literal", line, column)
+            ch = self._peek()
+            if ch == "\\":
+                self._advance(2)
+            elif ch == "'":
+                self._advance()
+                break
+            else:
+                self._advance()
+        return Token(TokenKind.CHAR_LITERAL, self._source[start : self._pos], line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, returning a list of tokens ending with EOF."""
+    return Lexer(source).tokenize()

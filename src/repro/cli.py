@@ -1,0 +1,115 @@
+"""Command-line interface: ``clgen-repro`` / ``python -m repro``.
+
+Sub-commands mirror the original tool's workflow:
+
+* ``mine``        — mine the (synthetic) GitHub corpus and print its statistics
+* ``train``       — train a language model on the corpus and checkpoint it
+* ``sample``      — synthesize kernels from a trained (or freshly trained) model
+* ``experiments`` — regenerate every table/figure and print the report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.corpus import Corpus
+from repro.experiments import ExperimentConfig, run_all
+from repro.model import save_model, train_model
+from repro.synthesis import CLgen, SamplerConfig
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    corpus = Corpus.mine_and_build(repository_count=args.repositories, seed=args.seed)
+    stats = corpus.statistics
+    print(f"content files: {stats.content_files} ({stats.content_lines} lines)")
+    print(f"accepted: {stats.accepted_files}  rejected: {stats.rejected_files} "
+          f"(discard rate {stats.discard_rate * 100:.1f}%)")
+    print(f"corpus: {corpus.size} kernels, {corpus.line_count} lines")
+    print(f"vocabulary reduction: {stats.vocabulary_reduction * 100:.0f}%")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = Corpus.mine_and_build(repository_count=args.repositories, seed=args.seed)
+    trained = train_model(corpus, backend=args.backend, ngram_order=args.order)
+    print(f"trained {args.backend} model on {trained.corpus_characters} characters "
+          f"(final loss {trained.summary.final_loss:.3f})")
+    if args.checkpoint:
+        path = save_model(trained.model, args.checkpoint)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    clgen = CLgen.from_github(
+        repository_count=args.repositories,
+        seed=args.seed,
+        ngram_order=args.order,
+        sampler_config=SamplerConfig(temperature=args.temperature),
+    )
+    result = clgen.generate_kernels(args.count, seed=args.seed)
+    for kernel in result.kernels:
+        print(kernel.source)
+        print()
+    stats = result.statistics
+    print(
+        f"// generated {stats.generated}/{stats.requested} kernels in {stats.attempts} attempts "
+        f"(acceptance rate {stats.acceptance_rate * 100:.0f}%)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.full() if args.full else ExperimentConfig.quick()
+    if args.synthetic_kernels:
+        config.synthetic_kernel_count = args.synthetic_kernels
+    report = run_all(config)
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clgen-repro",
+        description="Reproduction of 'Synthesizing Benchmarks for Predictive Modeling' (CGO 2017)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    mine = subparsers.add_parser("mine", help="mine the OpenCL corpus and print statistics")
+    mine.add_argument("--repositories", type=int, default=100)
+    mine.add_argument("--seed", type=int, default=0)
+    mine.set_defaults(func=_cmd_mine)
+
+    train = subparsers.add_parser("train", help="train a language model on the corpus")
+    train.add_argument("--repositories", type=int, default=100)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--backend", choices=["ngram", "lstm"], default="ngram")
+    train.add_argument("--order", type=int, default=12)
+    train.add_argument("--checkpoint", type=str, default=None)
+    train.set_defaults(func=_cmd_train)
+
+    sample = subparsers.add_parser("sample", help="synthesize OpenCL kernels")
+    sample.add_argument("--count", type=int, default=10)
+    sample.add_argument("--repositories", type=int, default=80)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--order", type=int, default=12)
+    sample.add_argument("--temperature", type=float, default=0.6)
+    sample.set_defaults(func=_cmd_sample)
+
+    experiments = subparsers.add_parser("experiments", help="regenerate every table and figure")
+    experiments.add_argument("--full", action="store_true", help="paper-scale configuration")
+    experiments.add_argument("--synthetic-kernels", type=int, default=None)
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

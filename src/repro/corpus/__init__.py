@@ -1,0 +1,34 @@
+"""``repro.corpus`` — mining and assembling the OpenCL language corpus.
+
+Simulates the paper's GitHub mining stage: a procedurally generated
+population of repositories, a search engine with recursive header inlining,
+and the :class:`Corpus` container that feeds the language model.
+"""
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.github import (
+    ContentFile,
+    GitHubMiner,
+    MiningResult,
+    Repository,
+    RepositoryFile,
+    RepositoryPopulation,
+    mine_content_files,
+)
+from repro.corpus.inliner import count_unresolved_includes, inline_headers
+from repro.corpus.templates import ContentFileGenerator, GeneratedContentFile
+
+__all__ = [
+    "ContentFile",
+    "ContentFileGenerator",
+    "Corpus",
+    "GeneratedContentFile",
+    "GitHubMiner",
+    "MiningResult",
+    "Repository",
+    "RepositoryFile",
+    "RepositoryPopulation",
+    "count_unresolved_includes",
+    "inline_headers",
+    "mine_content_files",
+]

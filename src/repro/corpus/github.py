@@ -1,0 +1,207 @@
+"""Simulated GitHub mining of OpenCL content files (paper §4.1).
+
+The paper's search engine "attempts to identify and download standalone
+OpenCL files through a process of file scraping and recursive header
+inlining", yielding 8078 content files from 793 repositories.  This module
+reproduces the same *interface* without the network: a population of
+synthetic repositories is generated procedurally (each holding OpenCL
+device files, project headers and irrelevant host files), and the
+:class:`GitHubMiner` scrapes them, inlines their headers recursively and
+returns :class:`ContentFile` records ready for the preprocessing pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.inliner import inline_headers
+from repro.corpus.templates import ContentFileGenerator, GeneratedContentFile
+
+_REPO_ADJECTIVES = [
+    "fast", "parallel", "gpu", "opencl", "tiny", "deep", "open", "turbo", "micro", "hyper",
+    "simple", "robust", "sparse", "dense", "quantum", "neural", "mobile", "vector",
+]
+_REPO_NOUNS = [
+    "miner", "raytracer", "solver", "net", "bench", "kernels", "fluid", "nbody", "matrix",
+    "imageproc", "hash", "physics", "renderer", "sort", "fft", "bignum", "crypto", "ml",
+    "particles", "stencil",
+]
+
+
+@dataclass
+class RepositoryFile:
+    """One file inside a synthetic repository."""
+
+    path: str
+    text: str
+    is_opencl: bool = False
+
+
+@dataclass
+class Repository:
+    """A synthetic GitHub repository."""
+
+    name: str
+    owner: str
+    stars: int
+    files: list[RepositoryFile] = field(default_factory=list)
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.owner}/{self.name}"
+
+    def headers(self) -> dict[str, str]:
+        """Map of header basename → text, used for recursive inlining."""
+        table: dict[str, str] = {}
+        for file in self.files:
+            if file.path.endswith((".h", ".clh", ".inc")):
+                table[file.path.rsplit("/", 1)[-1]] = file.text
+                table[file.path] = file.text
+        return table
+
+
+@dataclass
+class ContentFile:
+    """A mined content file: potentially OpenCL device code."""
+
+    repository: str
+    path: str
+    text: str
+    sha: str = ""
+
+    @property
+    def line_count(self) -> int:
+        return sum(1 for line in self.text.splitlines() if line.strip())
+
+
+@dataclass
+class MiningResult:
+    """The output of a mining run."""
+
+    repositories: list[Repository]
+    content_files: list[ContentFile]
+
+    @property
+    def total_lines(self) -> int:
+        return sum(cf.line_count for cf in self.content_files)
+
+
+class RepositoryPopulation:
+    """Procedurally generates the population of repositories to be mined."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._generator = ContentFileGenerator(seed=self._rng.randrange(1 << 30))
+
+    def generate_repository(self, index: int) -> Repository:
+        name = (
+            f"{self._rng.choice(_REPO_ADJECTIVES)}-{self._rng.choice(_REPO_NOUNS)}-{index}"
+        )
+        owner = f"dev{self._rng.randint(1, 4000)}"
+        stars = max(0, int(self._rng.expovariate(1 / 12)))
+        repo = Repository(name=name, owner=owner, stars=stars)
+
+        # Project headers that device files may include.
+        header_count = self._rng.randint(0, 2)
+        header_names = []
+        for h in range(header_count):
+            header_name = self._rng.choice(
+                ["common.h", "defines.h", "config.h", "types.h", "kernel_utils.h", "precision.h"]
+            )
+            constants = "\n".join(
+                f"#define {name} {value}"
+                for name, value in self._rng.sample(
+                    [
+                        ("BLOCK_SIZE", "16"),
+                        ("LOCAL_SIZE", "128"),
+                        ("EPSILON", "1e-6f"),
+                        ("MAX_ITER", "64"),
+                        ("WIDTH", "512"),
+                        ("SCALE", "1.5f"),
+                    ],
+                    k=self._rng.randint(1, 3),
+                )
+            )
+            typedef = ""
+            if self._rng.random() < 0.5:
+                typedef = "\ntypedef float real_t;\n"
+            repo.files.append(
+                RepositoryFile(path=f"include/{header_name}", text=constants + typedef + "\n")
+            )
+            header_names.append(header_name)
+
+        # OpenCL device files.
+        kernel_file_count = self._rng.randint(1, 14)
+        for k in range(kernel_file_count):
+            generated: GeneratedContentFile = self._generator.generate()
+            text = generated.text
+            # Some files include one of the repository's own headers.
+            if header_names and self._rng.random() < 0.35 and generated.includes == []:
+                text = f'#include "{self._rng.choice(header_names)}"\n\n' + text
+            extension = self._rng.choice([".cl", ".cl", ".cl", ".ocl", ".clc"])
+            repo.files.append(
+                RepositoryFile(path=f"kernels/{generated.archetype}_{k}{extension}", text=text,
+                               is_opencl=True)
+            )
+
+        # Irrelevant host files the search engine must skip.
+        for h in range(self._rng.randint(0, 4)):
+            repo.files.append(
+                RepositoryFile(
+                    path=f"src/host_{h}.c",
+                    text="#include <stdio.h>\nint main(void) { return 0; }\n",
+                )
+            )
+        return repo
+
+    def generate(self, repository_count: int) -> list[Repository]:
+        return [self.generate_repository(i) for i in range(repository_count)]
+
+
+class GitHubMiner:
+    """Simulates the paper's GitHub search engine and file scraper."""
+
+    #: File extensions treated as candidate OpenCL device code.
+    OPENCL_EXTENSIONS = (".cl", ".ocl", ".clc", ".clh")
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def mine(self, repository_count: int = 100) -> MiningResult:
+        """Mine *repository_count* synthetic repositories.
+
+        Returns the repositories and the content files discovered in them,
+        with project headers recursively inlined (the paper's "recursive
+        header inlining").
+        """
+        population = RepositoryPopulation(seed=self._seed)
+        repositories = population.generate(repository_count)
+        content_files: list[ContentFile] = []
+        for repository in repositories:
+            headers = repository.headers()
+            for file in repository.files:
+                if not self._looks_like_opencl(file):
+                    continue
+                text = inline_headers(file.text, headers)
+                content_files.append(
+                    ContentFile(
+                        repository=repository.full_name,
+                        path=file.path,
+                        text=text,
+                        sha=f"{abs(hash((repository.full_name, file.path))):x}"[:12],
+                    )
+                )
+        return MiningResult(repositories=repositories, content_files=content_files)
+
+    def _looks_like_opencl(self, file: RepositoryFile) -> bool:
+        """The search-engine heuristic: extension or ``__kernel`` marker."""
+        if file.path.endswith(self.OPENCL_EXTENSIONS):
+            return True
+        return "__kernel" in file.text and file.path.endswith((".c", ".h", ".cpp"))
+
+
+def mine_content_files(repository_count: int = 100, seed: int = 0) -> list[str]:
+    """Convenience helper: mine and return raw content-file texts."""
+    result = GitHubMiner(seed=seed).mine(repository_count)
+    return [cf.text for cf in result.content_files]

@@ -1,0 +1,59 @@
+"""Recursive header inlining (part of the paper's GitHub search engine).
+
+GitHub does not serve OpenCL device code as standalone translation units:
+kernels routinely ``#include`` project headers for constants and type
+aliases.  The paper's scraper therefore performs "file scraping and
+recursive header inlining".  Given the file table of a repository, this
+module replaces ``#include "..."`` directives with the text of the included
+file, recursively, with cycle protection.  Includes that cannot be resolved
+inside the repository are left in place for the shim/preprocessor to deal
+with.
+"""
+
+from __future__ import annotations
+
+import re
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"\s*$', re.MULTILINE)
+
+
+def inline_headers(text: str, headers: dict[str, str], max_depth: int = 8) -> str:
+    """Inline ``#include "…"`` directives found in *text* using *headers*.
+
+    Args:
+        text: The content file text.
+        headers: Mapping from header names (basenames and/or full paths) to
+            their text.
+        max_depth: Recursion limit guarding against include cycles.
+
+    Returns:
+        The text with all resolvable quoted includes replaced by the included
+        file contents (recursively inlined themselves).  Unresolvable
+        includes are preserved verbatim.
+    """
+    return _inline(text, headers, max_depth, frozenset())
+
+
+def _inline(text: str, headers: dict[str, str], depth: int, seen: frozenset[str]) -> str:
+    if depth <= 0:
+        return text
+
+    def replace(match: re.Match[str]) -> str:
+        name = match.group(1)
+        basename = name.rsplit("/", 1)[-1]
+        if name in seen or basename in seen:
+            return f"/* include cycle: {name} */"
+        body = headers.get(name)
+        if body is None:
+            body = headers.get(basename)
+        if body is None:
+            return match.group(0)
+        inlined = _inline(body, headers, depth - 1, seen | {name, basename})
+        return f"/* inlined from {name} */\n{inlined}"
+
+    return _INCLUDE_RE.sub(replace, text)
+
+
+def count_unresolved_includes(text: str) -> int:
+    """Number of quoted includes remaining in *text* after inlining."""
+    return len(_INCLUDE_RE.findall(text))

@@ -1,0 +1,28 @@
+"""``repro.driver`` — the host driver (paper §5).
+
+Payload generation, the four-execution dynamic checker and the benchmark
+harness that executes kernels on the simulated platforms and records the
+measurements used for predictive modeling.
+"""
+
+from repro.driver.checker import CheckOutcome, DynamicChecker, DynamicCheckResult
+from repro.driver.harness import (
+    DriverConfig,
+    HostDriver,
+    KernelMeasurement,
+    is_useful_benchmark,
+)
+from repro.driver.payload import Payload, PayloadConfig, PayloadGenerator
+
+__all__ = [
+    "CheckOutcome",
+    "DriverConfig",
+    "DynamicCheckResult",
+    "DynamicChecker",
+    "HostDriver",
+    "KernelMeasurement",
+    "Payload",
+    "PayloadConfig",
+    "PayloadGenerator",
+    "is_useful_benchmark",
+]

@@ -1,0 +1,252 @@
+"""The benchmark driver: execute kernels and gather performance data.
+
+This is the right-hand half of Figure 4: synthesized (or suite) benchmarks
+plus generated payloads are executed and profiled, producing the
+measurements that the feature extractor and the predictive model consume.
+Execution happens on the NDRange interpreter at a modest size; runtimes for
+the paper's CPU/GPU platforms are then estimated by the analytic device
+models on a profile scaled to the requested dataset size, which is how this
+reproduction covers the paper's 128 B – 130 MB payload range without
+executing millions of work-items in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc import CompilationResult, compile_source
+from repro.clc.ast_nodes import Call, walk
+from repro.driver.checker import CheckOutcome, DynamicChecker, DynamicCheckResult
+from repro.driver.payload import Payload, PayloadConfig, PayloadGenerator
+from repro.errors import CompileError, ExecutionError, KernelTimeoutError
+from repro.execution.device import KernelProfile, Platform, all_platforms
+from repro.execution.interpreter import ExecutionStats, KernelInterpreter
+from repro.preprocess.shim import shim_include_resolver, with_shim
+
+
+@dataclass
+class KernelMeasurement:
+    """One kernel's complete measurement record."""
+
+    name: str
+    source: str
+    kernel_name: str
+    compilation: CompilationResult
+    stats: ExecutionStats
+    profile: KernelProfile
+    executed_global_size: int
+    dataset_scale: float
+    transfer_bytes: float
+    work_group_size: int
+    runtimes: dict[str, dict[str, float]] = field(default_factory=dict)
+    oracles: dict[str, str] = field(default_factory=dict)
+    check: DynamicCheckResult | None = None
+
+    def runtime(self, platform: str, device: str) -> float:
+        return self.runtimes[platform][device]
+
+    def oracle(self, platform: str) -> str:
+        return self.oracles[platform]
+
+    def speedup_of(self, platform: str, device: str) -> float:
+        """Speedup of choosing *device* over the other device on *platform*."""
+        times = self.runtimes[platform]
+        other = "gpu" if device == "cpu" else "cpu"
+        return times[other] / max(times[device], 1e-12)
+
+
+@dataclass
+class DriverConfig:
+    """Host-driver configuration."""
+
+    executed_global_size: int = 256
+    local_size: int = 64
+    dataset_scale: float = 1.0
+    payload_seed: int = 0
+    max_steps_per_item: int = 50_000
+    run_dynamic_check: bool = False
+    #: Standard deviation of the multiplicative log-normal measurement noise
+    #: applied to every runtime estimate.  Real systems are noisy (the paper
+    #: averages five repetitions per measurement); a deterministic,
+    #: per-kernel noise term keeps the simulated world from being perfectly
+    #: learnable from a handful of observations.
+    measurement_noise: float = 0.25
+
+
+class HostDriver:
+    """Executes and profiles kernels on the simulated platforms."""
+
+    def __init__(
+        self,
+        platforms: list[Platform] | None = None,
+        config: DriverConfig | None = None,
+    ):
+        self.platforms = platforms or all_platforms()
+        self.config = config or DriverConfig()
+        self._checker = DynamicChecker(
+            payload_config=PayloadConfig(
+                global_size=min(self.config.executed_global_size, 128),
+                local_size=self.config.local_size,
+                seed=self.config.payload_seed,
+            ),
+            max_steps_per_item=self.config.max_steps_per_item,
+        )
+
+    # ------------------------------------------------------------------
+
+    def measure_source(
+        self,
+        source: str,
+        name: str | None = None,
+        kernel_name: str | None = None,
+        dataset_scale: float | None = None,
+    ) -> KernelMeasurement | None:
+        """Compile, execute and profile one kernel.
+
+        Returns ``None`` when the kernel cannot be compiled or executed —
+        callers (the experiment harness) treat that as "benchmark excluded",
+        mirroring how a crashing benchmark would be dropped from a study.
+        """
+        scale = self.config.dataset_scale if dataset_scale is None else dataset_scale
+        try:
+            compilation = compile_source(
+                with_shim(source), include_resolver=shim_include_resolver, strict=False
+            )
+        except CompileError:
+            return None
+        kernels = compilation.unit.kernels
+        if not kernels:
+            return None
+        kernel = compilation.unit.kernel(kernel_name) if kernel_name else kernels[0]
+
+        work_dim = self._kernel_work_dim(kernel)
+        generator = PayloadGenerator(
+            PayloadConfig(
+                global_size=self.config.executed_global_size,
+                local_size=self.config.local_size,
+                seed=self.config.payload_seed,
+            )
+        )
+        payload = generator.generate(kernel, work_dim=work_dim)
+
+        try:
+            interpreter = KernelInterpreter(
+                compilation.unit, kernel.name, max_steps_per_item=self.config.max_steps_per_item
+            )
+            execution = interpreter.execute(payload.pool, payload.scalar_args, payload.ndrange)
+        except (KernelTimeoutError, ExecutionError):
+            return None
+
+        ir_kernel = self._ir_function(compilation, kernel.name)
+        coalesced_fraction = 1.0
+        if ir_kernel is not None and ir_kernel.global_memory_accesses > 0:
+            coalesced_fraction = (
+                ir_kernel.coalesced_memory_accesses / ir_kernel.global_memory_accesses
+            )
+
+        profile = KernelProfile.from_stats(
+            execution.stats,
+            coalesced_fraction=coalesced_fraction,
+            transfer_bytes=float(payload.transfer_bytes),
+            work_group_size=payload.ndrange.work_group_size,
+            transfer_count=payload.transfer_count,
+        ).scaled(scale)
+
+        runtimes: dict[str, dict[str, float]] = {}
+        oracles: dict[str, str] = {}
+        for platform in self.platforms:
+            times = platform.runtimes(profile)
+            times = {
+                device: value * self._noise_factor(name or kernel.name, platform.name, device)
+                for device, value in times.items()
+            }
+            runtimes[platform.name] = times
+            oracles[platform.name] = "cpu" if times["cpu"] <= times["gpu"] else "gpu"
+
+        check = None
+        if self.config.run_dynamic_check:
+            check = self._checker.check(compilation.unit, kernel.name)
+
+        return KernelMeasurement(
+            name=name or kernel.name,
+            source=source,
+            kernel_name=kernel.name,
+            compilation=compilation,
+            stats=execution.stats,
+            profile=profile,
+            executed_global_size=self.config.executed_global_size,
+            dataset_scale=scale,
+            transfer_bytes=float(payload.transfer_bytes) * scale,
+            work_group_size=payload.ndrange.work_group_size,
+            runtimes=runtimes,
+            oracles=oracles,
+            check=check,
+        )
+
+    def measure_many(
+        self,
+        sources: list[str],
+        names: list[str] | None = None,
+        dataset_scales: list[float] | None = None,
+    ) -> list[KernelMeasurement]:
+        """Measure several kernels, silently skipping failures."""
+        measurements: list[KernelMeasurement] = []
+        for index, source in enumerate(sources):
+            name = names[index] if names else None
+            scale = dataset_scales[index] if dataset_scales else None
+            measurement = self.measure_source(source, name=name, dataset_scale=scale)
+            if measurement is not None:
+                measurements.append(measurement)
+        return measurements
+
+    def check_useful(self, source: str) -> DynamicCheckResult:
+        """Run only the dynamic checker on *source* (used by the synthesizer)."""
+        return self._checker.check_source(source)
+
+    # ------------------------------------------------------------------
+
+    def _noise_factor(self, name: str, platform: str, device: str) -> float:
+        """Deterministic log-normal measurement noise for one runtime."""
+        if self.config.measurement_noise <= 0:
+            return 1.0
+        import hashlib
+        import math
+
+        digest = hashlib.sha256(
+            f"{name}|{platform}|{device}|{self.config.payload_seed}".encode("utf-8")
+        ).digest()
+        # Two uniform draws from the digest -> one standard normal (Box–Muller).
+        u1 = (int.from_bytes(digest[:8], "big") / 2**64) or 1e-12
+        u2 = int.from_bytes(digest[8:16], "big") / 2**64
+        normal = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return math.exp(self.config.measurement_noise * normal)
+
+    @staticmethod
+    def _kernel_work_dim(kernel) -> int:
+        """Detect 2D kernels by their use of dimension-1 work-item queries."""
+        if kernel.body is None:
+            return 1
+        for node in walk(kernel.body):
+            if isinstance(node, Call) and node.callee in (
+                "get_global_id",
+                "get_group_id",
+                "get_local_id",
+            ):
+                if node.arguments:
+                    argument = node.arguments[0]
+                    value = getattr(argument, "value", None)
+                    if value == 1:
+                        return 2
+        return 1
+
+    @staticmethod
+    def _ir_function(compilation: CompilationResult, kernel_name: str):
+        try:
+            return compilation.ir.function(kernel_name)
+        except KeyError:
+            return None
+
+
+def is_useful_benchmark(result: DynamicCheckResult) -> bool:
+    """Convenience predicate for filtering synthesized kernels (§5.2)."""
+    return result.outcome is CheckOutcome.USEFUL

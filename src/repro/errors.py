@@ -1,0 +1,88 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every user-facing failure mode in the pipeline maps to one of these
+exception classes so that callers (the rejection filter, the host driver,
+the experiment harness) can discriminate *why* a kernel was rejected or an
+execution failed without string-matching error messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompileError(ReproError):
+    """The OpenCL C frontend could not compile an input.
+
+    Attributes:
+        message: Human readable description of the problem.
+        line: 1-based source line on which the error was detected, if known.
+        column: 1-based source column, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f"{line}:{column or 0}: "
+        super().__init__(f"{location}{message}")
+
+
+class PreprocessorError(CompileError):
+    """Raised for malformed preprocessor directives or unresolvable includes."""
+
+
+class LexerError(CompileError):
+    """Raised when the character stream cannot be tokenized."""
+
+
+class ParseError(CompileError):
+    """Raised when the token stream is not valid OpenCL C (our subset)."""
+
+
+class SemanticError(CompileError):
+    """Raised for undeclared identifiers, call-arity mismatches and the like."""
+
+
+class CodegenError(CompileError):
+    """Raised when a well-formed AST cannot be lowered to IR."""
+
+
+class RewriterError(ReproError):
+    """Raised when the source normalizer cannot rewrite an input."""
+
+
+class ExecutionError(ReproError):
+    """Base class for failures while executing a kernel on a simulated device."""
+
+
+class KernelTimeoutError(ExecutionError):
+    """The kernel exceeded the simulated execution budget (possible non-termination)."""
+
+
+class KernelRuntimeError(ExecutionError):
+    """The kernel performed an illegal operation (out-of-bounds access, etc.)."""
+
+
+class PayloadError(ReproError):
+    """The host driver could not construct a payload for a kernel signature."""
+
+
+class DynamicCheckError(ReproError):
+    """The dynamic checker determined that a kernel does not perform useful work."""
+
+
+class ModelError(ReproError):
+    """Raised for language-model configuration or checkpointing problems."""
+
+
+class SynthesisError(ReproError):
+    """Raised when the synthesizer cannot produce a candidate kernel."""
+
+
+class BenchmarkError(ReproError):
+    """Raised for problems loading or executing benchmark-suite programs."""

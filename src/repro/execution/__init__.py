@@ -1,0 +1,51 @@
+"""``repro.execution`` — a simulated OpenCL runtime.
+
+Provides the NDRange kernel interpreter (a stand-in for a real OpenCL
+driver stack), simulated memory objects, and analytic device models of the
+paper's experimental platforms (Table 4).
+"""
+
+from repro.execution.device import (
+    Device,
+    DeviceType,
+    KernelProfile,
+    Platform,
+    all_platforms,
+    amd_platform,
+    amd_tahiti_7970,
+    intel_core_i7_3820,
+    nvidia_gtx_970,
+    nvidia_platform,
+)
+from repro.execution.interpreter import (
+    ExecutionResult,
+    ExecutionStats,
+    KernelInterpreter,
+    run_kernel,
+)
+from repro.execution.memory import Buffer, MemoryPool
+from repro.execution.ndrange import NDRange
+from repro.execution.values import VectorValue, convert_scalar, values_equal
+
+__all__ = [
+    "Buffer",
+    "Device",
+    "DeviceType",
+    "ExecutionResult",
+    "ExecutionStats",
+    "KernelInterpreter",
+    "KernelProfile",
+    "MemoryPool",
+    "NDRange",
+    "Platform",
+    "VectorValue",
+    "all_platforms",
+    "amd_platform",
+    "amd_tahiti_7970",
+    "convert_scalar",
+    "intel_core_i7_3820",
+    "nvidia_gtx_970",
+    "nvidia_platform",
+    "run_kernel",
+    "values_equal",
+]

@@ -1,0 +1,280 @@
+"""Implementations of OpenCL built-in functions for the interpreter.
+
+Math built-ins operate component-wise over :class:`VectorValue` operands and
+broadcast scalars, mirroring OpenCL semantics closely enough for the dynamic
+checker's purposes (bit-exactness is not a goal — the checker compares with
+an epsilon, §5.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.execution.values import VectorValue, convert_scalar
+
+
+def _componentwise(func, *args):
+    """Apply *func* over scalars, broadcasting across any vector arguments."""
+    vectors = [a for a in args if isinstance(a, VectorValue)]
+    if not vectors:
+        return func(*args)
+    width = vectors[0].width
+    kind = vectors[0].element_kind
+    columns = []
+    for arg in args:
+        if isinstance(arg, VectorValue):
+            columns.append(arg.values)
+        else:
+            columns.append([arg] * width)
+    return VectorValue(kind, [func(*row) for row in zip(*columns)])
+
+
+def _safe(func, default=0.0):
+    def wrapper(*args):
+        try:
+            result = func(*(float(a) for a in args))
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return default
+        return result
+
+    return wrapper
+
+
+def _clamp(x, lo, hi):
+    return min(max(x, lo), hi)
+
+
+def _mix(x, y, a):
+    return x + (y - x) * a
+
+
+def _step(edge, x):
+    return 0.0 if x < edge else 1.0
+
+
+def _smoothstep(edge0, edge1, x):
+    if edge1 == edge0:
+        return 0.0 if x < edge0 else 1.0
+    t = _clamp((x - edge0) / (edge1 - edge0), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _sign(x):
+    if x > 0:
+        return 1.0
+    if x < 0:
+        return -1.0
+    return 0.0
+
+
+def _mad(a, b, c):
+    return a * b + c
+
+
+def _divide(a, b):
+    return a / b if b != 0 else (math.inf if a > 0 else -math.inf if a < 0 else math.nan)
+
+
+def _recip(a):
+    return 1.0 / a if a != 0 else math.inf
+
+
+#: Scalar implementations applied component-wise.
+_SCALAR_FUNCS = {
+    "sqrt": _safe(lambda x: math.sqrt(abs(x))),
+    "native_sqrt": _safe(lambda x: math.sqrt(abs(x))),
+    "half_sqrt": _safe(lambda x: math.sqrt(abs(x))),
+    "rsqrt": _safe(lambda x: 1.0 / math.sqrt(abs(x)) if x != 0 else math.inf),
+    "native_rsqrt": _safe(lambda x: 1.0 / math.sqrt(abs(x)) if x != 0 else math.inf),
+    "cbrt": _safe(lambda x: math.copysign(abs(x) ** (1.0 / 3.0), x)),
+    "sin": _safe(math.sin),
+    "native_sin": _safe(math.sin),
+    "cos": _safe(math.cos),
+    "native_cos": _safe(math.cos),
+    "tan": _safe(math.tan),
+    "asin": _safe(lambda x: math.asin(_clamp(x, -1.0, 1.0))),
+    "acos": _safe(lambda x: math.acos(_clamp(x, -1.0, 1.0))),
+    "atan": _safe(math.atan),
+    "atan2": _safe(math.atan2),
+    "sinh": _safe(math.sinh),
+    "cosh": _safe(math.cosh),
+    "tanh": _safe(math.tanh),
+    "exp": _safe(math.exp),
+    "exp2": _safe(lambda x: 2.0**x),
+    "exp10": _safe(lambda x: 10.0**x),
+    "native_exp": _safe(math.exp),
+    "half_exp": _safe(math.exp),
+    "log": _safe(lambda x: math.log(x) if x > 0 else -math.inf),
+    "log2": _safe(lambda x: math.log2(x) if x > 0 else -math.inf),
+    "log10": _safe(lambda x: math.log10(x) if x > 0 else -math.inf),
+    "native_log": _safe(lambda x: math.log(x) if x > 0 else -math.inf),
+    "half_log": _safe(lambda x: math.log(x) if x > 0 else -math.inf),
+    "pow": _safe(lambda x, y: math.copysign(abs(x) ** y, 1.0 if x >= 0 else -1.0)),
+    "pown": _safe(lambda x, y: x**int(y)),
+    "powr": _safe(lambda x, y: abs(x) ** y),
+    "fabs": _safe(abs),
+    "floor": _safe(math.floor),
+    "ceil": _safe(math.ceil),
+    "round": _safe(round),
+    "trunc": _safe(math.trunc),
+    "rint": _safe(round),
+    "fmod": _safe(lambda x, y: math.fmod(x, y) if y != 0 else 0.0),
+    "hypot": _safe(math.hypot),
+    "copysign": _safe(math.copysign),
+    "sign": _safe(_sign),
+    "fma": _safe(_mad),
+    "mad": _safe(_mad),
+    "fmin": _safe(min),
+    "fmax": _safe(max),
+    "native_divide": _safe(_divide),
+    "native_recip": _safe(_recip),
+    "degrees": _safe(math.degrees),
+    "radians": _safe(math.radians),
+    "erf": _safe(math.erf),
+    "erfc": _safe(math.erfc),
+    "tgamma": _safe(lambda x: math.gamma(x) if x > 0 else 1.0),
+    "lgamma": _safe(lambda x: math.lgamma(abs(x)) if x != 0 else 0.0),
+    "mix": _safe(_mix),
+    "step": _safe(_step),
+    "smoothstep": _safe(_smoothstep),
+    "clamp": _safe(_clamp),
+}
+
+#: Integer-flavoured built-ins (still applied component-wise).
+_INTEGER_FUNCS = {
+    "abs": lambda x: abs(int(x)) if not isinstance(x, float) else abs(x),
+    "abs_diff": lambda x, y: abs(int(x) - int(y)),
+    "add_sat": lambda x, y: int(x) + int(y),
+    "sub_sat": lambda x, y: int(x) - int(y),
+    "hadd": lambda x, y: (int(x) + int(y)) >> 1,
+    "rhadd": lambda x, y: (int(x) + int(y) + 1) >> 1,
+    "clz": lambda x: max(0, 32 - int(abs(int(x))).bit_length()),
+    "popcount": lambda x: bin(int(x) & 0xFFFFFFFF).count("1"),
+    "rotate": lambda x, n: ((int(x) << (int(n) % 32)) | (int(x) >> (32 - int(n) % 32))) & 0xFFFFFFFF,
+    "mad24": lambda a, b, c: int(a) * int(b) + int(c),
+    "mul24": lambda a, b: int(a) * int(b),
+    "mad_hi": lambda a, b, c: ((int(a) * int(b)) >> 32) + int(c),
+    "mul_hi": lambda a, b: (int(a) * int(b)) >> 32,
+    "min": min,
+    "max": max,
+}
+
+_RELATIONAL_FUNCS = {
+    "isnan": lambda x: 1 if isinstance(x, float) and math.isnan(x) else 0,
+    "isinf": lambda x: 1 if isinstance(x, float) and math.isinf(x) else 0,
+    "isfinite": lambda x: 1 if not isinstance(x, float) or math.isfinite(x) else 0,
+    "isnormal": lambda x: 1 if isinstance(x, (int, float)) and x != 0 and math.isfinite(float(x)) else 0,
+    "signbit": lambda x: 1 if float(x) < 0 else 0,
+}
+
+
+def _dot(a, b):
+    if isinstance(a, VectorValue) and isinstance(b, VectorValue):
+        return float(sum(x * y for x, y in zip(a.values, b.values)))
+    return float(a) * float(b)
+
+
+def _length(a):
+    if isinstance(a, VectorValue):
+        return math.sqrt(sum(float(x) * float(x) for x in a.values))
+    return abs(float(a))
+
+
+def _normalize(a):
+    if isinstance(a, VectorValue):
+        norm = _length(a) or 1.0
+        return VectorValue(a.element_kind, [float(x) / norm for x in a.values])
+    return _sign(float(a))
+
+
+def _cross(a, b):
+    if isinstance(a, VectorValue) and isinstance(b, VectorValue) and a.width >= 3 and b.width >= 3:
+        ax, ay, az = a.values[:3]
+        bx, by, bz = b.values[:3]
+        values = [ay * bz - az * by, az * bx - ax * bz, ax * by - ay * bx]
+        if a.width == 4:
+            values.append(0.0)
+        return VectorValue(a.element_kind, values)
+    return a
+
+
+def _any(a):
+    if isinstance(a, VectorValue):
+        return 1 if any(v != 0 for v in a.values) else 0
+    return 1 if a != 0 else 0
+
+
+def _all(a):
+    if isinstance(a, VectorValue):
+        return 1 if all(v != 0 for v in a.values) else 0
+    return 1 if a != 0 else 0
+
+
+def _select(a, b, c):
+    if isinstance(c, VectorValue):
+        return _componentwise(lambda x, y, z: y if z else x, a, b, c)
+    return b if c else a
+
+
+def _bitselect(a, b, c):
+    return _componentwise(lambda x, y, z: (int(x) & ~int(z)) | (int(y) & int(z)), a, b, c)
+
+
+_GEOMETRIC_FUNCS = {
+    "dot": _dot,
+    "length": _length,
+    "fast_length": _length,
+    "distance": lambda a, b: _length(a - b if isinstance(a, VectorValue) else float(a) - float(b)),
+    "normalize": _normalize,
+    "fast_normalize": _normalize,
+    "cross": _cross,
+    "any": _any,
+    "all": _all,
+    "select": _select,
+    "bitselect": _bitselect,
+}
+
+
+def evaluate_builtin(name: str, args: list):
+    """Evaluate the OpenCL built-in *name* over already-evaluated *args*.
+
+    Returns the result value, or raises ``KeyError`` when the built-in is not
+    a pure value function (work-item queries, barriers, atomics and
+    vload/vstore are handled by the interpreter itself because they need
+    execution context).
+    """
+    if name in _SCALAR_FUNCS:
+        return _componentwise(_SCALAR_FUNCS[name], *args)
+    if name in _INTEGER_FUNCS:
+        return _componentwise(_INTEGER_FUNCS[name], *args)
+    if name in _RELATIONAL_FUNCS:
+        return _componentwise(_RELATIONAL_FUNCS[name], *args)
+    if name in _GEOMETRIC_FUNCS:
+        return _GEOMETRIC_FUNCS[name](*args)
+    if name == "printf":
+        return 0
+    if name.startswith("as_") or name.startswith("convert_"):
+        return convert_builtin(name, args)
+    raise KeyError(name)
+
+
+_VECTOR_SUFFIXES = ("2", "3", "4", "8", "16")
+
+
+def convert_builtin(name: str, args: list):
+    """Implement ``as_<type>`` and ``convert_<type>[_sat][_rte]`` built-ins."""
+    target = name.split("_", 1)[1]
+    for suffix in ("_sat", "_rte", "_rtz", "_rtp", "_rtn"):
+        target = target.replace(suffix, "")
+    width = 1
+    for vector_suffix in _VECTOR_SUFFIXES:
+        if target.endswith(vector_suffix) and target[: -len(vector_suffix)].isalpha():
+            width = int(vector_suffix)
+            target = target[: -len(vector_suffix)]
+            break
+    value = args[0] if args else 0
+    if width > 1:
+        if isinstance(value, VectorValue):
+            return VectorValue(target, [convert_scalar(target, v) for v in value.values[:width]])
+        return VectorValue.broadcast(target, width, convert_scalar(target, value))
+    return convert_scalar(target, value)

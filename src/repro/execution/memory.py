@@ -1,0 +1,193 @@
+"""Simulated OpenCL memory objects.
+
+The host driver allocates :class:`Buffer` objects for pointer kernel
+arguments (global and local), the interpreter reads and writes them with
+bounds checking, and the dynamic checker compares their contents across
+executions.  Out-of-bounds accesses are clamped and recorded rather than
+raising by default — real GPUs do not fault on modest overruns, and the
+paper's pipeline relies on many slightly-sloppy GitHub kernels still
+"running"; strict mode is available for tests.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.errors import KernelRuntimeError
+from repro.execution.values import VectorValue, values_equal
+
+
+@dataclass
+class AccessStats:
+    """Counts of accesses observed on a buffer during one execution."""
+
+    reads: int = 0
+    writes: int = 0
+    out_of_bounds: int = 0
+
+
+class Buffer:
+    """A typed, bounds-checked array living in a simulated address space."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        element_kind: str = "float",
+        vector_width: int = 1,
+        address_space: str = "global",
+        fill=0,
+        strict: bool = False,
+    ):
+        if size < 0:
+            raise KernelRuntimeError(f"negative buffer size for {name!r}: {size}")
+        self.name = name
+        self.size = size
+        self.element_kind = element_kind
+        self.vector_width = vector_width
+        self.address_space = address_space
+        self.strict = strict
+        self.stats = AccessStats()
+        self._data: list = [self._make_element(fill) for _ in range(size)]
+
+    def _make_element(self, value):
+        if self.vector_width > 1:
+            if isinstance(value, VectorValue):
+                return value
+            return VectorValue.broadcast(self.element_kind, self.vector_width, value)
+        if self.element_kind in ("float", "double", "half"):
+            return float(value)
+        return int(value)
+
+    # ------------------------------------------------------------------
+    # Element access.
+    # ------------------------------------------------------------------
+
+    def _clamp_index(self, index: int) -> int | None:
+        if 0 <= index < self.size:
+            return int(index)
+        self.stats.out_of_bounds += 1
+        if self.strict:
+            raise KernelRuntimeError(
+                f"out-of-bounds access to buffer {self.name!r}: index {index} of {self.size}"
+            )
+        if self.size == 0:
+            return None
+        return min(max(int(index), 0), self.size - 1)
+
+    def load(self, index: int):
+        """Read the element at *index* (clamped when out of bounds)."""
+        self.stats.reads += 1
+        clamped = self._clamp_index(int(index))
+        if clamped is None:
+            return self._make_element(0)
+        value = self._data[clamped]
+        return copy.copy(value) if isinstance(value, VectorValue) else value
+
+    def store(self, index: int, value) -> None:
+        """Write *value* at *index* (clamped when out of bounds)."""
+        self.stats.writes += 1
+        clamped = self._clamp_index(int(index))
+        if clamped is None:
+            return
+        self._data[clamped] = self._coerce(value)
+
+    def _coerce(self, value):
+        if isinstance(value, Buffer):
+            # Storing a pointer value into a data buffer (synthesized kernels
+            # sometimes do this); store its first element instead of faulting.
+            value = value._data[0] if value._data else 0
+        if self.vector_width > 1:
+            if isinstance(value, VectorValue):
+                return value
+            return VectorValue.broadcast(self.element_kind, self.vector_width, value)
+        if isinstance(value, VectorValue):
+            value = value.values[0] if value.values else 0
+        if self.element_kind in ("float", "double", "half"):
+            return float(value)
+        if isinstance(value, float):
+            return int(value)
+        return int(value)
+
+    # ------------------------------------------------------------------
+    # Whole-buffer operations (used by the host driver / dynamic checker).
+    # ------------------------------------------------------------------
+
+    def to_list(self) -> list:
+        return [copy.copy(v) if isinstance(v, VectorValue) else v for v in self._data]
+
+    def copy_from(self, values: list) -> None:
+        self._data = [self._coerce(v) for v in values[: self.size]]
+        if len(values) < self.size:
+            self._data.extend(self._make_element(0) for _ in range(self.size - len(values)))
+
+    def clone(self, name: str | None = None) -> "Buffer":
+        """A deep copy of this buffer (fresh access statistics)."""
+        out = Buffer(
+            name or self.name,
+            self.size,
+            self.element_kind,
+            self.vector_width,
+            self.address_space,
+            strict=self.strict,
+        )
+        out.copy_from(self.to_list())
+        return out
+
+    def equals(self, other: "Buffer", epsilon: float = 1e-4) -> bool:
+        """Approximate content equality (the dynamic checker's comparison)."""
+        if self.size != other.size:
+            return False
+        return all(values_equal(a, b, epsilon) for a, b in zip(self._data, other._data))
+
+    @property
+    def size_in_bytes(self) -> int:
+        element_bytes = {"char": 1, "uchar": 1, "short": 2, "ushort": 2, "half": 2,
+                         "int": 4, "uint": 4, "float": 4,
+                         "long": 8, "ulong": 8, "double": 8, "size_t": 8}.get(self.element_kind, 4)
+        return self.size * element_bytes * max(1, self.vector_width)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Buffer({self.name!r}, size={self.size}, kind={self.element_kind}"
+            f"x{self.vector_width}, space={self.address_space})"
+        )
+
+
+@dataclass
+class MemoryPool:
+    """All buffers bound for a single kernel execution, keyed by argument name."""
+
+    buffers: dict[str, Buffer] = field(default_factory=dict)
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        element_kind: str = "float",
+        vector_width: int = 1,
+        address_space: str = "global",
+        fill=0,
+    ) -> Buffer:
+        buffer = Buffer(name, size, element_kind, vector_width, address_space, fill)
+        self.buffers[name] = buffer
+        return buffer
+
+    def get(self, name: str) -> Buffer | None:
+        return self.buffers.get(name)
+
+    @property
+    def global_buffers(self) -> list[Buffer]:
+        return [b for b in self.buffers.values() if b.address_space == "global"]
+
+    @property
+    def local_buffers(self) -> list[Buffer]:
+        return [b for b in self.buffers.values() if b.address_space == "local"]
+
+    @property
+    def total_global_bytes(self) -> int:
+        return sum(b.size_in_bytes for b in self.global_buffers)

@@ -1,0 +1,117 @@
+"""NDRange descriptions for kernel launches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """The iteration space of one kernel launch.
+
+    Attributes:
+        global_size: Work-items per dimension (1–3 dimensions).
+        local_size: Work-items per work-group per dimension.  Must divide the
+            global size in every dimension (padded by the caller otherwise).
+    """
+
+    global_size: tuple[int, ...]
+    local_size: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.global_size) <= 3:
+            raise ExecutionError("NDRange must have 1 to 3 dimensions")
+        if any(g <= 0 for g in self.global_size):
+            raise ExecutionError("global size must be positive in every dimension")
+        if self.local_size is not None:
+            if len(self.local_size) != len(self.global_size):
+                raise ExecutionError("local size dimensionality must match global size")
+            if any(l <= 0 for l in self.local_size):
+                raise ExecutionError("local size must be positive in every dimension")
+
+    @classmethod
+    def linear(cls, global_size: int, local_size: int | None = None) -> "NDRange":
+        """A 1D NDRange, the common case throughout the paper."""
+        if local_size is None:
+            return cls((global_size,))
+        return cls((global_size,), (local_size,))
+
+    @property
+    def work_dim(self) -> int:
+        return len(self.global_size)
+
+    @property
+    def total_work_items(self) -> int:
+        total = 1
+        for size in self.global_size:
+            total *= size
+        return total
+
+    @property
+    def effective_local_size(self) -> tuple[int, ...]:
+        """The local size, defaulting to min(64, global) in each dimension."""
+        if self.local_size is not None:
+            return tuple(min(l, g) for l, g in zip(self.local_size, self.global_size))
+        return tuple(min(64, g) for g in self.global_size)
+
+    @property
+    def work_group_size(self) -> int:
+        total = 1
+        for size in self.effective_local_size:
+            total *= size
+        return total
+
+    @property
+    def num_groups(self) -> tuple[int, ...]:
+        return tuple(
+            (g + l - 1) // l for g, l in zip(self.global_size, self.effective_local_size)
+        )
+
+    @property
+    def total_groups(self) -> int:
+        total = 1
+        for count in self.num_groups:
+            total *= count
+        return total
+
+    def group_ids(self):
+        """Yield every work-group id tuple in row-major order."""
+        counts = self.num_groups
+        if self.work_dim == 1:
+            for x in range(counts[0]):
+                yield (x,)
+        elif self.work_dim == 2:
+            for y in range(counts[1]):
+                for x in range(counts[0]):
+                    yield (x, y)
+        else:
+            for z in range(counts[2]):
+                for y in range(counts[1]):
+                    for x in range(counts[0]):
+                        yield (x, y, z)
+
+    def local_ids(self):
+        """Yield every local id tuple within a work-group in row-major order."""
+        local = self.effective_local_size
+        if self.work_dim == 1:
+            for x in range(local[0]):
+                yield (x,)
+        elif self.work_dim == 2:
+            for y in range(local[1]):
+                for x in range(local[0]):
+                    yield (x, y)
+        else:
+            for z in range(local[2]):
+                for y in range(local[1]):
+                    for x in range(local[0]):
+                        yield (x, y, z)
+
+    def global_id(self, group_id: tuple[int, ...], local_id: tuple[int, ...]) -> tuple[int, ...]:
+        local = self.effective_local_size
+        return tuple(g * l + i for g, l, i in zip(group_id, local, local_id))
+
+    def in_range(self, global_id: tuple[int, ...]) -> bool:
+        """Whether *global_id* falls inside the global size (groups may be padded)."""
+        return all(i < g for i, g in zip(global_id, self.global_size))

@@ -1,0 +1,255 @@
+"""Runtime value semantics for the OpenCL kernel interpreter.
+
+Scalars are represented as Python ``int``/``float`` (with C-style truncating
+integer division applied by the interpreter), and OpenCL vector values are
+represented by :class:`VectorValue`, which supports component access
+(``.x``/``.y``/``.z``/``.w``, ``.s0``–``.sF``, ``.lo``/``.hi``, ``.even``/
+``.odd``), element-wise arithmetic and scalar broadcasting — the parts of the
+vector semantics exercised by kernels in the corpus and the benchmark suites
+(see e.g. the partial-reduction kernel of Figure 6c in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_XYZW = {"x": 0, "y": 1, "z": 2, "w": 3}
+_HEX_DIGITS = "0123456789abcdef"
+
+
+def component_indices(member: str, width: int) -> list[int]:
+    """Translate a vector member spelling into element indices.
+
+    Supports ``x/y/z/w`` swizzles (``v.xy``), numbered components (``v.s0``,
+    ``v.sF``), and the ``lo``/``hi``/``even``/``odd`` halves.
+
+    Raises:
+        ValueError: If the spelling is not a valid component selector.
+    """
+    name = member
+    lowered = name.lower()
+    if lowered in ("lo", "hi"):
+        half = width // 2 or 1
+        return list(range(0, half)) if lowered == "lo" else list(range(half, width))
+    if lowered == "even":
+        return list(range(0, width, 2))
+    if lowered == "odd":
+        return list(range(1, width, 2))
+    if lowered.startswith("s") and len(lowered) > 1 and all(c in _HEX_DIGITS for c in lowered[1:]):
+        return [int(c, 16) for c in lowered[1:]]
+    if all(c in _XYZW for c in lowered):
+        return [_XYZW[c] for c in lowered]
+    raise ValueError(f"invalid vector component selector {member!r}")
+
+
+@dataclass
+class VectorValue:
+    """An OpenCL vector value (``float4``, ``int16``, ...)."""
+
+    element_kind: str
+    values: list[float | int]
+
+    @property
+    def width(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_floating(self) -> bool:
+        return self.element_kind in ("float", "double", "half")
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def broadcast(cls, element_kind: str, width: int, value: float | int) -> "VectorValue":
+        """A vector with all *width* components equal to *value*."""
+        cast = float(value) if element_kind in ("float", "double", "half") else int(value)
+        return cls(element_kind, [cast] * width)
+
+    @classmethod
+    def from_components(cls, element_kind: str, width: int, components: list) -> "VectorValue":
+        """Build a vector from a flat list of scalars and/or vectors."""
+        flat: list[float | int] = []
+        for component in components:
+            if isinstance(component, VectorValue):
+                flat.extend(component.values)
+            else:
+                flat.append(component)
+        if len(flat) == 1:
+            flat = flat * width
+        if len(flat) < width:
+            flat = flat + [0] * (width - len(flat))
+        values = flat[:width]
+        if element_kind in ("float", "double", "half"):
+            values = [float(v) for v in values]
+        else:
+            values = [int(v) for v in values]
+        return cls(element_kind, values)
+
+    # ------------------------------------------------------------------
+    # Component access.
+    # ------------------------------------------------------------------
+
+    def get_member(self, member: str):
+        indices = component_indices(member, self.width)
+        if len(indices) == 1:
+            return self.values[indices[0]]
+        return VectorValue(self.element_kind, [self.values[i] for i in indices])
+
+    def with_member(self, member: str, value) -> "VectorValue":
+        """Return a copy with the selected component(s) replaced by *value*."""
+        indices = component_indices(member, self.width)
+        new_values = list(self.values)
+        if isinstance(value, VectorValue):
+            for target, source in zip(indices, value.values):
+                new_values[target] = source
+        else:
+            for target in indices:
+                new_values[target] = value
+        return VectorValue(self.element_kind, new_values)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (element-wise, with scalar broadcasting).
+    # ------------------------------------------------------------------
+
+    def _coerce_other(self, other) -> list:
+        if isinstance(other, VectorValue):
+            if other.width != self.width:
+                # OpenCL would reject this; be forgiving and broadcast/truncate.
+                values = (other.values * self.width)[: self.width]
+                return values
+            return other.values
+        return [other] * self.width
+
+    def _apply(self, other, op) -> "VectorValue":
+        other_values = self._coerce_other(other)
+        result = [op(a, b) for a, b in zip(self.values, other_values)]
+        return VectorValue(self.element_kind, result)
+
+    def _rapply(self, other, op) -> "VectorValue":
+        other_values = self._coerce_other(other)
+        result = [op(b, a) for a, b in zip(self.values, other_values)]
+        return VectorValue(self.element_kind, result)
+
+    def __add__(self, other):
+        return self._apply(other, lambda a, b: a + b)
+
+    def __radd__(self, other):
+        return self._rapply(other, lambda a, b: a + b)
+
+    def __sub__(self, other):
+        return self._apply(other, lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        return self._rapply(other, lambda a, b: a - b)
+
+    def __mul__(self, other):
+        return self._apply(other, lambda a, b: a * b)
+
+    def __rmul__(self, other):
+        return self._rapply(other, lambda a, b: a * b)
+
+    def __truediv__(self, other):
+        return self._apply(other, _safe_div)
+
+    def __rtruediv__(self, other):
+        return self._rapply(other, _safe_div)
+
+    def __mod__(self, other):
+        return self._apply(other, _safe_mod)
+
+    def __neg__(self):
+        return VectorValue(self.element_kind, [-v for v in self.values])
+
+    def map(self, func) -> "VectorValue":
+        """Apply *func* to every component."""
+        return VectorValue(self.element_kind, [func(v) for v in self.values])
+
+    def reduce_sum(self) -> float | int:
+        return sum(self.values)
+
+    def __eq__(self, other) -> bool:  # structural equality for tests
+        if isinstance(other, VectorValue):
+            return self.element_kind == other.element_kind and self.values == other.values
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v:g}" if isinstance(v, float) else str(v) for v in self.values)
+        return f"({self.element_kind}{self.width})({inner})"
+
+
+def _safe_div(a, b):
+    """Division that never raises, mimicking GPU semantics for /0."""
+    if b == 0:
+        if isinstance(a, float) or isinstance(b, float):
+            return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+        return 0
+    if isinstance(a, int) and isinstance(b, int):
+        return int(a / b)  # C truncation toward zero
+    return a / b
+
+
+def _safe_mod(a, b):
+    if b == 0:
+        return 0
+    if isinstance(a, int) and isinstance(b, int):
+        return int(math.fmod(a, b))
+    return math.fmod(a, b)
+
+
+_INT_RANGES = {
+    "bool": (0, 1),
+    "char": (-(2**7), 2**7 - 1),
+    "uchar": (0, 2**8 - 1),
+    "short": (-(2**15), 2**15 - 1),
+    "ushort": (0, 2**16 - 1),
+    "int": (-(2**31), 2**31 - 1),
+    "uint": (0, 2**32 - 1),
+    "long": (-(2**63), 2**63 - 1),
+    "ulong": (0, 2**64 - 1),
+    "size_t": (0, 2**64 - 1),
+}
+
+
+def wrap_integer(kind: str, value: int) -> int:
+    """Wrap *value* into the representable range of integer type *kind*."""
+    low, high = _INT_RANGES.get(kind, _INT_RANGES["int"])
+    span = high - low + 1
+    return (int(value) - low) % span + low
+
+
+def convert_scalar(kind: str, value) -> float | int:
+    """Convert a scalar runtime value to the OpenCL scalar type *kind*."""
+    if isinstance(value, VectorValue):
+        value = value.values[0] if value.values else 0
+    if kind in ("float", "double", "half"):
+        return float(value)
+    if kind == "bool":
+        return 1 if value else 0
+    return wrap_integer(kind, int(value))
+
+
+def values_equal(a, b, epsilon: float = 1e-4) -> bool:
+    """Approximate equality used by the dynamic checker (§5.2).
+
+    Floating point values are compared with a relative/absolute epsilon to
+    accommodate rounding differences; NaNs compare equal to NaNs so that a
+    deterministic kernel that produces NaN is not misclassified as
+    non-deterministic.
+    """
+    if isinstance(a, VectorValue) and isinstance(b, VectorValue):
+        return a.width == b.width and all(
+            values_equal(x, y, epsilon) for x, y in zip(a.values, b.values)
+        )
+    if isinstance(a, VectorValue) or isinstance(b, VectorValue):
+        return False
+    if isinstance(a, float) or isinstance(b, float):
+        a_f, b_f = float(a), float(b)
+        if math.isnan(a_f) and math.isnan(b_f):
+            return True
+        if math.isinf(a_f) or math.isinf(b_f):
+            return a_f == b_f
+        return abs(a_f - b_f) <= max(epsilon, epsilon * max(abs(a_f), abs(b_f)))
+    return a == b

@@ -1,0 +1,51 @@
+"""``repro.experiments`` — per-table/figure regeneration harness."""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentData,
+    build_clgen,
+    measure_suites,
+    synthesize_and_measure,
+)
+from repro.experiments.corpus_stats import CorpusStatsResult, run_corpus_stats
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.runner import FullReport, run_all
+from repro.experiments.survey import (
+    average_benchmarks_per_paper,
+    coverage_of_top_suites,
+    figure2_series,
+    most_popular_suites,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.turing import TuringExperimentResult, run_turing_test
+
+__all__ = [
+    "CorpusStatsResult",
+    "ExperimentConfig",
+    "ExperimentData",
+    "Figure3Result",
+    "Figure7Result",
+    "Figure8Result",
+    "Figure9Result",
+    "FullReport",
+    "Table1Result",
+    "TuringExperimentResult",
+    "average_benchmarks_per_paper",
+    "build_clgen",
+    "coverage_of_top_suites",
+    "figure2_series",
+    "measure_suites",
+    "most_popular_suites",
+    "run_all",
+    "run_corpus_stats",
+    "run_figure3",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_table1",
+    "run_turing_test",
+    "synthesize_and_measure",
+]

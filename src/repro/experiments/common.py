@@ -1,0 +1,160 @@
+"""Shared infrastructure for the experiment harness.
+
+Every table/figure module needs the same raw material: measurements of the
+benchmark-suite kernels across their datasets, and measurements of a pool of
+CLgen-synthesized kernels to augment training sets with.  This module builds
+both, with a configurable scale knob so unit tests can run in seconds while
+the benchmark harness regenerates the full-size experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.corpus import Corpus
+from repro.driver.harness import DriverConfig, HostDriver, KernelMeasurement
+from repro.suites.registry import Benchmark, all_suites
+from repro.synthesis.generator import CLgen, SynthesisResult
+from repro.synthesis.sampler import SamplerConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale knobs shared by all experiments."""
+
+    executed_global_size: int = 128
+    local_size: int = 32
+    synthetic_kernel_count: int = 100
+    corpus_repository_count: int = 80
+    ngram_order: int = 12
+    sampler_temperature: float = 0.6
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A configuration small enough for unit tests."""
+        return cls(
+            executed_global_size=64,
+            local_size=32,
+            synthetic_kernel_count=20,
+            corpus_repository_count=30,
+        )
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        """The configuration used by the benchmark harness (EXPERIMENTS.md)."""
+        return cls(
+            executed_global_size=128,
+            local_size=32,
+            synthetic_kernel_count=1000,
+            corpus_repository_count=150,
+        )
+
+
+@dataclass
+class ExperimentData:
+    """Measurements shared across experiments."""
+
+    config: ExperimentConfig
+    suite_measurements: dict[str, list[KernelMeasurement]] = field(default_factory=dict)
+    benchmark_measurements: dict[str, list[KernelMeasurement]] = field(default_factory=dict)
+    synthetic_measurements: list[KernelMeasurement] = field(default_factory=list)
+    synthesis: SynthesisResult | None = None
+    corpus: Corpus | None = None
+
+    @property
+    def all_suite_measurements(self) -> list[KernelMeasurement]:
+        out: list[KernelMeasurement] = []
+        for measurements in self.suite_measurements.values():
+            out.extend(measurements)
+        return out
+
+
+def make_driver(config: ExperimentConfig) -> HostDriver:
+    return HostDriver(
+        config=DriverConfig(
+            executed_global_size=config.executed_global_size,
+            local_size=config.local_size,
+            payload_seed=config.seed,
+        )
+    )
+
+
+def measure_benchmark(driver: HostDriver, benchmark: Benchmark) -> list[KernelMeasurement]:
+    """Measure one benchmark across all of its datasets."""
+    measurements = []
+    for dataset in benchmark.datasets:
+        measurement = driver.measure_source(
+            benchmark.source,
+            name=f"{benchmark.qualified_name}.{dataset.name}",
+            dataset_scale=dataset.scale,
+        )
+        if measurement is not None:
+            measurements.append(measurement)
+    return measurements
+
+
+def measure_suites(config: ExperimentConfig, suites: list[str] | None = None) -> ExperimentData:
+    """Measure every benchmark of the selected suites (all seven by default)."""
+    driver = make_driver(config)
+    data = ExperimentData(config=config)
+    for suite in all_suites():
+        if suites is not None and suite.name not in suites:
+            continue
+        suite_measurements: list[KernelMeasurement] = []
+        for benchmark in suite.benchmarks:
+            measurements = measure_benchmark(driver, benchmark)
+            if measurements:
+                data.benchmark_measurements[benchmark.qualified_name] = measurements
+                suite_measurements.extend(measurements)
+        data.suite_measurements[suite.name] = suite_measurements
+    return data
+
+
+def build_clgen(config: ExperimentConfig) -> CLgen:
+    """Mine the synthetic GitHub corpus and train a CLgen instance."""
+    corpus = Corpus.mine_and_build(
+        repository_count=config.corpus_repository_count, seed=config.seed
+    )
+    return CLgen.from_corpus(
+        corpus,
+        backend="ngram",
+        ngram_order=config.ngram_order,
+        sampler_config=SamplerConfig(temperature=config.sampler_temperature),
+    )
+
+
+def synthesize_and_measure(
+    config: ExperimentConfig,
+    data: ExperimentData,
+    clgen: CLgen | None = None,
+    count: int | None = None,
+) -> ExperimentData:
+    """Generate CLgen kernels and measure them as training-only observations."""
+    clgen = clgen or build_clgen(config)
+    count = count or config.synthetic_kernel_count
+    result = clgen.generate_kernels(count, seed=config.seed, max_attempts_per_kernel=40)
+    driver = make_driver(config)
+    # The paper's host driver synthesizes payloads spanning 128B–130MB; give
+    # the synthetic kernels a spread of dataset scales for the same effect.
+    scales = [4.0, 16.0, 64.0, 256.0, 1024.0]
+    measurements: list[KernelMeasurement] = []
+    for index, kernel in enumerate(result.kernels):
+        scale = scales[index % len(scales)]
+        measurement = driver.measure_source(
+            kernel.source, name=f"clgen.{index}", dataset_scale=scale
+        )
+        if measurement is not None:
+            measurements.append(measurement)
+    data.synthesis = result
+    data.synthetic_measurements = measurements
+    data.corpus = clgen.corpus
+    return data
+
+
+def benchmark_name_of(measurement: KernelMeasurement) -> str:
+    """Strip the dataset suffix: ``"NPB.FT.A"`` → ``"NPB.FT"``."""
+    parts = measurement.name.split(".")
+    if len(parts) >= 3:
+        return ".".join(parts[:2])
+    return measurement.name

@@ -1,0 +1,157 @@
+"""Figure 3: the Parboil feature space, before and after adding neighbours.
+
+A two-dimensional PCA projection of the Grewe feature space over the Parboil
+benchmarks, with each point labelled correct/incorrect according to whether
+leave-one-benchmark-out cross-validation predicted its mapping.  Outliers
+with no neighbouring observations are mispredicted (Figure 3a); adding
+observations that neighbour them in the feature space (here: CLgen kernels
+close to the outliers) corrects them (Figure 3b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.driver.harness import KernelMeasurement
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentData,
+    benchmark_name_of,
+    build_clgen,
+    measure_suites,
+    synthesize_and_measure,
+)
+from repro.features.grewe import grewe_feature_vector
+from repro.features.pca import PCA
+from repro.predictive.crossval import group_by_benchmark, leave_one_benchmark_out
+from repro.predictive.model import GreweModel
+
+
+@dataclass
+class ProjectedPoint:
+    """One benchmark observation in the 2D projection."""
+
+    name: str
+    x: float
+    y: float
+    correct: bool
+    additional: bool = False  # True for the added neighbouring observations
+
+
+@dataclass
+class Figure3Result:
+    """The two panels of Figure 3."""
+
+    platform: str
+    before: list[ProjectedPoint] = field(default_factory=list)
+    after: list[ProjectedPoint] = field(default_factory=list)
+
+    @staticmethod
+    def _accuracy(points: list[ProjectedPoint]) -> float:
+        test_points = [p for p in points if not p.additional]
+        if not test_points:
+            return 0.0
+        return sum(p.correct for p in test_points) / len(test_points)
+
+    @property
+    def accuracy_before(self) -> float:
+        return self._accuracy(self.before)
+
+    @property
+    def accuracy_after(self) -> float:
+        return self._accuracy(self.after)
+
+
+def _project(measurements: list[KernelMeasurement]) -> tuple[np.ndarray, PCA]:
+    features = np.array([grewe_feature_vector(m).as_list() for m in measurements])
+    projector = PCA(n_components=2)
+    projected, fitted = projector.fit_transform(features)
+    return projected, fitted
+
+
+def _nearest_synthetics(
+    target: KernelMeasurement, candidates: list[KernelMeasurement], count: int
+) -> list[KernelMeasurement]:
+    """The *count* synthetic observations closest to *target* in feature space."""
+    target_vector = grewe_feature_vector(target).as_list()
+
+    def distance(candidate: KernelMeasurement) -> float:
+        vector = grewe_feature_vector(candidate).as_list()
+        return math.sqrt(sum((a - b) ** 2 for a, b in zip(target_vector, vector)))
+
+    return sorted(candidates, key=distance)[:count]
+
+
+def run_figure3(
+    config: ExperimentConfig | None = None,
+    data: ExperimentData | None = None,
+    platform: str = "NVIDIA",
+    neighbours_per_outlier: int = 3,
+) -> Figure3Result:
+    """Regenerate Figure 3 (Parboil on the NVIDIA platform)."""
+    config = config or ExperimentConfig()
+    if data is None:
+        data = measure_suites(config, suites=["Parboil"])
+        data = synthesize_and_measure(config, data, clgen=build_clgen(config))
+    elif not data.synthetic_measurements:
+        data = synthesize_and_measure(config, data)
+
+    parboil = data.suite_measurements.get("Parboil", [])
+    result = Figure3Result(platform=platform)
+    if len(parboil) < 3:
+        return result
+
+    grouped = group_by_benchmark(parboil, benchmark_name_of)
+    projected, _ = _project(parboil)
+
+    # Panel (a): plain leave-one-benchmark-out cross-validation.
+    before_cv = leave_one_benchmark_out(grouped, GreweModel, platform)
+    correctness = {id(o.measurement): o.correct for o in before_cv.outcomes}
+    for measurement, (x, y) in zip(parboil, projected):
+        result.before.append(
+            ProjectedPoint(
+                name=measurement.name,
+                x=float(x),
+                y=float(y),
+                correct=correctness.get(id(measurement), False),
+            )
+        )
+
+    # Panel (b): add synthetic observations neighbouring the mispredicted
+    # outliers to the training data and re-run the cross-validation.
+    outliers = [m for m in parboil if not correctness.get(id(m), False)]
+    additional: list[KernelMeasurement] = []
+    for outlier in outliers:
+        additional.extend(
+            _nearest_synthetics(outlier, data.synthetic_measurements, neighbours_per_outlier)
+        )
+    after_cv = leave_one_benchmark_out(grouped, GreweModel, platform, extra_training=additional)
+    after_correctness = {id(o.measurement): o.correct for o in after_cv.outcomes}
+    for measurement, (x, y) in zip(parboil, projected):
+        result.after.append(
+            ProjectedPoint(
+                name=measurement.name,
+                x=float(x),
+                y=float(y),
+                correct=after_correctness.get(id(measurement), False),
+            )
+        )
+    if additional:
+        additional_projthan, _ = _project(additional) if len(additional) > 1 else (
+            np.zeros((1, 2)),
+            None,
+        )
+        for measurement, row in zip(additional, additional_projthan):
+            result.after.append(
+                ProjectedPoint(
+                    name=measurement.name,
+                    x=float(row[0]),
+                    y=float(row[1]),
+                    correct=True,
+                    additional=True,
+                )
+            )
+    return result

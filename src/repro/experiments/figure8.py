@@ -1,0 +1,113 @@
+"""Figure 8: the extended model across all seven benchmark suites.
+
+After the synthetic benchmarks exposed the sparsity of F3 and the missing
+branch information (§8.2), the model is extended with the raw feature values
+and a static branch count.  Figure 8 reports, per benchmark across all seven
+suites, the speedup of the extended model's predicted mappings over the
+original Grewe et al. model's predicted mappings (both trained with the
+synthetic benchmarks); the paper's averages are 3.56× on AMD and 5.04× on
+NVIDIA, with poor cases on loop-heavy programs (MatrixMul, cutcp,
+pathfinder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentData,
+    benchmark_name_of,
+    measure_suites,
+    synthesize_and_measure,
+)
+from repro.predictive.crossval import group_by_benchmark, leave_one_benchmark_out
+from repro.predictive.metrics import geometric_mean
+from repro.predictive.model import ExtendedModel, GreweModel
+
+
+@dataclass
+class Figure8Platform:
+    """Per-benchmark speedups of the extended over the original model."""
+
+    platform: str
+    speedups_by_benchmark: dict[str, float] = field(default_factory=dict)
+    grewe_vs_oracle: float = 0.0
+    extended_vs_oracle: float = 0.0
+
+    @property
+    def average_speedup(self) -> float:
+        return geometric_mean(list(self.speedups_by_benchmark.values()))
+
+    def worst_benchmarks(self, count: int = 3) -> list[tuple[str, float]]:
+        ranked = sorted(self.speedups_by_benchmark.items(), key=lambda kv: kv[1])
+        return ranked[:count]
+
+
+@dataclass
+class Figure8Result:
+    platforms: dict[str, Figure8Platform] = field(default_factory=dict)
+
+    @property
+    def overall_speedup(self) -> float:
+        """Geometric mean across platforms (paper headline: 4.30× combined)."""
+        values = [p.average_speedup for p in self.platforms.values() if p.average_speedup > 0]
+        return geometric_mean(values)
+
+
+def run_figure8(
+    config: ExperimentConfig | None = None,
+    data: ExperimentData | None = None,
+    platforms: tuple[str, ...] = ("AMD", "NVIDIA"),
+) -> Figure8Result:
+    """Regenerate Figure 8."""
+    config = config or ExperimentConfig()
+    if data is None:
+        data = measure_suites(config)
+        data = synthesize_and_measure(config, data)
+    elif not data.synthetic_measurements:
+        data = synthesize_and_measure(config, data)
+
+    all_measurements = data.all_suite_measurements
+    grouped = group_by_benchmark(all_measurements, benchmark_name_of)
+
+    result = Figure8Result()
+    for platform in platforms:
+        panel = Figure8Platform(platform=platform)
+        grewe_cv = leave_one_benchmark_out(
+            grouped, GreweModel, platform, extra_training=data.synthetic_measurements
+        )
+        extended_cv = leave_one_benchmark_out(
+            grouped, ExtendedModel, platform, extra_training=data.synthetic_measurements
+        )
+
+        grewe_runtime_by_benchmark: dict[str, float] = {}
+        extended_runtime_by_benchmark: dict[str, float] = {}
+        oracle_runtime_by_benchmark: dict[str, float] = {}
+        for outcome in grewe_cv.outcomes:
+            benchmark = benchmark_name_of(outcome.measurement)
+            grewe_runtime_by_benchmark[benchmark] = (
+                grewe_runtime_by_benchmark.get(benchmark, 0.0) + outcome.predicted_runtime
+            )
+            oracle_runtime_by_benchmark[benchmark] = (
+                oracle_runtime_by_benchmark.get(benchmark, 0.0) + outcome.oracle_runtime
+            )
+        for outcome in extended_cv.outcomes:
+            benchmark = benchmark_name_of(outcome.measurement)
+            extended_runtime_by_benchmark[benchmark] = (
+                extended_runtime_by_benchmark.get(benchmark, 0.0) + outcome.predicted_runtime
+            )
+
+        for benchmark, grewe_runtime in grewe_runtime_by_benchmark.items():
+            extended_runtime = extended_runtime_by_benchmark.get(benchmark)
+            if extended_runtime is None or extended_runtime <= 0:
+                continue
+            panel.speedups_by_benchmark[benchmark] = grewe_runtime / extended_runtime
+
+        total_oracle = sum(oracle_runtime_by_benchmark.values()) or 1.0
+        panel.grewe_vs_oracle = total_oracle / (sum(grewe_runtime_by_benchmark.values()) or 1.0)
+        panel.extended_vs_oracle = total_oracle / (
+            sum(extended_runtime_by_benchmark.values()) or 1.0
+        )
+        result.platforms[platform] = panel
+    return result

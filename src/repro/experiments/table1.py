@@ -1,0 +1,98 @@
+"""Table 1: cross-suite generalisation of the Grewe et al. model.
+
+For every ordered pair of suites (train on X, test on Y, X ≠ Y) the baseline
+model is trained on X's observations and evaluated on Y's, reporting the
+percentage of the oracle performance achieved on the AMD platform.  The
+paper's headline: cross-suite performance is generally poor (best column
+average 49%, worst single cell 11.5%), demonstrating that heuristics learned
+on one suite fail to generalise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import ExperimentConfig, ExperimentData, measure_suites
+from repro.predictive.crossval import train_test_split_evaluation
+from repro.predictive.metrics import performance_relative_to_oracle
+from repro.predictive.model import GreweModel
+
+
+@dataclass
+class Table1Result:
+    """The cross-suite matrix (values are fractions of oracle performance)."""
+
+    platform: str
+    suites: list[str]
+    matrix: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def cell(self, train_suite: str, test_suite: str) -> float:
+        return self.matrix[train_suite][test_suite]
+
+    def column_average(self, train_suite: str) -> float:
+        """Average generalisation when training on *train_suite*."""
+        values = [
+            value
+            for test_suite, value in self.matrix[train_suite].items()
+            if test_suite != train_suite
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def best_training_suite(self) -> tuple[str, float]:
+        """The suite whose models transfer best (paper: NVIDIA SDK, 49%)."""
+        best = max(self.suites, key=self.column_average)
+        return best, self.column_average(best)
+
+    def worst_cell(self) -> tuple[str, str, float]:
+        """The worst train/test pair (paper: Parboil→Polybench, 11.5%)."""
+        worst = (self.suites[0], self.suites[1], 1.0)
+        for train_suite in self.suites:
+            for test_suite in self.suites:
+                if train_suite == test_suite:
+                    continue
+                value = self.matrix[train_suite][test_suite]
+                if value < worst[2]:
+                    worst = (train_suite, test_suite, value)
+        return worst
+
+    def rows(self) -> list[list[str]]:
+        """Render the table as rows of strings (training suites as columns)."""
+        header = ["test \\ train"] + self.suites
+        body = []
+        for test_suite in self.suites:
+            row = [test_suite]
+            for train_suite in self.suites:
+                if train_suite == test_suite:
+                    row.append("-")
+                else:
+                    row.append(f"{self.matrix[train_suite][test_suite] * 100:.1f}%")
+            body.append(row)
+        return [header] + body
+
+
+def run_table1(
+    config: ExperimentConfig | None = None,
+    data: ExperimentData | None = None,
+    platform: str = "AMD",
+) -> Table1Result:
+    """Regenerate Table 1."""
+    config = config or ExperimentConfig()
+    data = data or measure_suites(config)
+    suites = [name for name, measurements in data.suite_measurements.items() if measurements]
+    result = Table1Result(platform=platform, suites=suites)
+
+    for train_suite in suites:
+        result.matrix[train_suite] = {}
+        train_measurements = data.suite_measurements[train_suite]
+        for test_suite in suites:
+            if test_suite == train_suite:
+                result.matrix[train_suite][test_suite] = 1.0
+                continue
+            test_measurements = data.suite_measurements[test_suite]
+            evaluation = train_test_split_evaluation(
+                train_measurements, test_measurements, GreweModel, platform
+            )
+            result.matrix[train_suite][test_suite] = performance_relative_to_oracle(
+                evaluation.outcomes
+            )
+    return result

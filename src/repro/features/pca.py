@@ -1,0 +1,55 @@
+"""Principal Component Analysis, used for the Figure 3 feature-space plots.
+
+A small from-scratch implementation (numpy SVD on standardized data) — the
+paper uses PCA purely to project the multi-dimensional Grewe feature space
+onto two dimensions for visualisation of which benchmarks have neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PCAResult:
+    """A fitted projection."""
+
+    components: np.ndarray  # (n_components, n_features)
+    mean: np.ndarray
+    scale: np.ndarray
+    explained_variance_ratio: np.ndarray
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=float)
+        centred = (data - self.mean) / self.scale
+        return centred @ self.components.T
+
+
+class PCA:
+    """Fit/transform interface over standardized input columns."""
+
+    def __init__(self, n_components: int = 2):
+        self.n_components = n_components
+
+    def fit(self, data: np.ndarray) -> PCAResult:
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("PCA needs a 2D array with at least two rows")
+        mean = data.mean(axis=0)
+        scale = data.std(axis=0)
+        scale[scale == 0] = 1.0
+        centred = (data - mean) / scale
+        _, singular_values, v_transposed = np.linalg.svd(centred, full_matrices=False)
+        components = v_transposed[: self.n_components]
+        variance = singular_values**2
+        total = variance.sum() or 1.0
+        explained = variance[: self.n_components] / total
+        return PCAResult(
+            components=components, mean=mean, scale=scale, explained_variance_ratio=explained
+        )
+
+    def fit_transform(self, data: np.ndarray) -> tuple[np.ndarray, PCAResult]:
+        result = self.fit(data)
+        return result.transform(data), result

@@ -1,0 +1,35 @@
+"""``repro.model`` — character-level language models of OpenCL.
+
+Two interchangeable backends implement the :class:`LanguageModel` interface:
+a numpy LSTM (the paper's architecture at laptop scale) and a back-off
+n-gram model (the fast generator the experiment harness uses).
+"""
+
+from repro.model.backend import LanguageModel, TrainingSummary, apply_temperature
+from repro.model.checkpoint import load_model, save_model
+from repro.model.lstm import LSTMConfig, LSTMLanguageModel, LSTMSamplerState
+from repro.model.ngram import NgramLanguageModel
+from repro.model.optimizer import SGD, Adam, StepDecaySchedule, clip_gradients
+from repro.model.trainer import ModelTrainer, TrainedModel, TrainerConfig, train_model
+from repro.model.vocabulary import CharacterVocabulary
+
+__all__ = [
+    "Adam",
+    "CharacterVocabulary",
+    "LSTMConfig",
+    "LSTMLanguageModel",
+    "LSTMSamplerState",
+    "LanguageModel",
+    "ModelTrainer",
+    "NgramLanguageModel",
+    "SGD",
+    "StepDecaySchedule",
+    "TrainedModel",
+    "TrainerConfig",
+    "TrainingSummary",
+    "apply_temperature",
+    "clip_gradients",
+    "load_model",
+    "save_model",
+    "train_model",
+]

@@ -1,0 +1,111 @@
+"""Common interface shared by the language-model backends.
+
+The synthesizer (Algorithm 1) only needs two operations from a model:
+*train on a corpus text* and *predict a distribution over the next
+character given the text so far*.  Both the numpy LSTM and the back-off
+n-gram model implement this interface, so the rest of the pipeline is
+backend-agnostic — exactly the property that lets the experiment harness
+use the cheap backend while the LSTM remains available for fidelity.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+
+import numpy as np
+
+from repro.model.vocabulary import CharacterVocabulary
+
+
+class LanguageModel(abc.ABC):
+    """A character-level generative model of OpenCL source code."""
+
+    vocabulary: CharacterVocabulary
+
+    @abc.abstractmethod
+    def fit(self, text: str) -> "TrainingSummary":
+        """Train the model on the corpus *text*."""
+
+    @abc.abstractmethod
+    def next_distribution(self, context: str) -> np.ndarray:
+        """Probability distribution over the next character given *context*.
+
+        Returns an array of shape ``(vocabulary.size,)`` summing to 1.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared behaviour.
+    # ------------------------------------------------------------------
+
+    def sample_next(
+        self, context: str, rng: random.Random, temperature: float = 1.0
+    ) -> str:
+        """Sample the next character given *context*."""
+        distribution = self.next_distribution(context)
+        distribution = apply_temperature(distribution, temperature)
+        index = rng.choices(range(len(distribution)), weights=distribution.tolist(), k=1)[0]
+        character = self.vocabulary.character(index)
+        if character:
+            return character
+        # Unknown symbol sampled: fall back to the most likely real character.
+        order = np.argsort(distribution)[::-1]
+        for candidate in order:
+            character = self.vocabulary.character(int(candidate))
+            if character:
+                return character
+        return " "
+
+    def log_likelihood(self, text: str) -> float:
+        """Total log-likelihood of *text* under the model (natural log)."""
+        total = 0.0
+        for position in range(1, len(text)):
+            distribution = self.next_distribution(text[:position])
+            index = self.vocabulary.index(text[position])
+            total += math.log(max(float(distribution[index]), 1e-12))
+        return total
+
+    def perplexity(self, text: str) -> float:
+        """Per-character perplexity of *text* under the model."""
+        if len(text) < 2:
+            return float("inf")
+        return math.exp(-self.log_likelihood(text) / (len(text) - 1))
+
+
+class TrainingSummary:
+    """Loss trajectory and bookkeeping from one training run."""
+
+    def __init__(self, losses: list[float], epochs: int, parameters: int):
+        self.losses = losses
+        self.epochs = epochs
+        self.parameters = parameters
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("inf")
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0] if self.losses else float("inf")
+
+    @property
+    def improved(self) -> bool:
+        return self.final_loss < self.initial_loss
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrainingSummary(epochs={self.epochs}, parameters={self.parameters}, "
+            f"loss={self.initial_loss:.3f}->{self.final_loss:.3f})"
+        )
+
+
+def apply_temperature(distribution: np.ndarray, temperature: float) -> np.ndarray:
+    """Sharpen (<1) or flatten (>1) a probability distribution."""
+    if temperature == 1.0:
+        return distribution
+    temperature = max(temperature, 1e-3)
+    logits = np.log(np.maximum(distribution, 1e-12)) / temperature
+    logits -= logits.max()
+    out = np.exp(logits)
+    return out / out.sum()

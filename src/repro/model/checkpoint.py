@@ -1,0 +1,55 @@
+"""Model checkpointing.
+
+The paper ships a 648 MB trained Torch checkpoint with its artifact; here a
+checkpoint is a (optionally gzip-compressed) JSON document so that both the
+n-gram model and the numpy LSTM round-trip without any binary dependencies.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.errors import ModelError
+from repro.model.backend import LanguageModel
+from repro.model.lstm import LSTMLanguageModel
+from repro.model.ngram import NgramLanguageModel
+
+
+def save_model(model: LanguageModel, path: str | Path, compress: bool | None = None) -> Path:
+    """Serialize *model* to *path*.
+
+    Compression is inferred from a ``.gz`` suffix unless *compress* is given.
+    Returns the path written.
+    """
+    path = Path(path)
+    if not hasattr(model, "to_dict"):
+        raise ModelError(f"model {type(model).__name__} does not support checkpointing")
+    payload = json.dumps(model.to_dict())  # type: ignore[attr-defined]
+    use_gzip = compress if compress is not None else path.suffix == ".gz"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if use_gzip:
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+    return path
+
+
+def load_model(path: str | Path) -> LanguageModel:
+    """Load a model previously written by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"checkpoint not found: {path}")
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    kind = payload.get("kind")
+    if kind == "ngram":
+        return NgramLanguageModel.from_dict(payload)
+    if kind == "lstm":
+        return LSTMLanguageModel.from_dict(payload)
+    raise ModelError(f"unknown checkpoint kind: {kind!r}")

@@ -1,0 +1,365 @@
+"""A character-level LSTM language model implemented in numpy.
+
+The paper uses a 3-layer, 2048-node LSTM trained in Torch for three weeks on
+a GTX Titan (§4.2).  This is the same architecture family — stacked LSTM
+layers over a 1-of-K character encoding with a softmax output layer — scaled
+to what a CPU can train in seconds-to-minutes, with full backpropagation
+through time, gradient clipping and either SGD (the paper's optimizer, with
+its 0.002 / halve-every-5-epochs schedule) or Adam.
+
+The network is deliberately self-contained: parameters live in a flat
+``dict[str, np.ndarray]`` so the optimizers and the checkpoint format stay
+trivial, and sampling is exposed both through the generic
+:meth:`next_distribution` interface and through a stateful
+:class:`LSTMSamplerState` that the synthesizer uses to avoid re-encoding the
+growing sample on every character.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.backend import LanguageModel, TrainingSummary, apply_temperature
+from repro.model.optimizer import Adam, Optimizer, SGD, StepDecaySchedule, clip_gradients
+from repro.model.vocabulary import CharacterVocabulary
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+@dataclass
+class LSTMConfig:
+    """Hyper-parameters of the network and its training run."""
+
+    hidden_size: int = 128
+    num_layers: int = 2
+    sequence_length: int = 64
+    batch_size: int = 16
+    epochs: int = 10
+    optimizer: str = "adam"  # "adam" | "sgd"
+    learning_rate: float = 0.002
+    lr_decay_factor: float = 0.5
+    lr_decay_interval: int = 5
+    gradient_clip: float = 5.0
+    seed: int = 0
+
+    @classmethod
+    def paper_configuration(cls) -> "LSTMConfig":
+        """The configuration reported in §4.2 (not trainable on a laptop)."""
+        return cls(
+            hidden_size=2048,
+            num_layers=3,
+            sequence_length=128,
+            batch_size=64,
+            epochs=50,
+            optimizer="sgd",
+            learning_rate=0.002,
+            lr_decay_factor=0.5,
+            lr_decay_interval=5,
+        )
+
+    @classmethod
+    def test_configuration(cls) -> "LSTMConfig":
+        """A tiny configuration for unit tests."""
+        return cls(hidden_size=24, num_layers=1, sequence_length=24, batch_size=4, epochs=2)
+
+
+class LSTMLanguageModel(LanguageModel):
+    """Stacked LSTM over characters with a softmax output layer."""
+
+    def __init__(self, config: LSTMConfig | None = None):
+        self.config = config or LSTMConfig()
+        self.vocabulary = CharacterVocabulary.from_characters(["\x00"])
+        self.parameters: dict[str, np.ndarray] = {}
+        self._rng = np.random.default_rng(self.config.seed)
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    # Parameter management.
+    # ------------------------------------------------------------------
+
+    def _initialise_parameters(self) -> None:
+        config = self.config
+        vocabulary_size = self.vocabulary.size
+        self.parameters = {}
+        for layer in range(config.num_layers):
+            input_size = vocabulary_size if layer == 0 else config.hidden_size
+            scale = 1.0 / np.sqrt(max(input_size, 1))
+            self.parameters[f"Wx{layer}"] = self._rng.normal(
+                0, scale, size=(input_size, 4 * config.hidden_size)
+            )
+            self.parameters[f"Wh{layer}"] = self._rng.normal(
+                0, 1.0 / np.sqrt(config.hidden_size), size=(config.hidden_size, 4 * config.hidden_size)
+            )
+            bias = np.zeros(4 * config.hidden_size)
+            # Forget-gate bias of 1.0: standard trick for stable training.
+            bias[config.hidden_size : 2 * config.hidden_size] = 1.0
+            self.parameters[f"b{layer}"] = bias
+        scale = 1.0 / np.sqrt(config.hidden_size)
+        self.parameters["Why"] = self._rng.normal(0, scale, size=(config.hidden_size, vocabulary_size))
+        self.parameters["by"] = np.zeros(vocabulary_size)
+
+    @property
+    def parameter_count(self) -> int:
+        return int(sum(p.size for p in self.parameters.values()))
+
+    def zero_state(self, batch_size: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Initial (h, c) pair per layer."""
+        hidden = self.config.hidden_size
+        return [
+            (np.zeros((batch_size, hidden)), np.zeros((batch_size, hidden)))
+            for _ in range(self.config.num_layers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Forward / backward over one truncated-BPTT window.
+    # ------------------------------------------------------------------
+
+    def _step_forward(self, x: np.ndarray, state: list[tuple[np.ndarray, np.ndarray]]):
+        """One time-step through the stack.
+
+        Args:
+            x: One-hot inputs of shape ``(batch, vocab)``.
+            state: Per-layer ``(h, c)``.
+
+        Returns:
+            (probabilities, new_state, cache) where cache holds everything the
+            backward pass needs.
+        """
+        hidden = self.config.hidden_size
+        caches = []
+        layer_input = x
+        new_state: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in range(self.config.num_layers):
+            h_prev, c_prev = state[layer]
+            gates = (
+                layer_input @ self.parameters[f"Wx{layer}"]
+                + h_prev @ self.parameters[f"Wh{layer}"]
+                + self.parameters[f"b{layer}"]
+            )
+            i = _sigmoid(gates[:, :hidden])
+            f = _sigmoid(gates[:, hidden : 2 * hidden])
+            o = _sigmoid(gates[:, 2 * hidden : 3 * hidden])
+            g = np.tanh(gates[:, 3 * hidden :])
+            c = f * c_prev + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            caches.append((layer_input, h_prev, c_prev, i, f, o, g, c, tanh_c))
+            new_state.append((h, c))
+            layer_input = h
+        logits = layer_input @ self.parameters["Why"] + self.parameters["by"]
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        probabilities = exp / exp.sum(axis=1, keepdims=True)
+        return probabilities, new_state, caches
+
+    def _window_loss_and_gradients(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        state: list[tuple[np.ndarray, np.ndarray]],
+    ):
+        """Forward + BPTT over a ``(time, batch)`` window of character indices."""
+        time_steps, batch_size = inputs.shape
+        vocabulary_size = self.vocabulary.size
+        hidden = self.config.hidden_size
+
+        probabilities_by_time = []
+        caches_by_time = []
+        states_by_time = [state]
+        for t in range(time_steps):
+            x = np.zeros((batch_size, vocabulary_size))
+            x[np.arange(batch_size), inputs[t]] = 1.0
+            probabilities, state, caches = self._step_forward(x, state)
+            probabilities_by_time.append(probabilities)
+            caches_by_time.append(caches)
+            states_by_time.append(state)
+
+        loss = 0.0
+        for t in range(time_steps):
+            correct = probabilities_by_time[t][np.arange(batch_size), targets[t]]
+            loss -= float(np.sum(np.log(np.maximum(correct, 1e-12))))
+        loss /= time_steps * batch_size
+
+        gradients = {name: np.zeros_like(value) for name, value in self.parameters.items()}
+        d_h_next = [np.zeros((batch_size, hidden)) for _ in range(self.config.num_layers)]
+        d_c_next = [np.zeros((batch_size, hidden)) for _ in range(self.config.num_layers)]
+
+        for t in reversed(range(time_steps)):
+            probabilities = probabilities_by_time[t].copy()
+            probabilities[np.arange(batch_size), targets[t]] -= 1.0
+            probabilities /= time_steps * batch_size
+            top_h = states_by_time[t + 1][-1][0]
+            gradients["Why"] += top_h.T @ probabilities
+            gradients["by"] += probabilities.sum(axis=0)
+            d_layer_output = probabilities @ self.parameters["Why"].T
+
+            for layer in reversed(range(self.config.num_layers)):
+                layer_input, h_prev, c_prev, i, f, o, g, c, tanh_c = caches_by_time[t][layer]
+                d_h = d_layer_output + d_h_next[layer]
+                d_o = d_h * tanh_c
+                d_c = d_h * o * (1 - tanh_c**2) + d_c_next[layer]
+                d_i = d_c * g
+                d_g = d_c * i
+                d_f = d_c * c_prev
+                d_c_prev = d_c * f
+
+                d_gates = np.concatenate(
+                    [
+                        d_i * i * (1 - i),
+                        d_f * f * (1 - f),
+                        d_o * o * (1 - o),
+                        d_g * (1 - g**2),
+                    ],
+                    axis=1,
+                )
+                gradients[f"Wx{layer}"] += layer_input.T @ d_gates
+                gradients[f"Wh{layer}"] += h_prev.T @ d_gates
+                gradients[f"b{layer}"] += d_gates.sum(axis=0)
+
+                d_h_next[layer] = d_gates @ self.parameters[f"Wh{layer}"].T
+                d_c_next[layer] = d_c_prev
+                d_layer_output = d_gates @ self.parameters[f"Wx{layer}"].T
+
+        final_state = [(h.copy(), c.copy()) for h, c in states_by_time[-1]]
+        return loss, gradients, final_state
+
+    # ------------------------------------------------------------------
+    # Training.
+    # ------------------------------------------------------------------
+
+    def fit(self, text: str) -> TrainingSummary:
+        if len(text) < self.config.sequence_length + 1:
+            raise ModelError(
+                "training text is shorter than one sequence window "
+                f"({len(text)} < {self.config.sequence_length + 1})"
+            )
+        self.vocabulary = CharacterVocabulary.from_text(text)
+        self._initialise_parameters()
+
+        config = self.config
+        encoded = np.array(self.vocabulary.encode(text), dtype=np.int64)
+
+        optimizer: Optimizer
+        if config.optimizer == "sgd":
+            optimizer = SGD(learning_rate=config.learning_rate)
+        else:
+            optimizer = Adam(learning_rate=config.learning_rate)
+        schedule = StepDecaySchedule(
+            initial_rate=config.learning_rate,
+            factor=config.lr_decay_factor,
+            interval=config.lr_decay_interval,
+        )
+
+        # Lay the text out as `batch_size` parallel streams.
+        batch_size = max(1, min(config.batch_size, len(encoded) // (config.sequence_length + 1)))
+        stream_length = len(encoded) // batch_size
+        streams = encoded[: stream_length * batch_size].reshape(batch_size, stream_length)
+
+        losses: list[float] = []
+        for epoch in range(config.epochs):
+            optimizer.set_learning_rate(schedule.rate(epoch))
+            state = self.zero_state(batch_size)
+            epoch_loss = 0.0
+            windows = 0
+            for start in range(0, stream_length - 1 - config.sequence_length,
+                               config.sequence_length):
+                window = streams[:, start : start + config.sequence_length + 1]
+                inputs = window[:, :-1].T.copy()
+                targets = window[:, 1:].T.copy()
+                loss, gradients, state = self._window_loss_and_gradients(inputs, targets, state)
+                clip_gradients(gradients, config.gradient_clip)
+                optimizer.step(self.parameters, gradients)
+                epoch_loss += loss
+                windows += 1
+            if windows == 0:
+                # Text shorter than one window per stream: train on what we have.
+                window = streams[:, : config.sequence_length + 1]
+                inputs = window[:, :-1].T.copy()
+                targets = window[:, 1:].T.copy()
+                loss, gradients, state = self._window_loss_and_gradients(
+                    inputs, targets, self.zero_state(batch_size)
+                )
+                clip_gradients(gradients, config.gradient_clip)
+                optimizer.step(self.parameters, gradients)
+                epoch_loss, windows = loss, 1
+            losses.append(epoch_loss / windows)
+        self._trained = True
+        return TrainingSummary(losses=losses, epochs=config.epochs, parameters=self.parameter_count)
+
+    # ------------------------------------------------------------------
+    # Prediction / sampling.
+    # ------------------------------------------------------------------
+
+    def next_distribution(self, context: str) -> np.ndarray:
+        if not self._trained:
+            raise ModelError("model has not been trained")
+        state = self.zero_state(1)
+        probabilities = np.ones(self.vocabulary.size) / self.vocabulary.size
+        for character in context[-256:]:  # bounded context keeps this O(1)-ish
+            x = np.zeros((1, self.vocabulary.size))
+            x[0, self.vocabulary.index(character)] = 1.0
+            probabilities, state, _ = self._step_forward(x, state)
+            probabilities = probabilities[0]
+        return probabilities
+
+    def make_sampler(self, context: str = "") -> "LSTMSamplerState":
+        """A stateful sampler primed with *context* (avoids O(n²) resampling)."""
+        sampler = LSTMSamplerState(self)
+        sampler.feed(context)
+        return sampler
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "lstm",
+            "config": vars(self.config).copy(),
+            "vocabulary": self.vocabulary.to_dict(),
+            "parameters": {name: value.tolist() for name, value in self.parameters.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LSTMLanguageModel":
+        config = LSTMConfig(**payload["config"])
+        model = cls(config)
+        model.vocabulary = CharacterVocabulary.from_dict(payload["vocabulary"])
+        model.parameters = {
+            name: np.array(value, dtype=float) for name, value in payload["parameters"].items()
+        }
+        model._trained = True
+        return model
+
+
+class LSTMSamplerState:
+    """Incremental sampling state for one synthesis run."""
+
+    def __init__(self, model: LSTMLanguageModel):
+        self._model = model
+        self._state = model.zero_state(1)
+        self._distribution = np.ones(model.vocabulary.size) / model.vocabulary.size
+
+    def feed(self, text: str) -> None:
+        """Advance the hidden state over *text*."""
+        for character in text:
+            x = np.zeros((1, self._model.vocabulary.size))
+            x[0, self._model.vocabulary.index(character)] = 1.0
+            probabilities, self._state, _ = self._model._step_forward(x, self._state)
+            self._distribution = probabilities[0]
+
+    def next_distribution(self) -> np.ndarray:
+        return self._distribution
+
+    def sample(self, rng: random.Random, temperature: float = 1.0) -> str:
+        distribution = apply_temperature(self._distribution, temperature)
+        index = rng.choices(range(len(distribution)), weights=distribution.tolist(), k=1)[0]
+        character = self._model.vocabulary.character(index) or " "
+        self.feed(character)
+        return character

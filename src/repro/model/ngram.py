@@ -1,0 +1,129 @@
+"""A back-off n-gram character model.
+
+This is the fast companion backend to the numpy LSTM.  Trained on the
+rewritten corpus it captures the highly regular local structure of
+normalized OpenCL (keywords, qualifiers, the ``a``/``b``/``c`` identifier
+series) and, with a large order, effectively recombines corpus fragments —
+which is what makes it a practical generator for the experiment harness on
+a CPU-only machine, while exposing exactly the same sampling interface as
+the LSTM.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.backend import LanguageModel, TrainingSummary
+from repro.model.vocabulary import CharacterVocabulary
+
+
+class NgramLanguageModel(LanguageModel):
+    """Character n-gram model with stupid-backoff smoothing."""
+
+    def __init__(self, order: int = 10, backoff_factor: float = 0.4):
+        if order < 2:
+            raise ModelError("n-gram order must be at least 2")
+        self.order = order
+        self.backoff_factor = backoff_factor
+        self.vocabulary = CharacterVocabulary.from_characters(["\x00"])
+        #: counts[k] maps a context string of length k to a Counter of next chars.
+        self._counts: list[dict[str, Counter]] = []
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    # Training.
+    # ------------------------------------------------------------------
+
+    def fit(self, text: str) -> TrainingSummary:
+        if not text:
+            raise ModelError("cannot train on empty text")
+        self.vocabulary = CharacterVocabulary.from_text(text)
+        self._counts = [defaultdict(Counter) for _ in range(self.order)]
+        for position, character in enumerate(text):
+            for context_length in range(self.order):
+                if position < context_length:
+                    continue
+                context = text[position - context_length : position]
+                self._counts[context_length][context][character] += 1
+        self._trained = True
+        # Report the model "size" as the number of stored contexts.
+        parameters = sum(len(level) for level in self._counts)
+        loss = self._training_loss(text)
+        return TrainingSummary(losses=[loss], epochs=1, parameters=parameters)
+
+    def _training_loss(self, text: str, sample_limit: int = 2000) -> float:
+        """Mean negative log-likelihood per character over a text prefix."""
+        stride = max(1, len(text) // sample_limit)
+        total, count = 0.0, 0
+        for position in range(1, len(text), stride):
+            distribution = self.next_distribution(text[:position])
+            index = self.vocabulary.index(text[position])
+            total -= float(np.log(max(distribution[index], 1e-12)))
+            count += 1
+        return total / max(count, 1)
+
+    # ------------------------------------------------------------------
+    # Prediction.
+    # ------------------------------------------------------------------
+
+    def next_distribution(self, context: str) -> np.ndarray:
+        if not self._trained:
+            raise ModelError("model has not been trained")
+        size = self.vocabulary.size
+        distribution = np.zeros(size, dtype=float)
+        weight = 1.0
+        matched = False
+        for context_length in range(min(self.order - 1, len(context)), -1, -1):
+            suffix = context[len(context) - context_length :] if context_length else ""
+            counter = self._counts[context_length].get(suffix)
+            if not counter:
+                continue
+            total = sum(counter.values())
+            for character, count in counter.items():
+                distribution[self.vocabulary.index(character)] += weight * count / total
+            matched = True
+            weight *= self.backoff_factor
+            if weight < 1e-4:
+                break
+        if not matched:
+            distribution[:] = 1.0
+        distribution = np.maximum(distribution, 0.0)
+        distribution[0] = 0.0  # never emit the unknown symbol
+        total = distribution.sum()
+        if total <= 0:
+            distribution[1:] = 1.0
+            total = distribution.sum()
+        return distribution / total
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize the model to a JSON-compatible dictionary."""
+        levels = []
+        for level in self._counts:
+            levels.append({context: dict(counter) for context, counter in level.items()})
+        return {
+            "kind": "ngram",
+            "order": self.order,
+            "backoff_factor": self.backoff_factor,
+            "vocabulary": self.vocabulary.to_dict(),
+            "counts": levels,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NgramLanguageModel":
+        model = cls(order=payload["order"], backoff_factor=payload["backoff_factor"])
+        model.vocabulary = CharacterVocabulary.from_dict(payload["vocabulary"])
+        model._counts = []
+        for level in payload["counts"]:
+            restored: dict[str, Counter] = defaultdict(Counter)
+            for context, counter in level.items():
+                restored[context] = Counter(counter)
+            model._counts.append(restored)
+        model._trained = True
+        return model

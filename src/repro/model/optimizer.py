@@ -1,0 +1,98 @@
+"""Optimizers for the numpy LSTM.
+
+The paper trains with Stochastic Gradient Descent, an initial learning rate
+of 0.002 decayed by one half every 5 epochs.  Both that setup (SGD with an
+epoch-based step decay) and Adam (the practical default at laptop scale) are
+provided.  Parameters and gradients are plain dictionaries of numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class StepDecaySchedule:
+    """Learning-rate schedule: multiply by *factor* every *interval* epochs."""
+
+    initial_rate: float = 0.002
+    factor: float = 0.5
+    interval: int = 5
+
+    def rate(self, epoch: int) -> float:
+        """Learning rate to use during *epoch* (0-based)."""
+        if self.interval <= 0:
+            return self.initial_rate
+        return self.initial_rate * (self.factor ** (epoch // self.interval))
+
+
+def clip_gradients(gradients: dict[str, np.ndarray], max_norm: float = 5.0) -> float:
+    """Clip gradients in place to a global L2 norm; returns the pre-clip norm."""
+    total = 0.0
+    for gradient in gradients.values():
+        total += float(np.sum(gradient * gradient))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for gradient in gradients.values():
+            gradient *= scale
+    return norm
+
+
+class Optimizer:
+    """Base class: updates a parameter dictionary from a gradient dictionary."""
+
+    def step(self, parameters: dict[str, np.ndarray], gradients: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def set_learning_rate(self, rate: float) -> None:
+        self.learning_rate = rate  # type: ignore[attr-defined]
+
+
+@dataclass
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum (the paper's optimizer)."""
+
+    learning_rate: float = 0.002
+    momentum: float = 0.9
+    _velocity: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def step(self, parameters: dict[str, np.ndarray], gradients: dict[str, np.ndarray]) -> None:
+        for name, parameter in parameters.items():
+            gradient = gradients[name]
+            velocity = self._velocity.get(name)
+            if velocity is None:
+                velocity = np.zeros_like(parameter)
+                self._velocity[name] = velocity
+            velocity *= self.momentum
+            velocity -= self.learning_rate * gradient
+            parameter += velocity
+
+
+@dataclass
+class Adam(Optimizer):
+    """Adam optimizer (practical default for quick CPU training)."""
+
+    learning_rate: float = 0.002
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    _m: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _v: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _t: int = 0
+
+    def step(self, parameters: dict[str, np.ndarray], gradients: dict[str, np.ndarray]) -> None:
+        self._t += 1
+        for name, parameter in parameters.items():
+            gradient = gradients[name]
+            m = self._m.setdefault(name, np.zeros_like(parameter))
+            v = self._v.setdefault(name, np.zeros_like(parameter))
+            m *= self.beta1
+            m += (1 - self.beta1) * gradient
+            v *= self.beta2
+            v += (1 - self.beta2) * gradient * gradient
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,88 @@
+"""High-level training orchestration: corpus → trained language model.
+
+Wraps backend selection, corpus-to-text conversion, training and optional
+checkpointing behind one call, mirroring the ``clgen train`` command of the
+original tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.corpus.corpus import Corpus
+from repro.errors import ModelError
+from repro.model.backend import LanguageModel, TrainingSummary
+from repro.model.checkpoint import save_model
+from repro.model.lstm import LSTMConfig, LSTMLanguageModel
+from repro.model.ngram import NgramLanguageModel
+
+
+@dataclass
+class TrainerConfig:
+    """Configuration for one training run."""
+
+    backend: str = "ngram"  # "ngram" | "lstm"
+    ngram_order: int = 10
+    lstm: LSTMConfig | None = None
+    shuffle_seed: int = 0
+    checkpoint_path: str | None = None
+
+
+@dataclass
+class TrainedModel:
+    """A trained model plus its training summary."""
+
+    model: LanguageModel
+    summary: TrainingSummary
+    corpus_characters: int
+    checkpoint_path: Path | None = None
+
+
+class ModelTrainer:
+    """Trains a language model over a :class:`Corpus`."""
+
+    def __init__(self, config: TrainerConfig | None = None):
+        self.config = config or TrainerConfig()
+
+    def build_model(self) -> LanguageModel:
+        """Instantiate the configured (untrained) backend."""
+        if self.config.backend == "ngram":
+            return NgramLanguageModel(order=self.config.ngram_order)
+        if self.config.backend == "lstm":
+            return LSTMLanguageModel(self.config.lstm or LSTMConfig())
+        raise ModelError(f"unknown language model backend {self.config.backend!r}")
+
+    def train(self, corpus: Corpus) -> TrainedModel:
+        """Train on *corpus* and (optionally) write a checkpoint."""
+        if corpus.size == 0:
+            raise ModelError("cannot train on an empty corpus")
+        text = corpus.training_text(shuffle_seed=self.config.shuffle_seed)
+        model = self.build_model()
+        summary = model.fit(text)
+        checkpoint_path = None
+        if self.config.checkpoint_path:
+            checkpoint_path = save_model(model, self.config.checkpoint_path)
+        return TrainedModel(
+            model=model,
+            summary=summary,
+            corpus_characters=len(text),
+            checkpoint_path=checkpoint_path,
+        )
+
+
+def train_model(
+    corpus: Corpus,
+    backend: str = "ngram",
+    ngram_order: int = 10,
+    lstm_config: LSTMConfig | None = None,
+    checkpoint_path: str | None = None,
+) -> TrainedModel:
+    """Convenience wrapper around :class:`ModelTrainer`."""
+    config = TrainerConfig(
+        backend=backend,
+        ngram_order=ngram_order,
+        lstm=lstm_config,
+        checkpoint_path=checkpoint_path,
+    )
+    return ModelTrainer(config).train(corpus)

@@ -1,0 +1,84 @@
+"""Character vocabulary for the language models.
+
+The paper trains a character-level LSTM over "a 1-of-K coded vocabulary".
+This module provides the encoding: a deterministic mapping between
+characters and integer indices, with a reserved unknown symbol so that a
+trained model can still consume text containing characters it never saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+#: Index reserved for characters outside the vocabulary.
+UNKNOWN_INDEX = 0
+UNKNOWN_CHAR = "\x00"
+
+
+@dataclass
+class CharacterVocabulary:
+    """A bidirectional character ↔ index mapping."""
+
+    characters: list[str] = field(default_factory=list)
+    _index_of: dict[str, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_text(cls, text: str) -> "CharacterVocabulary":
+        """Build a vocabulary from every distinct character in *text*."""
+        if not text:
+            raise ModelError("cannot build a vocabulary from empty text")
+        characters = [UNKNOWN_CHAR] + sorted(set(text))
+        vocabulary = cls(characters=characters)
+        vocabulary._rebuild_index()
+        return vocabulary
+
+    @classmethod
+    def from_characters(cls, characters: list[str]) -> "CharacterVocabulary":
+        """Rebuild a vocabulary from a saved character list."""
+        vocabulary = cls(characters=list(characters))
+        vocabulary._rebuild_index()
+        return vocabulary
+
+    def _rebuild_index(self) -> None:
+        self._index_of = {char: index for index, char in enumerate(self.characters)}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.characters)
+
+    def index(self, character: str) -> int:
+        """The index of *character* (the unknown index if unseen)."""
+        return self._index_of.get(character, UNKNOWN_INDEX)
+
+    def character(self, index: int) -> str:
+        """The character at *index* (empty string for the unknown symbol)."""
+        if index == UNKNOWN_INDEX:
+            return ""
+        if 0 <= index < len(self.characters):
+            return self.characters[index]
+        return ""
+
+    def encode(self, text: str) -> list[int]:
+        """Encode *text* into a list of indices."""
+        return [self.index(char) for char in text]
+
+    def decode(self, indices: list[int]) -> str:
+        """Decode indices back into text, dropping unknown symbols."""
+        return "".join(self.character(index) for index in indices)
+
+    def __contains__(self, character: str) -> bool:
+        return character in self._index_of
+
+    def __len__(self) -> int:
+        return self.size
+
+    def to_dict(self) -> dict:
+        return {"characters": self.characters}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CharacterVocabulary":
+        return cls.from_characters(payload["characters"])

@@ -1,0 +1,227 @@
+"""The code rewriter (paper §4.1, Figure 5).
+
+Three-step normalization of content files to make them amenable to language
+modeling:
+
+1. Pre-process to remove macros, conditional compilation and comments.
+2. Rewrite identifiers to short sequential names — ``{a, b, c, ...}`` for
+   variables and ``{A, B, C, ...}`` for functions — preserving program
+   behaviour and leaving OpenCL built-ins untouched.
+3. Enforce a consistent code style (braces, parentheses, white space), which
+   we obtain by unparsing the AST with the canonical printer.
+
+The rewriter also reports the vocabulary reduction achieved, which the
+corpus-statistics experiment compares with the paper's 84% figure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import string
+from dataclasses import dataclass, field
+
+from repro.clc import ast_nodes as ast
+from repro.clc.builtins import is_builtin
+from repro.clc.parser import Parser
+from repro.clc.lexer import tokenize
+from repro.clc.preprocessor import Preprocessor
+from repro.clc.printer import print_source
+from repro.clc.types import TypeTable
+from repro.errors import CompileError, RewriterError
+from repro.preprocess.shim import SHIM_CONSTANTS, SHIM_TYPEDEFS, shim_include_resolver
+
+
+def name_sequence(alphabet: str) -> "itertools.chain":
+    """The infinite sequential naming series {a, b, ..., z, aa, ab, ...}."""
+
+    def generate():
+        length = 1
+        while True:
+            for combo in itertools.product(alphabet, repeat=length):
+                yield "".join(combo)
+            length += 1
+
+    return generate()
+
+
+@dataclass
+class RewriteResult:
+    """Output of rewriting one content file."""
+
+    text: str
+    variable_mapping: dict[str, str] = field(default_factory=dict)
+    function_mapping: dict[str, str] = field(default_factory=dict)
+    original_vocabulary: int = 0
+    rewritten_vocabulary: int = 0
+
+    @property
+    def vocabulary_reduction(self) -> float:
+        """Fractional reduction in bag-of-words vocabulary size."""
+        if self.original_vocabulary == 0:
+            return 0.0
+        return 1.0 - self.rewritten_vocabulary / self.original_vocabulary
+
+
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def bag_of_words_vocabulary(text: str) -> set[str]:
+    """The set of identifier-like words in *text* (bag-of-words vocabulary)."""
+    return set(_WORD_RE.findall(text))
+
+
+class _Renamer:
+    """Assigns sequential names and rewrites identifier references in the AST."""
+
+    def __init__(self) -> None:
+        self._variable_names = name_sequence(string.ascii_lowercase)
+        self._function_names = name_sequence(string.ascii_uppercase)
+        self.variable_mapping: dict[str, str] = {}
+        self.function_mapping: dict[str, str] = {}
+
+    # -- name allocation -------------------------------------------------
+
+    def _variable_name(self, original: str) -> str:
+        if original not in self.variable_mapping:
+            self.variable_mapping[original] = next(self._variable_names)
+        return self.variable_mapping[original]
+
+    def _function_name(self, original: str) -> str:
+        if original not in self.function_mapping:
+            self.function_mapping[original] = next(self._function_names)
+        return self.function_mapping[original]
+
+    # -- rewriting ---------------------------------------------------------
+
+    def rewrite_unit(self, unit: ast.TranslationUnit) -> None:
+        for function in unit.functions:
+            if function.body is not None:
+                self._function_name(function.name)
+
+        for declaration in unit.globals:
+            if declaration.declarator is not None:
+                self._variable_name(declaration.declarator.name)
+
+        # Declare every name in order of appearance, then rewrite references.
+        for function in unit.functions:
+            for parameter in function.parameters:
+                if parameter.name:
+                    self._variable_name(parameter.name)
+            if function.body is not None:
+                self._collect_declarations(function.body)
+
+        for declaration in unit.globals:
+            if declaration.declarator is not None:
+                declaration.declarator.name = self.variable_mapping[declaration.declarator.name]
+                if declaration.declarator.initializer is not None:
+                    self._rewrite_expression(declaration.declarator.initializer)
+
+        for function in unit.functions:
+            if function.name in self.function_mapping:
+                function.name = self.function_mapping[function.name]
+            for parameter in function.parameters:
+                if parameter.name:
+                    parameter.name = self.variable_mapping[parameter.name]
+            if function.body is not None:
+                self._rewrite_statement(function.body)
+
+    def _collect_declarations(self, node: ast.Node) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Declarator):
+                self._variable_name(child.name)
+
+    def _rewrite_statement(self, statement: ast.Statement | None) -> None:
+        if statement is None:
+            return
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Declarator):
+                node.name = self.variable_mapping.get(node.name, node.name)
+            elif isinstance(node, ast.Identifier):
+                self._rewrite_identifier(node)
+            elif isinstance(node, ast.Call):
+                if node.callee in self.function_mapping:
+                    node.callee = self.function_mapping[node.callee]
+
+    def _rewrite_expression(self, expression: ast.Expression) -> None:
+        for node in ast.walk(expression):
+            if isinstance(node, ast.Identifier):
+                self._rewrite_identifier(node)
+            elif isinstance(node, ast.Call) and node.callee in self.function_mapping:
+                node.callee = self.function_mapping[node.callee]
+
+    def _rewrite_identifier(self, node: ast.Identifier) -> None:
+        if is_builtin(node.name):
+            return
+        if node.name in self.variable_mapping:
+            node.name = self.variable_mapping[node.name]
+        elif node.name in self.function_mapping:
+            node.name = self.function_mapping[node.name]
+
+
+class CodeRewriter:
+    """Normalizes OpenCL content files (preprocess → rename → re-style)."""
+
+    def __init__(self, rename_identifiers: bool = True, use_shim_types: bool = True):
+        self.rename_identifiers = rename_identifiers
+        self.use_shim_types = use_shim_types
+
+    def rewrite(self, source: str) -> RewriteResult:
+        """Rewrite *source*, raising :class:`RewriterError` if it cannot be parsed."""
+        original_vocabulary = bag_of_words_vocabulary(source)
+
+        predefined = dict(SHIM_CONSTANTS) if self.use_shim_types else {}
+        preprocessor = Preprocessor(
+            include_resolver=shim_include_resolver, predefined=predefined
+        )
+        try:
+            preprocessed = preprocessor.preprocess(source)
+        except CompileError as error:
+            raise RewriterError(f"preprocessing failed: {error}") from error
+
+        type_table = TypeTable()
+        if self.use_shim_types:
+            for alias, target in SHIM_TYPEDEFS.items():
+                resolved = type_table.lookup(target)
+                if resolved is not None:
+                    type_table.define_typedef(alias, resolved)
+
+        try:
+            tokens = tokenize(preprocessed.text)
+            unit = Parser(tokens, type_table).parse_translation_unit()
+        except CompileError as error:
+            raise RewriterError(f"parsing failed: {error}") from error
+
+        variable_mapping: dict[str, str] = {}
+        function_mapping: dict[str, str] = {}
+        if self.rename_identifiers:
+            renamer = _Renamer()
+            renamer.rewrite_unit(unit)
+            variable_mapping = renamer.variable_mapping
+            function_mapping = renamer.function_mapping
+
+        # Typedefs have been resolved into the declarations themselves; drop
+        # them (and any shim remnants) from the normalized output.
+        unit.typedefs = []
+
+        text = print_source(unit)
+        rewritten_vocabulary = bag_of_words_vocabulary(text)
+        return RewriteResult(
+            text=text,
+            variable_mapping=variable_mapping,
+            function_mapping=function_mapping,
+            original_vocabulary=len(original_vocabulary),
+            rewritten_vocabulary=len(rewritten_vocabulary),
+        )
+
+    def rewrite_or_none(self, source: str) -> RewriteResult | None:
+        """Rewrite *source*, returning ``None`` instead of raising on failure."""
+        try:
+            return self.rewrite(source)
+        except RewriterError:
+            return None
+
+
+def rewrite_source(source: str, rename_identifiers: bool = True) -> str:
+    """Convenience wrapper returning only the rewritten text."""
+    return CodeRewriter(rename_identifiers=rename_identifiers).rewrite(source).text

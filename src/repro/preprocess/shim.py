@@ -1,0 +1,217 @@
+"""The shim header (Listing 1 of the paper).
+
+Isolating OpenCL device code from its host project leaves many content files
+referring to project-specific type aliases and constants (``FLOAT_T``,
+``WG_SIZE``, ...).  The paper found that 50% of undeclared-identifier errors
+were caused by only 60 unique identifiers and added a *shim header* with
+inferred definitions, cutting the discard rate from 40% to 32%.
+
+This module provides the same shim: a block of inferred typedefs and
+constants, plus an include resolver that satisfies ``#include`` directives
+for common OpenCL headers (``clc/clc.h`` and friends) so they do not cause
+rejection.
+"""
+
+from __future__ import annotations
+
+#: Inferred type aliases, in the spirit of Listing 1 ("36 more").
+SHIM_TYPEDEFS: dict[str, str] = {
+    "FLOAT_T": "float",
+    "FLOAT_TYPE": "float",
+    "FPTYPE": "float",
+    "REAL": "float",
+    "REAL_T": "float",
+    "real": "float",
+    "real_t": "float",
+    "real4": "float4",
+    "DTYPE": "float",
+    "DATA_TYPE": "float",
+    "DATATYPE": "float",
+    "VALUE_TYPE": "float",
+    "TYPE": "float",
+    "T": "float",
+    "VECTYPE": "float4",
+    "FLOATN": "float4",
+    "INDEX_TYPE": "unsigned int",
+    "INT_TYPE": "int",
+    "UINT_TYPE": "unsigned int",
+    "SIZE_TYPE": "unsigned int",
+    "COUNT_T": "unsigned int",
+    "KEY_T": "unsigned int",
+    "KEY_TYPE": "unsigned int",
+    "VAL_T": "float",
+    "NODE_T": "int",
+    "EDGE_T": "int",
+    "WEIGHT_T": "float",
+    "PIXEL_T": "float",
+    "CL_DTYPE": "float",
+    "hmc_float": "float",
+    "spinor": "float4",
+    "su3vec": "float4",
+    "scalar_t": "float",
+    "fptype": "float",
+    "cl_float_type": "float",
+    "Dtype": "float",
+    "wtype": "float",
+    "itype": "int",
+}
+
+#: Inferred constants, in the spirit of Listing 1 ("185 more").
+SHIM_CONSTANTS: dict[str, str] = {
+    "M_PI": "3.14025",
+    "M_PI_F": "3.14025f",
+    "PI": "3.14159265358979f",
+    "TWOPI": "6.28318530717958f",
+    "EPSILON": "1e-6f",
+    "EPS": "1e-6f",
+    "WG_SIZE": "128",
+    "WGSIZE": "128",
+    "WORKGROUP_SIZE": "128",
+    "WORK_GROUP_SIZE": "128",
+    "GROUP_SIZE": "128",
+    "LOCAL_SIZE": "128",
+    "LOCAL_WORK_SIZE": "128",
+    "LSIZE": "128",
+    "BLOCK_SIZE": "16",
+    "BLOCKSIZE": "16",
+    "BLOCK_DIM": "16",
+    "BLOCK": "16",
+    "TILE_SIZE": "16",
+    "TILE_DIM": "16",
+    "TILE_WIDTH": "16",
+    "TILE": "16",
+    "WARP_SIZE": "32",
+    "WAVE_SIZE": "64",
+    "SIMD_WIDTH": "32",
+    "N": "1024",
+    "SIZE": "1024",
+    "DATA_SIZE": "1024",
+    "ARRAY_SIZE": "1024",
+    "BUFFER_SIZE": "1024",
+    "NUM_ELEMENTS": "1024",
+    "ELEMENTS": "1024",
+    "LENGTH": "1024",
+    "WIDTH": "256",
+    "HEIGHT": "256",
+    "DEPTH": "64",
+    "COLS": "256",
+    "ROWS": "256",
+    "NX": "256",
+    "NY": "256",
+    "NZ": "64",
+    "DIM": "3",
+    "NDIM": "3",
+    "RADIUS": "4",
+    "HALO": "1",
+    "STRIDE": "1",
+    "OFFSET": "0",
+    "ALPHA": "1.5f",
+    "BETA": "0.5f",
+    "GAMMA": "0.9f",
+    "SCALE": "1.0f",
+    "THRESHOLD": "0.5f",
+    "MAX_ITER": "100",
+    "MAX_ITERATIONS": "100",
+    "ITERATIONS": "100",
+    "NUM_ITERATIONS": "100",
+    "STEPS": "100",
+    "UNROLL": "4",
+    "UNROLL_FACTOR": "4",
+    "VECTOR_SIZE": "4",
+    "VEC_SIZE": "4",
+    "CHUNK_SIZE": "64",
+    "BATCH_SIZE": "64",
+    "BINS": "256",
+    "NUM_BINS": "256",
+    "HISTOGRAM_SIZE": "256",
+    "MASK_SIZE": "3",
+    "FILTER_SIZE": "3",
+    "KERNEL_SIZE": "3",
+    "WINDOW_SIZE": "8",
+    "LOG2_SIZE": "10",
+    "INF": "(1.0f / 0.0f)",
+    "MAX_FLOAT": "3.402823e38f",
+    "MIN_FLOAT": "1.175494e-38f",
+    "BIG_NUMBER": "1e30f",
+    "SMALL_NUMBER": "1e-30f",
+    "ZERO": "0.0f",
+    "ONE": "1.0f",
+    "TRUE": "1",
+    "FALSE": "0",
+}
+
+#: Feature-test macros usually defined by the OpenCL compiler driver.
+SHIM_FEATURE_MACROS: dict[str, str] = {
+    "cl_clang_storage_class_specifiers": "1",
+    "cl_khr_fp64": "1",
+    "cl_khr_fp16": "1",
+    "cl_khr_byte_addressable_store": "1",
+    "cl_khr_global_int32_base_atomics": "1",
+    "cl_khr_local_int32_base_atomics": "1",
+    "cl_amd_fp64": "1",
+    "cl_nv_pragma_unroll": "1",
+    "__OPENCL_VERSION__": "120",
+    "__ENDIAN_LITTLE__": "1",
+    "FP_FAST_FMAF": "1",
+}
+
+#: Headers commonly included by OpenCL device code on GitHub.  Resolving them
+#: to an empty (or shim) body prevents spurious rejections.
+KNOWN_HEADERS = frozenset(
+    {
+        "clc/clc.h",
+        "clc.h",
+        "opencl.h",
+        "cl.h",
+        "CL/cl.h",
+        "cl_platform.h",
+        "common.h",
+        "defines.h",
+        "config.h",
+        "constants.h",
+        "types.h",
+        "kernel.h",
+        "util.h",
+        "utils.h",
+        "header.h",
+        "macros.h",
+        "params.h",
+        "precision.h",
+        "real.h",
+    }
+)
+
+
+def shim_header_text(include_feature_macros: bool = True) -> str:
+    """Render the shim header as OpenCL C source (Listing 1)."""
+    lines = ["/* Enable OpenCL features */"]
+    if include_feature_macros:
+        for name, value in SHIM_FEATURE_MACROS.items():
+            lines.append(f"#define {name} {value}")
+    lines.append("")
+    lines.append("/* Inferred types */")
+    for name, target in SHIM_TYPEDEFS.items():
+        lines.append(f"typedef {target} {name};")
+    lines.append("")
+    lines.append("/* Inferred constants */")
+    for name, value in SHIM_CONSTANTS.items():
+        lines.append(f"#define {name} {value}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def shim_include_resolver(header_name: str) -> str | None:
+    """An include resolver that satisfies known OpenCL headers with the shim.
+
+    Unknown headers resolve to an empty string so that a missing project
+    header does not by itself cause a rejection — any identifiers it would
+    have declared will still be caught by the semantic checker.
+    """
+    if header_name in KNOWN_HEADERS or header_name.endswith((".h", ".cl", ".clh", ".inc")):
+        return ""
+    return ""
+
+
+def with_shim(source: str) -> str:
+    """Prepend the shim header to *source* (the rejection filter's view)."""
+    return shim_header_text() + "\n" + source

@@ -1,0 +1,23 @@
+"""``repro.suites`` — the seven GPGPU benchmark suites of Table 3."""
+
+from repro.suites.registry import (
+    Benchmark,
+    Dataset,
+    NPB_CLASSES,
+    Suite,
+    all_benchmarks,
+    all_suites,
+    suite,
+    suite_summary,
+)
+
+__all__ = [
+    "Benchmark",
+    "Dataset",
+    "NPB_CLASSES",
+    "Suite",
+    "all_benchmarks",
+    "all_suites",
+    "suite",
+    "suite_summary",
+]

@@ -1,0 +1,250 @@
+"""AMD APP SDK sample stand-ins.
+
+Twelve samples in the AMD SDK style: sorting networks, transforms,
+histograms and simple image processing — more integer work and more
+data-dependent branching than the NVIDIA samples, which places this suite
+in a different region of the feature space (the Fast Walsh transform here is
+the benchmark involved in the Listing 2 feature-collision example).
+"""
+
+from __future__ import annotations
+
+from repro.suites.registry import Benchmark, Dataset
+
+SUITE_NAME = "AMD SDK"
+
+_DATASETS = (Dataset("default", 64.0),)
+
+_BINARY_SEARCH = r"""
+__kernel void binarySearch(__global const int* sortedArray, __global int* results,
+                           const int key, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  int low = 0;
+  int high = n - 1;
+  int found = -1;
+  for (int step = 0; step < 12; step++) {
+    if (low > high) {
+      break;
+    }
+    int mid = (low + high) / 2;
+    int value = sortedArray[mid];
+    if (value == key + tid % 4) {
+      found = mid;
+      break;
+    } else if (value < key) {
+      low = mid + 1;
+    } else {
+      high = mid - 1;
+    }
+  }
+  results[tid] = found;
+}
+"""
+
+_BITONIC_SORT = r"""
+__kernel void bitonicSort(__global int* keys, const int stage, const int passOfStage,
+                          const int n) {
+  int tid = get_global_id(0);
+  int pairDistance = 1 << (stage - passOfStage > 0 ? stage - passOfStage : 0);
+  int blockWidth = 2 * pairDistance;
+  int leftId = (tid % pairDistance) + (tid / pairDistance) * blockWidth;
+  int rightId = leftId + pairDistance;
+  if (rightId >= n) {
+    return;
+  }
+  int leftKey = keys[leftId];
+  int rightKey = keys[rightId];
+  int direction = ((tid / (1 << stage)) % 2) == 0;
+  if ((leftKey > rightKey) == direction) {
+    keys[leftId] = rightKey;
+    keys[rightId] = leftKey;
+  }
+}
+"""
+
+_DCT = r"""
+__kernel void DCT(__global const float* input, __global float* output,
+                  __local float* block, const int width) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  block[lid] = input[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float acc = 0.0f;
+  for (int k = 0; k < 8; k++) {
+    float angle = 3.14159f * (float)(lid % 8) * ((float)k + 0.5f) / 8.0f;
+    acc += block[(lid / 8) * 8 + k] * cos(angle);
+  }
+  output[gid] = acc * 0.5f;
+}
+"""
+
+_FASTWALSH = r"""
+__kernel void fastWalshTransform(__global float* tArray, const int step, const int n) {
+  int tid = get_global_id(0);
+  int group = tid % step;
+  int pair = 2 * step * (tid / step) + group;
+  int match = pair + step;
+  if (match < 4 && match < n) {
+    float t1 = tArray[pair];
+    float t2 = tArray[match];
+    tArray[pair] = t1 + t2;
+    tArray[match] = t1 - t2;
+  }
+}
+"""
+
+_HISTOGRAM = r"""
+__kernel void histogram256(__global const unsigned int* data, __global unsigned int* binResult,
+                           __local unsigned int* sharedBins, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  sharedBins[lid] = 0;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (gid < n) {
+    unsigned int value = data[gid] % 256;
+    atomic_add(&sharedBins[value % get_local_size(0)], 1);
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  atomic_add(&binResult[lid % 256], sharedBins[lid]);
+}
+"""
+
+_MATRIX_TRANSPOSE = r"""
+__kernel void matrixTranspose(__global const float* input, __global float* output,
+                              const int width, const int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x < width && y < height) {
+    output[x * height + y] = input[y * width + x];
+  }
+}
+"""
+
+_PREFIX_SUM = r"""
+__kernel void prefixSum(__global const float* input, __global float* output,
+                        __local float* block, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  block[lid] = (gid < n) ? input[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int offset = 1; offset < get_local_size(0); offset <<= 1) {
+    float value = 0.0f;
+    if (lid >= offset) {
+      value = block[lid - offset];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    block[lid] += value;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  output[gid] = block[lid];
+}
+"""
+
+_SIMPLE_CONVOLUTION = r"""
+__kernel void simpleConvolution(__global const float* input, __global const float* mask,
+                                __global float* output, const int width, const int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= width || y >= height) {
+    return;
+  }
+  float sum = 0.0f;
+  for (int ky = 0; ky < 3; ky++) {
+    for (int kx = 0; kx < 3; kx++) {
+      int px = x + kx - 1;
+      int py = y + ky - 1;
+      if (px >= 0 && px < width && py >= 0 && py < height) {
+        sum += input[py * width + px] * mask[ky * 3 + kx];
+      }
+    }
+  }
+  output[y * width + x] = sum;
+}
+"""
+
+_FLOYD_WARSHALL = r"""
+__kernel void floydWarshall(__global int* distances, const int k, const int width) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= width || y >= width) {
+    return;
+  }
+  int direct = distances[y * width + x];
+  int through = distances[y * width + k % width] + distances[(k % width) * width + x];
+  if (through < direct) {
+    distances[y * width + x] = through;
+  }
+}
+"""
+
+_MONTE_CARLO = r"""
+__kernel void monteCarloAsian(__global const float* randomSeeds, __global float* prices,
+                              const float strike, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  float seed = fabs(randomSeeds[tid]) + 0.001f;
+  float path = 100.0f;
+  float payoff = 0.0f;
+  for (int step = 0; step < 32; step++) {
+    seed = seed * 16807.0f;
+    seed = seed - floor(seed);
+    float gaussian = (seed - 0.5f) * 3.464f;
+    path = path * exp(0.0005f + 0.02f * gaussian);
+    payoff += path;
+  }
+  float average = payoff / 32.0f;
+  prices[tid] = fmax(average - strike, 0.0f) * exp(-0.05f);
+}
+"""
+
+_URNG = r"""
+__kernel void uniformRandomNoise(__global const float* input, __global float* output,
+                                 const int factor, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  unsigned int state = (unsigned int)(tid * 1103515245 + 12345);
+  state = (state / 65536) % 32768;
+  float noise = ((float)state / 32768.0f - 0.5f) * (float)factor * 0.1f;
+  output[tid] = input[tid] + noise;
+}
+"""
+
+_SOBEL = r"""
+__kernel void sobelFilter(__global const float* input, __global float* output,
+                          const int width, const int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x <= 0 || y <= 0 || x >= width - 1 || y >= height - 1) {
+    return;
+  }
+  int i = y * width + x;
+  float gx = input[i - width - 1] - input[i - width + 1]
+           + 2.0f * input[i - 1] - 2.0f * input[i + 1]
+           + input[i + width - 1] - input[i + width + 1];
+  float gy = input[i - width - 1] + 2.0f * input[i - width] + input[i - width + 1]
+           - input[i + width - 1] - 2.0f * input[i + width] - input[i + width + 1];
+  output[i] = sqrt(gx * gx + gy * gy);
+}
+"""
+
+BENCHMARKS = [
+    Benchmark(SUITE_NAME, "BinarySearch", _BINARY_SEARCH, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "BitonicSort", _BITONIC_SORT, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "DCT", _DCT, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "FastWalshTransform", _FASTWALSH, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "Histogram", _HISTOGRAM, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "MatrixTranspose", _MATRIX_TRANSPOSE, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "PrefixSum", _PREFIX_SUM, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "SimpleConvolution", _SIMPLE_CONVOLUTION, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "FloydWarshall", _FLOYD_WARSHALL, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "MonteCarloAsian", _MONTE_CARLO, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "URNG", _URNG, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "SobelFilter", _SOBEL, datasets=_DATASETS, kernels_in_program=3),
+]

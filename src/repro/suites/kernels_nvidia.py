@@ -1,0 +1,118 @@
+"""NVIDIA OpenCL SDK sample stand-ins.
+
+Six samples in the classic SDK style: highly regular, coalesced access
+patterns, tuned work-group usage.  The paper found models trained on the
+NVIDIA SDK generalise best across other suites (Table 1) — these kernels sit
+in the "well-behaved" centre of the feature space.
+"""
+
+from __future__ import annotations
+
+from repro.suites.registry import Benchmark, Dataset
+
+SUITE_NAME = "NVIDIA SDK"
+
+_DATASETS = (Dataset("default", 128.0),)
+
+_VECTOR_ADD = r"""
+__kernel void VectorAdd(__global const float* a, __global const float* b,
+                        __global float* c, const int numElements) {
+  int iGID = get_global_id(0);
+  if (iGID < numElements) {
+    c[iGID] = a[iGID] + b[iGID];
+  }
+}
+"""
+
+_MATRIX_MUL = r"""
+__kernel void matrixMul(__global const float* A, __global const float* B,
+                        __global float* C, __local float* As, const int width) {
+  int row = get_global_id(1);
+  int col = get_global_id(0);
+  int lid = get_local_id(0);
+  float acc = 0.0f;
+  for (int tile = 0; tile < 8; tile++) {
+    As[lid] = A[(row * 8 + tile) % width + lid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 8; k++) {
+      acc += As[(lid + k) % get_local_size(0)] * B[(tile * 8 + k) * 8 + col % 8];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[row * 8 + col % 8] = acc;
+}
+"""
+
+_TRANSPOSE = r"""
+__kernel void transpose(__global const float* idata, __global float* odata,
+                        __local float* block, const int width, const int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int lid = get_local_id(0);
+  block[lid] = idata[(y * width + x) % (width * height)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  odata[(x * height + y) % (width * height)] = block[lid];
+}
+"""
+
+_REDUCTION = r"""
+__kernel void reduce(__global const float* g_idata, __global float* g_odata,
+                     __local float* sdata, const int n) {
+  int tid = get_local_id(0);
+  int gid = get_global_id(0);
+  sdata[tid] = (gid < n) ? g_idata[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (tid < s) {
+      sdata[tid] += sdata[tid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (tid == 0) {
+    g_odata[get_group_id(0)] = sdata[0];
+  }
+}
+"""
+
+_BLACK_SCHOLES = r"""
+__kernel void BlackScholes(__global const float* stockPrice, __global const float* optionStrike,
+                           __global float* callResult, __global float* putResult,
+                           const float riskFree, const int optN) {
+  int opt = get_global_id(0);
+  if (opt >= optN) {
+    return;
+  }
+  float S = fabs(stockPrice[opt]) + 1.0f;
+  float X = fabs(optionStrike[opt]) + 1.0f;
+  float T = 0.25f + 0.01f * (float)(opt % 16);
+  float sqrtT = sqrt(T);
+  float d1 = (log(S / X) + (riskFree + 0.15f) * T) / (0.3f * sqrtT);
+  float d2 = d1 - 0.3f * sqrtT;
+  float cnd1 = 0.5f * (1.0f + tanh(0.7978845f * (d1 + 0.044715f * d1 * d1 * d1)));
+  float cnd2 = 0.5f * (1.0f + tanh(0.7978845f * (d2 + 0.044715f * d2 * d2 * d2)));
+  float expRT = exp(-riskFree * T);
+  callResult[opt] = S * cnd1 - X * expRT * cnd2;
+  putResult[opt] = X * expRT * (1.0f - cnd2) - S * (1.0f - cnd1);
+}
+"""
+
+_DOT_PRODUCT = r"""
+__kernel void DotProduct(__global const float4* a, __global const float4* b,
+                         __global float* c, const int numElements) {
+  int iGID = get_global_id(0);
+  if (iGID < numElements) {
+    float4 va = a[iGID];
+    float4 vb = b[iGID];
+    c[iGID] = va.x * vb.x + va.y * vb.y + va.z * vb.z + va.w * vb.w;
+  }
+}
+"""
+
+BENCHMARKS = [
+    Benchmark(SUITE_NAME, "VectorAdd", _VECTOR_ADD, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "MatrixMul", _MATRIX_MUL, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "Transpose", _TRANSPOSE, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "Reduction", _REDUCTION, datasets=_DATASETS, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "BlackScholes", _BLACK_SCHOLES, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "DotProduct", _DOT_PRODUCT, datasets=_DATASETS, kernels_in_program=3),
+]

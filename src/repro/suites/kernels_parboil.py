@@ -1,0 +1,135 @@
+"""Parboil benchmark suite stand-ins.
+
+Six throughput-computing programs, each shipped with between one and four
+datasets (as in the paper's methodology section).  Parboil programs are
+compute-dense scientific codes (electrostatics, MRI reconstruction, dense
+and sparse linear algebra) — the suite whose outliers motivate Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.suites.registry import Benchmark, Dataset
+
+SUITE_NAME = "Parboil"
+
+_CUTCP = r"""
+__kernel void cutcp_lattice(__global const float* atoms, __global float* lattice,
+                            const int natoms, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  float x = (float)(tid % 16);
+  float y = (float)((tid / 16) % 16);
+  float potential = 0.0f;
+  for (int a = 0; a < 64; a++) {
+    float ax = atoms[(a * 4) % natoms];
+    float ay = atoms[(a * 4 + 1) % natoms];
+    float charge = atoms[(a * 4 + 3) % natoms];
+    float dx = x - ax;
+    float dy = y - ay;
+    float r2 = dx * dx + dy * dy + 0.01f;
+    if (r2 < 144.0f) {
+      float s = 1.0f - r2 / 144.0f;
+      potential += charge * s * s / sqrt(r2);
+    }
+  }
+  lattice[tid] = potential;
+}
+"""
+
+_MRI_Q = r"""
+__kernel void mriq_computeQ(__global const float* kValues, __global const float* x,
+                            __global float* Qr, __global float* Qi, const int numK,
+                            const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  float position = x[tid];
+  float realAcc = 0.0f;
+  float imagAcc = 0.0f;
+  for (int k = 0; k < 48; k++) {
+    float phi = kValues[(k * 4) % numK];
+    float angle = 6.2831853f * phi * position * 0.01f;
+    realAcc += phi * cos(angle);
+    imagAcc += phi * sin(angle);
+  }
+  Qr[tid] = realAcc;
+  Qi[tid] = imagAcc;
+}
+"""
+
+_SGEMM = r"""
+__kernel void sgemm_nn(__global const float* A, __global const float* B, __global float* C,
+                       const float alpha, const float beta, const int n) {
+  int row = get_global_id(1);
+  int col = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < 32; k++) {
+    acc += A[(row * 32 + k) % n] * B[(k * 32 + col) % n];
+  }
+  int index = (row * 32 + col) % n;
+  C[index] = alpha * acc + beta * C[index];
+}
+"""
+
+_SPMV = r"""
+__kernel void spmv_jds(__global const float* data, __global const int* indices,
+                       __global const float* x, __global float* y, const int n) {
+  int row = get_global_id(0);
+  if (row >= n) {
+    return;
+  }
+  float sum = 0.0f;
+  for (int j = 0; j < 12; j++) {
+    int column = indices[(row + j * 7) % n];
+    sum += data[(row * 12 + j) % n] * x[column % n];
+  }
+  y[row] = sum;
+}
+"""
+
+_STENCIL = r"""
+__kernel void stencil_probe(__global const float* A0, __global float* Anext,
+                            const int nx, const int ny) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i <= 0 || j <= 0 || i >= nx - 1 || j >= ny - 1) {
+    return;
+  }
+  int index = j * nx + i;
+  Anext[index] = 0.2f * (A0[index] + A0[index - 1] + A0[index + 1]
+                         + A0[index - nx] + A0[index + nx])
+               - 0.8f * A0[index];
+}
+"""
+
+_HISTO = r"""
+__kernel void histo_main(__global const unsigned int* image, __global unsigned int* bins,
+                         const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  unsigned int pixel = image[tid];
+  unsigned int bin = pixel % 256;
+  atomic_add(&bins[bin % n], 1);
+}
+"""
+
+BENCHMARKS = [
+    Benchmark(SUITE_NAME, "cutcp", _CUTCP, kernels_in_program=1,
+              datasets=(Dataset("small", 16.0), Dataset("large", 256.0))),
+    Benchmark(SUITE_NAME, "mri-q", _MRI_Q, kernels_in_program=2,
+              datasets=(Dataset("small", 24.0), Dataset("large", 320.0))),
+    Benchmark(SUITE_NAME, "sgemm", _SGEMM, kernels_in_program=1,
+              datasets=(Dataset("small", 32.0), Dataset("medium", 128.0), Dataset("large", 512.0))),
+    Benchmark(SUITE_NAME, "spmv", _SPMV, kernels_in_program=1,
+              datasets=(Dataset("small", 12.0), Dataset("medium", 96.0), Dataset("large", 384.0))),
+    Benchmark(SUITE_NAME, "stencil", _STENCIL, kernels_in_program=1,
+              datasets=(Dataset("small", 20.0), Dataset("default", 160.0))),
+    Benchmark(SUITE_NAME, "histo", _HISTO, kernels_in_program=2,
+              datasets=(Dataset("small", 16.0), Dataset("default", 96.0),
+                        Dataset("large", 448.0), Dataset("huge", 1024.0))),
+]

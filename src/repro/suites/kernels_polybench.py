@@ -1,0 +1,191 @@
+"""PolyBench/GPU benchmark suite stand-ins.
+
+Fourteen affine-loop linear-algebra and data-mining kernels in the
+PolyBench style: dense, regular, loop-dominated, large data transfers
+relative to the computation on several of them — which is why Table 1 shows
+models trained on Parboil transferring so poorly to PolyBench (11.5% of the
+oracle in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.suites.registry import Benchmark, Dataset
+
+SUITE_NAME = "PolyBench"
+
+_DATASETS = (Dataset("default", 80.0),)
+_LARGE = (Dataset("default", 80.0), Dataset("large", 640.0))
+
+
+def _gemm_like(name: str, inner: int, epilogue: str) -> str:
+    return f"""
+__kernel void {name}(__global const float* A, __global const float* B, __global float* C,
+                     const int n) {{
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < {inner}; k++) {{
+    acc += A[(i * {inner} + k) % n] * B[(k * {inner} + j) % n];
+  }}
+  {epilogue}
+}}
+"""
+
+
+_2MM = _gemm_like("mm2_kernel1", 24, "C[(i * 24 + j) % n] = acc * 1.5f;")
+_3MM = _gemm_like("mm3_kernel1", 20, "C[(i * 20 + j) % n] = acc;")
+_GEMM = _gemm_like("gemm_kernel", 32, "C[(i * 32 + j) % n] = 1.2f * acc + 0.8f * C[(i * 32 + j) % n];")
+_SYRK = _gemm_like("syrk_kernel", 16, "C[(i * 16 + j) % n] = acc + C[(j * 16 + i) % n];")
+_SYR2K = _gemm_like("syr2k_kernel", 16, "C[(i * 16 + j) % n] = 2.0f * acc + C[(i * 16 + j) % n];")
+
+_ATAX = r"""
+__kernel void atax_kernel(__global const float* A, __global const float* x,
+                          __global float* tmp, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float acc = 0.0f;
+  for (int j = 0; j < 24; j++) {
+    acc += A[(i * 24 + j) % n] * x[j % n];
+  }
+  tmp[i] = acc;
+}
+"""
+
+_BICG = r"""
+__kernel void bicg_kernel(__global const float* A, __global const float* p,
+                          __global float* q, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float acc = 0.0f;
+  for (int j = 0; j < 20; j++) {
+    acc += A[(i * 20 + j) % n] * p[j % n];
+  }
+  q[i] = acc;
+}
+"""
+
+_GESUMMV = r"""
+__kernel void gesummv_kernel(__global const float* A, __global const float* B,
+                             __global const float* x, __global float* y, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float tmp = 0.0f;
+  float acc = 0.0f;
+  for (int j = 0; j < 16; j++) {
+    tmp += A[(i * 16 + j) % n] * x[j % n];
+    acc += B[(i * 16 + j) % n] * x[j % n];
+  }
+  y[i] = 0.5f * tmp + 0.5f * acc;
+}
+"""
+
+_MVT = r"""
+__kernel void mvt_kernel(__global float* x1, __global const float* A,
+                         __global const float* y1, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float acc = x1[i];
+  for (int j = 0; j < 16; j++) {
+    acc += A[(i * 16 + j) % n] * y1[j % n];
+  }
+  x1[i] = acc;
+}
+"""
+
+_CORRELATION = r"""
+__kernel void correlation_kernel(__global const float* data, __global float* corr,
+                                 __global const float* mean, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float acc = 0.0f;
+  for (int k = 0; k < 24; k++) {
+    float a = data[(k * 8 + i) % n] - mean[i % 8];
+    float b = data[(k * 8 + (i + 1)) % n] - mean[(i + 1) % 8];
+    acc += a * b;
+  }
+  corr[i] = acc / 24.0f;
+}
+"""
+
+_COVARIANCE = r"""
+__kernel void covariance_kernel(__global const float* data, __global float* cov,
+                                __global const float* mean, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float acc = 0.0f;
+  for (int k = 0; k < 20; k++) {
+    acc += (data[(k * 4 + i) % n] - mean[i % 4]) * (data[(k * 4 + i + 2) % n] - mean[(i + 2) % 4]);
+  }
+  cov[i] = acc / 19.0f;
+}
+"""
+
+_GRAMSCHMIDT = r"""
+__kernel void gramschmidt_kernel(__global float* A, __global const float* R,
+                                 __global const float* Q, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float value = A[i];
+  for (int k = 0; k < 12; k++) {
+    value -= Q[(i + k) % n] * R[k % n];
+  }
+  A[i] = value;
+}
+"""
+
+_FDTD2D = r"""
+__kernel void fdtd2d_kernel(__global float* ey, __global const float* hz, const int nx,
+                            const int ny) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i <= 0 || i >= nx || j >= ny) {
+    return;
+  }
+  int index = j * nx + i;
+  ey[index] = ey[index] - 0.5f * (hz[index] - hz[index - 1]);
+}
+"""
+
+_JACOBI2D = r"""
+__kernel void jacobi2d_kernel(__global const float* A, __global float* B, const int nx,
+                              const int ny) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i <= 0 || j <= 0 || i >= nx - 1 || j >= ny - 1) {
+    return;
+  }
+  int index = j * nx + i;
+  B[index] = 0.2f * (A[index] + A[index - 1] + A[index + 1] + A[index - nx] + A[index + nx]);
+}
+"""
+
+BENCHMARKS = [
+    Benchmark(SUITE_NAME, "2mm", _2MM, datasets=_LARGE, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "3mm", _3MM, datasets=_LARGE, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "atax", _ATAX, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "bicg", _BICG, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "correlation", _CORRELATION, datasets=_DATASETS, kernels_in_program=4),
+    Benchmark(SUITE_NAME, "covariance", _COVARIANCE, datasets=_DATASETS, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "fdtd2d", _FDTD2D, datasets=_DATASETS, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "gemm", _GEMM, datasets=_LARGE, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "gesummv", _GESUMMV, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "gramschmidt", _GRAMSCHMIDT, datasets=_DATASETS, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "jacobi2d", _JACOBI2D, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "mvt", _MVT, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "syr2k", _SYR2K, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "syrk", _SYRK, datasets=_DATASETS, kernels_in_program=1),
+]

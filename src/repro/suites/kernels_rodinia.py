@@ -1,0 +1,302 @@
+"""Rodinia benchmark suite stand-ins.
+
+Rodinia covers irregular and structured heterogeneous-computing dwarfs:
+graph traversal (bfs), structured grids (hotspot, srad), dense linear
+algebra (lud), dynamic programming (pathfinder, needle), clustering
+(kmeans, streamcluster), and back-propagation.  The kernels below follow the
+originals' access patterns (uncoalesced gathers in bfs/kmeans, branchy
+boundary handling in hotspot/pathfinder) so the suite occupies a different
+region of the Grewe feature space than NPB or PolyBench.
+"""
+
+from __future__ import annotations
+
+from repro.suites.registry import Benchmark, Dataset
+
+SUITE_NAME = "Rodinia"
+
+_DATASETS = (Dataset("default", 96.0),)
+
+_BFS = r"""
+__kernel void bfs_kernel(__global const int* edges, __global const int* offsets,
+                         __global int* costs, __global int* frontier, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  if (frontier[tid] == 1) {
+    frontier[tid] = 0;
+    int start = offsets[tid];
+    int degree = 4 + (tid % 3);
+    for (int e = 0; e < degree; e++) {
+      int neighbour = edges[(start + e) % n];
+      if (costs[neighbour] > costs[tid] + 1) {
+        costs[neighbour] = costs[tid] + 1;
+        frontier[neighbour] = 1;
+      }
+    }
+  }
+}
+"""
+
+_HOTSPOT = r"""
+__kernel void hotspot_step(__global const float* temp, __global const float* power,
+                           __global float* dst, const int width, const int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= width || y >= height) {
+    return;
+  }
+  int index = y * width + x;
+  float centre = temp[index];
+  float north = (y > 0) ? temp[index - width] : centre;
+  float south = (y < height - 1) ? temp[index + width] : centre;
+  float west = (x > 0) ? temp[index - 1] : centre;
+  float east = (x < width - 1) ? temp[index + 1] : centre;
+  float delta = 0.001f * (power[index] + (north + south - 2.0f * centre) * 0.5f
+                          + (east + west - 2.0f * centre) * 0.5f);
+  dst[index] = centre + delta;
+}
+"""
+
+_SRAD = r"""
+__kernel void srad_diffuse(__global float* image, __global const float* coeff,
+                           const int width, const int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= width || y >= height) {
+    return;
+  }
+  int index = y * width + x;
+  float c = coeff[index];
+  float value = image[index];
+  float gradient = 0.0f;
+  if (x > 0) {
+    gradient += image[index - 1] - value;
+  }
+  if (x < width - 1) {
+    gradient += image[index + 1] - value;
+  }
+  if (y > 0) {
+    gradient += image[index - width] - value;
+  }
+  if (y < height - 1) {
+    gradient += image[index + width] - value;
+  }
+  image[index] = value + 0.25f * c * gradient;
+}
+"""
+
+_KMEANS = r"""
+__kernel void kmeans_assign(__global const float* points, __global const float* centroids,
+                            __global int* membership, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  float best_distance = 1.0e30f;
+  int best_cluster = 0;
+  for (int c = 0; c < 8; c++) {
+    float distance = 0.0f;
+    for (int d = 0; d < 4; d++) {
+      float diff = points[(tid * 4 + d) % n] - centroids[c * 4 + d];
+      distance += diff * diff;
+    }
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_cluster = c;
+    }
+  }
+  membership[tid] = best_cluster;
+}
+"""
+
+_LUD = r"""
+__kernel void lud_perimeter(__global float* matrix, __local float* dia, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  dia[lid] = matrix[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float value = dia[lid];
+  for (int k = 0; k < 8; k++) {
+    float factor = dia[(lid + k) % get_local_size(0)] + 1.0e-3f;
+    value = value - (value / factor) * 0.5f;
+  }
+  matrix[gid] = value;
+}
+"""
+
+_NW = r"""
+__kernel void needle_diag(__global int* score, __global const int* reference, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n || tid == 0) {
+    return;
+  }
+  int up = score[tid - 1];
+  int left = score[(tid + n - 1) % n];
+  int diag = score[(tid + n - 2) % n];
+  int match = reference[tid] - 5;
+  int best = diag + match;
+  if (up - 10 > best) {
+    best = up - 10;
+  }
+  if (left - 10 > best) {
+    best = left - 10;
+  }
+  score[tid] = best;
+}
+"""
+
+_BACKPROP = r"""
+__kernel void backprop_layer(__global const float* input, __global const float* weights,
+                             __global float* hidden, __local float* partial, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  float sum = 0.0f;
+  for (int j = 0; j < 16; j++) {
+    sum += input[(gid + j) % n] * weights[(gid * 16 + j) % n];
+  }
+  partial[lid] = sum;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  hidden[gid] = 1.0f / (1.0f + exp(-partial[lid]));
+}
+"""
+
+_PATHFINDER = r"""
+__kernel void pathfinder_step(__global const int* wall, __global const int* src,
+                              __global int* dst, const int cols) {
+  int tid = get_global_id(0);
+  if (tid >= cols) {
+    return;
+  }
+  int left = (tid > 0) ? src[tid - 1] : src[tid];
+  int centre = src[tid];
+  int right = (tid < cols - 1) ? src[tid + 1] : src[tid];
+  int shortest = centre;
+  if (left < shortest) {
+    shortest = left;
+  }
+  if (right < shortest) {
+    shortest = right;
+  }
+  dst[tid] = shortest + wall[tid];
+}
+"""
+
+_STREAMCLUSTER = r"""
+__kernel void streamcluster_gain(__global const float* points, __global const float* centre,
+                                 __global float* gains, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  float cost = 0.0f;
+  for (int d = 0; d < 8; d++) {
+    float diff = points[(tid * 8 + d) % n] - centre[d % 8];
+    cost += diff * diff;
+  }
+  gains[tid] = sqrt(cost) * 0.5f;
+}
+"""
+
+_NN = r"""
+__kernel void nn_distance(__global const float* latitudes, __global const float* longitudes,
+                          __global float* distances, const float target_lat,
+                          const float target_long, const int n) {
+  int tid = get_global_id(0);
+  if (tid < n) {
+    float dlat = latitudes[tid] - target_lat;
+    float dlong = longitudes[tid] - target_long;
+    distances[tid] = sqrt(dlat * dlat + dlong * dlong);
+  }
+}
+"""
+
+_CFD = r"""
+__kernel void cfd_compute_flux(__global const float* density, __global const float* momentum,
+                               __global float* fluxes, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  float rho = density[tid] + 1.0e-4f;
+  float speed = momentum[tid] / rho;
+  float pressure = 0.4f * (momentum[tid] - 0.5f * rho * speed * speed);
+  float flux = 0.0f;
+  for (int face = 0; face < 4; face++) {
+    float neighbour = density[(tid + face + 1) % n];
+    flux += (neighbour - rho) * speed + pressure * 0.25f;
+  }
+  fluxes[tid] = flux;
+}
+"""
+
+_LAVAMD = r"""
+__kernel void lavamd_forces(__global const float* positions, __global float* forces,
+                            __local float* box, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  box[lid] = positions[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float force = 0.0f;
+  for (int j = 0; j < 32; j++) {
+    float r = box[lid] - box[(lid + j) % get_local_size(0)];
+    float r2 = r * r + 0.01f;
+    force += r / (r2 * r2);
+  }
+  forces[gid] = force;
+}
+"""
+
+_HEARTWALL = r"""
+__kernel void heartwall_correlate(__global const float* frame, __global const float* sample,
+                                  __global float* scores, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  float score = 0.0f;
+  for (int k = 0; k < 25; k++) {
+    score += frame[(tid + k) % n] * sample[k % 25];
+  }
+  scores[tid] = score;
+}
+"""
+
+_LEUKOCYTE = r"""
+__kernel void leukocyte_gicov(__global const float* gradient, __global float* gicov,
+                              const int width, const int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= width || y >= height) {
+    return;
+  }
+  float sum = 0.0f;
+  float sum_sq = 0.0f;
+  for (int t = 0; t < 12; t++) {
+    float g = gradient[(y * width + x + t) % (width * height)];
+    sum += g;
+    sum_sq += g * g;
+  }
+  float mean = sum / 12.0f;
+  float variance = sum_sq / 12.0f - mean * mean + 1.0e-6f;
+  gicov[y * width + x] = mean * mean / variance;
+}
+"""
+
+BENCHMARKS = [
+    Benchmark(SUITE_NAME, "bfs", _BFS, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "hotspot", _HOTSPOT, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "srad", _SRAD, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "kmeans", _KMEANS, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "lud", _LUD, datasets=_DATASETS, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "nw", _NW, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "backprop", _BACKPROP, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "pathfinder", _PATHFINDER, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "streamcluster", _STREAMCLUSTER, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "nn", _NN, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "cfd", _CFD, datasets=_DATASETS, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "lavamd", _LAVAMD, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "heartwall", _HEARTWALL, datasets=_DATASETS, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "leukocyte", _LEUKOCYTE, datasets=_DATASETS, kernels_in_program=3),
+]

@@ -1,0 +1,237 @@
+"""SHOC (Scalable HeterOgeneous Computing) benchmark suite stand-ins.
+
+Twelve level-0/level-1 SHOC benchmarks: bandwidth-bound primitives (Triad,
+Sort, Scan, Reduction), compute-bound kernels (MD, FFT, GEMM) and irregular
+ones (BFS, SpMV) — the suite spans both extremes of the
+communication–computation ratio, which is what makes it a strong training
+suite in Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.suites.registry import Benchmark, Dataset
+
+SUITE_NAME = "SHOC"
+
+_DATASETS = (Dataset("default", 72.0),)
+_SIZES = (Dataset("size1", 16.0), Dataset("size4", 256.0))
+
+_TRIAD = r"""
+__kernel void Triad(__global const float* memA, __global const float* memB,
+                    __global float* memC, const float scalar, const int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    memC[gid] = memA[gid] + scalar * memB[gid];
+  }
+}
+"""
+
+_REDUCTION = r"""
+__kernel void reduce_shoc(__global const float* g_idata, __global float* g_odata,
+                          __local float* sdata, const int n) {
+  int tid = get_local_id(0);
+  int gid = get_global_id(0);
+  sdata[tid] = (gid < n) ? g_idata[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (unsigned int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (tid < s) {
+      sdata[tid] += sdata[tid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (tid == 0) {
+    g_odata[get_group_id(0)] = sdata[0];
+  }
+}
+"""
+
+_SCAN = r"""
+__kernel void scan_local(__global const float* in, __global float* out,
+                         __local float* temp, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  temp[lid] = (gid < n) ? in[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int offset = 1; offset < get_local_size(0); offset *= 2) {
+    float value = (lid >= offset) ? temp[lid - offset] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    temp[lid] += value;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[gid] = temp[lid];
+}
+"""
+
+_SORT = r"""
+__kernel void sort_radix_count(__global const unsigned int* keys, __global unsigned int* counters,
+                               const int shift, const int n) {
+  int gid = get_global_id(0);
+  if (gid >= n) {
+    return;
+  }
+  unsigned int key = keys[gid];
+  unsigned int digit = (key >> (shift % 16)) & 0xF;
+  atomic_add(&counters[digit % n], 1);
+}
+"""
+
+_MD = r"""
+__kernel void md_lj_force(__global const float* position, __global float* force,
+                          __global const int* neighbours, const int n) {
+  int gid = get_global_id(0);
+  if (gid >= n) {
+    return;
+  }
+  float pos = position[gid];
+  float f = 0.0f;
+  for (int j = 0; j < 32; j++) {
+    int neighbour = neighbours[(gid * 32 + j) % n];
+    float delta = pos - position[neighbour % n];
+    float r2 = delta * delta + 0.01f;
+    float r6 = r2 * r2 * r2;
+    f += (2.0f / (r6 * r6) - 1.0f / r6) * delta / r2;
+  }
+  force[gid] = f;
+}
+"""
+
+_FFT = r"""
+__kernel void fft_radix2(__global float* real, __global float* imag,
+                         __local float* shared, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  shared[lid] = real[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float re = shared[lid];
+  float im = imag[gid];
+  for (int stage = 1; stage < 32; stage <<= 1) {
+    float angle = -3.14159265f * (float)(lid % stage) / (float)stage;
+    float wr = cos(angle);
+    float wi = sin(angle);
+    float other = shared[(lid ^ stage) % get_local_size(0)];
+    re = re + wr * other - wi * im;
+    im = im + wr * im + wi * other;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    shared[lid] = re;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  real[gid] = re;
+  imag[gid] = im;
+}
+"""
+
+_GEMM_SHOC = r"""
+__kernel void sgemmNN(__global const float* A, __global const float* B, __global float* C,
+                      __local float* tileA, const int n) {
+  int row = get_global_id(1);
+  int col = get_global_id(0);
+  int lid = get_local_id(0);
+  float acc = 0.0f;
+  for (int t = 0; t < 4; t++) {
+    tileA[lid] = A[(row * 16 + t * 4 + lid % 4) % n];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 16; k++) {
+      acc += tileA[(lid + k) % get_local_size(0)] * B[(k * 16 + col % 16) % n];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[(row * 16 + col % 16) % n] = acc;
+}
+"""
+
+_SPMV_SHOC = r"""
+__kernel void spmv_csr_scalar(__global const float* val, __global const int* cols,
+                              __global const int* rowDelimiters, __global const float* vec,
+                              __global float* out, const int n) {
+  int row = get_global_id(0);
+  if (row >= n) {
+    return;
+  }
+  int start = rowDelimiters[row];
+  float sum = 0.0f;
+  for (int j = 0; j < 8; j++) {
+    int column = cols[(start + j) % n];
+    sum += val[(start + j) % n] * vec[column % n];
+  }
+  out[row] = sum;
+}
+"""
+
+_BFS_SHOC = r"""
+__kernel void bfs_shoc(__global const int* edgeArray, __global int* levels,
+                       __global int* changed, const int curLevel, const int n) {
+  int tid = get_global_id(0);
+  if (tid >= n) {
+    return;
+  }
+  if (levels[tid] == curLevel % 8) {
+    for (int e = 0; e < 6; e++) {
+      int neighbour = edgeArray[(tid * 6 + e) % n];
+      if (levels[neighbour % n] > curLevel % 8 + 1) {
+        levels[neighbour % n] = curLevel % 8 + 1;
+        changed[0] = 1;
+      }
+    }
+  }
+}
+"""
+
+_STENCIL2D_SHOC = r"""
+__kernel void StencilKernel(__global const float* data, __global float* newData,
+                            const int nx, const int ny) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i <= 0 || j <= 0 || i >= nx - 1 || j >= ny - 1) {
+    return;
+  }
+  int index = j * nx + i;
+  newData[index] = 0.25f * data[index]
+                 + 0.1875f * (data[index - 1] + data[index + 1] + data[index - nx] + data[index + nx]);
+}
+"""
+
+_DEVICE_MEMORY = r"""
+__kernel void readGlobalMemoryCoalesced(__global const float* data, __global float* output,
+                                        const int size, const int n) {
+  int gid = get_global_id(0);
+  float sum = 0.0f;
+  for (int j = 0; j < 16; j++) {
+    sum += data[(gid + j * get_global_size(0)) % size];
+  }
+  output[gid % n] = sum;
+}
+"""
+
+_QTC = r"""
+__kernel void qtc_distances(__global const float* points, __global float* distances,
+                            const float threshold, const int n) {
+  int gid = get_global_id(0);
+  if (gid >= n) {
+    return;
+  }
+  float count = 0.0f;
+  for (int j = 0; j < 24; j++) {
+    float diff = points[gid] - points[(gid + j + 1) % n];
+    float distance = sqrt(diff * diff);
+    if (distance < threshold) {
+      count += 1.0f;
+    }
+  }
+  distances[gid] = count;
+}
+"""
+
+BENCHMARKS = [
+    Benchmark(SUITE_NAME, "Triad", _TRIAD, datasets=_SIZES, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "Reduction", _REDUCTION, datasets=_SIZES, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "Scan", _SCAN, datasets=_SIZES, kernels_in_program=3),
+    Benchmark(SUITE_NAME, "Sort", _SORT, datasets=_DATASETS, kernels_in_program=6),
+    Benchmark(SUITE_NAME, "MD", _MD, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "FFT", _FFT, datasets=_DATASETS, kernels_in_program=5),
+    Benchmark(SUITE_NAME, "GEMM", _GEMM_SHOC, datasets=_SIZES, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "SpMV", _SPMV_SHOC, datasets=_DATASETS, kernels_in_program=4),
+    Benchmark(SUITE_NAME, "BFS", _BFS_SHOC, datasets=_DATASETS, kernels_in_program=2),
+    Benchmark(SUITE_NAME, "Stencil2D", _STENCIL2D_SHOC, datasets=_SIZES, kernels_in_program=1),
+    Benchmark(SUITE_NAME, "DeviceMemory", _DEVICE_MEMORY, datasets=_DATASETS, kernels_in_program=8),
+    Benchmark(SUITE_NAME, "QTC", _QTC, datasets=_DATASETS, kernels_in_program=2),
+]

@@ -1,0 +1,155 @@
+"""Benchmark-suite registry (paper Table 3).
+
+The paper evaluates on 71 programs / 256 kernels drawn from the seven most
+frequently used GPGPU benchmark suites (NPB, Rodinia, NVIDIA SDK, AMD SDK,
+Parboil, PolyBench, SHOC).  This registry holds our stand-in suites: every
+benchmark is an OpenCL kernel written in the style of its suite, together
+with the datasets it ships with (NPB gets its S/W/A/B/C problem classes,
+Parboil several datasets, everything else a default dataset), expressed as
+dataset *scale factors* consumed by the host driver's analytic runtime
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One input configuration of a benchmark."""
+
+    name: str
+    scale: float  #: multiplier applied to the executed payload when estimating runtimes
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark program: a kernel source plus its datasets."""
+
+    suite: str
+    name: str
+    source: str
+    kernel_name: str | None = None
+    datasets: tuple[Dataset, ...] = (Dataset("default", 64.0),)
+    kernels_in_program: int = 1
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.suite}.{self.name}"
+
+    def dataset(self, name: str) -> Dataset:
+        for dataset in self.datasets:
+            if dataset.name == name:
+                return dataset
+        raise BenchmarkError(f"{self.qualified_name} has no dataset named {name!r}")
+
+
+@dataclass
+class Suite:
+    """A named collection of benchmarks."""
+
+    name: str
+    benchmarks: list[Benchmark] = field(default_factory=list)
+
+    @property
+    def benchmark_count(self) -> int:
+        return len(self.benchmarks)
+
+    @property
+    def kernel_count(self) -> int:
+        return sum(benchmark.kernels_in_program for benchmark in self.benchmarks)
+
+    def benchmark(self, name: str) -> Benchmark:
+        for benchmark in self.benchmarks:
+            if benchmark.name == name:
+                return benchmark
+        raise BenchmarkError(f"suite {self.name!r} has no benchmark named {name!r}")
+
+
+#: The NPB problem classes and their relative sizes (S < W < A < B < C).
+NPB_CLASSES: tuple[Dataset, ...] = (
+    Dataset("S", 2.0),
+    Dataset("W", 12.0),
+    Dataset("A", 80.0),
+    Dataset("B", 400.0),
+    Dataset("C", 1600.0),
+)
+
+#: Dataset ladders reused by other suites.
+DEFAULT_DATASET: tuple[Dataset, ...] = (Dataset("default", 64.0),)
+SMALL_LARGE_DATASETS: tuple[Dataset, ...] = (Dataset("small", 8.0), Dataset("large", 512.0))
+
+
+def _build_suites() -> dict[str, Suite]:
+    # Imported lazily to keep module import cheap and cycle-free.
+    from repro.suites import kernels_amd, kernels_npb, kernels_nvidia, kernels_parboil
+    from repro.suites import kernels_polybench, kernels_rodinia, kernels_shoc
+
+    suites: dict[str, Suite] = {}
+    for module in (
+        kernels_npb,
+        kernels_rodinia,
+        kernels_nvidia,
+        kernels_amd,
+        kernels_parboil,
+        kernels_polybench,
+        kernels_shoc,
+    ):
+        suite = Suite(name=module.SUITE_NAME, benchmarks=list(module.BENCHMARKS))
+        suites[suite.name] = suite
+    return suites
+
+
+_SUITES_CACHE: dict[str, Suite] | None = None
+
+
+def all_suites() -> list[Suite]:
+    """Every suite, in the paper's Table 3 order."""
+    global _SUITES_CACHE
+    if _SUITES_CACHE is None:
+        _SUITES_CACHE = _build_suites()
+    order = ["NPB", "Rodinia", "NVIDIA SDK", "AMD SDK", "Parboil", "PolyBench", "SHOC"]
+    return [_SUITES_CACHE[name] for name in order if name in _SUITES_CACHE]
+
+
+def suite(name: str) -> Suite:
+    """Look up one suite by name (case-insensitive)."""
+    for candidate in all_suites():
+        if candidate.name.lower() == name.lower():
+            return candidate
+    raise BenchmarkError(f"unknown benchmark suite {name!r}")
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Every benchmark of every suite."""
+    benchmarks: list[Benchmark] = []
+    for candidate in all_suites():
+        benchmarks.extend(candidate.benchmarks)
+    return benchmarks
+
+
+def suite_summary() -> list[dict]:
+    """The Table 3 inventory: suite name, #benchmarks, #kernels."""
+    rows = []
+    for candidate in all_suites():
+        rows.append(
+            {
+                "suite": candidate.name,
+                "benchmarks": candidate.benchmark_count,
+                "kernels": candidate.kernel_count,
+            }
+        )
+    rows.append(
+        {
+            "suite": "Total",
+            "benchmarks": sum(row["benchmarks"] for row in rows),
+            "kernels": sum(row["kernels"] for row in rows),
+        }
+    )
+    return rows

@@ -1,0 +1,22 @@
+"""``repro.synthesis`` — CLgen, the benchmark synthesizer."""
+
+from repro.synthesis.argspec import ArgumentSpec, KernelArgument
+from repro.synthesis.generator import (
+    CLgen,
+    SynthesisResult,
+    SynthesisStatistics,
+    SyntheticKernel,
+)
+from repro.synthesis.sampler import KernelSampler, SampledCandidate, SamplerConfig
+
+__all__ = [
+    "ArgumentSpec",
+    "CLgen",
+    "KernelArgument",
+    "KernelSampler",
+    "SampledCandidate",
+    "SamplerConfig",
+    "SynthesisResult",
+    "SynthesisStatistics",
+    "SyntheticKernel",
+]

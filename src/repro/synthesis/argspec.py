@@ -1,0 +1,138 @@
+"""Kernel argument specifications (paper §4.3).
+
+The first of CLgen's two sampling modes takes an *argument specification*
+"stating the data types and modifiers of all kernel arguments"; the model
+then synthesizes kernels matching that signature.  The second mode omits the
+specification and lets the corpus distribution dictate the signature.  This
+module models both: an :class:`ArgumentSpec` renders the seed text of
+Algorithm 1, and can also be recovered from existing kernel source (used by
+the host driver to build payloads).
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+
+from repro.clc import parse
+from repro.clc.types import PointerType
+from repro.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class KernelArgument:
+    """One kernel argument in a specification."""
+
+    type_name: str  # e.g. "float", "int", "float4"
+    is_pointer: bool = False
+    address_space: str = "global"  # "global" | "local" | "constant" | "private"
+    is_const: bool = False
+
+    def render(self, name: str) -> str:
+        """Render the argument as it appears in a kernel signature."""
+        parts: list[str] = []
+        if self.is_pointer and self.address_space in ("global", "local", "constant"):
+            parts.append(f"__{self.address_space}")
+        if self.is_const:
+            parts.append("const")
+        parts.append(self.type_name + ("*" if self.is_pointer else ""))
+        parts.append(name)
+        return " ".join(parts)
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.is_pointer
+
+
+@dataclass(frozen=True)
+class ArgumentSpec:
+    """An ordered list of kernel arguments."""
+
+    arguments: tuple[KernelArgument, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper_default(cls) -> "ArgumentSpec":
+        """The specification used throughout the paper's examples (Fig. 6):
+        three single-precision floating-point arrays and a read-only signed
+        integer."""
+        return cls(
+            arguments=(
+                KernelArgument("float", is_pointer=True),
+                KernelArgument("float", is_pointer=True),
+                KernelArgument("float", is_pointer=True),
+                KernelArgument("int", is_const=True),
+            )
+        )
+
+    @classmethod
+    def from_kernel_source(cls, source: str, kernel_name: str | None = None) -> "ArgumentSpec":
+        """Recover the specification of an existing kernel."""
+        unit = parse(source)
+        kernels = unit.kernels
+        if not kernels:
+            raise SynthesisError("source contains no kernel to derive a specification from")
+        kernel = kernels[0]
+        if kernel_name is not None:
+            kernel = unit.kernel(kernel_name)
+        arguments = []
+        for parameter in kernel.parameters:
+            declared = parameter.declared_type
+            if isinstance(declared, PointerType):
+                arguments.append(
+                    KernelArgument(
+                        type_name=str(declared.pointee),
+                        is_pointer=True,
+                        address_space=declared.address_space.value,
+                        is_const=declared.is_const or parameter.is_const,
+                    )
+                )
+            else:
+                arguments.append(
+                    KernelArgument(
+                        type_name=str(declared) if declared is not None else parameter.type_name,
+                        is_pointer=False,
+                        address_space="private",
+                        is_const=parameter.is_const,
+                    )
+                )
+        return cls(arguments=tuple(arguments))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def argument_count(self) -> int:
+        return len(self.arguments)
+
+    @property
+    def pointer_arguments(self) -> list[KernelArgument]:
+        return [argument for argument in self.arguments if argument.is_pointer]
+
+    @property
+    def scalar_arguments(self) -> list[KernelArgument]:
+        return [argument for argument in self.arguments if argument.is_scalar]
+
+    def argument_names(self) -> list[str]:
+        """Sequential names matching the rewriter's convention (a, b, c, ...)."""
+        names = []
+        alphabet = string.ascii_lowercase
+        for index in range(len(self.arguments)):
+            if index < len(alphabet):
+                names.append(alphabet[index])
+            else:
+                names.append(alphabet[index // len(alphabet) - 1] + alphabet[index % len(alphabet)])
+        return names
+
+    def render_signature(self, kernel_name: str = "A") -> str:
+        """Render the full kernel signature (without the opening brace)."""
+        rendered = ", ".join(
+            argument.render(name) for argument, name in zip(self.arguments, self.argument_names())
+        )
+        return f"__kernel void {kernel_name}({rendered})"
+
+    def seed_text(self, kernel_name: str = "A") -> str:
+        """The Algorithm 1 seed text: the signature plus the opening brace."""
+        return self.render_signature(kernel_name) + " {"

@@ -1,0 +1,230 @@
+"""CLgen: the benchmark synthesizer facade (paper §4).
+
+Ties the pipeline together: a language corpus (mined or provided), a trained
+character-level model, Algorithm-1 sampling from an argument-specification
+seed, and the same rejection filter used on GitHub content files.  The
+output is a stream of unique, compilable synthetic kernels ready for the
+host driver.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.corpus import Corpus
+from repro.errors import SynthesisError
+from repro.model.backend import LanguageModel
+from repro.model.lstm import LSTMConfig
+from repro.model.trainer import TrainerConfig, ModelTrainer
+from repro.preprocess.rejection import RejectionFilter, RejectionResult
+from repro.preprocess.rewriter import CodeRewriter
+from repro.synthesis.argspec import ArgumentSpec
+from repro.synthesis.sampler import KernelSampler, SamplerConfig
+
+
+@dataclass
+class SyntheticKernel:
+    """One accepted synthetic benchmark kernel."""
+
+    source: str
+    raw_sample: str
+    argument_spec: ArgumentSpec
+    attempt_index: int
+    static_instruction_count: int = 0
+
+    @property
+    def content_hash(self) -> str:
+        return hashlib.sha1(self.source.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class SynthesisStatistics:
+    """Bookkeeping over a synthesis run (used by EXPERIMENTS.md and tests)."""
+
+    requested: int = 0
+    generated: int = 0
+    attempts: int = 0
+    rejected: int = 0
+    duplicates: int = 0
+    incomplete_samples: int = 0
+    characters_sampled: int = 0
+    rejection_reasons: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.generated / self.attempts
+
+
+@dataclass
+class SynthesisResult:
+    """Kernels plus statistics from one :meth:`CLgen.generate_kernels` call."""
+
+    kernels: list[SyntheticKernel]
+    statistics: SynthesisStatistics
+
+    @property
+    def sources(self) -> list[str]:
+        return [kernel.source for kernel in self.kernels]
+
+
+class CLgen:
+    """The benchmark synthesizer."""
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        corpus: Corpus | None = None,
+        sampler_config: SamplerConfig | None = None,
+        min_static_instructions: int = 3,
+        normalize_output: bool = True,
+    ):
+        self.model = model
+        self.corpus = corpus
+        self.sampler = KernelSampler(model, sampler_config)
+        self.rejection_filter = RejectionFilter(
+            min_static_instructions=min_static_instructions, use_shim=True
+        )
+        self.rewriter = CodeRewriter(rename_identifiers=True)
+        self.normalize_output = normalize_output
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: Corpus,
+        backend: str = "ngram",
+        ngram_order: int = 10,
+        lstm_config: LSTMConfig | None = None,
+        sampler_config: SamplerConfig | None = None,
+    ) -> "CLgen":
+        """Train a model on *corpus* and wrap it in a synthesizer."""
+        trainer = ModelTrainer(
+            TrainerConfig(backend=backend, ngram_order=ngram_order, lstm=lstm_config)
+        )
+        trained = trainer.train(corpus)
+        return cls(model=trained.model, corpus=corpus, sampler_config=sampler_config)
+
+    @classmethod
+    def from_github(
+        cls,
+        repository_count: int = 100,
+        seed: int = 0,
+        backend: str = "ngram",
+        ngram_order: int = 10,
+        sampler_config: SamplerConfig | None = None,
+    ) -> "CLgen":
+        """Mine a (synthetic) GitHub corpus, train and return a synthesizer."""
+        corpus = Corpus.mine_and_build(repository_count=repository_count, seed=seed)
+        return cls.from_corpus(
+            corpus, backend=backend, ngram_order=ngram_order, sampler_config=sampler_config
+        )
+
+    # ------------------------------------------------------------------
+    # Synthesis.
+    # ------------------------------------------------------------------
+
+    def sample_candidate(self, spec: ArgumentSpec | None, rng: random.Random):
+        """Draw one raw (unfiltered) candidate."""
+        spec = spec or ArgumentSpec.paper_default()
+        seed_text = spec.seed_text(self.sampler.config.seed_kernel_name)
+        return self.sampler.sample(seed_text, rng)
+
+    def generate_kernel(
+        self,
+        spec: ArgumentSpec | None = None,
+        rng: random.Random | None = None,
+        max_attempts: int = 50,
+        statistics: SynthesisStatistics | None = None,
+        seen_hashes: set[str] | None = None,
+    ) -> SyntheticKernel | None:
+        """Generate one accepted kernel, or ``None`` after *max_attempts*."""
+        spec = spec or ArgumentSpec.paper_default()
+        rng = rng or random.Random(0)
+        statistics = statistics if statistics is not None else SynthesisStatistics()
+        seen_hashes = seen_hashes if seen_hashes is not None else set()
+
+        for attempt in range(max_attempts):
+            statistics.attempts += 1
+            candidate = self.sample_candidate(spec, rng)
+            statistics.characters_sampled += candidate.characters_sampled
+            if not candidate.completed:
+                statistics.incomplete_samples += 1
+                statistics.rejected += 1
+                self._count_reason(statistics, "incomplete sample")
+                continue
+
+            verdict: RejectionResult = self.rejection_filter.check(candidate.text)
+            if not verdict.accepted:
+                statistics.rejected += 1
+                self._count_reason(statistics, verdict.reason.value)
+                continue
+
+            source = candidate.text
+            if self.normalize_output:
+                rewritten = self.rewriter.rewrite_or_none(candidate.text)
+                if rewritten is not None:
+                    source = rewritten.text
+
+            digest = hashlib.sha1(source.encode("utf-8")).hexdigest()
+            if digest in seen_hashes:
+                statistics.duplicates += 1
+                statistics.rejected += 1
+                self._count_reason(statistics, "duplicate")
+                continue
+            seen_hashes.add(digest)
+
+            statistics.generated += 1
+            instruction_count = (
+                verdict.compilation.static_instruction_count if verdict.compilation else 0
+            )
+            return SyntheticKernel(
+                source=source,
+                raw_sample=candidate.text,
+                argument_spec=spec,
+                attempt_index=attempt,
+                static_instruction_count=instruction_count,
+            )
+        return None
+
+    def generate_kernels(
+        self,
+        count: int,
+        spec: ArgumentSpec | None = None,
+        seed: int = 0,
+        max_attempts_per_kernel: int = 50,
+    ) -> SynthesisResult:
+        """Generate up to *count* unique kernels.
+
+        Stops early (without raising) if the model cannot produce enough
+        acceptable kernels within the attempt budget, so experiment code can
+        report partial coverage rather than crash.
+        """
+        if count <= 0:
+            raise SynthesisError("kernel count must be positive")
+        rng = random.Random(seed)
+        statistics = SynthesisStatistics(requested=count)
+        seen_hashes: set[str] = set()
+        kernels: list[SyntheticKernel] = []
+        for _ in range(count):
+            kernel = self.generate_kernel(
+                spec=spec,
+                rng=rng,
+                max_attempts=max_attempts_per_kernel,
+                statistics=statistics,
+                seen_hashes=seen_hashes,
+            )
+            if kernel is None:
+                break
+            kernels.append(kernel)
+        return SynthesisResult(kernels=kernels, statistics=statistics)
+
+    @staticmethod
+    def _count_reason(statistics: SynthesisStatistics, reason: str) -> None:
+        statistics.rejection_reasons[reason] = statistics.rejection_reasons.get(reason, 0) + 1

@@ -1,0 +1,80 @@
+"""Algorithm 1: sampling a candidate kernel from a seed text.
+
+Characters are sampled from the language model one at a time, while a brace
+depth counter tracks when the kernel's function block closes; sampling stops
+when the depth returns to zero or a maximum length is reached.  The result
+is a *candidate* — the rejection filter decides whether it becomes a
+synthetic benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.model.backend import LanguageModel
+
+
+@dataclass
+class SamplerConfig:
+    """Knobs of the character-level sampler."""
+
+    max_kernel_length: int = 2048
+    temperature: float = 0.7
+    seed_kernel_name: str = "A"
+
+
+@dataclass
+class SampledCandidate:
+    """One raw sample from the model (not yet filtered)."""
+
+    text: str
+    completed: bool  # True if the brace depth returned to zero
+    characters_sampled: int
+
+
+class KernelSampler:
+    """Implements Algorithm 1 over any :class:`LanguageModel` backend."""
+
+    def __init__(self, model: LanguageModel, config: SamplerConfig | None = None):
+        self._model = model
+        self.config = config or SamplerConfig()
+
+    def sample(self, seed_text: str, rng: random.Random) -> SampledCandidate:
+        """Sample one candidate kernel continuing *seed_text*.
+
+        The seed text is expected to end just after the opening ``{`` of the
+        kernel body (depth 1), as produced by
+        :meth:`repro.synthesis.argspec.ArgumentSpec.seed_text`.
+        """
+        depth = seed_text.count("{") - seed_text.count("}")
+        if depth <= 0:
+            depth = 1
+
+        # Prefer a stateful sampler when the backend provides one (the LSTM);
+        # fall back to the generic interface otherwise.
+        incremental = getattr(self._model, "make_sampler", None)
+        sampler = incremental(seed_text) if callable(incremental) else None
+
+        text = seed_text
+        sampled = 0
+        completed = False
+        while sampled < self.config.max_kernel_length:
+            if sampler is not None:
+                character = sampler.sample(rng, self.config.temperature)
+            else:
+                character = self._model.sample_next(text, rng, self.config.temperature)
+            text += character
+            sampled += 1
+            if character == "{":
+                depth += 1
+            elif character == "}":
+                depth -= 1
+                if depth <= 0:
+                    completed = True
+                    break
+        return SampledCandidate(text=text, completed=completed, characters_sampled=sampled)
+
+    def sample_many(self, seed_text: str, count: int, rng: random.Random) -> list[SampledCandidate]:
+        """Draw *count* independent candidates from the same seed."""
+        return [self.sample(seed_text, rng) for _ in range(count)]

@@ -1,0 +1,86 @@
+"""Shared fixtures: one corpus and one trained synthesizer for the whole session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus
+from repro.driver import DriverConfig, HostDriver
+from repro.synthesis import CLgen, SamplerConfig
+
+VECADD = """
+__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+  int e = get_global_id(0);
+  if (e < d) {
+    c[e] = a[e] + b[e];
+  }
+}
+"""
+
+REDUCTION = """
+__kernel void reduce(__global const float* in, __global float* out,
+                     __local float* tmp, const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  tmp[lid] = (gid < n) ? in[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) {
+      tmp[lid] += tmp[lid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) {
+    out[get_group_id(0)] = tmp[0];
+  }
+}
+"""
+
+COMPUTE_HEAVY = """
+__kernel void heavy(__global float* a, __global float* b, const int n) {
+  int i = get_global_id(0);
+  if (i >= n) {
+    return;
+  }
+  float x = a[i];
+  for (int k = 0; k < 50; k++) {
+    x = sqrt(x * x + 1.5f) * 0.99f;
+  }
+  b[i] = x;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Corpus:
+    """A small mined-and-preprocessed corpus shared by model/synthesis tests."""
+    return Corpus.mine_and_build(repository_count=40, seed=11)
+
+
+@pytest.fixture(scope="session")
+def clgen(corpus: Corpus) -> CLgen:
+    """A trained synthesizer shared by synthesis/experiment tests."""
+    return CLgen.from_corpus(
+        corpus, backend="ngram", ngram_order=12, sampler_config=SamplerConfig(temperature=0.6)
+    )
+
+
+@pytest.fixture(scope="session")
+def driver() -> HostDriver:
+    """A host driver with a small executed NDRange."""
+    return HostDriver(config=DriverConfig(executed_global_size=64, local_size=32))
+
+
+@pytest.fixture
+def vecadd_source() -> str:
+    return VECADD
+
+
+@pytest.fixture
+def reduction_source() -> str:
+    return REDUCTION
+
+
+@pytest.fixture
+def compute_heavy_source() -> str:
+    return COMPUTE_HEAVY

@@ -1,0 +1,280 @@
+"""Tests for the host driver, dynamic checker, features and predictive models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.driver import (
+    CheckOutcome,
+    DriverConfig,
+    DynamicChecker,
+    HostDriver,
+    PayloadConfig,
+    PayloadGenerator,
+)
+from repro.features import (
+    EXTENDED_FEATURE_NAMES,
+    GREWE_FEATURE_NAMES,
+    PCA,
+    GreweFeatures,
+    StaticFeatures,
+    extended_feature_vector,
+    extract_static_features,
+    grewe_feature_vector,
+)
+from repro.features.dynamic_features import DynamicFeatures
+from repro.predictive import (
+    DecisionTreeClassifier,
+    ExtendedModel,
+    GreweModel,
+    PredictionOutcome,
+    best_static_device,
+    geometric_mean,
+    group_by_benchmark,
+    leave_one_benchmark_out,
+    mean_speedup,
+    performance_relative_to_oracle,
+)
+import numpy as np
+
+
+class TestPayloadGenerator:
+    def test_paper_rules(self, reduction_source):
+        payload = PayloadGenerator(PayloadConfig(global_size=128, local_size=32)).generate_for_source(
+            reduction_source
+        )
+        # Global pointers get Sg elements; local pointers get work-group size.
+        assert payload.pool.get("in").size == 128
+        assert payload.pool.get("tmp").size == 32
+        assert payload.pool.get("tmp").address_space == "local"
+        # Integral arguments are given the value Sg.
+        assert payload.scalar_args["n"] == 128
+
+    def test_transfer_accounting(self, vecadd_source):
+        payload = PayloadGenerator(PayloadConfig(global_size=64)).generate_for_source(vecadd_source)
+        assert payload.transfer_to_device_bytes == 3 * 64 * 4
+        assert payload.transfer_from_device_bytes > 0
+        assert payload.transfer_bytes == payload.transfer_to_device_bytes + payload.transfer_from_device_bytes
+
+    def test_clone_has_equal_values_but_independent_buffers(self, vecadd_source):
+        payload = PayloadGenerator(PayloadConfig(global_size=16)).generate_for_source(vecadd_source)
+        clone = payload.clone()
+        assert clone.pool.get("a").equals(payload.pool.get("a"))
+        clone.pool.get("a").store(0, 123.0)
+        assert not clone.pool.get("a").equals(payload.pool.get("a"))
+
+    def test_payloads_differ_across_seeds(self, vecadd_source):
+        a = PayloadGenerator(PayloadConfig(global_size=16, seed=1)).generate_for_source(vecadd_source)
+        b = PayloadGenerator(PayloadConfig(global_size=16, seed=2)).generate_for_source(vecadd_source)
+        assert not a.pool.get("a").equals(b.pool.get("a"))
+
+
+class TestDynamicChecker:
+    def setup_method(self):
+        self.checker = DynamicChecker(PayloadConfig(global_size=32, local_size=16))
+
+    def test_useful_kernel(self, vecadd_source):
+        assert self.checker.check_source(vecadd_source).outcome is CheckOutcome.USEFUL
+
+    def test_no_output_kernel(self):
+        source = ("__kernel void A(__global float* a, const int n) {\n"
+                  "  float x = a[get_global_id(0)] * 2.0f;\n}")
+        assert self.checker.check_source(source).outcome is CheckOutcome.NO_OUTPUT
+
+    def test_input_insensitive_kernel(self):
+        source = ("__kernel void A(__global float* a, const int n) {\n"
+                  "  a[get_global_id(0)] = 1.0f;\n}")
+        assert self.checker.check_source(source).outcome is CheckOutcome.INPUT_INSENSITIVE
+
+    def test_timeout_kernel(self):
+        checker = DynamicChecker(PayloadConfig(global_size=8, local_size=8),
+                                 max_steps_per_item=200)
+        source = ("__kernel void A(__global float* a, const int n) {\n"
+                  "  while (1) { a[0] += 1.0f; }\n}")
+        assert checker.check_source(source).outcome is CheckOutcome.TIMEOUT
+
+    def test_scalar_only_kernel_has_no_output_buffers(self):
+        source = "__kernel void A(const int n) { int x = n * 2; }"
+        assert self.checker.check_source(source).outcome is CheckOutcome.NO_GLOBAL_OUTPUT_BUFFERS
+
+    def test_four_executions_for_useful_kernel(self, vecadd_source):
+        result = self.checker.check_source(vecadd_source)
+        assert result.executions == 4
+
+
+class TestHostDriver:
+    def test_measurement_fields(self, driver, vecadd_source):
+        measurement = driver.measure_source(vecadd_source, name="vecadd", dataset_scale=16.0)
+        assert measurement is not None
+        assert set(measurement.runtimes) == {"AMD", "NVIDIA"}
+        assert measurement.oracle("AMD") in ("cpu", "gpu")
+        assert measurement.transfer_bytes > 0
+        assert measurement.stats.work_items > 0
+
+    def test_uncompilable_source_returns_none(self, driver):
+        assert driver.measure_source("this is not OpenCL") is None
+
+    def test_dataset_scale_changes_runtimes(self, driver, compute_heavy_source):
+        small = driver.measure_source(compute_heavy_source, dataset_scale=1.0)
+        large = driver.measure_source(compute_heavy_source, dataset_scale=1000.0)
+        assert large.runtime("AMD", "cpu") > small.runtime("AMD", "cpu")
+
+    def test_compute_heavy_kernel_maps_to_gpu_at_scale(self, driver, compute_heavy_source):
+        large = driver.measure_source(compute_heavy_source, dataset_scale=20000.0)
+        assert large.oracle("AMD") == "gpu"
+
+    def test_measurement_noise_is_deterministic(self, vecadd_source):
+        config = DriverConfig(executed_global_size=32, local_size=16, measurement_noise=0.3)
+        a = HostDriver(config=config).measure_source(vecadd_source, name="x", dataset_scale=4.0)
+        b = HostDriver(config=config).measure_source(vecadd_source, name="x", dataset_scale=4.0)
+        assert a.runtime("AMD", "cpu") == b.runtime("AMD", "cpu")
+
+    def test_measure_many_skips_failures(self, driver, vecadd_source):
+        measurements = driver.measure_many([vecadd_source, "garbage ("], names=["ok", "bad"])
+        assert [m.name for m in measurements] == ["ok"]
+
+
+class TestFeatures:
+    def test_table2a_static_features(self, vecadd_source):
+        features = extract_static_features(vecadd_source)
+        assert features is not None
+        assert features.mem == 3 and features.coalesced == 3
+        assert features.localmem == 0 and features.branches == 1
+        assert features.as_tuple() == (features.comp, features.mem, features.localmem,
+                                       features.coalesced)
+
+    def test_local_memory_feature(self, reduction_source):
+        features = extract_static_features(reduction_source)
+        assert features.localmem > 0
+
+    def test_uncompilable_source_gives_none(self):
+        assert extract_static_features("not opencl") is None
+
+    def test_table2b_combined_features(self):
+        static = StaticFeatures(comp=10, mem=5, localmem=5, coalesced=4, branches=2)
+        dynamic = DynamicFeatures(transfer=300.0, wgsize=64)
+        combined = GreweFeatures.from_raw(static, dynamic)
+        assert combined.f1_communication_computation == pytest.approx(300.0 / 15.0)
+        assert combined.f2_coalesced_fraction == pytest.approx(0.8)
+        assert combined.f3_local_work == pytest.approx(64.0)
+        assert combined.f4_computation_memory == pytest.approx(2.0)
+
+    def test_zero_memory_accesses_do_not_divide_by_zero(self):
+        static = StaticFeatures(comp=10, mem=0, localmem=0, coalesced=0, branches=0)
+        dynamic = DynamicFeatures(transfer=100.0, wgsize=32)
+        combined = GreweFeatures.from_raw(static, dynamic)
+        assert combined.f2_coalesced_fraction == 0.0 and combined.f4_computation_memory == 0.0
+
+    def test_feature_vectors_from_measurement(self, driver, vecadd_source):
+        measurement = driver.measure_source(vecadd_source, dataset_scale=8.0)
+        grewe = grewe_feature_vector(measurement)
+        extended = extended_feature_vector(measurement)
+        assert grewe.names == GREWE_FEATURE_NAMES and len(grewe) == 4
+        assert extended.names == EXTENDED_FEATURE_NAMES and len(extended) == 11
+        # The extended vector embeds the combined features as its tail.
+        assert extended.values[-4:] == grewe.values
+
+    def test_pca_projects_to_two_components(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(30, 5))
+        projected, result = PCA(n_components=2).fit_transform(data)
+        assert projected.shape == (30, 2)
+        assert len(result.explained_variance_ratio) == 2
+
+    def test_pca_requires_two_rows(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 3)))
+
+
+class TestDecisionTree:
+    def test_learns_simple_threshold(self):
+        features = [[float(i)] for i in range(20)]
+        labels = ["cpu" if i < 10 else "gpu" for i in range(20)]
+        tree = DecisionTreeClassifier(max_depth=3).fit(features, labels)
+        assert tree.predict_one([2.0]) == "cpu"
+        assert tree.predict_one([15.0]) == "gpu"
+        assert tree.accuracy(features, labels) == 1.0
+
+    def test_single_class_training(self):
+        tree = DecisionTreeClassifier().fit([[1.0], [2.0]], ["gpu", "gpu"])
+        assert tree.predict_one([5.0]) == "gpu"
+
+    def test_max_depth_is_respected(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(200, 4)).tolist()
+        labels = ["a" if sum(row) > 0 else "b" for row in features]
+        tree = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+        assert tree.depth <= 2
+
+    def test_feature_importances_sum_to_one(self):
+        features = [[float(i), float(i % 3)] for i in range(30)]
+        labels = ["cpu" if i < 15 else "gpu" for i in range(30)]
+        tree = DecisionTreeClassifier().fit(features, labels)
+        importances = tree.feature_importances()
+        assert sum(importances) == pytest.approx(1.0)
+        assert importances[0] > importances[1]
+
+    def test_empty_training_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit([], [])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.floats(-10, 10), st.sampled_from(["cpu", "gpu"])),
+                    min_size=4, max_size=40))
+    def test_training_accuracy_at_least_majority(self, rows):
+        features = [[value] for value, _ in rows]
+        labels = [label for _, label in rows]
+        tree = DecisionTreeClassifier(max_depth=8, min_samples_leaf=1, min_samples_split=2)
+        tree.fit(features, labels)
+        majority = max(labels.count("cpu"), labels.count("gpu")) / len(labels)
+        assert tree.accuracy(features, labels) >= majority - 1e-9
+
+
+class TestPredictiveModels:
+    @pytest.fixture(scope="class")
+    def measurements(self, driver):
+        from repro.suites import suite
+
+        out = []
+        for benchmark in suite("Parboil").benchmarks + suite("NVIDIA SDK").benchmarks:
+            for dataset in benchmark.datasets:
+                measurement = driver.measure_source(
+                    benchmark.source,
+                    name=f"{benchmark.qualified_name}.{dataset.name}",
+                    dataset_scale=dataset.scale,
+                )
+                if measurement is not None:
+                    out.append(measurement)
+        return out
+
+    def test_grewe_model_beats_chance_on_training_set(self, measurements):
+        model = GreweModel("AMD").fit(measurements)
+        assert model.accuracy(measurements) >= 0.6
+
+    def test_extended_model_uses_eleven_features(self, measurements):
+        model = ExtendedModel("NVIDIA").fit(measurements)
+        assert len(model.features_of(measurements[0])) == 11
+        assert model.predict(measurements[0]) in ("cpu", "gpu")
+
+    def test_leave_one_benchmark_out_excludes_held_out_program(self, measurements):
+        groups = group_by_benchmark(measurements, lambda m: ".".join(m.name.split(".")[:2]))
+        result = leave_one_benchmark_out(groups, GreweModel, "AMD")
+        assert result.folds == len(groups)
+        assert len(result.outcomes) == len(measurements)
+
+    def test_metrics(self, measurements):
+        model = GreweModel("AMD").fit(measurements)
+        outcomes = [
+            PredictionOutcome(measurement=m, predicted_device=model.predict(m), platform="AMD")
+            for m in measurements
+        ]
+        oracle_fraction = performance_relative_to_oracle(outcomes)
+        assert 0.0 < oracle_fraction <= 1.0 + 1e-9
+        static = best_static_device(measurements, "AMD")
+        assert static in ("cpu", "gpu")
+        assert mean_speedup(outcomes, static) > 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0

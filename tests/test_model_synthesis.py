@@ -1,0 +1,227 @@
+"""Tests for the language models and the CLgen synthesizer."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError, SynthesisError
+from repro.model import (
+    CharacterVocabulary,
+    LSTMConfig,
+    LSTMLanguageModel,
+    NgramLanguageModel,
+    StepDecaySchedule,
+    apply_temperature,
+    clip_gradients,
+    load_model,
+    save_model,
+    train_model,
+)
+from repro.preprocess import RejectionFilter
+from repro.synthesis import ArgumentSpec, CLgen, KernelArgument, KernelSampler, SamplerConfig
+
+
+class TestVocabulary:
+    def test_round_trip(self):
+        vocabulary = CharacterVocabulary.from_text("kernel void {}")
+        encoded = vocabulary.encode("void")
+        assert vocabulary.decode(encoded) == "void"
+
+    def test_unknown_characters_map_to_reserved_index(self):
+        vocabulary = CharacterVocabulary.from_text("abc")
+        assert vocabulary.index("z") == 0
+        assert vocabulary.decode([0]) == ""
+
+    def test_empty_text_raises(self):
+        with pytest.raises(ModelError):
+            CharacterVocabulary.from_text("")
+
+    @given(st.text(min_size=1, max_size=100))
+    def test_encode_decode_identity_on_seen_text(self, text):
+        vocabulary = CharacterVocabulary.from_text(text)
+        assert vocabulary.decode(vocabulary.encode(text)) == text
+
+
+class TestNgramModel:
+    def test_distribution_sums_to_one(self, corpus):
+        model = NgramLanguageModel(order=6)
+        model.fit(corpus.training_text()[:5000])
+        distribution = model.next_distribution("__kernel void A(")
+        assert distribution.shape == (model.vocabulary.size,)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_memorizes_deterministic_sequence(self):
+        model = NgramLanguageModel(order=4)
+        model.fit("abcabcabcabcabcabc")
+        distribution = model.next_distribution("ab")
+        best = model.vocabulary.character(int(np.argmax(distribution)))
+        assert best == "c"
+
+    def test_perplexity_lower_on_training_like_text(self, corpus):
+        model = NgramLanguageModel(order=6)
+        text = corpus.training_text()[:4000]
+        model.fit(text)
+        in_domain = model.perplexity(text[:400])
+        out_of_domain = model.perplexity("zzzz qqqq @@@@ ####" * 20)
+        assert in_domain < out_of_domain
+
+    def test_sampling_uses_only_vocabulary_characters(self, corpus):
+        model = NgramLanguageModel(order=6)
+        model.fit(corpus.training_text()[:4000])
+        rng = random.Random(3)
+        sample = "".join(model.sample_next("__kernel ", rng) for _ in range(50))
+        assert all(c in model.vocabulary for c in sample)
+
+    def test_serialization_round_trip(self, tmp_path, corpus):
+        model = NgramLanguageModel(order=5)
+        model.fit(corpus.training_text()[:2000])
+        path = save_model(model, tmp_path / "model.json")
+        restored = load_model(path)
+        context = "__kernel void"
+        assert np.allclose(restored.next_distribution(context), model.next_distribution(context))
+
+    def test_untrained_model_raises(self):
+        with pytest.raises(ModelError):
+            NgramLanguageModel().next_distribution("x")
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ModelError):
+            NgramLanguageModel(order=1)
+
+
+class TestLSTM:
+    def test_training_reduces_loss(self, corpus):
+        model = LSTMLanguageModel(LSTMConfig(hidden_size=32, num_layers=1, sequence_length=32,
+                                             batch_size=4, epochs=4, seed=1))
+        summary = model.fit(corpus.training_text()[:3000])
+        assert summary.improved
+        assert summary.parameters > 1000
+
+    def test_distribution_and_sampler(self, corpus):
+        model = LSTMLanguageModel(LSTMConfig.test_configuration())
+        model.fit(corpus.training_text()[:1500])
+        distribution = model.next_distribution("__kernel")
+        assert distribution.sum() == pytest.approx(1.0)
+        sampler = model.make_sampler("__kernel void A(")
+        character = sampler.sample(random.Random(0), temperature=0.8)
+        assert len(character) == 1
+
+    def test_too_short_text_raises(self):
+        model = LSTMLanguageModel(LSTMConfig.test_configuration())
+        with pytest.raises(ModelError):
+            model.fit("short")
+
+    def test_checkpoint_round_trip(self, tmp_path, corpus):
+        model = LSTMLanguageModel(LSTMConfig.test_configuration())
+        model.fit(corpus.training_text()[:1500])
+        path = save_model(model, tmp_path / "lstm.json.gz")
+        restored = load_model(path)
+        context = "__kernel void"
+        assert np.allclose(restored.next_distribution(context), model.next_distribution(context),
+                           atol=1e-8)
+
+    def test_paper_configuration_matches_section_4_2(self):
+        config = LSTMConfig.paper_configuration()
+        assert config.hidden_size == 2048 and config.num_layers == 3
+        assert config.optimizer == "sgd" and config.learning_rate == 0.002
+        assert config.lr_decay_factor == 0.5 and config.lr_decay_interval == 5
+        assert config.epochs == 50
+
+
+class TestOptimizers:
+    def test_step_decay_schedule(self):
+        schedule = StepDecaySchedule(initial_rate=0.002, factor=0.5, interval=5)
+        assert schedule.rate(0) == 0.002
+        assert schedule.rate(5) == 0.001
+        assert schedule.rate(10) == 0.0005
+
+    def test_gradient_clipping(self):
+        gradients = {"w": np.ones(100) * 10.0}
+        norm = clip_gradients(gradients, max_norm=5.0)
+        assert norm > 5.0
+        assert np.linalg.norm(gradients["w"]) == pytest.approx(5.0)
+
+    def test_apply_temperature_sharpens(self):
+        distribution = np.array([0.6, 0.3, 0.1])
+        sharp = apply_temperature(distribution, 0.25)
+        assert sharp[0] > distribution[0]
+        assert sharp.sum() == pytest.approx(1.0)
+
+
+class TestTrainer:
+    def test_train_model_ngram(self, corpus):
+        trained = train_model(corpus, backend="ngram", ngram_order=8)
+        assert trained.corpus_characters > 0
+        assert trained.summary.parameters > 0
+
+    def test_unknown_backend_raises(self, corpus):
+        with pytest.raises(ModelError):
+            train_model(corpus, backend="transformer")
+
+
+class TestArgumentSpec:
+    def test_paper_default_seed_text(self):
+        spec = ArgumentSpec.paper_default()
+        assert spec.seed_text() == (
+            "__kernel void A(__global float* a, __global float* b, "
+            "__global float* c, const int d) {"
+        )
+
+    def test_from_kernel_source(self, reduction_source):
+        spec = ArgumentSpec.from_kernel_source(reduction_source)
+        assert spec.argument_count == 4
+        assert spec.arguments[2].address_space == "local"
+        assert spec.arguments[3].is_scalar
+
+    def test_custom_spec_rendering(self):
+        spec = ArgumentSpec((KernelArgument("int", is_pointer=True),
+                             KernelArgument("float", is_const=True)))
+        assert spec.render_signature("K") == "__kernel void K(__global int* a, const float b)"
+
+    def test_from_source_without_kernel_raises(self):
+        with pytest.raises(SynthesisError):
+            ArgumentSpec.from_kernel_source("float f(float a) { return a; }")
+
+
+class TestSamplerAndCLgen:
+    def test_sampler_stops_at_balanced_braces(self, clgen):
+        sampler = KernelSampler(clgen.model, SamplerConfig(temperature=0.5, max_kernel_length=600))
+        candidate = sampler.sample(ArgumentSpec.paper_default().seed_text(), random.Random(7))
+        if candidate.completed:
+            assert candidate.text.count("{") == candidate.text.count("}")
+        assert candidate.characters_sampled <= 600
+
+    def test_generate_kernels_are_unique_and_compilable(self, clgen):
+        result = clgen.generate_kernels(8, seed=5, max_attempts_per_kernel=40)
+        assert result.kernels, "expected at least one accepted kernel"
+        rejection = RejectionFilter()
+        sources = [k.source for k in result.kernels]
+        assert len(set(sources)) == len(sources)
+        assert all(rejection.accepts(source) for source in sources)
+
+    def test_generated_kernels_match_argument_spec(self, clgen):
+        result = clgen.generate_kernels(5, seed=9)
+        for kernel in result.kernels:
+            assert kernel.source.lstrip().startswith("__kernel void A(")
+            assert kernel.static_instruction_count >= 3
+
+    def test_statistics_are_consistent(self, clgen):
+        result = clgen.generate_kernels(6, seed=2)
+        stats = result.statistics
+        assert stats.generated == len(result.kernels)
+        assert stats.attempts >= stats.generated
+        assert 0.0 <= stats.acceptance_rate <= 1.0
+        assert stats.generated + stats.rejected == stats.attempts
+
+    def test_zero_count_raises(self, clgen):
+        with pytest.raises(SynthesisError):
+            clgen.generate_kernels(0)
+
+    def test_generation_is_deterministic_for_seed(self, clgen):
+        first = [k.source for k in clgen.generate_kernels(4, seed=42).kernels]
+        second = [k.source for k in clgen.generate_kernels(4, seed=42).kernels]
+        assert first == second

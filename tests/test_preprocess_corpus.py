@@ -1,0 +1,222 @@
+"""Tests for the shim header, rejection filter, code rewriter and corpus mining."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import (
+    ContentFileGenerator,
+    Corpus,
+    GitHubMiner,
+    inline_headers,
+)
+from repro.preprocess import (
+    CodeRewriter,
+    PreprocessingPipeline,
+    RejectionFilter,
+    RejectionReason,
+    bag_of_words_vocabulary,
+    name_sequence,
+    rewrite_source,
+    shim_header_text,
+    with_shim,
+)
+
+
+class TestShim:
+    def test_shim_header_compiles(self):
+        from repro.clc import compile_source
+
+        result = compile_source(shim_header_text() + "\n__kernel void A(__global FLOAT_T* a) "
+                                "{ a[get_global_id(0)] = WG_SIZE; }", require_kernel=True)
+        assert result.kernels
+
+    def test_shim_defines_common_aliases(self):
+        text = shim_header_text()
+        assert "typedef float FLOAT_T;" in text
+        assert "#define WG_SIZE" in text
+
+
+class TestRejectionFilter:
+    def test_accepts_valid_kernel(self, vecadd_source):
+        assert RejectionFilter().accepts(vecadd_source)
+
+    def test_rejects_syntax_error(self):
+        result = RejectionFilter().check("__kernel void A( {")
+        assert not result.accepted
+        assert result.reason is RejectionReason.PARSE_ERROR
+
+    def test_rejects_undeclared_identifier(self):
+        result = RejectionFilter().check(
+            "__kernel void A(__global float* a) { a[0] = undefined_thing; }"
+        )
+        assert result.reason is RejectionReason.UNDECLARED_IDENTIFIER
+
+    def test_rejects_missing_kernel(self):
+        result = RejectionFilter().check("float f(float a) { return a; }")
+        assert result.reason is RejectionReason.NO_KERNEL
+
+    def test_rejects_too_few_instructions(self):
+        result = RejectionFilter().check("__kernel void A() {}")
+        assert result.reason is RejectionReason.TOO_FEW_INSTRUCTIONS
+
+    def test_shim_rescues_project_specific_types(self):
+        source = ("__kernel void A(__global FLOAT_T* x, const int n) {\n"
+                  "  int i = get_global_id(0);\n  if (i < n && i < WG_SIZE) x[i] *= 2.0f;\n}")
+        assert RejectionFilter(use_shim=True).accepts(source)
+        assert not RejectionFilter(use_shim=False).accepts(source)
+
+    def test_minimum_instruction_threshold_is_configurable(self, vecadd_source):
+        assert not RejectionFilter(min_static_instructions=10_000).accepts(vecadd_source)
+
+
+class TestRewriter:
+    def test_reproduces_figure5_example(self):
+        content = (
+            "#define DTYPE float\n#define ALPHA(a) 3.5f * a\n"
+            "inline DTYPE ax(DTYPE x) { return ALPHA(x); }\n\n"
+            "__kernel void saxpy(/* SAXPY kernel */\n"
+            "    __global DTYPE* input1,\n    __global DTYPE* input2,\n    const int nelem)\n"
+            "{\n  unsigned int idx = get_global_id(0);\n  // = ax + y\n"
+            "  if (idx < nelem) {\n    input2[idx] += ax(input1[idx]); }}\n"
+        )
+        text = rewrite_source(content)
+        assert "inline float A(float a)" in text
+        assert "__kernel void B(__global float* b, __global float* c, const int d)" in text
+        assert "/*" not in text and "//" not in text
+
+    def test_builtins_are_not_renamed(self, reduction_source):
+        text = rewrite_source(reduction_source)
+        assert "get_global_id" in text and "barrier" in text
+
+    def test_rename_disabled_preserves_names(self, vecadd_source):
+        rewriter = CodeRewriter(rename_identifiers=False)
+        assert "get_global_id" in rewriter.rewrite(vecadd_source).text
+
+    def test_vocabulary_is_reduced(self):
+        generator = ContentFileGenerator(seed=5)
+        files = [f.text for f in generator.generate_many(40) if f.compilable]
+        rewriter = CodeRewriter()
+        original, rewritten = set(), set()
+        for text in files:
+            result = rewriter.rewrite_or_none(text)
+            if result is None:
+                continue
+            original |= bag_of_words_vocabulary(text)
+            rewritten |= bag_of_words_vocabulary(result.text)
+        assert len(rewritten) < len(original) * 0.5
+
+    def test_rewrite_or_none_on_broken_input(self):
+        assert CodeRewriter().rewrite_or_none("template <class T> T f(T x);") is None
+
+    def test_name_sequence_order(self):
+        import itertools, string
+
+        names = list(itertools.islice(name_sequence(string.ascii_lowercase), 30))
+        assert names[:3] == ["a", "b", "c"]
+        assert names[25] == "z" and names[26] == "aa" and names[27] == "ab"
+
+    def test_rewritten_code_is_behaviour_preserving(self, vecadd_source):
+        """The rewriter must preserve program behaviour (paper §4.1, step 2)."""
+        from repro.clc import parse
+        from repro.execution import MemoryPool, NDRange, run_kernel
+
+        def run(source):
+            unit = parse(with_shim(source)) if "FLOAT_T" in source else parse(source)
+            pool = MemoryPool()
+            n = 16
+            a = pool.allocate("arg0", n)
+            b = pool.allocate("arg1", n)
+            c = pool.allocate("arg2", n)
+            a.copy_from([float(i) for i in range(n)])
+            b.copy_from([1.0] * n)
+            kernel = unit.kernels[0]
+            names = [p.name for p in kernel.parameters]
+            pool.buffers = dict(zip(names[:3], [a, b, c]))
+            run_kernel(unit, pool, {names[3]: n}, NDRange.linear(n, 8))
+            return c.to_list()
+
+        assert run(vecadd_source) == run(rewrite_source(vecadd_source))
+
+
+class TestPipeline:
+    def test_statistics_are_consistent(self):
+        generator = ContentFileGenerator(seed=3)
+        files = [f.text for f in generator.generate_many(60)]
+        result = PreprocessingPipeline().run(files)
+        stats = result.statistics
+        assert stats.content_files == 60
+        assert stats.accepted_files + stats.rejected_files == 60
+        assert stats.rewritten_files == len(result.corpus_texts)
+        assert 0.0 <= stats.discard_rate <= 1.0
+
+    def test_shim_lowers_discard_rate(self):
+        generator = ContentFileGenerator(seed=9)
+        files = [f.text for f in generator.generate_many(80)]
+        with_shim_rate = PreprocessingPipeline(use_shim=True).run(files).statistics.discard_rate
+        without_rate = PreprocessingPipeline(use_shim=False).run(files).statistics.discard_rate
+        assert with_shim_rate < without_rate
+
+    def test_every_corpus_text_recompiles(self):
+        generator = ContentFileGenerator(seed=1)
+        files = [f.text for f in generator.generate_many(30)]
+        result = PreprocessingPipeline().run(files)
+        rejection = RejectionFilter()
+        assert result.corpus_texts
+        assert all(rejection.accepts(text) for text in result.corpus_texts)
+
+
+class TestContentFileGenerator:
+    def test_deterministic_for_seed(self):
+        a = [f.text for f in ContentFileGenerator(seed=7).generate_many(10)]
+        b = [f.text for f in ContentFileGenerator(seed=7).generate_many(10)]
+        assert a == b
+
+    def test_compilable_flag_is_mostly_accurate(self):
+        generator = ContentFileGenerator(seed=13)
+        rejection = RejectionFilter()
+        files = generator.generate_many(80)
+        agreements = sum(1 for f in files if rejection.accepts(f.text) == f.compilable)
+        assert agreements / len(files) > 0.85
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(["add", "saxpy", "reduce", "matmul", "stencil2d", "histogram"]))
+    def test_well_formed_archetypes_are_accepted(self, archetype):
+        generated = ContentFileGenerator(seed=21).generate_archetype(archetype)
+        assert RejectionFilter().accepts(generated.text)
+
+
+class TestGitHubMiner:
+    def test_mining_produces_content_files(self):
+        result = GitHubMiner(seed=2).mine(20)
+        assert len(result.repositories) == 20
+        assert len(result.content_files) > 20
+        assert result.total_lines > 0
+
+    def test_header_inlining(self):
+        headers = {"common.h": "#define N 32\n"}
+        text = inline_headers('#include "common.h"\nint x = N;', headers)
+        assert "#define N 32" in text
+
+    def test_include_cycles_are_broken(self):
+        headers = {"a.h": '#include "b.h"\nint a;', "b.h": '#include "a.h"\nint b;'}
+        text = inline_headers('#include "a.h"', headers)
+        assert "include cycle" in text
+
+
+class TestCorpus:
+    def test_mine_and_build(self, corpus):
+        assert corpus.size > 10
+        assert corpus.line_count > 50
+        assert corpus.statistics.vocabulary_reduction > 0.5
+
+    def test_training_text_and_split(self, corpus):
+        text = corpus.training_text()
+        assert "__kernel" in text
+        train, test = corpus.split(train_fraction=0.8, seed=1)
+        assert train.size + test.size == corpus.size
+
+    def test_deduplication(self):
+        corpus = Corpus.from_content_files(["__kernel void A(__global float* a) { a[0] = 1.0f; }"] * 5)
+        assert corpus.size == 1

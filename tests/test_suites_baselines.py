@@ -1,0 +1,112 @@
+"""Tests for the benchmark-suite registry and the baseline generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CLSmithGenerator,
+    GenesisGenerator,
+    generate_clsmith_kernels,
+    generate_genesis_kernels,
+)
+from repro.errors import BenchmarkError
+from repro.features import extract_static_features
+from repro.preprocess import RejectionFilter
+from repro.suites import NPB_CLASSES, all_benchmarks, all_suites, suite, suite_summary
+
+
+class TestSuiteRegistry:
+    def test_table3_has_seven_suites(self):
+        suites = all_suites()
+        assert [s.name for s in suites] == [
+            "NPB", "Rodinia", "NVIDIA SDK", "AMD SDK", "Parboil", "PolyBench", "SHOC",
+        ]
+
+    def test_table3_totals_are_close_to_paper(self):
+        rows = suite_summary()
+        total = rows[-1]
+        assert total["benchmarks"] == 71  # paper: 71 programs
+        assert 200 <= total["kernels"] <= 300  # paper: 256 kernels
+
+    def test_npb_ships_problem_classes(self):
+        npb = suite("NPB")
+        cg = npb.benchmark("CG")
+        assert [dataset.name for dataset in cg.datasets] == ["S", "W", "A", "B", "C"]
+        scales = [dataset.scale for dataset in NPB_CLASSES]
+        assert scales == sorted(scales)
+
+    def test_parboil_has_multiple_datasets(self):
+        parboil = suite("Parboil")
+        assert all(1 <= len(benchmark.datasets) <= 4 for benchmark in parboil.benchmarks)
+
+    def test_unknown_suite_and_benchmark_raise(self):
+        with pytest.raises(BenchmarkError):
+            suite("SPEC")
+        with pytest.raises(BenchmarkError):
+            suite("NPB").benchmark("missing")
+        with pytest.raises(BenchmarkError):
+            suite("NPB").benchmark("CG").dataset("Z")
+
+    def test_every_benchmark_passes_the_rejection_filter(self):
+        rejection = RejectionFilter()
+        failures = [b.qualified_name for b in all_benchmarks() if not rejection.accepts(b.source)]
+        assert failures == []
+
+    def test_every_benchmark_executes_and_produces_a_measurement(self, driver):
+        failures = []
+        for benchmark in all_benchmarks():
+            measurement = driver.measure_source(benchmark.source, name=benchmark.qualified_name,
+                                                dataset_scale=benchmark.datasets[0].scale)
+            if measurement is None:
+                failures.append(benchmark.qualified_name)
+        assert failures == []
+
+    def test_suites_occupy_distinct_feature_regions(self):
+        """NPB should be the local-memory-heavy suite; PolyBench loop-heavy."""
+        def mean_localmem(suite_name):
+            values = []
+            for benchmark in suite(suite_name).benchmarks:
+                features = extract_static_features(benchmark.source)
+                if features is not None and features.mem:
+                    values.append(features.localmem / features.mem)
+            return sum(values) / len(values)
+
+        assert mean_localmem("NPB") > mean_localmem("PolyBench")
+
+
+class TestCLSmithBaseline:
+    def test_kernels_compile(self):
+        kernels = generate_clsmith_kernels(5, seed=3)
+        rejection = RejectionFilter()
+        assert all(rejection.accepts(kernel) for kernel in kernels)
+
+    def test_characteristic_tells(self):
+        kernel = CLSmithGenerator().generate_kernel()
+        assert "__global ulong* result" in kernel
+        assert "safe_" in kernel
+        assert "0x" in kernel
+
+    def test_deterministic_for_seed(self):
+        assert generate_clsmith_kernels(3, seed=5) == generate_clsmith_kernels(3, seed=5)
+
+    def test_feature_profile_is_unnatural(self):
+        """CLSmith kernels: lots of compute, almost no memory accesses."""
+        features = extract_static_features(CLSmithGenerator().generate_kernel())
+        assert features is not None
+        assert features.comp > 20
+        assert features.mem <= 2
+
+
+class TestGenesisBaseline:
+    def test_kernels_compile(self):
+        kernels = generate_genesis_kernels(6, seed=1)
+        rejection = RejectionFilter()
+        assert all(rejection.accepts(kernel) for kernel in kernels)
+
+    def test_constrained_to_stencil_and_map_templates(self):
+        kernels = GenesisGenerator().generate_kernels(10)
+        assert all("genesis_stencil" in k or "genesis_map" in k for k in kernels)
+
+    def test_deterministic_for_seed(self):
+        assert generate_genesis_kernels(4, seed=2) == generate_genesis_kernels(4, seed=2)
