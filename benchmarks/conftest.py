@@ -5,11 +5,19 @@ shared inputs (suite measurements, the trained synthesizer) are built once
 per session at a scale controlled by the ``REPRO_BENCH_SCALE`` environment
 variable: ``quick`` (default, minutes) or ``full`` (paper-scale synthetic
 kernel counts).
+
+The session also emits a perf snapshot, ``BENCH_PR1.json`` at the repo
+root, recording wall-clock seconds per pipeline phase (preprocess, train,
+sample, execute).  See the "Performance" section of ROADMAP.md for how to
+read it and for the benchmark protocol.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -20,11 +28,30 @@ from repro.experiments import (
     synthesize_and_measure,
 )
 
+#: Wall-clock seconds per pipeline phase, accumulated by the session fixtures.
+_PHASE_TIMINGS: dict[str, float] = {}
+
+_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+#: Pre-PR-1 reference numbers for the quick-scale synthesize-and-measure
+#: pipeline, measured at commit 4066a81 (the PR-0 tree) on this machine with
+#: ``scripts/profile_pipeline.py``.  Kept here so every snapshot reports its
+#: speedup against the same fixed baseline (see ROADMAP.md "Performance").
+_PR0_BASELINE_SECONDS = {
+    "preprocess": 0.640,
+    "train": 0.138,
+    "sample": 2.270,
+    "execute": 4.313,
+}
+
+
+def _bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
 
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
-    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
-    if scale == "full":
+    if _bench_scale() == "full":
         return ExperimentConfig.full()
     config = ExperimentConfig.quick()
     config.synthetic_kernel_count = 50
@@ -33,10 +60,42 @@ def bench_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def bench_clgen(bench_config):
-    return build_clgen(bench_config)
+    return build_clgen(bench_config, timings=_PHASE_TIMINGS)
 
 
 @pytest.fixture(scope="session")
 def bench_data(bench_config, bench_clgen):
+    started = time.perf_counter()
     data = measure_suites(bench_config)
-    return synthesize_and_measure(bench_config, data, clgen=bench_clgen)
+    _PHASE_TIMINGS["execute"] = (
+        _PHASE_TIMINGS.get("execute", 0.0) + time.perf_counter() - started
+    )
+    return synthesize_and_measure(
+        bench_config, data, clgen=bench_clgen, timings=_PHASE_TIMINGS
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-phase perf snapshot once the heavy fixtures have run."""
+    if set(_PHASE_TIMINGS) != {"preprocess", "train", "sample", "execute"}:
+        # A filtered or failed session timed only some phases; a partial
+        # total would overwrite the snapshot with a bogus speedup.
+        return
+    total = sum(_PHASE_TIMINGS.values())
+    snapshot = {
+        "scale": _bench_scale(),
+        "phases_seconds": {
+            phase: round(_PHASE_TIMINGS[phase], 3) for phase in sorted(_PHASE_TIMINGS)
+        },
+        "total_seconds": round(total, 3),
+        "unix_time": int(time.time()),
+    }
+    if _bench_scale() == "quick":
+        baseline_total = sum(_PR0_BASELINE_SECONDS.values())
+        snapshot["pr0_baseline_seconds"] = dict(_PR0_BASELINE_SECONDS)
+        snapshot["pr0_baseline_total_seconds"] = round(baseline_total, 3)
+        snapshot["speedup_vs_pr0"] = round(baseline_total / max(total, 1e-9), 2)
+    try:
+        _SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    except OSError:
+        pass

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Profile (or just time) the synthesize-and-measure pipeline.
+
+Runs the four pipeline phases — preprocess (corpus build), train, sample
+(kernel synthesis), execute (driver measurement of suites + synthetic
+kernels) — with per-phase wall-clock timing, optionally under cProfile.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_pipeline.py                 # time phases
+    PYTHONPATH=src python scripts/profile_pipeline.py --profile p.out # + cProfile
+    PYTHONPATH=src python scripts/profile_pipeline.py --json out.json # + snapshot
+
+The script deliberately sticks to the stable pipeline API (it drives the
+same phases as ``benchmarks/conftest.py``) so it can be pointed at older
+checkouts for before/after comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+
+
+def run_pipeline(kernel_count: int, repository_count: int, timings: dict[str, float]) -> dict:
+    from repro.corpus.corpus import Corpus
+    from repro.experiments.common import ExperimentConfig, make_driver, measure_suites
+    from repro.synthesis.generator import CLgen
+    from repro.synthesis.sampler import SamplerConfig
+
+    config = ExperimentConfig.quick()
+    config.synthetic_kernel_count = kernel_count
+    config.corpus_repository_count = repository_count
+
+    started = time.perf_counter()
+    corpus = Corpus.mine_and_build(
+        repository_count=config.corpus_repository_count, seed=config.seed
+    )
+    timings["preprocess"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    clgen = CLgen.from_corpus(
+        corpus,
+        backend="ngram",
+        ngram_order=config.ngram_order,
+        sampler_config=SamplerConfig(temperature=config.sampler_temperature),
+    )
+    timings["train"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    synthesis = clgen.generate_kernels(
+        config.synthetic_kernel_count, seed=config.seed, max_attempts_per_kernel=40
+    )
+    timings["sample"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    data = measure_suites(config)
+    driver = make_driver(config)
+    scales = [4.0, 16.0, 64.0, 256.0, 1024.0]
+    measured = 0
+    for index, kernel in enumerate(synthesis.kernels):
+        measurement = driver.measure_source(
+            kernel.source, name=f"clgen.{index}", dataset_scale=scales[index % len(scales)]
+        )
+        if measurement is not None:
+            measured += 1
+    timings["execute"] = time.perf_counter() - started
+
+    return {
+        "corpus_kernels": corpus.size,
+        "synthesized": len(synthesis.kernels),
+        "synthetic_measured": measured,
+        "suite_measurements": len(data.all_suite_measurements),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernels", type=int, default=50,
+                        help="synthetic kernels to generate (default: 50, the quick scale)")
+    parser.add_argument("--repositories", type=int, default=30,
+                        help="synthetic GitHub repositories to mine (default: 30)")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="run under cProfile and write stats to PATH")
+    parser.add_argument("--top", type=int, default=25,
+                        help="with --profile, print the top N cumulative entries")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write a BENCH-style JSON snapshot to PATH")
+    args = parser.parse_args(argv)
+
+    timings: dict[str, float] = {}
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        counts = run_pipeline(args.kernels, args.repositories, timings)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(args.top)
+        print(f"profile written to {args.profile}")
+    else:
+        counts = run_pipeline(args.kernels, args.repositories, timings)
+
+    total = sum(timings.values())
+    print("phase      seconds")
+    for phase in ("preprocess", "train", "sample", "execute"):
+        print(f"{phase:10s} {timings.get(phase, 0.0):8.3f}")
+    print(f"{'total':10s} {total:8.3f}")
+    print(", ".join(f"{key}={value}" for key, value in counts.items()))
+
+    if args.json:
+        snapshot = {
+            "scale": "quick",
+            "phases_seconds": {k: round(v, 3) for k, v in timings.items()},
+            "total_seconds": round(total, 3),
+            "counts": counts,
+            "unix_time": int(time.time()),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")
+        print(f"snapshot written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ __all__ = [
     "parse",
     "parse_kernel",
     "preprocess",
+    "register_prelude",
     "tokenize",
 ]
 
@@ -78,6 +79,69 @@ class CompilationResult:
     @property
     def static_instruction_count(self) -> int:
         return self.ir.static_instruction_count
+
+
+class _Prelude:
+    """A pre-compiled constant header shared by many compilations.
+
+    The rejection filter and the host driver prepend the same shim header
+    (~3 KB of typedefs and ``#define``s) to every input, and re-compiling it
+    dominated frontend time for small kernels.  A registered prelude is
+    preprocessed and parsed exactly once; sources that start with its text
+    then compile only their body, seeded with the prelude's macro table and
+    typedef type table, and the results are merged.
+    """
+
+    def __init__(self, text: str, include_resolver: IncludeResolver | None):
+        self.text = text
+        result = preprocess(text, include_resolver=include_resolver)
+        self.preprocessed = result.text
+        self.macros = result.macros
+        self.included_headers = list(result.included_headers)
+        parser = Parser(tokenize(self.preprocessed))
+        self.unit = parser.parse_translation_unit()
+        self.type_table = parser.type_table
+
+
+_PRELUDES: dict[str, _Prelude] = {}
+
+
+def register_prelude(text: str, include_resolver: IncludeResolver | None = None) -> None:
+    """Pre-compile the constant header *text* for the compile fast path."""
+    if text and text not in _PRELUDES:
+        _PRELUDES[text] = _Prelude(text, include_resolver)
+
+
+def _compile_with_prelude(
+    prelude: _Prelude,
+    body: str,
+    source: str,
+    include_resolver: IncludeResolver | None,
+    require_kernel: bool,
+    strict: bool,
+) -> CompilationResult:
+    preprocessor = Preprocessor(include_resolver, macro_table=prelude.macros)
+    result = preprocessor.preprocess(body)
+    parser = Parser(tokenize(result.text), type_table=prelude.type_table)
+    body_unit = parser.parse_translation_unit()
+    unit = TranslationUnit(
+        functions=prelude.unit.functions + body_unit.functions,
+        typedefs=prelude.unit.typedefs + body_unit.typedefs,
+        structs=prelude.unit.structs + body_unit.structs,
+        globals=prelude.unit.globals + body_unit.globals,
+    )
+    report = check(unit, require_kernel=require_kernel)
+    if strict:
+        report.raise_if_failed()
+    ir = lower(unit)
+    return CompilationResult(
+        source=source,
+        preprocessed=prelude.preprocessed + result.text,
+        unit=unit,
+        ir=ir,
+        semantics=report,
+        included_headers=prelude.included_headers + result.included_headers,
+    )
 
 
 def compile_source(
@@ -107,6 +171,17 @@ def compile_source(
         CompileError: On preprocessing, lexing, parsing, semantic or
             lowering failures.
     """
+    for prelude in _PRELUDES.values():
+        if source.startswith(prelude.text):
+            return _compile_with_prelude(
+                prelude,
+                source[len(prelude.text):],
+                source,
+                include_resolver,
+                require_kernel,
+                strict,
+            )
+
     result = preprocess(source, include_resolver=include_resolver)
     unit = parse(result.text)
     report = check(unit, require_kernel=require_kernel)

@@ -3,17 +3,19 @@
 Nodes are plain dataclasses with no behaviour beyond structural equality;
 all analyses (semantic checks, IR lowering, interpretation, feature
 extraction, identifier rewriting) are implemented as external visitors so
-the tree stays a pure data model.
+the tree stays a pure data model.  Every node is slotted: corpus
+preprocessing parses tens of thousands of content files, and per-instance
+``__dict__``s dominated parse-time memory before ``slots=True``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.clc.types import AddressSpace, Type
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """Base class for all AST nodes."""
 
@@ -26,39 +28,39 @@ class Node:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Expression(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class IntLiteral(Expression):
     value: int
     text: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class FloatLiteral(Expression):
     value: float
     text: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class CharLiteral(Expression):
     value: str
 
 
-@dataclass
+@dataclass(slots=True)
 class StringLiteral(Expression):
     value: str
 
 
-@dataclass
+@dataclass(slots=True)
 class Identifier(Expression):
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class UnaryOp(Expression):
     """Prefix unary operator: ``-``, ``+``, ``!``, ``~``, ``*``, ``&``, ``++``, ``--``."""
 
@@ -66,7 +68,7 @@ class UnaryOp(Expression):
     operand: Expression
 
 
-@dataclass
+@dataclass(slots=True)
 class PostfixOp(Expression):
     """Postfix ``++`` or ``--``."""
 
@@ -74,14 +76,14 @@ class PostfixOp(Expression):
     operand: Expression
 
 
-@dataclass
+@dataclass(slots=True)
 class BinaryOp(Expression):
     op: str
     left: Expression
     right: Expression
 
 
-@dataclass
+@dataclass(slots=True)
 class Assignment(Expression):
     """Assignment, including compound forms (``+=``, ``*=``, ...)."""
 
@@ -90,26 +92,26 @@ class Assignment(Expression):
     value: Expression
 
 
-@dataclass
+@dataclass(slots=True)
 class TernaryOp(Expression):
     condition: Expression
     if_true: Expression
     if_false: Expression
 
 
-@dataclass
+@dataclass(slots=True)
 class Call(Expression):
     callee: str
     arguments: list[Expression] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Index(Expression):
     base: Expression
     index: Expression
 
 
-@dataclass
+@dataclass(slots=True)
 class Member(Expression):
     """Member access, used for vector components (``v.x``, ``v.s3``) and structs."""
 
@@ -118,14 +120,14 @@ class Member(Expression):
     arrow: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Cast(Expression):
     target_type: Type
     target_type_name: str
     operand: Expression
 
 
-@dataclass
+@dataclass(slots=True)
 class VectorLiteral(Expression):
     """An OpenCL vector construction, e.g. ``(float4)(0.0f, 1.0f, x, y)``."""
 
@@ -134,12 +136,12 @@ class VectorLiteral(Expression):
     elements: list[Expression] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class SizeOf(Expression):
     target_type_name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class InitializerList(Expression):
     elements: list[Expression] = field(default_factory=list)
 
@@ -149,17 +151,17 @@ class InitializerList(Expression):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Statement(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class CompoundStmt(Statement):
     statements: list[Statement] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Declarator(Node):
     """A single declared name within a declaration statement."""
 
@@ -171,24 +173,24 @@ class Declarator(Node):
     address_space: AddressSpace = AddressSpace.PRIVATE
 
 
-@dataclass
+@dataclass(slots=True)
 class DeclStmt(Statement):
     declarators: list[Declarator] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ExprStmt(Statement):
     expression: Expression | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class IfStmt(Statement):
     condition: Expression = None  # type: ignore[assignment]
     then_branch: Statement = None  # type: ignore[assignment]
     else_branch: Statement | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ForStmt(Statement):
     init: Statement | None = None
     condition: Expression | None = None
@@ -196,46 +198,46 @@ class ForStmt(Statement):
     body: Statement = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class WhileStmt(Statement):
     condition: Expression = None  # type: ignore[assignment]
     body: Statement = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class DoWhileStmt(Statement):
     body: Statement = None  # type: ignore[assignment]
     condition: Expression = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class ReturnStmt(Statement):
     value: Expression | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class BreakStmt(Statement):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class ContinueStmt(Statement):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchCase(Node):
     value: Expression | None = None  # ``None`` means ``default:``
     body: list[Statement] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchStmt(Statement):
     condition: Expression = None  # type: ignore[assignment]
     cases: list[SwitchCase] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class EmptyStmt(Statement):
     pass
 
@@ -245,7 +247,7 @@ class EmptyStmt(Statement):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class ParameterDecl(Node):
     name: str
     declared_type: Type = None  # type: ignore[assignment]
@@ -255,7 +257,7 @@ class ParameterDecl(Node):
     access: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionDecl(Node):
     name: str
     return_type: Type = None  # type: ignore[assignment]
@@ -267,28 +269,32 @@ class FunctionDecl(Node):
     attributes: list[str] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class TypedefDecl(Node):
     name: str
     target_type: Type = None  # type: ignore[assignment]
     target_type_name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class StructDecl(Node):
     name: str
     fields: list[Declarator] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class GlobalVarDecl(Node):
     declarator: Declarator = None  # type: ignore[assignment]
     is_constant: bool = False
 
 
-@dataclass
+@dataclass(slots=True, weakref_slot=True)
 class TranslationUnit(Node):
-    """Root of the AST for one content file or one synthesized kernel."""
+    """Root of the AST for one content file or one synthesized kernel.
+
+    The weakref slot lets the compilation cache key compiled kernels by unit
+    identity without keeping dead translation units alive.
+    """
 
     functions: list[FunctionDecl] = field(default_factory=list)
     typedefs: list[TypedefDecl] = field(default_factory=list)
@@ -313,6 +319,19 @@ class TranslationUnit(Node):
         raise KeyError(name)
 
 
+#: Per-class field-name cache for :func:`walk` (slotted nodes have no
+#: ``__dict__``, and ``dataclasses.fields`` is too slow to call per node).
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(node_type: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(node_type)
+    if names is None:
+        names = tuple(f.name for f in fields(node_type))
+        _FIELD_NAMES[node_type] = names
+    return names
+
+
 def walk(node: Node):
     """Yield *node* and all of its descendant nodes, depth-first.
 
@@ -320,7 +339,8 @@ def walk(node: Node):
     several invariants tested with hypothesis.
     """
     yield node
-    for value in vars(node).values():
+    for name in _field_names(type(node)):
+        value = getattr(node, name)
         if isinstance(value, Node):
             yield from walk(value)
         elif isinstance(value, list):

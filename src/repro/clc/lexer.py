@@ -9,6 +9,7 @@ file failed to compile.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from enum import Enum, auto
 
@@ -28,7 +29,7 @@ class TokenKind(Enum):
     EOF = auto()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     """A single lexical token.
 
@@ -155,6 +156,12 @@ _IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
 _IDENT_CONT = _IDENT_START | frozenset("0123456789")
 _DIGITS = frozenset("0123456789")
 _HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+# Sets, not strings: ``"" in "uUlL..."`` is True, so testing ``_peek()``
+# (which returns "" at end of input) against a plain string loops forever
+# on sources that end in a numeric literal.
+_NUMBER_SUFFIXES = frozenset("uUlLfFhH")
+_FLOAT_SUFFIXES = frozenset("fFhH")
+_SIGNS = frozenset("+-")
 
 
 class Lexer:
@@ -228,7 +235,11 @@ class Lexer:
         line, column = self._line, self._column
         ch = self._peek()
 
-        if ch in _IDENT_START:
+        # Non-ASCII text (identifiers in other scripts, stray unicode from
+        # README-grade content files) lexes as identifier characters: the
+        # lexer is deliberately permissive and later stages reject what is
+        # not real OpenCL.
+        if ch in _IDENT_START or ord(ch) > 127:
             return self._lex_identifier(line, column)
         if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
             return self._lex_number(line, column)
@@ -251,9 +262,16 @@ class Lexer:
 
     def _lex_identifier(self, line: int, column: int) -> Token:
         start = self._pos
-        while self._pos < len(self._source) and self._peek() in _IDENT_CONT:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch not in _IDENT_CONT and ord(ch) <= 127:
+                break
             self._advance()
-        text = self._source[start : self._pos]
+        # Interning collapses the many repeats of each identifier/keyword
+        # across a corpus into one string object, cutting parse-time memory
+        # and making the dict lookups keyed on token text (parser type
+        # table, interpreter environments) pointer-comparison fast.
+        text = sys.intern(self._source[start : self._pos])
         kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
         return Token(kind, text, line, column)
 
@@ -275,18 +293,18 @@ class Lexer:
                     self._advance()
             if self._peek() in ("e", "E") and (
                 self._peek(1) in _DIGITS
-                or (self._peek(1) in "+-" and self._peek(2) in _DIGITS)
+                or (self._peek(1) in _SIGNS and self._peek(2) in _DIGITS)
             ):
                 is_float = True
                 self._advance()
-                if self._peek() in "+-":
+                if self._peek() in _SIGNS:
                     self._advance()
                 while self._peek() in _DIGITS:
                     self._advance()
 
         # Suffixes: u, U, l, L, f, F, h (half) in any reasonable combination.
-        while self._peek() in "uUlLfFhH":
-            if self._peek() in "fFhH":
+        while self._peek() in _NUMBER_SUFFIXES:
+            if self._peek() in _FLOAT_SUFFIXES:
                 is_float = True
             self._advance()
 

@@ -563,6 +563,39 @@ class Parser:
         self._expect(";")
         return ast.DeclStmt(declarators=declarators, line=line)
 
+    def _parse_declarator_rest(
+        self, name: str, declared_type: Type, type_name: str
+    ) -> ast.Declarator:
+        """The ``[size]`` / ``= initializer`` tail of a global declarator.
+
+        Called by :meth:`_parse_function_or_global` once the declared name
+        has been consumed (pointer stars are already folded into
+        *declared_type* at that point).
+        """
+        line = self._peek().line
+        array_size: ast.Expression | None = None
+        if self._match("["):
+            if not self._check("]"):
+                array_size = self.parse_expression()
+            self._expect("]")
+            declared_type = PointerType(declared_type)
+
+        initializer: ast.Expression | None = None
+        if self._match("="):
+            if self._check("{"):
+                initializer = self._parse_initializer_list()
+            else:
+                initializer = self.parse_assignment_expression()
+
+        return ast.Declarator(
+            name=name,
+            declared_type=declared_type,
+            type_name=type_name,
+            array_size=array_size,
+            initializer=initializer,
+            line=line,
+        )
+
     def _parse_initializer_list(self) -> ast.InitializerList:
         open_token = self._expect("{")
         elements: list[ast.Expression] = []

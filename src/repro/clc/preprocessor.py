@@ -107,11 +107,16 @@ class Preprocessor:
         predefined: dict[str, str] | None = None,
         max_include_depth: int = 16,
         max_expansion_passes: int = 8,
+        macro_table: dict[str, MacroDefinition] | None = None,
     ):
         self._include_resolver = include_resolver
         self._max_include_depth = max_include_depth
         self._max_expansion_passes = max_expansion_passes
         self._macros: dict[str, MacroDefinition] = {}
+        if macro_table:
+            # A prebuilt table (e.g. from a pre-compiled prelude header);
+            # MacroDefinition values are immutable so sharing them is safe.
+            self._macros.update(macro_table)
         predefined = predefined or {}
         for name, body in predefined.items():
             self._macros[name] = MacroDefinition(name=name, body=body)

@@ -39,10 +39,15 @@ class Corpus:
         content_files: list[str],
         use_shim: bool = True,
         rename_identifiers: bool = True,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
     ) -> "Corpus":
         """Build a corpus by running the preprocessing pipeline."""
         pipeline = PreprocessingPipeline(
-            use_shim=use_shim, rename_identifiers=rename_identifiers
+            use_shim=use_shim,
+            rename_identifiers=rename_identifiers,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
         result: PipelineResult = pipeline.run(content_files)
         deduplicated = cls._deduplicate(result.corpus_texts)
@@ -59,12 +64,18 @@ class Corpus:
         seed: int = 0,
         use_shim: bool = True,
         rename_identifiers: bool = True,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
     ) -> "Corpus":
         """Mine synthetic GitHub repositories and build the corpus in one step."""
         mining: MiningResult = GitHubMiner(seed=seed).mine(repository_count)
         texts = [cf.text for cf in mining.content_files]
         return cls.from_content_files(
-            texts, use_shim=use_shim, rename_identifiers=rename_identifiers
+            texts,
+            use_shim=use_shim,
+            rename_identifiers=rename_identifiers,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
 
     @staticmethod

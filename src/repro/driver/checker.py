@@ -28,7 +28,8 @@ from repro.clc import parse
 from repro.clc.ast_nodes import TranslationUnit
 from repro.driver.payload import Payload, PayloadConfig, PayloadGenerator
 from repro.errors import ExecutionError, KernelTimeoutError
-from repro.execution.interpreter import ExecutionResult, KernelInterpreter
+from repro.execution.cache import run_kernel
+from repro.execution.interpreter import ExecutionResult
 
 
 class CheckOutcome(Enum):
@@ -65,10 +66,12 @@ class DynamicChecker:
         payload_config: PayloadConfig | None = None,
         epsilon: float = 1e-4,
         max_steps_per_item: int = 50_000,
+        engine: str = "compiled",
     ):
         self.payload_config = payload_config or PayloadConfig()
         self.epsilon = epsilon
         self.max_steps_per_item = max_steps_per_item
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -103,12 +106,19 @@ class DynamicChecker:
         executions = 0
         results = []
         try:
+            # One compilation serves all four differential executions (the
+            # compiled engine is fetched from the process-wide cache).
             for payload in (payload_a1, payload_b1, payload_a2, payload_b2):
-                interpreter = KernelInterpreter(
-                    unit, kernel.name, max_steps_per_item=self.max_steps_per_item
-                )
                 results.append(
-                    interpreter.execute(payload.pool, payload.scalar_args, payload.ndrange)
+                    run_kernel(
+                        unit,
+                        payload.pool,
+                        payload.scalar_args,
+                        payload.ndrange,
+                        kernel_name=kernel.name,
+                        max_steps_per_item=self.max_steps_per_item,
+                        engine=self.engine,
+                    )
                 )
                 executions += 1
         except KernelTimeoutError as error:

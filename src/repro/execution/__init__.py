@@ -17,18 +17,33 @@ from repro.execution.device import (
     nvidia_gtx_970,
     nvidia_platform,
 )
+from repro.execution.cache import (
+    GLOBAL_COMPILATION_CACHE,
+    CompilationCache,
+    cached_compile_source,
+    compiled_kernel_for,
+    run_kernel,
+)
+from repro.execution.compiler import CompiledKernel, compile_kernel
 from repro.execution.interpreter import (
     ExecutionResult,
     ExecutionStats,
     KernelInterpreter,
-    run_kernel,
 )
+from repro.execution.interpreter import run_kernel as run_kernel_interpreted
 from repro.execution.memory import Buffer, MemoryPool
 from repro.execution.ndrange import NDRange
 from repro.execution.values import VectorValue, convert_scalar, values_equal
 
 __all__ = [
     "Buffer",
+    "CompilationCache",
+    "CompiledKernel",
+    "GLOBAL_COMPILATION_CACHE",
+    "cached_compile_source",
+    "compile_kernel",
+    "compiled_kernel_for",
+    "run_kernel_interpreted",
     "Device",
     "DeviceType",
     "ExecutionResult",

@@ -235,26 +235,46 @@ _GEOMETRIC_FUNCS = {
 }
 
 
+def _scalarize(value):
+    """Collapse a pointer argument to its first element.
+
+    Sloppy GitHub/synthesized kernels occasionally pass a pointer where a
+    scalar is expected (``sqrt(a)`` instead of ``sqrt(a[i])``); real OpenCL
+    compilers reject that, but the lenient execution mode must not fault.
+    """
+    # Local import: memory.py imports values.py, not this module.
+    from repro.execution.memory import Buffer
+
+    if isinstance(value, Buffer):
+        return value.to_list()[0] if len(value) else 0
+    return value
+
+
 def evaluate_builtin(name: str, args: list):
     """Evaluate the OpenCL built-in *name* over already-evaluated *args*.
 
     Returns the result value, or raises ``KeyError`` when the built-in is not
     a pure value function (work-item queries, barriers, atomics and
     vload/vstore are handled by the interpreter itself because they need
-    execution context).
+    execution context).  Type abuse (e.g. pointer arguments to math
+    functions) degrades to a zero result rather than faulting, matching the
+    lenient semantics of the rest of the simulated runtime.
     """
-    if name in _SCALAR_FUNCS:
-        return _componentwise(_SCALAR_FUNCS[name], *args)
-    if name in _INTEGER_FUNCS:
-        return _componentwise(_INTEGER_FUNCS[name], *args)
-    if name in _RELATIONAL_FUNCS:
-        return _componentwise(_RELATIONAL_FUNCS[name], *args)
-    if name in _GEOMETRIC_FUNCS:
-        return _GEOMETRIC_FUNCS[name](*args)
-    if name == "printf":
+    try:
+        if name in _SCALAR_FUNCS:
+            return _componentwise(_SCALAR_FUNCS[name], *map(_scalarize, args))
+        if name in _INTEGER_FUNCS:
+            return _componentwise(_INTEGER_FUNCS[name], *map(_scalarize, args))
+        if name in _RELATIONAL_FUNCS:
+            return _componentwise(_RELATIONAL_FUNCS[name], *map(_scalarize, args))
+        if name in _GEOMETRIC_FUNCS:
+            return _GEOMETRIC_FUNCS[name](*map(_scalarize, args))
+        if name == "printf":
+            return 0
+        if name.startswith("as_") or name.startswith("convert_"):
+            return convert_builtin(name, [_scalarize(a) for a in args])
+    except TypeError:
         return 0
-    if name.startswith("as_") or name.startswith("convert_"):
-        return convert_builtin(name, args)
     raise KeyError(name)
 
 

@@ -1,0 +1,225 @@
+"""Content-addressed caching for the compiled kernel engine.
+
+Compilation (AST → closures) costs roughly one tree walk; execution costs
+thousands.  The paper's pipeline nevertheless re-executes the *same* kernel
+many times — the dynamic checker runs four payloads per candidate, the
+experiment harness measures every benchmark across several datasets, and
+tests rebuild identical translation units over and over.  This module makes
+all of that compile-once:
+
+* :func:`compiled_kernel_for` memoizes :class:`CompiledKernel` instances,
+  first by translation-unit identity (cheap, covers the execute-many case)
+  and second by a content hash of the printed source (covers structurally
+  identical units parsed from the same text).
+* :func:`cached_compile_source` memoizes the full ``compile_source``
+  frontend by source-text hash, so repeated measurement of the same kernel
+  skips lexing/parsing/semantic analysis entirely.
+
+Both caches are bounded LRU and safe to share process-wide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import weakref
+from collections import OrderedDict
+
+from repro.clc import ast_nodes as ast
+from repro.execution.compiler import CompiledKernel
+from repro.execution.interpreter import ExecutionResult, KernelInterpreter
+from repro.execution.memory import MemoryPool
+from repro.execution.ndrange import NDRange
+
+
+def _cache_capacity(default: int = 512) -> int:
+    try:
+        return max(8, int(os.environ.get("REPRO_COMPILE_CACHE_SIZE", default)))
+    except ValueError:
+        return default
+
+
+class CompilationCache:
+    """Bounded, thread-safe cache of compiled kernels."""
+
+    def __init__(self, max_entries: int | None = None):
+        self._max_entries = max_entries or _cache_capacity()
+        self._lock = threading.Lock()
+        #: id(unit) -> (weakref-or-None, {(kernel_name, max_steps): CompiledKernel})
+        self._by_identity: dict[int, tuple[object, dict]] = {}
+        #: (content_hash, kernel_name, max_steps) -> CompiledKernel  (LRU)
+        self._by_content: OrderedDict[tuple, CompiledKernel] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def get(
+        self,
+        unit: ast.TranslationUnit,
+        kernel_name: str | None = None,
+        max_steps_per_item: int = 50_000,
+    ) -> CompiledKernel:
+        """Return a compiled kernel for *unit*, compiling at most once."""
+        key = (kernel_name, max_steps_per_item)
+        unit_id = id(unit)
+        with self._lock:
+            entry = self._by_identity.get(unit_id)
+            if entry is not None:
+                compiled = entry[1].get(key)
+                if compiled is not None:
+                    self.hits += 1
+                    return compiled
+
+        compiled = self._get_by_content(unit, kernel_name, max_steps_per_item)
+
+        with self._lock:
+            entry = self._by_identity.get(unit_id)
+            if entry is None:
+                ref = self._make_reaper(unit, unit_id)
+                entry = (ref, {})
+                self._by_identity[unit_id] = entry
+                if ref is None and len(self._by_identity) > 4 * self._max_entries:
+                    # No weakref support: fall back to wholesale pruning so
+                    # unbounded unit churn cannot leak.
+                    self._by_identity = {unit_id: entry}
+            entry[1][key] = compiled
+        return compiled
+
+    def _make_reaper(self, unit, unit_id: int):
+        by_identity = self._by_identity
+
+        def reap(_ref, _id=unit_id, _table=by_identity):
+            _table.pop(_id, None)
+
+        try:
+            return weakref.ref(unit, reap)
+        except TypeError:
+            return None
+
+    def _get_by_content(self, unit, kernel_name, max_steps_per_item) -> CompiledKernel:
+        digest = self._content_hash(unit)
+        if digest is None:
+            self.misses += 1
+            return CompiledKernel(unit, kernel_name, max_steps_per_item)
+        key = (digest, kernel_name, max_steps_per_item)
+        with self._lock:
+            compiled = self._by_content.get(key)
+            if compiled is not None:
+                self._by_content.move_to_end(key)
+                self.hits += 1
+                return compiled
+        compiled = CompiledKernel(unit, kernel_name, max_steps_per_item)
+        with self._lock:
+            self.misses += 1
+            self._by_content[key] = compiled
+            while len(self._by_content) > self._max_entries:
+                self._by_content.popitem(last=False)
+        return compiled
+
+    @staticmethod
+    def _content_hash(unit: ast.TranslationUnit) -> str | None:
+        try:
+            from repro.clc.printer import SourcePrinter
+
+            text = SourcePrinter().print_translation_unit(unit)
+        except Exception:
+            return None
+        return hashlib.sha1(text.encode("utf-8", "replace")).hexdigest()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._by_identity.clear()
+            self._by_content.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return len(self._by_content) + sum(
+                len(entry[1]) for entry in self._by_identity.values()
+            )
+
+
+#: The process-wide compilation cache used by the driver and experiments.
+GLOBAL_COMPILATION_CACHE = CompilationCache()
+
+
+def compiled_kernel_for(
+    unit: ast.TranslationUnit,
+    kernel_name: str | None = None,
+    max_steps_per_item: int = 50_000,
+) -> CompiledKernel:
+    """Fetch (or compile) *unit*'s kernel from the process-wide cache."""
+    return GLOBAL_COMPILATION_CACHE.get(unit, kernel_name, max_steps_per_item)
+
+
+# ---------------------------------------------------------------------------
+# Frontend (source text -> CompilationResult) caching.
+# ---------------------------------------------------------------------------
+
+_SOURCE_LOCK = threading.Lock()
+_SOURCE_CACHE: OrderedDict[tuple, object] = OrderedDict()
+
+
+def cached_compile_source(source: str, **kwargs):
+    """Memoized :func:`repro.clc.compile_source` keyed by text and options.
+
+    Only hashable keyword options participate in the key; calls with
+    unhashable options (e.g. a closure include resolver) are keyed by the
+    option's qualified name, which is stable for the module-level resolvers
+    used throughout the pipeline.
+    """
+    from repro.clc import compile_source
+
+    key_parts = [hashlib.sha1(source.encode("utf-8", "replace")).hexdigest()]
+    for name in sorted(kwargs):
+        value = kwargs[name]
+        try:
+            hash(value)
+        except TypeError:
+            value = getattr(value, "__qualname__", repr(value))
+        key_parts.append((name, value))
+    key = tuple(key_parts)
+
+    with _SOURCE_LOCK:
+        if key in _SOURCE_CACHE:
+            _SOURCE_CACHE.move_to_end(key)
+            return _SOURCE_CACHE[key]
+
+    result = compile_source(source, **kwargs)
+
+    with _SOURCE_LOCK:
+        _SOURCE_CACHE[key] = result
+        capacity = _cache_capacity()
+        while len(_SOURCE_CACHE) > capacity:
+            _SOURCE_CACHE.popitem(last=False)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Engine-routing convenience entry point.
+# ---------------------------------------------------------------------------
+
+def run_kernel(
+    unit: ast.TranslationUnit,
+    pool: MemoryPool,
+    scalar_args: dict[str, object],
+    ndrange: NDRange,
+    kernel_name: str | None = None,
+    max_steps_per_item: int = 50_000,
+    engine: str = "compiled",
+) -> ExecutionResult:
+    """Execute *kernel_name* (or the first kernel) of *unit*.
+
+    ``engine="compiled"`` (the default) routes through the process-wide
+    compilation cache; ``engine="interpreter"`` forces the legacy
+    tree-walking interpreter (used by the differential tests).
+    """
+    if engine == "interpreter":
+        interpreter = KernelInterpreter(unit, kernel_name, max_steps_per_item)
+        return interpreter.execute(pool, scalar_args, ndrange)
+    compiled = compiled_kernel_for(unit, kernel_name, max_steps_per_item)
+    return compiled.execute(pool, scalar_args, ndrange)

@@ -1,0 +1,1665 @@
+"""A compile-once, execute-many engine for OpenCL kernels.
+
+The tree-walking :class:`~repro.execution.interpreter.KernelInterpreter`
+re-dispatches on AST node types (an ``isinstance`` chain) for every node of
+every work-item of every execution.  This module lowers the kernel AST to
+nested Python closures **once**; executing the kernel then runs specialized
+code with all compile-time decisions (operator, callee kind, declared types,
+vector widths, constants) already resolved.
+
+The engine is a drop-in replacement: it produces bit-identical buffer
+contents and :class:`~repro.execution.interpreter.ExecutionStats` to the
+legacy interpreter (asserted by the differential test suite), including the
+barrier-coroutine semantics — statements containing work-group barriers
+compile to generator closures that yield at ``barrier()`` so work-items of a
+group still interleave co-operatively.  Statements that cannot reach a
+barrier compile to plain closures, which is the common case and avoids all
+generator overhead in the inner NDRange loop.
+
+Step accounting is deferred: each closure bumps a per-work-item counter
+(also used for the timeout budget), and the per-item totals are summed into
+``ExecutionStats.dynamic_operations`` when the item finishes, instead of
+touching the stats object once per AST node.
+"""
+
+from __future__ import annotations
+
+from repro.clc import ast_nodes as ast
+from repro.clc.builtins import SYNC_FUNCTIONS, WORK_ITEM_FUNCTIONS
+from repro.clc.types import AddressSpace, PointerType, VectorType
+from repro.errors import ExecutionError, KernelRuntimeError, KernelTimeoutError
+from repro.execution.builtins_impl import evaluate_builtin
+from repro.execution.interpreter import ExecutionResult, ExecutionStats
+from repro.execution.memory import Buffer, MemoryPool
+from repro.execution.ndrange import NDRange
+from repro.execution.ops import (
+    BARRIER,
+    BreakSignal,
+    CONSTANTS,
+    ContinueSignal,
+    ReturnSignal,
+    apply_atomic,
+    apply_binary,
+    as_index,
+    collect_memory_stats,
+    element_kind_of,
+    eval_sizeof,
+    store_to_identifier,
+    truthy,
+)
+from repro.execution.values import VectorValue, convert_scalar
+
+_MISSING = object()
+
+_NUMERIC = (int, float)
+
+
+def _fast_binary(op: str):
+    """A binary-operator implementation with a scalar fast path.
+
+    The fast path must only cover cases where plain Python arithmetic gives
+    the same answer as :func:`repro.execution.ops.apply_binary`; everything
+    else falls back to the shared implementation so both engines agree.
+    """
+    if op == "+":
+        def impl(l, r):
+            if isinstance(l, _NUMERIC) and isinstance(r, _NUMERIC):
+                return l + r
+            return apply_binary("+", l, r)
+    elif op == "-":
+        def impl(l, r):
+            if isinstance(l, _NUMERIC) and isinstance(r, _NUMERIC):
+                return l - r
+            return apply_binary("-", l, r)
+    elif op == "*":
+        def impl(l, r):
+            if isinstance(l, _NUMERIC) and isinstance(r, _NUMERIC):
+                return l * r
+            return apply_binary("*", l, r)
+    elif op in ("==", "!=", "<", ">", "<=", ">="):
+        compare = {
+            "==": lambda l, r: l == r,
+            "!=": lambda l, r: l != r,
+            "<": lambda l, r: l < r,
+            ">": lambda l, r: l > r,
+            "<=": lambda l, r: l <= r,
+            ">=": lambda l, r: l >= r,
+        }[op]
+        def impl(l, r):
+            if isinstance(l, _NUMERIC) and isinstance(r, _NUMERIC):
+                return 1 if compare(l, r) else 0
+            return apply_binary(op, l, r)
+    else:
+        def impl(l, r):
+            return apply_binary(op, l, r)
+    return impl
+
+
+#: Work-item query accessors, specialized per function name at compile time.
+_WORK_ITEM_GETTERS = {
+    "get_global_id": lambda nd, item, d: item.global_id[d],
+    "get_local_id": lambda nd, item, d: item.local_id[d],
+    "get_group_id": lambda nd, item, d: item.group_id[d],
+    "get_global_size": lambda nd, item, d: nd.global_size[d],
+    "get_local_size": lambda nd, item, d: nd.effective_local_size[d],
+    "get_num_groups": lambda nd, item, d: nd.num_groups[d],
+    "get_work_dim": lambda nd, item, d: nd.work_dim,
+    "get_global_offset": lambda nd, item, d: 0,
+}
+
+
+class _Item:
+    """Per-work-item execution context (slotted: created per item per run)."""
+
+    __slots__ = ("global_id", "local_id", "group_id", "env", "steps")
+
+    def __init__(self, global_id, local_id, group_id, env):
+        self.global_id = global_id
+        self.local_id = local_id
+        self.group_id = group_id
+        self.env = env
+        self.steps = 0
+
+
+class _Runtime:
+    """Per-execution state shared by all compiled closures."""
+
+    __slots__ = (
+        "stats",
+        "ndrange",
+        "branch_outcomes",
+        "extra_ops",
+        "group_locals",
+        "group_index",
+        "globals_env",
+    )
+
+    def __init__(self):
+        self.stats = None
+        self.ndrange = None
+        self.branch_outcomes = {}
+        self.extra_ops = 0
+        self.group_locals = {}
+        self.group_index = 0
+        self.globals_env = {}
+
+
+class CompiledKernel:
+    """One kernel of a translation unit, lowered to closures.
+
+    Compilation happens once in the constructor; :meth:`execute` can then be
+    called any number of times (the instance holds no per-execution state).
+    """
+
+    def __init__(
+        self,
+        unit: ast.TranslationUnit,
+        kernel_name: str | None = None,
+        max_steps_per_item: int = 50_000,
+    ):
+        # Deliberately NOT keeping a reference to `unit`: the compilation
+        # cache keys compiled kernels by unit identity with a weakref reaper,
+        # which only works if the compiled kernel does not keep the unit
+        # alive.  Closures capture the AST subtrees they need.
+        kernels = unit.kernels
+        if not kernels:
+            raise ExecutionError("translation unit contains no kernels")
+        if kernel_name is None:
+            self._kernel = kernels[0]
+        else:
+            self._kernel = unit.kernel(kernel_name)
+        self._functions = {f.name: f for f in unit.functions if f.body is not None}
+        self._max_steps = max_steps_per_item
+        self._branch_site_count = 0
+        #: name -> (param_names, body_fn); populated lazily as call sites are
+        #: compiled so unreferenced helpers cost nothing.
+        self._helper_impls: dict[str, tuple[tuple[str, ...], object]] = {}
+        self._helpers_in_progress: set[str] = set()
+
+        #: (name, initializer_fn | None) per global declaration, in order.
+        self._global_inits = []
+        for declaration in unit.globals:
+            declarator = declaration.declarator
+            if declarator is None:
+                continue
+            init_fn = None
+            if declarator.initializer is not None:
+                init_fn = self._compile_expression(declarator.initializer)
+            self._global_inits.append((declarator.name, init_fn))
+
+        #: (name, is_pointer) per kernel parameter, in order.
+        self._param_plan = [
+            (p.name, isinstance(p.declared_type, PointerType)) for p in self._kernel.parameters
+        ]
+
+        self._body_fn, self._body_is_gen = self._compile_statement(
+            self._kernel.body, in_helper=False
+        )
+        if self._body_fn is None:  # kernel body is a lone EmptyStmt
+            self._body_fn = lambda rt, item: None
+            self._body_is_gen = False
+
+    @property
+    def kernel(self) -> ast.FunctionDecl:
+        return self._kernel
+
+    @property
+    def max_steps_per_item(self) -> int:
+        return self._max_steps
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        pool: MemoryPool,
+        scalar_args: dict[str, object],
+        ndrange: NDRange,
+    ) -> ExecutionResult:
+        """Run the compiled kernel; same contract as the interpreter."""
+        stats = ExecutionStats()
+        rt = _Runtime()
+        rt.stats = stats
+        rt.ndrange = ndrange
+
+        # Globals are re-initialised per execution, like the interpreter.
+        globals_env: dict = {}
+        rt.globals_env = globals_env
+        total_steps = 0
+        for name, init_fn in self._global_inits:
+            value = 0
+            if init_fn is not None:
+                dummy = _Item((0,), (0,), (0,), dict(globals_env))
+                try:
+                    value = init_fn(rt, dummy)
+                except Exception:
+                    value = 0
+                total_steps += dummy.steps
+            globals_env[name] = value
+
+        for buffer in pool.buffers.values():
+            buffer.stats.reads = 0
+            buffer.stats.writes = 0
+            buffer.stats.out_of_bounds = 0
+
+        base_env = dict(globals_env)
+        for name, is_pointer in self._param_plan:
+            if is_pointer:
+                buffer = pool.get(name)
+                if buffer is None:
+                    raise ExecutionError(f"no buffer bound for pointer argument {name!r}")
+                base_env[name] = buffer
+            else:
+                base_env[name] = scalar_args[name] if name in scalar_args else 0
+
+        local_ids = list(ndrange.local_ids())
+        body_fn = self._body_fn
+        body_is_gen = self._body_is_gen
+
+        for group_index, group_id in enumerate(ndrange.group_ids()):
+            stats.work_groups += 1
+            rt.group_locals = {}
+            rt.group_index = group_index
+
+            items = []
+            for local_id in local_ids:
+                global_id = ndrange.global_id(group_id, local_id)
+                if not ndrange.in_range(global_id):
+                    continue
+                items.append(_Item(global_id, local_id, group_id, dict(base_env)))
+                stats.work_items += 1
+
+            if body_is_gen:
+                active = [self._run_item_gen(rt, item, body_fn) for item in items]
+                while active:
+                    still_active = []
+                    for runner in active:
+                        try:
+                            signal = next(runner)
+                            while signal is not BARRIER:
+                                signal = next(runner)
+                            still_active.append(runner)
+                        except StopIteration:
+                            pass
+                    if still_active:
+                        stats.barriers_hit += 1
+                    active = still_active
+            else:
+                for item in items:
+                    try:
+                        body_fn(rt, item)
+                    except (ReturnSignal, BreakSignal, ContinueSignal):
+                        pass
+
+            for item in items:
+                total_steps += item.steps
+
+        stats.dynamic_operations = total_steps + rt.extra_ops
+        collect_memory_stats(stats, pool, rt.group_locals)
+        stats.branch_sites = len(rt.branch_outcomes)
+        stats.divergent_branch_sites = sum(
+            1 for outcomes in rt.branch_outcomes.values() if len(outcomes) > 1
+        )
+        return ExecutionResult(kernel_name=self._kernel.name, pool=pool, stats=stats)
+
+    @staticmethod
+    def _run_item_gen(rt, item, body_fn):
+        try:
+            yield from body_fn(rt, item)
+        except (ReturnSignal, BreakSignal, ContinueSignal):
+            pass
+
+    # ------------------------------------------------------------------
+    # Shared compile-time helpers.
+    # ------------------------------------------------------------------
+
+    def _timeout(self, item) -> None:
+        raise KernelTimeoutError(
+            f"work-item {item.global_id} exceeded {self._max_steps} steps "
+            f"in kernel {self._kernel.name!r}"
+        )
+
+    def _next_branch_site(self) -> int:
+        site = self._branch_site_count
+        self._branch_site_count += 1
+        return site
+
+    # ------------------------------------------------------------------
+    # Statement compilation.
+    #
+    # Each statement compiles to ``(fn, is_gen)``.  ``fn`` is ``None`` for
+    # empty statements.  When ``is_gen`` is true, ``fn(rt, item)`` returns a
+    # generator yielding BARRIER; otherwise it is a plain callable.  Inside
+    # helper functions (``in_helper``) barriers are no-ops (the scheduler
+    # never sees them), so everything compiles to plain callables.
+    # ------------------------------------------------------------------
+
+    def _compile_statement(self, statement, in_helper: bool):
+        if statement is None or isinstance(statement, ast.EmptyStmt):
+            return None, False
+        handler = _STATEMENT_COMPILERS.get(type(statement))
+        if handler is None:
+            type_name = type(statement).__name__
+            max_steps = self._max_steps
+            timeout = self._timeout
+
+            def unknown(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                raise KernelRuntimeError(f"cannot execute statement {type_name}")
+
+            return unknown, False
+        return handler(self, statement, in_helper)
+
+    def _compile_compound(self, statement: ast.CompoundStmt, in_helper: bool):
+        children = [self._compile_statement(child, in_helper) for child in statement.statements]
+        children = [(fn, gen) for fn, gen in children if fn is not None]
+        max_steps = self._max_steps
+        timeout = self._timeout
+        if not any(gen for _, gen in children):
+            fns = [fn for fn, _ in children]
+
+            def run(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                for fn in fns:
+                    fn(rt, item)
+
+            return run, False
+
+        def run_gen(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            for fn, gen in children:
+                if gen:
+                    yield from fn(rt, item)
+                else:
+                    fn(rt, item)
+
+        return run_gen, True
+
+    def _compile_decl(self, statement: ast.DeclStmt, in_helper: bool):
+        actions = [self._compile_declarator(d) for d in statement.declarators]
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def run(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            for action in actions:
+                action(rt, item)
+
+        return run, False
+
+    def _compile_declarator(self, declarator: ast.Declarator):
+        name = declarator.name
+        declared = declarator.declared_type
+        is_local = declarator.address_space is AddressSpace.LOCAL or (
+            isinstance(declared, PointerType)
+            and declared.address_space is AddressSpace.LOCAL
+            and declarator.array_size is not None
+        )
+        if is_local:
+            size_fn = (
+                self._compile_expression(declarator.array_size)
+                if declarator.array_size is not None
+                else None
+            )
+            kind, width = element_kind_of(declarator)
+
+            def local_action(rt, item):
+                buffer = rt.group_locals.get(name)
+                if buffer is None:
+                    size = 64
+                    if size_fn is not None:
+                        size = int(size_fn(rt, item) or 64)
+                    buffer = Buffer(name, max(size, 1), kind, width, address_space="local")
+                    rt.group_locals[name] = buffer
+                item.env[name] = buffer
+
+            return local_action
+
+        if declarator.array_size is not None:
+            size_fn = self._compile_expression(declarator.array_size)
+            kind, width = element_kind_of(declarator)
+
+            def array_action(rt, item):
+                size = int(size_fn(rt, item) or 0)
+                item.env[name] = Buffer(name, max(size, 1), kind, width, address_space="private")
+
+            return array_action
+
+        init_fn = (
+            self._compile_expression(declarator.initializer)
+            if declarator.initializer is not None
+            else None
+        )
+        coerce = _compile_coercion(declared)
+
+        def scalar_action(rt, item):
+            value = init_fn(rt, item) if init_fn is not None else 0
+            item.env[name] = coerce(value)
+
+        return scalar_action
+
+    def _compile_expr_stmt(self, statement: ast.ExprStmt, in_helper: bool):
+        max_steps = self._max_steps
+        timeout = self._timeout
+        expression = statement.expression
+        if expression is None:
+
+            def run_empty(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+
+            return run_empty, False
+
+        if isinstance(expression, ast.Call) and expression.callee in SYNC_FUNCTIONS:
+            # Statement-level barrier: arguments are not evaluated.
+            if in_helper:
+                # Helpers cannot contain scheduler-visible barriers; the
+                # interpreter drains their yields, which degenerates to a
+                # stats-only no-op.
+                def run_helper_barrier(rt, item):
+                    item.steps = s = item.steps + 1
+                    if s > max_steps:
+                        timeout(item)
+                    rt.extra_ops += 1
+
+                return run_helper_barrier, False
+
+            def run_barrier(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                rt.extra_ops += 1
+                yield BARRIER
+
+            return run_barrier, True
+
+        expr_fn = self._compile_expression(expression)
+
+        def run(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            expr_fn(rt, item)
+
+        return run, False
+
+    def _compile_if(self, statement: ast.IfStmt, in_helper: bool):
+        condition_fn = self._compile_expression(statement.condition)
+        then_fn, then_gen = self._compile_statement(statement.then_branch, in_helper)
+        has_else = statement.else_branch is not None
+        else_fn, else_gen = self._compile_statement(statement.else_branch, in_helper)
+        site = self._next_branch_site()
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if not (then_gen or else_gen):
+
+            def run(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                outcome = truthy(condition_fn(rt, item))
+                rt.stats.branch_evaluations += 1
+                key = (site, rt.group_index)
+                outcomes = rt.branch_outcomes.get(key)
+                if outcomes is None:
+                    rt.branch_outcomes[key] = {outcome}
+                else:
+                    outcomes.add(outcome)
+                if outcome:
+                    if then_fn is not None:
+                        then_fn(rt, item)
+                elif has_else:
+                    if else_fn is not None:
+                        else_fn(rt, item)
+
+            return run, False
+
+        def run_gen(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            outcome = truthy(condition_fn(rt, item))
+            rt.stats.branch_evaluations += 1
+            key = (site, rt.group_index)
+            outcomes = rt.branch_outcomes.get(key)
+            if outcomes is None:
+                rt.branch_outcomes[key] = {outcome}
+            else:
+                outcomes.add(outcome)
+            if outcome:
+                if then_fn is not None:
+                    if then_gen:
+                        yield from then_fn(rt, item)
+                    else:
+                        then_fn(rt, item)
+            elif has_else:
+                if else_fn is not None:
+                    if else_gen:
+                        yield from else_fn(rt, item)
+                    else:
+                        else_fn(rt, item)
+
+        return run_gen, True
+
+    def _compile_for(self, statement: ast.ForStmt, in_helper: bool):
+        init_fn, init_gen = self._compile_statement(statement.init, in_helper)
+        condition_fn = (
+            self._compile_expression(statement.condition)
+            if statement.condition is not None
+            else None
+        )
+        increment_fn = (
+            self._compile_expression(statement.increment)
+            if statement.increment is not None
+            else None
+        )
+        body_fn, body_gen = self._compile_statement(statement.body, in_helper)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def run_init(rt, item):
+            if init_fn is not None:
+                if init_gen:
+                    # The interpreter drains barrier yields from loop inits.
+                    for _ in init_fn(rt, item):
+                        pass
+                else:
+                    init_fn(rt, item)
+
+        if not body_gen:
+
+            def run(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                run_init(rt, item)
+                stats = rt.stats
+                while True:
+                    if condition_fn is not None:
+                        condition = truthy(condition_fn(rt, item))
+                        stats.branch_evaluations += 1
+                        if not condition:
+                            break
+                    if body_fn is not None:
+                        try:
+                            body_fn(rt, item)
+                        except BreakSignal:
+                            break
+                        except ContinueSignal:
+                            pass
+                    if increment_fn is not None:
+                        increment_fn(rt, item)
+
+            return run, False
+
+        def run_gen(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            run_init(rt, item)
+            stats = rt.stats
+            while True:
+                if condition_fn is not None:
+                    condition = truthy(condition_fn(rt, item))
+                    stats.branch_evaluations += 1
+                    if not condition:
+                        break
+                try:
+                    yield from body_fn(rt, item)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    pass
+                if increment_fn is not None:
+                    increment_fn(rt, item)
+
+        return run_gen, True
+
+    def _compile_while(self, statement: ast.WhileStmt, in_helper: bool):
+        condition_fn = self._compile_expression(statement.condition)
+        body_fn, body_gen = self._compile_statement(statement.body, in_helper)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if not body_gen:
+
+            def run(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                stats = rt.stats
+                while True:
+                    condition = truthy(condition_fn(rt, item))
+                    stats.branch_evaluations += 1
+                    if not condition:
+                        break
+                    if body_fn is not None:
+                        try:
+                            body_fn(rt, item)
+                        except BreakSignal:
+                            break
+                        except ContinueSignal:
+                            continue
+
+            return run, False
+
+        def run_gen(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            stats = rt.stats
+            while True:
+                condition = truthy(condition_fn(rt, item))
+                stats.branch_evaluations += 1
+                if not condition:
+                    break
+                try:
+                    yield from body_fn(rt, item)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    continue
+
+        return run_gen, True
+
+    def _compile_do_while(self, statement: ast.DoWhileStmt, in_helper: bool):
+        condition_fn = self._compile_expression(statement.condition)
+        body_fn, body_gen = self._compile_statement(statement.body, in_helper)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if not body_gen:
+
+            def run(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                stats = rt.stats
+                while True:
+                    if body_fn is not None:
+                        try:
+                            body_fn(rt, item)
+                        except BreakSignal:
+                            break
+                        except ContinueSignal:
+                            pass
+                    condition = truthy(condition_fn(rt, item))
+                    stats.branch_evaluations += 1
+                    if not condition:
+                        break
+
+            return run, False
+
+        def run_gen(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            stats = rt.stats
+            while True:
+                try:
+                    yield from body_fn(rt, item)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    pass
+                condition = truthy(condition_fn(rt, item))
+                stats.branch_evaluations += 1
+                if not condition:
+                    break
+
+        return run_gen, True
+
+    def _compile_switch(self, statement: ast.SwitchStmt, in_helper: bool):
+        condition_fn = self._compile_expression(statement.condition)
+        cases = []
+        any_gen = False
+        for case in statement.cases:
+            value_fn = (
+                self._compile_expression(case.value) if case.value is not None else None
+            )
+            children = [self._compile_statement(child, in_helper) for child in case.body]
+            children = [(fn, gen) for fn, gen in children if fn is not None]
+            any_gen = any_gen or any(gen for _, gen in children)
+            cases.append((value_fn, children))
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if not any_gen:
+
+            def run(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                value = condition_fn(rt, item)
+                matched = False
+                try:
+                    for value_fn, children in cases:
+                        if not matched:
+                            if value_fn is None:
+                                matched = True
+                            else:
+                                matched = value == value_fn(rt, item)
+                        if matched:
+                            for fn, _ in children:
+                                fn(rt, item)
+                except BreakSignal:
+                    pass
+
+            return run, False
+
+        def run_gen(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            value = condition_fn(rt, item)
+            matched = False
+            try:
+                for value_fn, children in cases:
+                    if not matched:
+                        if value_fn is None:
+                            matched = True
+                        else:
+                            matched = value == value_fn(rt, item)
+                    if matched:
+                        for fn, gen in children:
+                            if gen:
+                                yield from fn(rt, item)
+                            else:
+                                fn(rt, item)
+            except BreakSignal:
+                pass
+
+        return run_gen, True
+
+    def _compile_return(self, statement: ast.ReturnStmt, in_helper: bool):
+        value_fn = (
+            self._compile_expression(statement.value) if statement.value is not None else None
+        )
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def run(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            raise ReturnSignal(value_fn(rt, item) if value_fn is not None else None)
+
+        return run, False
+
+    def _compile_break(self, statement: ast.BreakStmt, in_helper: bool):
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def run(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            raise BreakSignal()
+
+        return run, False
+
+    def _compile_continue(self, statement: ast.ContinueStmt, in_helper: bool):
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def run(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            raise ContinueSignal()
+
+        return run, False
+
+    # ------------------------------------------------------------------
+    # Expression compilation: each expression compiles to ``fn(rt, item)``.
+    # ------------------------------------------------------------------
+
+    def _compile_expression(self, expression):
+        handler = _EXPRESSION_COMPILERS.get(type(expression))
+        if handler is None:
+            type_name = type(expression).__name__
+            max_steps = self._max_steps
+            timeout = self._timeout
+
+            def unknown(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                raise KernelRuntimeError(f"cannot evaluate expression {type_name}")
+
+            return unknown
+        return handler(self, expression)
+
+    def _compile_constant(self, value):
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            return value
+
+        return fn
+
+    def _compile_int_literal(self, expression: ast.IntLiteral):
+        return self._compile_constant(expression.value)
+
+    def _compile_float_literal(self, expression: ast.FloatLiteral):
+        return self._compile_constant(expression.value)
+
+    def _compile_char_literal(self, expression: ast.CharLiteral):
+        text = expression.value.strip("'")
+        return self._compile_constant(ord(text[0]) if text else 0)
+
+    def _compile_string_literal(self, expression: ast.StringLiteral):
+        return self._compile_constant(0)
+
+    def _compile_sizeof(self, expression: ast.SizeOf):
+        return self._compile_constant(eval_sizeof(expression.target_type_name))
+
+    def _compile_identifier(self, expression: ast.Identifier):
+        name = expression.name
+        fallback = CONSTANTS.get(name, 0)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            value = item.env.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            group_locals = rt.group_locals
+            if name in group_locals:
+                return group_locals[name]
+            return fallback
+
+        return fn
+
+    def _compile_binary(self, expression: ast.BinaryOp):
+        op = expression.op
+        left_fn = self._compile_expression(expression.left)
+        right_fn = self._compile_expression(expression.right)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if op == "&&":
+
+            def fn_and(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                if not truthy(left_fn(rt, item)):
+                    return 0
+                return 1 if truthy(right_fn(rt, item)) else 0
+
+            return fn_and
+
+        if op == "||":
+
+            def fn_or(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                if truthy(left_fn(rt, item)):
+                    return 1
+                return 1 if truthy(right_fn(rt, item)) else 0
+
+            return fn_or
+
+        if op == ",":
+
+            def fn_comma(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                left_fn(rt, item)
+                return right_fn(rt, item)
+
+            return fn_comma
+
+        combine = _fast_binary(op)
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            return combine(left_fn(rt, item), right_fn(rt, item))
+
+        return fn
+
+    def _compile_unary(self, expression: ast.UnaryOp):
+        op = expression.op
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if op in ("++", "--"):
+            operand_fn = self._compile_expression(expression.operand)
+            store_fn = self._compile_store(expression.operand)
+            combine = _fast_binary("+" if op == "++" else "-")
+
+            def fn_incdec(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                updated = combine(operand_fn(rt, item), 1)
+                store_fn(rt, item, updated)
+                return updated
+
+            return fn_incdec
+
+        if op == "*":
+            operand_fn = self._compile_expression(expression.operand)
+
+            def fn_deref(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                pointer = operand_fn(rt, item)
+                if isinstance(pointer, Buffer):
+                    return pointer.load(0)
+                return pointer
+
+            return fn_deref
+
+        if op == "&":
+            location_fn = self._compile_location(expression.operand)
+            operand_fn = self._compile_expression(expression.operand)
+
+            def fn_addr(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                location = location_fn(rt, item)
+                if location is not None:
+                    return location
+                return operand_fn(rt, item)
+
+            return fn_addr
+
+        operand_fn = self._compile_expression(expression.operand)
+
+        if op == "-":
+
+            def fn_neg(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                operand = operand_fn(rt, item)
+                return -operand if not isinstance(operand, Buffer) else operand
+
+            return fn_neg
+
+        if op == "+":
+
+            def fn_pos(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                return operand_fn(rt, item)
+
+            return fn_pos
+
+        if op == "!":
+
+            def fn_not(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                return 0 if truthy(operand_fn(rt, item)) else 1
+
+            return fn_not
+
+        if op == "~":
+
+            def fn_invert(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                operand = operand_fn(rt, item)
+                if isinstance(operand, VectorValue):
+                    return operand.map(lambda v: ~int(v))
+                return ~int(operand)
+
+            return fn_invert
+
+        def fn_unsupported(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            operand_fn(rt, item)
+            raise KernelRuntimeError(f"unsupported unary operator {op!r}")
+
+        return fn_unsupported
+
+    def _compile_postfix(self, expression: ast.PostfixOp):
+        operand_fn = self._compile_expression(expression.operand)
+        store_fn = self._compile_store(expression.operand)
+        combine = _fast_binary("+" if expression.op == "++" else "-")
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            current = operand_fn(rt, item)
+            store_fn(rt, item, combine(current, 1))
+            return current
+
+        return fn
+
+    def _compile_assignment(self, expression: ast.Assignment):
+        value_fn = self._compile_expression(expression.value)
+        store_fn = self._compile_store(expression.target)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if expression.op == "=":
+
+            def fn_assign(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                value = value_fn(rt, item)
+                store_fn(rt, item, value)
+                return value
+
+            return fn_assign
+
+        target_fn = self._compile_expression(expression.target)
+        combine = _fast_binary(expression.op[:-1])
+
+        def fn_compound(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            value = value_fn(rt, item)
+            value = combine(target_fn(rt, item), value)
+            store_fn(rt, item, value)
+            return value
+
+        return fn_compound
+
+    def _compile_ternary(self, expression: ast.TernaryOp):
+        condition_fn = self._compile_expression(expression.condition)
+        true_fn = self._compile_expression(expression.if_true)
+        false_fn = self._compile_expression(expression.if_false)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            if truthy(condition_fn(rt, item)):
+                return true_fn(rt, item)
+            return false_fn(rt, item)
+
+        return fn
+
+    def _compile_index(self, expression: ast.Index):
+        base_fn = self._compile_expression(expression.base)
+        index_fn = self._compile_expression(expression.index)
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            base = base_fn(rt, item)
+            index = index_fn(rt, item)
+            if isinstance(base, Buffer):
+                return base.load(as_index(index))
+            if isinstance(base, VectorValue):
+                return base.values[as_index(index) % (base.width or 1)]
+            if isinstance(base, list):
+                position = as_index(index)
+                if 0 <= position < len(base):
+                    return base[position]
+                return 0
+            return 0
+
+        return fn
+
+    def _compile_member(self, expression: ast.Member):
+        base_fn = self._compile_expression(expression.base)
+        member = expression.member
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            base = base_fn(rt, item)
+            if isinstance(base, VectorValue):
+                try:
+                    return base.get_member(member)
+                except ValueError:
+                    return 0
+            if isinstance(base, dict):
+                return base.get(member, 0)
+            return 0
+
+        return fn
+
+    def _compile_cast(self, expression: ast.Cast):
+        operand_fn = self._compile_expression(expression.operand)
+        target = expression.target_type
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if isinstance(target, VectorType):
+            kind = target.element.kind
+            width = target.width
+
+            def fn_vector(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                value = operand_fn(rt, item)
+                if isinstance(value, Buffer):
+                    return value
+                if isinstance(value, VectorValue):
+                    return VectorValue(
+                        kind, [convert_scalar(kind, v) for v in value.values[:width]]
+                    )
+                return VectorValue.broadcast(kind, width, value)
+
+            return fn_vector
+
+        if target is not None and not isinstance(target, PointerType) and hasattr(target, "kind"):
+            kind = target.kind
+
+            def fn_scalar(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                value = operand_fn(rt, item)
+                if isinstance(value, Buffer):
+                    return value
+                return convert_scalar(kind, value)
+
+            return fn_scalar
+
+        def fn_passthrough(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            return operand_fn(rt, item)
+
+        return fn_passthrough
+
+    def _compile_vector_literal(self, expression: ast.VectorLiteral):
+        target = expression.target_type
+        assert isinstance(target, VectorType)
+        kind = target.element.kind
+        width = target.width
+        element_fns = [self._compile_expression(element) for element in expression.elements]
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            components = [element_fn(rt, item) for element_fn in element_fns]
+            return VectorValue.from_components(kind, width, components)
+
+        return fn
+
+    def _compile_initializer_list(self, expression: ast.InitializerList):
+        element_fns = [self._compile_expression(element) for element in expression.elements]
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            return [element_fn(rt, item) for element_fn in element_fns]
+
+        return fn
+
+    # ------------------------------------------------------------------
+    # Calls.
+    # ------------------------------------------------------------------
+
+    def _compile_call(self, expression: ast.Call):
+        name = expression.callee
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        if name in WORK_ITEM_FUNCTIONS:
+            dimension_fn = (
+                self._compile_expression(expression.arguments[0])
+                if expression.arguments
+                else None
+            )
+            getter = _WORK_ITEM_GETTERS.get(name)
+            if getter is None:
+                return self._compile_constant(0)
+
+            def fn_query(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                dimension = as_index(dimension_fn(rt, item)) if dimension_fn is not None else 0
+                ndrange = rt.ndrange
+                work_dim = ndrange.work_dim
+                if dimension < 0:
+                    dimension = 0
+                elif dimension >= work_dim:
+                    dimension = work_dim - 1
+                return getter(ndrange, item, dimension)
+
+            return fn_query
+
+        if name in SYNC_FUNCTIONS:
+            # Barriers in expression position are no-ops (statement-level
+            # barriers are recognised by the statement compiler instead).
+            argument_fns = [self._compile_expression(a) for a in expression.arguments]
+
+            def fn_sync(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                for argument_fn in argument_fns:
+                    argument_fn(rt, item)
+                return 0
+
+            return fn_sync
+
+        if name.startswith(("atomic_", "atom_")):
+            return self._compile_atomic(name, expression)
+
+        if name.startswith("vload"):
+            return self._compile_vload(name, expression)
+        if name.startswith("vstore"):
+            return self._compile_vstore(name, expression)
+
+        argument_fns = [self._compile_expression(a) for a in expression.arguments]
+
+        if name in self._functions:
+            return self._compile_user_call(name, argument_fns)
+
+        def fn_builtin(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            arguments = [argument_fn(rt, item) for argument_fn in argument_fns]
+            try:
+                return evaluate_builtin(name, arguments)
+            except KeyError:
+                # Unknown call (e.g. undeclared function in lenient mode).
+                return 0
+
+        return fn_builtin
+
+    def _compile_user_call(self, name: str, argument_fns: list):
+        self._ensure_helper_compiled(name)
+        impls = self._helper_impls
+        max_steps = self._max_steps
+        timeout = self._timeout
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            arguments = [argument_fn(rt, item) for argument_fn in argument_fns]
+            rt.stats.helper_calls += 1
+            parameter_names, body_fn = impls[name]
+            saved_env = item.env
+            call_env = dict(rt.globals_env)
+            for parameter_name, argument in zip(parameter_names, arguments):
+                call_env[parameter_name] = argument
+            item.env = call_env
+            result = None
+            try:
+                try:
+                    if body_fn is not None:
+                        body_fn(rt, item)
+                except ReturnSignal as returned:
+                    result = returned.value
+            finally:
+                item.env = saved_env
+            return result
+
+        return fn
+
+    def _ensure_helper_compiled(self, name: str) -> None:
+        if name in self._helper_impls or name in self._helpers_in_progress:
+            return
+        self._helpers_in_progress.add(name)
+        try:
+            function = self._functions[name]
+            parameter_names = tuple(p.name for p in function.parameters)
+            # Helper bodies never yield to the scheduler: the interpreter
+            # drains their generators, so barriers degrade to stats no-ops.
+            body_fn, _ = self._compile_statement(function.body, in_helper=True)
+            self._helper_impls[name] = (parameter_names, body_fn)
+        finally:
+            self._helpers_in_progress.discard(name)
+
+    def _compile_atomic(self, name: str, expression: ast.Call):
+        max_steps = self._max_steps
+        timeout = self._timeout
+        if not expression.arguments:
+            return self._compile_constant(0)
+
+        first = expression.arguments[0]
+        if isinstance(first, ast.UnaryOp) and first.op == "&":
+            first = first.operand
+        location_fn = self._compile_location(first)
+        operand_fn = (
+            self._compile_expression(expression.arguments[1])
+            if len(expression.arguments) > 1
+            else None
+        )
+        operation = name.replace("atomic_", "").replace("atom_", "")
+
+        if operation == "cmpxchg":
+            value_fn = (
+                self._compile_expression(expression.arguments[2])
+                if len(expression.arguments) > 2
+                else None
+            )
+
+            def fn_cmpxchg(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                location = location_fn(rt, item)
+                operand = operand_fn(rt, item) if operand_fn is not None else 1
+                if location is None:
+                    return 0
+                buffer, index = location
+                old = buffer.load(index)
+                value = value_fn(rt, item) if value_fn is not None else old
+                buffer.store(index, value if old == operand else old)
+                return old
+
+            return fn_cmpxchg
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            location = location_fn(rt, item)
+            operand = operand_fn(rt, item) if operand_fn is not None else 1
+            if location is None:
+                return 0
+            buffer, index = location
+            old = buffer.load(index)
+            buffer.store(index, apply_atomic(operation, old, operand))
+            return old
+
+        return fn
+
+    def _compile_vload(self, name: str, expression: ast.Call):
+        max_steps = self._max_steps
+        timeout = self._timeout
+        try:
+            width = int(name.replace("vload", "") or 1)
+        except ValueError:
+
+            def fn_bad(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                raise ValueError(f"invalid literal for int() with base 10: {name.replace('vload', '')!r}")
+
+            return fn_bad
+        offset_fn = (
+            self._compile_expression(expression.arguments[0]) if expression.arguments else None
+        )
+        pointer_fn = (
+            self._compile_expression(expression.arguments[1])
+            if len(expression.arguments) > 1
+            else None
+        )
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            offset = as_index(offset_fn(rt, item)) if offset_fn is not None else 0
+            pointer = pointer_fn(rt, item) if pointer_fn is not None else None
+            if isinstance(pointer, Buffer):
+                values = [pointer.load(offset * width + i) for i in range(width)]
+                kind = pointer.element_kind
+                return VectorValue(
+                    kind, [float(v) if kind in ("float", "double") else v for v in values]
+                )
+            return VectorValue.broadcast("float", width, 0.0)
+
+        return fn
+
+    def _compile_vstore(self, name: str, expression: ast.Call):
+        max_steps = self._max_steps
+        timeout = self._timeout
+        if len(expression.arguments) < 3:
+            return self._compile_constant(0)
+        try:
+            width = int(name.replace("vstore", "") or 1)
+        except ValueError:
+
+            def fn_bad(rt, item):
+                item.steps = s = item.steps + 1
+                if s > max_steps:
+                    timeout(item)
+                raise ValueError(f"invalid literal for int() with base 10: {name.replace('vstore', '')!r}")
+
+            return fn_bad
+        value_fn = self._compile_expression(expression.arguments[0])
+        offset_fn = self._compile_expression(expression.arguments[1])
+        pointer_fn = self._compile_expression(expression.arguments[2])
+
+        def fn(rt, item):
+            item.steps = s = item.steps + 1
+            if s > max_steps:
+                timeout(item)
+            value = value_fn(rt, item)
+            offset = as_index(offset_fn(rt, item))
+            pointer = pointer_fn(rt, item)
+            if isinstance(pointer, Buffer):
+                values = value.values if isinstance(value, VectorValue) else [value] * width
+                for position, element in enumerate(values[:width]):
+                    pointer.store(offset * width + position, element)
+            return 0
+
+        return fn
+
+    # ------------------------------------------------------------------
+    # L-values.
+    # ------------------------------------------------------------------
+
+    def _compile_location(self, expression):
+        """Compile an lvalue to a ``fn(rt, item) -> (Buffer, index) | None``."""
+        if isinstance(expression, ast.Index):
+            base_fn = self._compile_expression(expression.base)
+            index_fn = self._compile_expression(expression.index)
+
+            def fn_index(rt, item):
+                base = base_fn(rt, item)
+                index = index_fn(rt, item)
+                if isinstance(base, Buffer):
+                    return (base, as_index(index))
+                return None
+
+            return fn_index
+
+        if isinstance(expression, ast.Identifier):
+            name = expression.name
+
+            def fn_identifier(rt, item):
+                value = item.env.get(name)
+                if isinstance(value, Buffer):
+                    return (value, 0)
+                return None
+
+            return fn_identifier
+
+        return lambda rt, item: None
+
+    def _compile_store(self, target):
+        """Compile an lvalue to a ``fn(rt, item, value)`` store closure."""
+        if isinstance(target, ast.Identifier):
+            name = target.name
+
+            def store_identifier(rt, item, value):
+                store_to_identifier(item.env, name, value)
+
+            return store_identifier
+
+        if isinstance(target, ast.Index):
+            base_fn = self._compile_expression(target.base)
+            index_fn = self._compile_expression(target.index)
+            base_name = target.base.name if isinstance(target.base, ast.Identifier) else None
+
+            def store_index(rt, item, value):
+                base = base_fn(rt, item)
+                index = index_fn(rt, item)
+                if isinstance(base, Buffer):
+                    base.store(as_index(index), value)
+                elif isinstance(base, VectorValue) and base_name is not None:
+                    item.env[base_name] = base.with_member(f"s{int(index):x}", value)
+
+            return store_index
+
+        if isinstance(target, ast.Member):
+            base_fn = self._compile_expression(target.base)
+            inner_store = self._compile_store(target.base)
+            member = target.member
+
+            def store_member(rt, item, value):
+                base = base_fn(rt, item)
+                if isinstance(base, VectorValue):
+                    inner_store(rt, item, base.with_member(member, value))
+
+            return store_member
+
+        if isinstance(target, ast.UnaryOp) and target.op == "*":
+            pointer_fn = self._compile_expression(target.operand)
+
+            def store_deref(rt, item, value):
+                pointer = pointer_fn(rt, item)
+                if isinstance(pointer, Buffer):
+                    pointer.store(0, value)
+                elif (
+                    isinstance(pointer, tuple)
+                    and len(pointer) == 2
+                    and isinstance(pointer[0], Buffer)
+                ):
+                    pointer[0].store(pointer[1], value)
+
+            return store_deref
+
+        if isinstance(target, ast.Cast):
+            return self._compile_store(target.operand)
+
+        # Silently drop stores to unsupported lvalues (struct fields etc.).
+        def store_noop(rt, item, value):
+            return None
+
+        return store_noop
+
+
+_STATEMENT_COMPILERS = {
+    ast.CompoundStmt: CompiledKernel._compile_compound,
+    ast.DeclStmt: CompiledKernel._compile_decl,
+    ast.ExprStmt: CompiledKernel._compile_expr_stmt,
+    ast.IfStmt: CompiledKernel._compile_if,
+    ast.ForStmt: CompiledKernel._compile_for,
+    ast.WhileStmt: CompiledKernel._compile_while,
+    ast.DoWhileStmt: CompiledKernel._compile_do_while,
+    ast.SwitchStmt: CompiledKernel._compile_switch,
+    ast.ReturnStmt: CompiledKernel._compile_return,
+    ast.BreakStmt: CompiledKernel._compile_break,
+    ast.ContinueStmt: CompiledKernel._compile_continue,
+}
+
+_EXPRESSION_COMPILERS = {
+    ast.IntLiteral: CompiledKernel._compile_int_literal,
+    ast.FloatLiteral: CompiledKernel._compile_float_literal,
+    ast.CharLiteral: CompiledKernel._compile_char_literal,
+    ast.StringLiteral: CompiledKernel._compile_string_literal,
+    ast.Identifier: CompiledKernel._compile_identifier,
+    ast.BinaryOp: CompiledKernel._compile_binary,
+    ast.UnaryOp: CompiledKernel._compile_unary,
+    ast.PostfixOp: CompiledKernel._compile_postfix,
+    ast.Assignment: CompiledKernel._compile_assignment,
+    ast.TernaryOp: CompiledKernel._compile_ternary,
+    ast.Call: CompiledKernel._compile_call,
+    ast.Index: CompiledKernel._compile_index,
+    ast.Member: CompiledKernel._compile_member,
+    ast.Cast: CompiledKernel._compile_cast,
+    ast.VectorLiteral: CompiledKernel._compile_vector_literal,
+    ast.SizeOf: CompiledKernel._compile_sizeof,
+    ast.InitializerList: CompiledKernel._compile_initializer_list,
+}
+
+
+def _compile_coercion(declared):
+    """Compile-time specialization of :func:`repro.execution.ops.coerce_declared`."""
+    if isinstance(declared, VectorType):
+        kind = declared.element.kind
+        width = declared.width
+
+        def coerce_vector(value):
+            if isinstance(value, VectorValue):
+                return value
+            return VectorValue.broadcast(kind, width, value or 0)
+
+        return coerce_vector
+
+    if isinstance(declared, PointerType):
+        return lambda value: value
+
+    text = str(declared) if declared is not None else "int"
+    if text in ("float", "double", "half"):
+
+        def coerce_float(value):
+            if isinstance(value, (Buffer, VectorValue)):
+                return value
+            return float(value or 0)
+
+        return coerce_float
+
+    if text in ("int", "uint", "long", "ulong", "short", "ushort", "char", "uchar",
+                "size_t", "bool"):
+
+        def coerce_int(value):
+            if isinstance(value, (Buffer, VectorValue)):
+                return value
+            if isinstance(value, float):
+                return int(value)
+            return int(value or 0)
+
+        return coerce_int
+
+    return lambda value: value
+
+
+def compile_kernel(
+    unit: ast.TranslationUnit,
+    kernel_name: str | None = None,
+    max_steps_per_item: int = 50_000,
+) -> CompiledKernel:
+    """Compile *kernel_name* (or the first kernel) of *unit* to closures."""
+    return CompiledKernel(unit, kernel_name, max_steps_per_item)

@@ -28,9 +28,23 @@ from repro.errors import ExecutionError, KernelRuntimeError, KernelTimeoutError
 from repro.execution.builtins_impl import evaluate_builtin
 from repro.execution.memory import Buffer, MemoryPool
 from repro.execution.ndrange import NDRange
+from repro.execution.ops import (
+    BARRIER as _BARRIER,
+    BreakSignal as _Break,
+    ContinueSignal as _Continue,
+    ReturnSignal as _Return,
+    apply_atomic,
+    apply_binary,
+    as_index,
+    coerce_declared,
+    collect_memory_stats,
+    element_kind_of,
+    eval_sizeof,
+    lookup_constant_or_zero,
+    store_to_identifier,
+    truthy,
+)
 from repro.execution.values import VectorValue, convert_scalar
-
-_BARRIER = object()
 
 
 @dataclass
@@ -83,19 +97,6 @@ class ExecutionResult:
         if found is None:
             raise KeyError(name)
         return found
-
-
-class _Return(Exception):
-    def __init__(self, value=None):
-        self.value = value
-
-
-class _Break(Exception):
-    pass
-
-
-class _Continue(Exception):
-    pass
 
 
 @dataclass
@@ -267,18 +268,7 @@ class KernelInterpreter:
             self._globals_env[declarator.name] = value
 
     def _collect_memory_stats(self, pool: MemoryPool) -> None:
-        for buffer in pool.buffers.values():
-            if buffer.address_space == "global":
-                self._stats.global_reads += buffer.stats.reads
-                self._stats.global_writes += buffer.stats.writes
-            elif buffer.address_space == "local":
-                self._stats.local_accesses += buffer.stats.reads + buffer.stats.writes
-            else:
-                self._stats.private_accesses += buffer.stats.reads + buffer.stats.writes
-            self._stats.out_of_bounds_accesses += buffer.stats.out_of_bounds
-        for buffer in self._group_locals.values():
-            if isinstance(buffer, Buffer):
-                self._stats.local_accesses += buffer.stats.reads + buffer.stats.writes
+        collect_memory_stats(self._stats, pool, self._group_locals)
 
     # ------------------------------------------------------------------
     # Statements (generators: yield _BARRIER at work-group barriers).
@@ -379,32 +369,10 @@ class KernelInterpreter:
 
     @staticmethod
     def _element_kind_of(declarator: ast.Declarator) -> tuple[str, int]:
-        declared = declarator.declared_type
-        if isinstance(declared, PointerType):
-            declared = declared.pointee
-        if isinstance(declared, VectorType):
-            return declared.element.kind, declared.width
-        text = str(declared) if declared is not None else "float"
-        return (text if text in ("float", "double", "int", "uint", "long", "ulong", "char",
-                                 "uchar", "short", "ushort", "half", "size_t", "bool") else "float", 1)
+        return element_kind_of(declarator)
 
     def _coerce_declared(self, declarator: ast.Declarator, value):
-        declared = declarator.declared_type
-        if isinstance(declared, VectorType):
-            if isinstance(value, VectorValue):
-                return value
-            return VectorValue.broadcast(declared.element.kind, declared.width, value or 0)
-        if isinstance(declared, PointerType) or isinstance(value, (Buffer, VectorValue)):
-            return value
-        text = str(declared) if declared is not None else "int"
-        if text in ("float", "double", "half"):
-            return float(value or 0)
-        if text in ("int", "uint", "long", "ulong", "short", "ushort", "char", "uchar",
-                    "size_t", "bool"):
-            if isinstance(value, float):
-                return int(value)
-            return int(value or 0)
-        return value
+        return coerce_declared(declarator, value)
 
     def _exec_for(self, statement: ast.ForStmt, item: _WorkItem, group_index: int):
         if statement.init is not None:
@@ -489,11 +457,7 @@ class KernelInterpreter:
     # ------------------------------------------------------------------
 
     def _truthy(self, value) -> bool:
-        if isinstance(value, VectorValue):
-            return any(v != 0 for v in value.values)
-        if isinstance(value, Buffer):
-            return True
-        return bool(value)
+        return truthy(value)
 
     def _eval(self, expression: ast.Expression, item: _WorkItem, group_index: int):
         self._bump(item)
@@ -542,39 +506,7 @@ class KernelInterpreter:
             return item.env[name]
         if name in self._group_locals:
             return self._group_locals[name]
-        constants = {
-            "CLK_LOCAL_MEM_FENCE": 1,
-            "CLK_GLOBAL_MEM_FENCE": 2,
-            "M_PI": 3.141592653589793,
-            "M_PI_F": 3.1415927,
-            "M_E": 2.718281828459045,
-            "M_E_F": 2.7182817,
-            "MAXFLOAT": 3.402823e38,
-            "FLT_MAX": 3.402823e38,
-            "FLT_MIN": 1.175494e-38,
-            "FLT_EPSILON": 1.192093e-07,
-            "DBL_MAX": 1.7976931348623157e308,
-            "DBL_MIN": 2.2250738585072014e-308,
-            "INFINITY": float("inf"),
-            "HUGE_VALF": float("inf"),
-            "NAN": float("nan"),
-            "INT_MAX": 2**31 - 1,
-            "INT_MIN": -(2**31),
-            "UINT_MAX": 2**32 - 1,
-            "LONG_MAX": 2**63 - 1,
-            "LONG_MIN": -(2**63),
-            "ULONG_MAX": 2**64 - 1,
-            "CHAR_MAX": 127,
-            "CHAR_MIN": -128,
-            "true": 1,
-            "false": 0,
-            "NULL": 0,
-        }
-        if name in constants:
-            return constants[name]
-        # Unbound identifier at runtime (should have been caught statically):
-        # behave like an uninitialised register.
-        return 0
+        return lookup_constant_or_zero(name)
 
     def _eval_binary(self, expression: ast.BinaryOp, item: _WorkItem, group_index: int):
         op = expression.op
@@ -597,71 +529,7 @@ class KernelInterpreter:
         return self._apply_binary(op, left, right)
 
     def _apply_binary(self, op: str, left, right):
-        if isinstance(left, Buffer) or isinstance(right, Buffer):
-            # Pointer arithmetic: keep the buffer, ignore the offset (accesses
-            # are clamped anyway).  Comparisons on pointers return 0/1.
-            if op in ("==", "!="):
-                return 1 if (left is right) == (op == "==") else 0
-            return left if isinstance(left, Buffer) else right
-
-        if isinstance(left, VectorValue) or isinstance(right, VectorValue):
-            return self._apply_vector_binary(op, left, right)
-
-        if op in ("==", "!=", "<", ">", "<=", ">="):
-            result = {
-                "==": left == right,
-                "!=": left != right,
-                "<": left < right,
-                ">": left > right,
-                "<=": left <= right,
-                ">=": left >= right,
-            }[op]
-            return 1 if result else 0
-
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                if isinstance(left, float) or isinstance(right, float):
-                    return float("inf") if left > 0 else float("-inf") if left < 0 else float("nan")
-                return 0
-            if isinstance(left, int) and isinstance(right, int):
-                return int(left / right)
-            return left / right
-        if op == "%":
-            if right == 0:
-                return 0
-            if isinstance(left, int) and isinstance(right, int):
-                return left - int(left / right) * right
-            import math
-
-            return math.fmod(left, right)
-        if op == "&":
-            return int(left) & int(right)
-        if op == "|":
-            return int(left) | int(right)
-        if op == "^":
-            return int(left) ^ int(right)
-        if op == "<<":
-            return int(left) << (int(right) % 64)
-        if op == ">>":
-            return int(left) >> (int(right) % 64)
-        raise KernelRuntimeError(f"unsupported binary operator {op!r}")
-
-    def _apply_vector_binary(self, op: str, left, right):
-        vector = left if isinstance(left, VectorValue) else right
-        width = vector.width
-        kind = vector.element_kind
-        left_values = left.values if isinstance(left, VectorValue) else [left] * width
-        right_values = right.values if isinstance(right, VectorValue) else [right] * width
-        results = [self._apply_binary(op, a, b) for a, b in zip(left_values, right_values)]
-        if op in ("==", "!=", "<", ">", "<=", ">="):
-            return VectorValue("int", [int(bool(r)) for r in results])
-        return VectorValue(kind, results)
+        return apply_binary(op, left, right)
 
     def _eval_unary(self, expression: ast.UnaryOp, item: _WorkItem, group_index: int):
         op = expression.op
@@ -712,12 +580,7 @@ class KernelInterpreter:
 
     def _store_to(self, target: ast.Expression, value, item: _WorkItem, group_index: int) -> None:
         if isinstance(target, ast.Identifier):
-            existing = item.env.get(target.name)
-            if isinstance(existing, float) and isinstance(value, int):
-                value = float(value)
-            elif isinstance(existing, int) and isinstance(value, float) and not isinstance(existing, bool):
-                value = int(value)
-            item.env[target.name] = value
+            store_to_identifier(item.env, target.name, value)
             return
         if isinstance(target, ast.Index):
             base = self._eval(target.base, item, group_index)
@@ -748,13 +611,7 @@ class KernelInterpreter:
 
     @staticmethod
     def _as_index(value) -> int:
-        if isinstance(value, VectorValue):
-            return int(value.values[0]) if value.values else 0
-        if isinstance(value, float):
-            return int(value)
-        if isinstance(value, Buffer):
-            return 0
-        return int(value)
+        return as_index(value)
 
     def _resolve_location(self, expression: ast.Expression, item: _WorkItem, group_index: int):
         """Resolve an lvalue to a (buffer, index) pair, used by atomics."""
@@ -821,19 +678,7 @@ class KernelInterpreter:
 
     @staticmethod
     def _eval_sizeof(expression: ast.SizeOf) -> int:
-        sizes = {"char": 1, "uchar": 1, "short": 2, "ushort": 2, "half": 2, "int": 4,
-                 "uint": 4, "float": 4, "long": 8, "ulong": 8, "double": 8, "size_t": 8}
-        name = expression.target_type_name.rstrip("*")
-        if expression.target_type_name.endswith("*"):
-            return 8
-        for type_name, size in sizes.items():
-            if name.startswith(type_name):
-                suffix = name[len(type_name):]
-                if suffix.isdigit():
-                    return size * int(suffix)
-                if not suffix:
-                    return size
-        return 4
+        return eval_sizeof(expression.target_type_name)
 
     # ------------------------------------------------------------------
     # Calls.
@@ -908,27 +753,7 @@ class KernelInterpreter:
         buffer, index = location
         old = buffer.load(index)
         operation = name.replace("atomic_", "").replace("atom_", "")
-        if operation == "add":
-            new = old + operand
-        elif operation == "sub":
-            new = old - operand
-        elif operation == "inc":
-            new = old + 1
-        elif operation == "dec":
-            new = old - 1
-        elif operation == "xchg":
-            new = operand
-        elif operation == "min":
-            new = min(old, operand)
-        elif operation == "max":
-            new = max(old, operand)
-        elif operation == "and":
-            new = int(old) & int(operand)
-        elif operation == "or":
-            new = int(old) | int(operand)
-        elif operation == "xor":
-            new = int(old) ^ int(operand)
-        elif operation == "cmpxchg":
+        if operation == "cmpxchg":
             compare = operand
             value = (
                 self._eval(expression.arguments[2], item, group_index)
@@ -937,7 +762,7 @@ class KernelInterpreter:
             )
             new = value if old == compare else old
         else:
-            new = old
+            new = apply_atomic(operation, old, operand)
         buffer.store(index, new)
         return old
 

@@ -1,0 +1,272 @@
+"""Shared runtime value semantics for the two kernel execution engines.
+
+The tree-walking :mod:`repro.execution.interpreter` and the closure-based
+:mod:`repro.execution.compiler` must agree bit-for-bit on every scalar,
+vector and pointer operation — the differential test suite asserts identical
+buffer contents and :class:`ExecutionStats` across both engines.  Keeping
+the operator semantics in one module makes that agreement structural rather
+than coincidental.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.clc.types import PointerType, VectorType
+from repro.errors import KernelRuntimeError
+from repro.execution.memory import Buffer
+from repro.execution.values import VectorValue
+
+
+#: Sentinel yielded by work-item coroutines at work-group barriers.
+BARRIER = object()
+
+
+class ReturnSignal(Exception):
+    """Raised to unwind a ``return`` statement."""
+
+    def __init__(self, value=None):
+        self.value = value
+
+
+class BreakSignal(Exception):
+    """Raised to unwind a ``break`` statement."""
+
+
+class ContinueSignal(Exception):
+    """Raised to unwind a ``continue`` statement."""
+
+
+#: Identifiers resolved as built-in constants when not bound in the
+#: environment (OpenCL limits/math constants plus C spellings).
+CONSTANTS = {
+    "CLK_LOCAL_MEM_FENCE": 1,
+    "CLK_GLOBAL_MEM_FENCE": 2,
+    "M_PI": 3.141592653589793,
+    "M_PI_F": 3.1415927,
+    "M_E": 2.718281828459045,
+    "M_E_F": 2.7182817,
+    "MAXFLOAT": 3.402823e38,
+    "FLT_MAX": 3.402823e38,
+    "FLT_MIN": 1.175494e-38,
+    "FLT_EPSILON": 1.192093e-07,
+    "DBL_MAX": 1.7976931348623157e308,
+    "DBL_MIN": 2.2250738585072014e-308,
+    "INFINITY": float("inf"),
+    "HUGE_VALF": float("inf"),
+    "NAN": float("nan"),
+    "INT_MAX": 2**31 - 1,
+    "INT_MIN": -(2**31),
+    "UINT_MAX": 2**32 - 1,
+    "LONG_MAX": 2**63 - 1,
+    "LONG_MIN": -(2**63),
+    "ULONG_MAX": 2**64 - 1,
+    "CHAR_MAX": 127,
+    "CHAR_MIN": -128,
+    "true": 1,
+    "false": 0,
+    "NULL": 0,
+}
+
+_FLOAT_KINDS = ("float", "double", "half")
+_SCALAR_KINDS = ("float", "double", "int", "uint", "long", "ulong", "char",
+                 "uchar", "short", "ushort", "half", "size_t", "bool")
+_INT_KINDS = ("int", "uint", "long", "ulong", "short", "ushort", "char",
+              "uchar", "size_t", "bool")
+
+_TYPE_SIZES = {"char": 1, "uchar": 1, "short": 2, "ushort": 2, "half": 2, "int": 4,
+               "uint": 4, "float": 4, "long": 8, "ulong": 8, "double": 8, "size_t": 8}
+
+
+def truthy(value) -> bool:
+    """C truthiness over runtime values (vectors: any non-zero lane)."""
+    if isinstance(value, VectorValue):
+        return any(v != 0 for v in value.values)
+    if isinstance(value, Buffer):
+        return True
+    return bool(value)
+
+
+def as_index(value) -> int:
+    """Collapse a runtime value to a buffer index."""
+    if isinstance(value, VectorValue):
+        return int(value.values[0]) if value.values else 0
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, Buffer):
+        return 0
+    return int(value)
+
+
+def apply_binary(op: str, left, right):
+    """Evaluate binary operator *op* over already-evaluated operands."""
+    if isinstance(left, Buffer) or isinstance(right, Buffer):
+        # Pointer arithmetic: keep the buffer, ignore the offset (accesses
+        # are clamped anyway).  Comparisons on pointers return 0/1.
+        if op in ("==", "!="):
+            return 1 if (left is right) == (op == "==") else 0
+        return left if isinstance(left, Buffer) else right
+
+    if isinstance(left, VectorValue) or isinstance(right, VectorValue):
+        return apply_vector_binary(op, left, right)
+
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        result = {
+            "==": left == right,
+            "!=": left != right,
+            "<": left < right,
+            ">": left > right,
+            "<=": left <= right,
+            ">=": left >= right,
+        }[op]
+        return 1 if result else 0
+
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            if isinstance(left, float) or isinstance(right, float):
+                return float("inf") if left > 0 else float("-inf") if left < 0 else float("nan")
+            return 0
+        if isinstance(left, int) and isinstance(right, int):
+            return int(left / right)
+        return left / right
+    if op == "%":
+        if right == 0:
+            return 0
+        if isinstance(left, int) and isinstance(right, int):
+            return left - int(left / right) * right
+        return math.fmod(left, right)
+    if op == "&":
+        return int(left) & int(right)
+    if op == "|":
+        return int(left) | int(right)
+    if op == "^":
+        return int(left) ^ int(right)
+    if op == "<<":
+        return int(left) << (int(right) % 64)
+    if op == ">>":
+        return int(left) >> (int(right) % 64)
+    raise KernelRuntimeError(f"unsupported binary operator {op!r}")
+
+
+def apply_vector_binary(op: str, left, right):
+    """Element-wise binary operator with scalar broadcasting."""
+    vector = left if isinstance(left, VectorValue) else right
+    width = vector.width
+    kind = vector.element_kind
+    left_values = left.values if isinstance(left, VectorValue) else [left] * width
+    right_values = right.values if isinstance(right, VectorValue) else [right] * width
+    results = [apply_binary(op, a, b) for a, b in zip(left_values, right_values)]
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        return VectorValue("int", [int(bool(r)) for r in results])
+    return VectorValue(kind, results)
+
+
+def element_kind_of(declarator) -> tuple[str, int]:
+    """Element kind and vector width implied by a declarator's type."""
+    declared = declarator.declared_type
+    if isinstance(declared, PointerType):
+        declared = declared.pointee
+    if isinstance(declared, VectorType):
+        return declared.element.kind, declared.width
+    text = str(declared) if declared is not None else "float"
+    return (text if text in _SCALAR_KINDS else "float", 1)
+
+
+def coerce_declared(declarator, value):
+    """Coerce an initializer value to a declarator's declared scalar type."""
+    declared = declarator.declared_type
+    if isinstance(declared, VectorType):
+        if isinstance(value, VectorValue):
+            return value
+        return VectorValue.broadcast(declared.element.kind, declared.width, value or 0)
+    if isinstance(declared, PointerType) or isinstance(value, (Buffer, VectorValue)):
+        return value
+    text = str(declared) if declared is not None else "int"
+    if text in _FLOAT_KINDS:
+        return float(value or 0)
+    if text in _INT_KINDS:
+        if isinstance(value, float):
+            return int(value)
+        return int(value or 0)
+    return value
+
+
+def eval_sizeof(type_name: str) -> int:
+    """``sizeof`` over the OpenCL scalar/vector type spelling *type_name*."""
+    name = type_name.rstrip("*")
+    if type_name.endswith("*"):
+        return 8
+    for base_name, size in _TYPE_SIZES.items():
+        if name.startswith(base_name):
+            suffix = name[len(base_name):]
+            if suffix.isdigit():
+                return size * int(suffix)
+            if not suffix:
+                return size
+    return 4
+
+
+def lookup_constant_or_zero(name: str):
+    """Fallback resolution for identifiers unbound at runtime.
+
+    Built-in OpenCL constants resolve to their value; anything else behaves
+    like an uninitialised register (should have been caught statically).
+    """
+    return CONSTANTS.get(name, 0)
+
+
+def store_to_identifier(env: dict, name: str, value) -> None:
+    """Assign *value* to *name*, preserving the slot's int/float flavour."""
+    existing = env.get(name)
+    if isinstance(existing, float) and isinstance(value, int):
+        value = float(value)
+    elif isinstance(existing, int) and isinstance(value, float) and not isinstance(existing, bool):
+        value = int(value)
+    env[name] = value
+
+
+def apply_atomic(operation: str, old, operand):
+    """New cell value for atomic *operation* (cmpxchg handled by callers)."""
+    if operation == "add":
+        return old + operand
+    if operation == "sub":
+        return old - operand
+    if operation == "inc":
+        return old + 1
+    if operation == "dec":
+        return old - 1
+    if operation == "xchg":
+        return operand
+    if operation == "min":
+        return min(old, operand)
+    if operation == "max":
+        return max(old, operand)
+    if operation == "and":
+        return int(old) & int(operand)
+    if operation == "or":
+        return int(old) | int(operand)
+    if operation == "xor":
+        return int(old) ^ int(operand)
+    return old
+
+
+def collect_memory_stats(stats, pool, group_locals: dict) -> None:
+    """Fold per-buffer access counters into *stats* (shared by both engines)."""
+    for buffer in pool.buffers.values():
+        if buffer.address_space == "global":
+            stats.global_reads += buffer.stats.reads
+            stats.global_writes += buffer.stats.writes
+        elif buffer.address_space == "local":
+            stats.local_accesses += buffer.stats.reads + buffer.stats.writes
+        else:
+            stats.private_accesses += buffer.stats.reads + buffer.stats.writes
+        stats.out_of_bounds_accesses += buffer.stats.out_of_bounds
+    for buffer in group_locals.values():
+        if isinstance(buffer, Buffer):
+            stats.local_accesses += buffer.stats.reads + buffer.stats.writes

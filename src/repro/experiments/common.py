@@ -9,6 +9,7 @@ the benchmark harness regenerates the full-size experiments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.corpus.corpus import Corpus
@@ -111,17 +112,33 @@ def measure_suites(config: ExperimentConfig, suites: list[str] | None = None) ->
     return data
 
 
-def build_clgen(config: ExperimentConfig) -> CLgen:
-    """Mine the synthetic GitHub corpus and train a CLgen instance."""
+def _record_timing(timings: dict[str, float] | None, phase: str, seconds: float) -> None:
+    if timings is not None:
+        timings[phase] = timings.get(phase, 0.0) + seconds
+
+
+def build_clgen(config: ExperimentConfig, timings: dict[str, float] | None = None) -> CLgen:
+    """Mine the synthetic GitHub corpus and train a CLgen instance.
+
+    When *timings* is given, wall-clock seconds for the ``preprocess`` and
+    ``train`` phases are accumulated into it (used by the benchmark harness
+    to emit its per-phase perf snapshot).
+    """
+    started = time.perf_counter()
     corpus = Corpus.mine_and_build(
         repository_count=config.corpus_repository_count, seed=config.seed
     )
-    return CLgen.from_corpus(
+    _record_timing(timings, "preprocess", time.perf_counter() - started)
+
+    started = time.perf_counter()
+    clgen = CLgen.from_corpus(
         corpus,
         backend="ngram",
         ngram_order=config.ngram_order,
         sampler_config=SamplerConfig(temperature=config.sampler_temperature),
     )
+    _record_timing(timings, "train", time.perf_counter() - started)
+    return clgen
 
 
 def synthesize_and_measure(
@@ -129,11 +146,22 @@ def synthesize_and_measure(
     data: ExperimentData,
     clgen: CLgen | None = None,
     count: int | None = None,
+    timings: dict[str, float] | None = None,
 ) -> ExperimentData:
-    """Generate CLgen kernels and measure them as training-only observations."""
-    clgen = clgen or build_clgen(config)
+    """Generate CLgen kernels and measure them as training-only observations.
+
+    When *timings* is given, wall-clock seconds for the ``sample`` (kernel
+    synthesis) and ``execute`` (driver measurement) phases are accumulated
+    into it.
+    """
+    clgen = clgen or build_clgen(config, timings=timings)
     count = count or config.synthetic_kernel_count
+
+    started = time.perf_counter()
     result = clgen.generate_kernels(count, seed=config.seed, max_attempts_per_kernel=40)
+    _record_timing(timings, "sample", time.perf_counter() - started)
+
+    started = time.perf_counter()
     driver = make_driver(config)
     # The paper's host driver synthesizes payloads spanning 128B–130MB; give
     # the synthetic kernels a spread of dataset scales for the same effect.
@@ -146,6 +174,8 @@ def synthesize_and_measure(
         )
         if measurement is not None:
             measurements.append(measurement)
+    _record_timing(timings, "execute", time.perf_counter() - started)
+
     data.synthesis = result
     data.synthetic_measurements = measurements
     data.corpus = clgen.corpus

@@ -314,6 +314,17 @@ class LSTMLanguageModel(LanguageModel):
         sampler.feed(context)
         return sampler
 
+    def make_batch_sampler(self, context: str = "", batch_size: int = 1) -> "LSTMBatchSamplerState":
+        """A stateful sampler advancing *batch_size* chains in lock-step.
+
+        All chains share *context*; each forward pass moves every chain one
+        character through :meth:`_step_forward` as a single ``(N, vocab)``
+        batch, amortizing the matrix products that dominate sampling cost.
+        """
+        sampler = LSTMBatchSamplerState(self, batch_size)
+        sampler.feed(context)
+        return sampler
+
     # ------------------------------------------------------------------
     # Serialization.
     # ------------------------------------------------------------------
@@ -363,3 +374,79 @@ class LSTMSamplerState:
         character = self._model.vocabulary.character(index) or " "
         self.feed(character)
         return character
+
+
+def _apply_temperature_rows(distributions: np.ndarray, temperature: float) -> np.ndarray:
+    """Row-wise :func:`repro.model.backend.apply_temperature` over ``(N, vocab)``."""
+    if temperature == 1.0:
+        return distributions
+    temperature = max(temperature, 1e-3)
+    logits = np.log(np.maximum(distributions, 1e-12)) / temperature
+    logits -= logits.max(axis=1, keepdims=True)
+    out = np.exp(logits)
+    return out / out.sum(axis=1, keepdims=True)
+
+
+class LSTMBatchSamplerState:
+    """Incremental sampling state for N synthesis chains advanced together.
+
+    The single-chain :class:`LSTMSamplerState` pays one full forward pass
+    per character per candidate; here N candidates share each forward pass.
+    Chains that finish early are dropped with :meth:`compact` so the batch
+    shrinks as candidates complete.
+    """
+
+    def __init__(self, model: LSTMLanguageModel, batch_size: int):
+        if batch_size < 1:
+            raise ModelError("batch size must be positive")
+        self._model = model
+        self._batch_size = batch_size
+        self._state = model.zero_state(batch_size)
+        vocabulary_size = model.vocabulary.size
+        self._distribution = np.full((batch_size, vocabulary_size), 1.0 / vocabulary_size)
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def feed(self, text: str) -> None:
+        """Advance every chain's hidden state over the shared *text*."""
+        vocabulary = self._model.vocabulary
+        for character in text:
+            x = np.zeros((self._batch_size, vocabulary.size))
+            x[:, vocabulary.index(character)] = 1.0
+            probabilities, self._state, _ = self._model._step_forward(x, self._state)
+            self._distribution = probabilities
+
+    def next_distribution(self) -> np.ndarray:
+        """The ``(N, vocab)`` distribution over each chain's next character."""
+        return self._distribution
+
+    def sample(self, rng: random.Random, temperature: float = 1.0) -> list[str]:
+        """Draw one character per chain and advance all chains one step."""
+        distributions = _apply_temperature_rows(self._distribution, temperature)
+        cumulative = np.cumsum(distributions, axis=1)
+        vocabulary = self._model.vocabulary
+        characters: list[str] = []
+        indices = np.empty(self._batch_size, dtype=np.int64)
+        for row in range(self._batch_size):
+            draw = rng.random() * cumulative[row, -1]
+            index = int(np.searchsorted(cumulative[row], draw, side="right"))
+            index = min(index, vocabulary.size - 1)
+            character = vocabulary.character(index) or " "
+            characters.append(character)
+            indices[row] = vocabulary.index(character)
+        x = np.zeros((self._batch_size, vocabulary.size))
+        x[np.arange(self._batch_size), indices] = 1.0
+        probabilities, self._state, _ = self._model._step_forward(x, self._state)
+        self._distribution = probabilities
+        return characters
+
+    def compact(self, keep: list[int]) -> None:
+        """Retain only the chains at positions *keep* (in order)."""
+        if len(keep) == self._batch_size:
+            return
+        rows = np.asarray(keep, dtype=np.int64)
+        self._state = [(h[rows], c[rows]) for h, c in self._state]
+        self._distribution = self._distribution[rows]
+        self._batch_size = len(keep)

@@ -11,17 +11,21 @@ the LSTM.
 
 from __future__ import annotations
 
+import random
 from collections import Counter, defaultdict
 
 import numpy as np
 
 from repro.errors import ModelError
-from repro.model.backend import LanguageModel, TrainingSummary
+from repro.model.backend import LanguageModel, TrainingSummary, apply_temperature
 from repro.model.vocabulary import CharacterVocabulary
 
 
 class NgramLanguageModel(LanguageModel):
     """Character n-gram model with stupid-backoff smoothing."""
+
+    #: Bound on the per-model memo tables (contexts seen during sampling).
+    _CACHE_LIMIT = 65_536
 
     def __init__(self, order: int = 10, backoff_factor: float = 0.4):
         if order < 2:
@@ -32,6 +36,12 @@ class NgramLanguageModel(LanguageModel):
         #: counts[k] maps a context string of length k to a Counter of next chars.
         self._counts: list[dict[str, Counter]] = []
         self._trained = False
+        #: context tail -> distribution; (tail, temperature) -> cumulative
+        #: weights.  The model is immutable once trained and code contexts
+        #: repeat constantly, so memoizing the back-off walk turns sampling
+        #: from O(order * vocab) per character into a dict hit + bisect.
+        self._distribution_cache: dict[str, np.ndarray] = {}
+        self._cumulative_cache: dict[tuple[str, float], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Training.
@@ -42,6 +52,8 @@ class NgramLanguageModel(LanguageModel):
             raise ModelError("cannot train on empty text")
         self.vocabulary = CharacterVocabulary.from_text(text)
         self._counts = [defaultdict(Counter) for _ in range(self.order)]
+        self._distribution_cache = {}
+        self._cumulative_cache = {}
         for position, character in enumerate(text):
             for context_length in range(self.order):
                 if position < context_length:
@@ -99,6 +111,47 @@ class NgramLanguageModel(LanguageModel):
         return distribution / total
 
     # ------------------------------------------------------------------
+    # Fast stateful sampling.
+    # ------------------------------------------------------------------
+
+    def _tail_of(self, context: str) -> str:
+        """The context suffix that actually determines the distribution."""
+        max_context = self.order - 1
+        return context[len(context) - max_context :] if len(context) > max_context else context
+
+    def _cached_distribution(self, tail: str) -> np.ndarray:
+        distribution = self._distribution_cache.get(tail)
+        if distribution is None:
+            distribution = self.next_distribution(tail)
+            if len(self._distribution_cache) >= self._CACHE_LIMIT:
+                self._distribution_cache.clear()
+            self._distribution_cache[tail] = distribution
+        return distribution
+
+    def _cached_cumulative(self, tail: str, temperature: float) -> np.ndarray:
+        key = (tail, temperature)
+        cumulative = self._cumulative_cache.get(key)
+        if cumulative is None:
+            distribution = apply_temperature(self._cached_distribution(tail), temperature)
+            cumulative = np.cumsum(distribution)
+            if len(self._cumulative_cache) >= self._CACHE_LIMIT:
+                self._cumulative_cache.clear()
+            self._cumulative_cache[key] = cumulative
+        return cumulative
+
+    def make_sampler(self, context: str = "") -> "NgramSamplerState":
+        """A stateful sampler primed with *context*.
+
+        Avoids re-deriving the back-off distribution for contexts already
+        visited this process — in normalized OpenCL the same few thousand
+        contexts recur across all candidates, so sampling becomes a memo
+        lookup plus one binary search per character.
+        """
+        if not self._trained:
+            raise ModelError("model has not been trained")
+        return NgramSamplerState(self, context)
+
+    # ------------------------------------------------------------------
     # Serialization.
     # ------------------------------------------------------------------
 
@@ -127,3 +180,37 @@ class NgramLanguageModel(LanguageModel):
             model._counts.append(restored)
         model._trained = True
         return model
+
+
+class NgramSamplerState:
+    """Incremental sampling state over a trained n-gram model."""
+
+    def __init__(self, model: NgramLanguageModel, context: str = ""):
+        self._model = model
+        self._tail = model._tail_of(context)
+
+    def feed(self, text: str) -> None:
+        self._tail = self._model._tail_of(self._tail + text)
+
+    def next_distribution(self) -> np.ndarray:
+        return self._model._cached_distribution(self._tail)
+
+    def sample(self, rng: random.Random, temperature: float = 1.0) -> str:
+        model = self._model
+        cumulative = model._cached_cumulative(self._tail, temperature)
+        draw = rng.random() * cumulative[-1]
+        index = int(np.searchsorted(cumulative, draw, side="right"))
+        index = min(index, model.vocabulary.size - 1)
+        character = model.vocabulary.character(index)
+        if not character:
+            # Unknown symbol sampled: fall back to the most likely real
+            # character (mirrors LanguageModel.sample_next).
+            distribution = model._cached_distribution(self._tail)
+            for candidate in np.argsort(distribution)[::-1]:
+                character = model.vocabulary.character(int(candidate))
+                if character:
+                    break
+            else:
+                character = " "
+        self.feed(character)
+        return character

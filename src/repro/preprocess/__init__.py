@@ -5,8 +5,14 @@ rewriter (Figure 5) and the end-to-end preprocessing pipeline that turns
 mined content files into the language corpus.
 """
 
+from repro.preprocess.cache import (
+    GLOBAL_PREPROCESS_CACHE,
+    PreprocessCache,
+    resolve_cache,
+)
 from repro.preprocess.pipeline import (
     CorpusStatistics,
+    FileOutcome,
     PipelineResult,
     PreprocessingPipeline,
     discard_rate_with_and_without_shim,
@@ -36,7 +42,11 @@ from repro.preprocess.shim import (
 __all__ = [
     "CodeRewriter",
     "CorpusStatistics",
+    "FileOutcome",
+    "GLOBAL_PREPROCESS_CACHE",
     "PipelineResult",
+    "PreprocessCache",
+    "resolve_cache",
     "PreprocessingPipeline",
     "RejectionFilter",
     "RejectionReason",

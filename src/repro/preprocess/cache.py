@@ -1,0 +1,163 @@
+"""Content-addressable caching of per-file preprocessing outcomes.
+
+Rejection filtering and rewriting are pure functions of ``(content file,
+pipeline configuration)``, and corpus builds repeat the same content files
+constantly — unit tests mine the same synthetic repositories dozens of
+times, the benchmark harness rebuilds the corpus per session, and shim
+ablations run the pipeline twice over identical inputs.  Keying outcomes by
+a content hash makes every repeat near-free.
+
+Two layers:
+
+* an in-process bounded LRU, always on (shared process-wide), and
+* an optional on-disk store (one pickle per entry, sharded by hash prefix)
+  enabled by passing ``directory=`` or setting the
+  ``REPRO_PREPROCESS_CACHE_DIR`` environment variable, which makes repeated
+  corpus builds cheap *across* processes (benchmarks, experiments, CI).
+
+Disk entries embed a schema version; unreadable or stale entries are
+silently recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+#: Bump when the cached record layout or pipeline semantics change.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_directory() -> str | None:
+    """The on-disk cache location from the environment, if configured."""
+    return os.environ.get("REPRO_PREPROCESS_CACHE_DIR") or None
+
+
+def outcome_key(
+    text: str,
+    use_shim: bool,
+    rename_identifiers: bool,
+    min_static_instructions: int,
+) -> str:
+    """Content-address of one (file, configuration) preprocessing outcome."""
+    tag = (
+        f"v{CACHE_SCHEMA_VERSION}|shim={int(use_shim)}|rename={int(rename_identifiers)}"
+        f"|min={min_static_instructions}|"
+    )
+    digest = hashlib.sha1()
+    digest.update(tag.encode("ascii"))
+    digest.update(text.encode("utf-8", "replace"))
+    return digest.hexdigest()
+
+
+class PreprocessCache:
+    """Bounded in-memory LRU with an optional on-disk mirror."""
+
+    def __init__(self, directory: str | None = None, memory_entries: int = 8192):
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self._memory_entries = memory_entries
+        self._lock = threading.Lock()
+        self._directory = Path(directory) if directory else None
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str):
+        """The cached record for *key*, or ``None``."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return self._memory[key]
+        record = self._read_disk(key)
+        if record is not None:
+            with self._lock:
+                self.hits += 1
+                self._remember(key, record)
+            return record
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, record) -> None:
+        with self._lock:
+            self._remember(key, record)
+        self._write_disk(key, record)
+
+    def _remember(self, key: str, record) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path | None:
+        if self._directory is None:
+            return None
+        return self._directory / key[:2] / f"{key}.pkl"
+
+    def _read_disk(self, key: str):
+        path = self._entry_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                version, record = pickle.load(handle)
+        except Exception:
+            return None
+        if version != CACHE_SCHEMA_VERSION:
+            return None
+        return record
+
+    def _write_disk(self, key: str, record) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(temp, "wb") as handle:
+                pickle.dump((CACHE_SCHEMA_VERSION, record), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp, path)
+        except Exception:
+            # Disk caching is best-effort; never fail a corpus build over it.
+            return
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: Process-wide in-memory cache shared by every pipeline instance.  The
+#: on-disk layer is attached per-pipeline (directory may differ per caller).
+GLOBAL_PREPROCESS_CACHE = PreprocessCache(directory=None)
+
+_DIRECTORY_CACHES: dict[str, PreprocessCache] = {}
+_DIRECTORY_LOCK = threading.Lock()
+
+
+def resolve_cache(directory: str | None = None) -> PreprocessCache:
+    """The cache instance for *directory* (or the env-configured default).
+
+    Without a directory this is the shared in-memory cache; with one, a
+    per-directory singleton so the in-memory layer is still shared between
+    pipelines pointing at the same store.
+    """
+    directory = directory or default_cache_directory()
+    if directory is None:
+        return GLOBAL_PREPROCESS_CACHE
+    directory = os.path.abspath(directory)
+    with _DIRECTORY_LOCK:
+        cache = _DIRECTORY_CACHES.get(directory)
+        if cache is None:
+            cache = PreprocessCache(directory=directory)
+            _DIRECTORY_CACHES[directory] = cache
+        return cache

@@ -5,12 +5,27 @@ GitHub flow through the rejection filter and the code rewriter to produce
 the final language corpus of normalized kernel functions, together with the
 statistics reported in §4.1 (discard rates with and without the shim,
 line counts, kernel counts, vocabulary reduction).
+
+Per-file work (rejection check + rewrite) is a pure function of the file
+text and the pipeline configuration, so it is
+
+* **cached** content-addressably (in-process always, on disk when
+  configured — see :mod:`repro.preprocess.cache`), making repeated corpus
+  builds near-free, and
+* **parallelizable** across a ``multiprocessing`` pool (``jobs=`` or the
+  ``REPRO_PREPROCESS_JOBS`` environment variable) for cold builds of large
+  corpora.
+
+Statistics are folded from the per-file outcomes in input order, so cached,
+parallel and serial runs produce byte-identical results.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
+from repro.preprocess.cache import PreprocessCache, outcome_key, resolve_cache
 from repro.preprocess.rejection import RejectionFilter, RejectionReason, RejectionResult
 from repro.preprocess.rewriter import CodeRewriter, bag_of_words_vocabulary
 
@@ -45,6 +60,32 @@ class CorpusStatistics:
 
 
 @dataclass
+class FileOutcome:
+    """Everything the pipeline needs to know about one processed file.
+
+    This is the unit of caching and of inter-process transfer: compact,
+    picklable, and independent of AST objects.
+    """
+
+    accepted: bool
+    reason_value: str
+    detail: str = ""
+    kernel_count: int = 0
+    content_line_count: int = 0
+    rewritten_text: str | None = None
+    rewritten_line_count: int = 0
+    original_vocabulary: frozenset[str] = frozenset()
+    rewritten_vocabulary: frozenset[str] = frozenset()
+
+    def to_rejection_result(self) -> RejectionResult:
+        return RejectionResult(
+            accepted=self.accepted,
+            reason=RejectionReason(self.reason_value),
+            detail=self.detail,
+        )
+
+
+@dataclass
 class PipelineResult:
     """Output of a full preprocessing run."""
 
@@ -53,59 +94,125 @@ class PipelineResult:
     rejections: list[RejectionResult]
 
 
+# ---------------------------------------------------------------------------
+# Worker-side processing (module level so multiprocessing can pickle it).
+# ---------------------------------------------------------------------------
+
+_WORKER_PROCESSOR = None
+
+
+def _init_worker(use_shim: bool, rename_identifiers: bool, min_static_instructions: int) -> None:
+    global _WORKER_PROCESSOR
+    _WORKER_PROCESSOR = _FileProcessor(use_shim, rename_identifiers, min_static_instructions)
+
+
+def _process_in_worker(text: str) -> FileOutcome:
+    return _WORKER_PROCESSOR.process(text)
+
+
+class _FileProcessor:
+    """Runs the rejection filter and rewriter over one content file."""
+
+    def __init__(self, use_shim: bool, rename_identifiers: bool, min_static_instructions: int):
+        self.rejection_filter = RejectionFilter(
+            min_static_instructions=min_static_instructions, use_shim=use_shim
+        )
+        self.rewriter = CodeRewriter(rename_identifiers=rename_identifiers)
+
+    def process(self, text: str) -> FileOutcome:
+        result = self.rejection_filter.check(text)
+        kernel_count = (
+            len(result.compilation.kernels) if result.compilation is not None else 0
+        )
+        outcome = FileOutcome(
+            accepted=result.accepted,
+            reason_value=result.reason.value,
+            detail=result.detail,
+            kernel_count=kernel_count,
+            content_line_count=count_lines(text),
+        )
+        if not result.accepted:
+            return outcome
+
+        outcome.original_vocabulary = frozenset(bag_of_words_vocabulary(text))
+        rewritten = self.rewriter.rewrite_or_none(text)
+        if rewritten is not None:
+            outcome.rewritten_text = rewritten.text
+            outcome.rewritten_line_count = count_lines(rewritten.text)
+            outcome.rewritten_vocabulary = frozenset(bag_of_words_vocabulary(rewritten.text))
+        return outcome
+
+
+def _default_jobs() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_PREPROCESS_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 class PreprocessingPipeline:
     """Runs rejection filtering and code rewriting over content files."""
+
+    #: Below this many uncached files a worker pool costs more than it saves.
+    PARALLEL_THRESHOLD = 16
 
     def __init__(
         self,
         use_shim: bool = True,
         rename_identifiers: bool = True,
         min_static_instructions: int = 3,
+        cache: PreprocessCache | None = None,
+        cache_dir: str | None = None,
+        jobs: int | None = None,
     ):
-        self.rejection_filter = RejectionFilter(
-            min_static_instructions=min_static_instructions, use_shim=use_shim
-        )
-        self.rewriter = CodeRewriter(rename_identifiers=rename_identifiers)
+        self.use_shim = use_shim
+        self.rename_identifiers = rename_identifiers
+        self.min_static_instructions = min_static_instructions
+        self.cache = cache if cache is not None else resolve_cache(cache_dir)
+        self.jobs = jobs if jobs is not None else _default_jobs()
+        self._processor = _FileProcessor(use_shim, rename_identifiers, min_static_instructions)
+        self.rejection_filter = self._processor.rejection_filter
+        self.rewriter = self._processor.rewriter
+
+    # ------------------------------------------------------------------
 
     def run(self, content_files: list[str]) -> PipelineResult:
         """Process *content_files* and return the normalized corpus texts."""
+        outcomes = self._outcomes_for(content_files)
+
         statistics = CorpusStatistics()
         statistics.content_files = len(content_files)
-        statistics.content_lines = sum(count_lines(text) for text in content_files)
-
         original_vocabulary: set[str] = set()
         rewritten_vocabulary: set[str] = set()
         corpus_texts: list[str] = []
         rejections: list[RejectionResult] = []
 
-        for text in content_files:
-            result = self.rejection_filter.check(text)
-            rejections.append(result)
-            if not result.accepted:
+        for outcome in outcomes:
+            statistics.content_lines += outcome.content_line_count
+            rejections.append(outcome.to_rejection_result())
+            if not outcome.accepted:
                 statistics.rejected_files += 1
-                reason = result.reason.value
+                reason = outcome.reason_value
                 statistics.rejection_reasons[reason] = (
                     statistics.rejection_reasons.get(reason, 0) + 1
                 )
                 continue
 
             statistics.accepted_files += 1
-            statistics.accepted_lines += count_lines(text)
-            original_vocabulary |= bag_of_words_vocabulary(text)
+            statistics.accepted_lines += outcome.content_line_count
+            original_vocabulary |= outcome.original_vocabulary
 
-            rewritten = self.rewriter.rewrite_or_none(text)
-            if rewritten is None:
+            if outcome.rewritten_text is None:
                 statistics.rejection_reasons["rewriter failure"] = (
                     statistics.rejection_reasons.get("rewriter failure", 0) + 1
                 )
                 continue
 
             statistics.rewritten_files += 1
-            statistics.rewritten_lines += count_lines(rewritten.text)
-            rewritten_vocabulary |= bag_of_words_vocabulary(rewritten.text)
-            if result.compilation is not None:
-                statistics.kernel_functions += len(result.compilation.kernels)
-            corpus_texts.append(rewritten.text)
+            statistics.rewritten_lines += outcome.rewritten_line_count
+            rewritten_vocabulary |= outcome.rewritten_vocabulary
+            statistics.kernel_functions += outcome.kernel_count
+            corpus_texts.append(outcome.rewritten_text)
 
         if statistics.content_files:
             statistics.discard_rate = statistics.rejected_files / statistics.content_files
@@ -115,12 +222,70 @@ class PreprocessingPipeline:
             corpus_texts=corpus_texts, statistics=statistics, rejections=rejections
         )
 
+    # ------------------------------------------------------------------
+
+    def _outcomes_for(self, content_files: list[str]) -> list[FileOutcome]:
+        """Per-file outcomes in input order, consulting the cache first."""
+        keys = [
+            outcome_key(
+                text, self.use_shim, self.rename_identifiers, self.min_static_instructions
+            )
+            for text in content_files
+        ]
+        outcomes: list[FileOutcome | None] = [self.cache.get(key) for key in keys]
+
+        missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
+        if not missing:
+            return outcomes  # type: ignore[return-value]
+
+        # Identical files repeated within one corpus (GitHub forks) only
+        # need processing once.
+        by_key: dict[str, list[int]] = {}
+        for index in missing:
+            by_key.setdefault(keys[index], []).append(index)
+        unique_indices = [indices[0] for indices in by_key.values()]
+
+        fresh = self._process_batch([content_files[i] for i in unique_indices])
+        for index, outcome in zip(unique_indices, fresh):
+            self.cache.put(keys[index], outcome)
+            for duplicate in by_key[keys[index]]:
+                outcomes[duplicate] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def _process_batch(self, texts: list[str]) -> list[FileOutcome]:
+        if self.jobs > 1 and len(texts) >= self.PARALLEL_THRESHOLD:
+            try:
+                return self._process_parallel(texts)
+            except (ImportError, OSError):
+                pass  # no multiprocessing support in this environment
+        return [self._processor.process(text) for text in texts]
+
+    def _process_parallel(self, texts: list[str]) -> list[FileOutcome]:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        chunksize = max(1, len(texts) // (self.jobs * 4))
+        with context.Pool(
+            processes=self.jobs,
+            initializer=_init_worker,
+            initargs=(self.use_shim, self.rename_identifiers, self.min_static_instructions),
+        ) as pool:
+            return pool.map(_process_in_worker, texts, chunksize=chunksize)
+
 
 def preprocess_content_files(
-    content_files: list[str], use_shim: bool = True, rename_identifiers: bool = True
+    content_files: list[str],
+    use_shim: bool = True,
+    rename_identifiers: bool = True,
+    jobs: int | None = None,
 ) -> PipelineResult:
     """Convenience wrapper around :class:`PreprocessingPipeline`."""
-    pipeline = PreprocessingPipeline(use_shim=use_shim, rename_identifiers=rename_identifiers)
+    pipeline = PreprocessingPipeline(
+        use_shim=use_shim, rename_identifiers=rename_identifiers, jobs=jobs
+    )
     return pipeline.run(content_files)
 
 

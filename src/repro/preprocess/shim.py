@@ -212,6 +212,21 @@ def shim_include_resolver(header_name: str) -> str | None:
     return ""
 
 
+_PRELUDE_REGISTERED = False
+
+
 def with_shim(source: str) -> str:
-    """Prepend the shim header to *source* (the rejection filter's view)."""
-    return shim_header_text() + "\n" + source
+    """Prepend the shim header to *source* (the rejection filter's view).
+
+    The first call registers the header as a pre-compiled prelude with the
+    frontend, so the ~3 KB of shim typedefs and macros are preprocessed and
+    parsed once per process instead of once per content file / candidate.
+    """
+    global _PRELUDE_REGISTERED
+    header = shim_header_text() + "\n"
+    if not _PRELUDE_REGISTERED:
+        from repro.clc import register_prelude
+
+        register_prelude(header, include_resolver=shim_include_resolver)
+        _PRELUDE_REGISTERED = True
+    return header + source

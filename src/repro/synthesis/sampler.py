@@ -76,5 +76,60 @@ class KernelSampler:
         return SampledCandidate(text=text, completed=completed, characters_sampled=sampled)
 
     def sample_many(self, seed_text: str, count: int, rng: random.Random) -> list[SampledCandidate]:
-        """Draw *count* independent candidates from the same seed."""
-        return [self.sample(seed_text, rng) for _ in range(count)]
+        """Draw *count* independent candidates from the same seed.
+
+        When the backend exposes a batch sampler (the LSTM), all candidates
+        advance through the network in lock-step as one ``(N, vocab)``
+        batch; otherwise candidates are sampled sequentially.
+        """
+        if count <= 0:
+            return []
+        batch_factory = getattr(self._model, "make_batch_sampler", None)
+        if count == 1 or not callable(batch_factory):
+            return [self.sample(seed_text, rng) for _ in range(count)]
+        return self._sample_batched(seed_text, count, rng, batch_factory)
+
+    def _sample_batched(
+        self, seed_text: str, count: int, rng: random.Random, batch_factory
+    ) -> list[SampledCandidate]:
+        initial_depth = seed_text.count("{") - seed_text.count("}")
+        if initial_depth <= 0:
+            initial_depth = 1
+
+        sampler = batch_factory(seed_text, count)
+        suffixes: list[list[str]] = [[] for _ in range(count)]
+        depths = [initial_depth] * count
+        completed = [False] * count
+        sampled = [0] * count
+        #: Position -> original candidate index for the still-active chains.
+        active = list(range(count))
+
+        steps = 0
+        while active and steps < self.config.max_kernel_length:
+            characters = sampler.sample(rng, self.config.temperature)
+            finished_positions: set[int] = set()
+            for position, character in enumerate(characters):
+                candidate = active[position]
+                suffixes[candidate].append(character)
+                sampled[candidate] += 1
+                if character == "{":
+                    depths[candidate] += 1
+                elif character == "}":
+                    depths[candidate] -= 1
+                    if depths[candidate] <= 0:
+                        completed[candidate] = True
+                        finished_positions.add(position)
+            steps += 1
+            if finished_positions:
+                keep = [p for p in range(len(active)) if p not in finished_positions]
+                sampler.compact(keep)
+                active = [active[p] for p in keep]
+
+        return [
+            SampledCandidate(
+                text=seed_text + "".join(suffixes[index]),
+                completed=completed[index],
+                characters_sampled=sampled[index],
+            )
+            for index in range(count)
+        ]

@@ -1,0 +1,161 @@
+"""Tests for the PR-1 performance infrastructure.
+
+Covers the batched LSTM sampler (lock-step chains must be real samples of
+the same model the sequential sampler uses), the preprocessing result cache
+(in-memory and on-disk) and the multiprocessing pipeline (parallel and
+serial runs must produce byte-identical corpora and statistics).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.model.lstm import LSTMConfig, LSTMLanguageModel
+from repro.preprocess.cache import PreprocessCache, outcome_key
+from repro.preprocess.pipeline import PreprocessingPipeline
+from repro.synthesis.sampler import KernelSampler, SamplerConfig
+
+
+TRAINING_TEXT = (
+    "__kernel void A(__global float* a, __global float* b, const int c) {\n"
+    "  int d = get_global_id(0);\n"
+    "  if (d < c) { a[d] = b[d] + 1.0f; }\n"
+    "}\n"
+) * 8
+
+
+@pytest.fixture(scope="module")
+def tiny_lstm() -> LSTMLanguageModel:
+    model = LSTMLanguageModel(LSTMConfig.test_configuration())
+    model.fit(TRAINING_TEXT)
+    return model
+
+
+class TestBatchSampler:
+    def test_batch_matches_sequential_distribution(self, tiny_lstm):
+        """Feeding the same context must give every chain the sequential
+        sampler's next-character distribution."""
+        context = "__kernel void A("
+        sequential = tiny_lstm.make_sampler(context)
+        batched = tiny_lstm.make_batch_sampler(context, batch_size=5)
+        expected = sequential.next_distribution()
+        batch = batched.next_distribution()
+        assert batch.shape == (5, tiny_lstm.vocabulary.size)
+        for row in range(5):
+            np.testing.assert_allclose(batch[row], expected, rtol=1e-10)
+
+    def test_sampled_characters_come_from_vocabulary(self, tiny_lstm):
+        batched = tiny_lstm.make_batch_sampler("__kernel ", batch_size=4)
+        rng = random.Random(11)
+        for _ in range(8):
+            characters = batched.sample(rng, temperature=0.8)
+            assert len(characters) == 4
+            for character in characters:
+                assert len(character) == 1
+
+    def test_compact_drops_finished_chains(self, tiny_lstm):
+        batched = tiny_lstm.make_batch_sampler("k", batch_size=6)
+        batched.compact([0, 2, 5])
+        assert batched.batch_size == 3
+        assert batched.next_distribution().shape[0] == 3
+        # Sampling still advances the surviving chains.
+        characters = batched.sample(random.Random(0))
+        assert len(characters) == 3
+
+    def test_sample_many_uses_batching_and_completes(self, tiny_lstm):
+        sampler = KernelSampler(
+            tiny_lstm, SamplerConfig(max_kernel_length=400, temperature=0.7)
+        )
+        seed_text = "__kernel void A(__global float* a, __global float* b, const int c) {"
+        candidates = sampler.sample_many(seed_text, 6, random.Random(3))
+        assert len(candidates) == 6
+        for candidate in candidates:
+            assert candidate.text.startswith(seed_text)
+            assert candidate.characters_sampled <= 400
+            if candidate.completed:
+                # Completion is defined by the brace depth returning to zero.
+                body = candidate.text[len(seed_text):]
+                assert body.count("}") >= body.count("{")
+
+    def test_sample_many_zero_and_one(self, tiny_lstm):
+        sampler = KernelSampler(tiny_lstm, SamplerConfig(max_kernel_length=50))
+        assert sampler.sample_many("k {", 0, random.Random(0)) == []
+        only = sampler.sample_many("k {", 1, random.Random(0))
+        assert len(only) == 1
+
+
+ACCEPTED_SOURCE = (
+    "__kernel void foo(__global float* data, const int n) {\n"
+    "  int i = get_global_id(0);\n"
+    "  data[i] = data[i] * 2.0f;\n"
+    "  data[0] = 1.0f; data[1] = 2.0f;\n"
+    "}\n"
+)
+REJECTED_SOURCE = "this is not OpenCL at all {{{"
+
+
+class TestPreprocessCacheAndParallelism:
+    def _inputs(self):
+        variants = [ACCEPTED_SOURCE.replace("2.0f", f"{k}.0f") for k in range(2, 20)]
+        return variants + [REJECTED_SOURCE, ACCEPTED_SOURCE, ACCEPTED_SOURCE]
+
+    def test_serial_and_parallel_runs_agree(self):
+        inputs = self._inputs()
+        serial = PreprocessingPipeline(cache=PreprocessCache(), jobs=1).run(inputs)
+        parallel = PreprocessingPipeline(cache=PreprocessCache(), jobs=2).run(inputs)
+        assert serial.corpus_texts == parallel.corpus_texts
+        assert dataclasses.asdict(serial.statistics) == dataclasses.asdict(parallel.statistics)
+        assert [r.accepted for r in serial.rejections] == [
+            r.accepted for r in parallel.rejections
+        ]
+
+    def test_repeat_run_is_served_from_cache(self):
+        cache = PreprocessCache()
+        pipeline = PreprocessingPipeline(cache=cache)
+        inputs = self._inputs()
+        first = pipeline.run(inputs)
+        hits_before = cache.hits
+        second = pipeline.run(inputs)
+        assert cache.hits >= hits_before + len(inputs)
+        assert second.corpus_texts == first.corpus_texts
+        assert dataclasses.asdict(second.statistics) == dataclasses.asdict(first.statistics)
+
+    def test_disk_cache_survives_new_pipeline_instance(self, tmp_path):
+        directory = tmp_path / "preprocess-cache"
+        first_cache = PreprocessCache(directory=str(directory))
+        PreprocessingPipeline(cache=first_cache).run([ACCEPTED_SOURCE, REJECTED_SOURCE])
+
+        # A fresh cache instance (fresh process, conceptually) reads the
+        # entries back from disk without reprocessing.
+        second_cache = PreprocessCache(directory=str(directory))
+        pipeline = PreprocessingPipeline(cache=second_cache)
+        result = pipeline.run([ACCEPTED_SOURCE, REJECTED_SOURCE])
+        assert second_cache.hits == 2
+        assert second_cache.misses == 0
+        assert result.statistics.accepted_files == 1
+        assert result.statistics.rejected_files == 1
+
+    def test_cache_key_depends_on_configuration(self):
+        with_shim = outcome_key(ACCEPTED_SOURCE, True, True, 3)
+        without_shim = outcome_key(ACCEPTED_SOURCE, False, True, 3)
+        no_rename = outcome_key(ACCEPTED_SOURCE, True, False, 3)
+        higher_bar = outcome_key(ACCEPTED_SOURCE, True, True, 5)
+        assert len({with_shim, without_shim, no_rename, higher_bar}) == 4
+
+    def test_corrupt_disk_entry_is_recomputed(self, tmp_path):
+        directory = tmp_path / "preprocess-cache"
+        cache = PreprocessCache(directory=str(directory))
+        key = outcome_key(ACCEPTED_SOURCE, True, True, 3)
+        pipeline = PreprocessingPipeline(cache=cache)
+        pipeline.run([ACCEPTED_SOURCE])
+        entry = directory / key[:2] / f"{key}.pkl"
+        assert entry.exists()
+        entry.write_bytes(b"garbage")
+
+        fresh = PreprocessCache(directory=str(directory))
+        result = PreprocessingPipeline(cache=fresh).run([ACCEPTED_SOURCE])
+        assert result.statistics.accepted_files == 1

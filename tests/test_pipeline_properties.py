@@ -65,8 +65,8 @@ def test_accepted_kernels_always_have_min_instructions(archetype, seed):
 
 
 @settings(max_examples=15, deadline=None)
-@given(st.integers(min_value=0, max_value=100))
-def test_synthesized_candidates_never_exceed_max_length(seed, clgen):
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_synthesized_candidates_never_exceed_max_length(clgen, seed):
     """Invariant: Algorithm 1 respects its maximum kernel length."""
     from repro.synthesis import ArgumentSpec
 
