@@ -6,10 +6,12 @@ per session at a scale controlled by the ``REPRO_BENCH_SCALE`` environment
 variable: ``quick`` (default, minutes) or ``full`` (paper-scale synthetic
 kernel counts).
 
-The session also emits a perf snapshot, ``BENCH_PR1.json`` at the repo
-root, recording wall-clock seconds per pipeline phase (preprocess, train,
-sample, execute).  See the "Performance" section of ROADMAP.md for how to
-read it and for the benchmark protocol.
+The session also emits a perf snapshot at the repo root — ``BENCH_PR2.json``
+by default, overridable with the ``REPRO_BENCH_OUT`` environment variable so
+each PR's bench run stops clobbering the previous PR's artifact — recording
+wall-clock seconds per pipeline phase (preprocess, train, sample, execute).
+See the "Performance" section of ROADMAP.md for how to read it and for the
+benchmark protocol; ``scripts/bench_compare.py`` diffs two snapshots.
 """
 
 from __future__ import annotations
@@ -31,7 +33,9 @@ from repro.experiments import (
 #: Wall-clock seconds per pipeline phase, accumulated by the session fixtures.
 _PHASE_TIMINGS: dict[str, float] = {}
 
-_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / os.environ.get(
+    "REPRO_BENCH_OUT", "BENCH_PR2.json"
+)
 
 #: Pre-PR-1 reference numbers for the quick-scale synthesize-and-measure
 #: pipeline, measured at commit 4066a81 (the PR-0 tree) on this machine with

@@ -9,6 +9,7 @@ file failed to compile.
 
 from __future__ import annotations
 
+import re
 import sys
 from dataclasses import dataclass
 from enum import Enum, auto
@@ -154,6 +155,26 @@ _PUNCTUATORS = (
 
 _IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _IDENT_CONT = _IDENT_START | frozenset("0123456789")
+
+#: Batched scanners for the hot paths: runs of whitespace and identifier
+#: characters are consumed in one regex match instead of one method call per
+#: character.  ``[^\x00-\x7f]`` mirrors the permissive ``ord(ch) > 127``
+#: identifier rule exactly.
+_WHITESPACE_RE = re.compile(r"[ \t\r\n\f\v]+")
+_IDENTIFIER_RE = re.compile(r"(?:[A-Za-z_]|[^\x00-\x7f])(?:[A-Za-z0-9_]|[^\x00-\x7f])*")
+#: One-match equivalent of the character-by-character number scanner: hex
+#: digits, or decimal digits with an optional fraction and an exponent that
+#: only binds when digits follow, then any run of OpenCL suffixes.
+_NUMBER_RE = re.compile(
+    r"0[xX][0-9a-fA-F]*[uUlLfFhH]*|[0-9]*(?:\.[0-9]*)?(?:[eE][+-]?[0-9]+)?[uUlLfFhH]*"
+)
+
+#: Punctuators bucketed by first character (global longest-first order is
+#: preserved within each bucket, so maximal munch still applies).
+_PUNCTUATORS_BY_FIRST: dict[str, tuple[str, ...]] = {}
+for _punct in _PUNCTUATORS:
+    _PUNCTUATORS_BY_FIRST.setdefault(_punct[0], ())
+    _PUNCTUATORS_BY_FIRST[_punct[0]] += (_punct,)
 _DIGITS = frozenset("0123456789")
 _HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
 # Sets, not strings: ``"" in "uUlL..."`` is True, so testing ``_peek()``
@@ -194,33 +215,33 @@ class Lexer:
 
     def _advance(self, count: int = 1) -> str:
         text = self._source[self._pos : self._pos + count]
-        for ch in text:
-            if ch == "\n":
-                self._line += 1
-                self._column = 1
-            else:
-                self._column += 1
+        newlines = text.count("\n")
+        if newlines:
+            self._line += newlines
+            self._column = len(text) - text.rfind("\n")
+        else:
+            self._column += len(text)
         self._pos += count
         return text
 
     def _skip_whitespace_and_comments(self) -> None:
-        while self._pos < len(self._source):
-            ch = self._peek()
+        source = self._source
+        while self._pos < len(source):
+            ch = source[self._pos]
             if ch in " \t\r\n\f\v":
-                self._advance()
+                match = _WHITESPACE_RE.match(source, self._pos)
+                self._advance(match.end() - self._pos)
             elif ch == "/" and self._peek(1) == "/":
-                while self._pos < len(self._source) and self._peek() != "\n":
-                    self._advance()
+                newline = source.find("\n", self._pos)
+                end = newline if newline != -1 else len(source)
+                self._advance(end - self._pos)
             elif ch == "/" and self._peek(1) == "*":
                 start_line, start_col = self._line, self._column
-                self._advance(2)
-                while self._pos < len(self._source):
-                    if self._peek() == "*" and self._peek(1) == "/":
-                        self._advance(2)
-                        break
-                    self._advance()
-                else:
+                terminator = source.find("*/", self._pos + 2)
+                if terminator == -1:
+                    self._advance(len(source) - self._pos)
                     raise LexerError("unterminated block comment", start_line, start_col)
+                self._advance(terminator + 2 - self._pos)
             elif ch == "\\" and self._peek(1) == "\n":
                 # Line continuation outside of the preprocessor; harmless.
                 self._advance(2)
@@ -253,62 +274,42 @@ class Lexer:
             self._advance()
             return Token(TokenKind.PUNCTUATOR, "#", line, column)
 
-        for punct in _PUNCTUATORS:
+        for punct in _PUNCTUATORS_BY_FIRST.get(ch, ()):
             if self._source.startswith(punct, self._pos):
-                self._advance(len(punct))
+                self._pos += len(punct)
+                self._column += len(punct)
                 return Token(TokenKind.PUNCTUATOR, punct, line, column)
 
         raise LexerError(f"unexpected character {ch!r}", line, column)
 
     def _lex_identifier(self, line: int, column: int) -> Token:
-        start = self._pos
-        while self._pos < len(self._source):
-            ch = self._peek()
-            if ch not in _IDENT_CONT and ord(ch) <= 127:
-                break
-            self._advance()
+        match = _IDENTIFIER_RE.match(self._source, self._pos)
         # Interning collapses the many repeats of each identifier/keyword
         # across a corpus into one string object, cutting parse-time memory
         # and making the dict lookups keyed on token text (parser type
         # table, interpreter environments) pointer-comparison fast.
-        text = sys.intern(self._source[start : self._pos])
+        text = sys.intern(match.group())
+        self._pos = match.end()
+        self._column += len(text)
         kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
         return Token(kind, text, line, column)
 
     def _lex_number(self, line: int, column: int) -> Token:
-        start = self._pos
-        is_float = False
-
-        if self._peek() == "0" and self._peek(1) in ("x", "X"):
-            self._advance(2)
-            while self._peek() in _HEX_DIGITS:
-                self._advance()
+        match = _NUMBER_RE.match(self._source, self._pos)
+        text = match.group()
+        self._pos = match.end()
+        self._column += len(text)
+        if text[:2] in ("0x", "0X"):
+            is_float = False
         else:
-            while self._peek() in _DIGITS:
-                self._advance()
-            if self._peek() == ".":
-                is_float = True
-                self._advance()
-                while self._peek() in _DIGITS:
-                    self._advance()
-            if self._peek() in ("e", "E") and (
-                self._peek(1) in _DIGITS
-                or (self._peek(1) in _SIGNS and self._peek(2) in _DIGITS)
-            ):
-                is_float = True
-                self._advance()
-                if self._peek() in _SIGNS:
-                    self._advance()
-                while self._peek() in _DIGITS:
-                    self._advance()
-
-        # Suffixes: u, U, l, L, f, F, h (half) in any reasonable combination.
-        while self._peek() in _NUMBER_SUFFIXES:
-            if self._peek() in _FLOAT_SUFFIXES:
-                is_float = True
-            self._advance()
-
-        text = self._source[start : self._pos]
+            body = text.rstrip("uUlLfFhH")
+            suffixes = text[len(body):]
+            is_float = (
+                "." in body
+                or "e" in body
+                or "E" in body
+                or any(c in _FLOAT_SUFFIXES for c in suffixes)
+            )
         kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
         return Token(kind, text, line, column)
 

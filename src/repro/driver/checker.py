@@ -66,7 +66,7 @@ class DynamicChecker:
         payload_config: PayloadConfig | None = None,
         epsilon: float = 1e-4,
         max_steps_per_item: int = 50_000,
-        engine: str = "compiled",
+        engine: str = "auto",
     ):
         self.payload_config = payload_config or PayloadConfig()
         self.epsilon = epsilon

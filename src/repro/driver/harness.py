@@ -68,10 +68,18 @@ class DriverConfig:
     payload_seed: int = 0
     max_steps_per_item: int = 50_000
     run_dynamic_check: bool = False
-    #: Execution engine: "compiled" routes through the process-wide
-    #: compilation cache (compile-once, execute-many); "interpreter" forces
-    #: the legacy tree walker.
-    engine: str = "compiled"
+    #: Execution engine: "auto" (default) runs vectorizable kernels on the
+    #: lockstep SIMT tier and everything else (plus dynamic bailouts) on the
+    #: closure engine; "compiled" forces the closure engine; "interpreter"
+    #: forces the legacy tree walker.
+    engine: str = "auto"
+    #: Worker processes for :meth:`HostDriver.measure_many`.  0 (default)
+    #: measures sequentially; the ``REPRO_MEASURE_WORKERS`` environment
+    #: variable supplies a default when unset.  Kernel measurement is
+    #: embarrassingly parallel across *distinct* kernels, so the pool pays
+    #: off for large synthetic batches (workers do not share the in-process
+    #: execution caches).
+    measure_workers: int = 0
     #: Standard deviation of the multiplicative log-normal measurement noise
     #: applied to every runtime estimate.  Real systems are noisy (the paper
     #: averages five repetitions per measurement); a deterministic,
@@ -263,8 +271,24 @@ class HostDriver:
         sources: list[str],
         names: list[str] | None = None,
         dataset_scales: list[float] | None = None,
+        workers: int | None = None,
     ) -> list[KernelMeasurement]:
-        """Measure several kernels, silently skipping failures."""
+        """Measure several kernels, silently skipping failures.
+
+        With ``workers > 1`` (explicit argument, ``DriverConfig.measure_workers``
+        or the ``REPRO_MEASURE_WORKERS`` environment variable) the batch is
+        fanned out over a process pool, one fresh driver per worker; results
+        come back in input order, identical to a sequential run because each
+        measurement is deterministic in (source, config).  Falls back to
+        sequential measurement if the pool cannot be used (e.g. an
+        unpicklable measurement).
+        """
+        workers = self._resolve_workers(workers)
+        if workers > 1 and len(sources) > 1:
+            try:
+                return self._measure_many_parallel(sources, names, dataset_scales, workers)
+            except Exception:
+                pass  # pool/pickling failure: measure in-process instead
         measurements: list[KernelMeasurement] = []
         for index, source in enumerate(sources):
             name = names[index] if names else None
@@ -272,6 +296,47 @@ class HostDriver:
             measurement = self.measure_source(source, name=name, dataset_scale=scale)
             if measurement is not None:
                 measurements.append(measurement)
+        return measurements
+
+    def _resolve_workers(self, workers: int | None) -> int:
+        if workers is not None:
+            return max(workers, 0)
+        if self.config.measure_workers:
+            return max(self.config.measure_workers, 0)
+        import os
+
+        try:
+            return max(int(os.environ.get("REPRO_MEASURE_WORKERS", "0")), 0)
+        except ValueError:
+            return 0
+
+    def _measure_many_parallel(
+        self,
+        sources: list[str],
+        names: list[str] | None,
+        dataset_scales: list[float] | None,
+        workers: int,
+    ) -> list[KernelMeasurement]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [
+            (source, names[index] if names else None,
+             dataset_scales[index] if dataset_scales else None)
+            for index, source in enumerate(sources)
+        ]
+        workers = min(workers, len(jobs))
+        chunk_size = (len(jobs) + workers - 1) // workers
+        chunks = [jobs[at:at + chunk_size] for at in range(0, len(jobs), chunk_size)]
+        # Workers rebuild the driver from its (picklable) configuration; the
+        # worker pool is scoped to the call so no idle processes linger.
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = pool.map(
+                _measure_chunk_worker,
+                [(self.config, self.platforms, chunk) for chunk in chunks],
+            )
+            measurements: list[KernelMeasurement] = []
+            for chunk_result in results:
+                measurements.extend(m for m in chunk_result if m is not None)
         return measurements
 
     def check_useful(self, source: str) -> DynamicCheckResult:
@@ -320,6 +385,16 @@ class HostDriver:
             return compilation.ir.function(kernel_name)
         except KeyError:
             return None
+
+
+def _measure_chunk_worker(task) -> list[KernelMeasurement | None]:
+    """Process-pool entry point: measure a chunk of sources on a fresh driver."""
+    config, platforms, jobs = task
+    driver = HostDriver(platforms=platforms, config=config)
+    return [
+        driver.measure_source(source, name=name, dataset_scale=scale)
+        for source, name, scale in jobs
+    ]
 
 
 def is_useful_benchmark(result: DynamicCheckResult) -> bool:

@@ -68,6 +68,18 @@ class KernelRuntimeError(ExecutionError):
     """The kernel performed an illegal operation (out-of-bounds access, etc.)."""
 
 
+class LockstepBailout(ReproError):
+    """The vectorized (SIMT) execution tier cannot preserve scalar semantics.
+
+    Raised internally when a lockstep execution encounters a construct whose
+    NumPy lowering would diverge from the scalar engines (cross-lane memory
+    hazards, int64 overflow, per-lane type divergence, step-budget overrun).
+    The engine router catches it and transparently re-executes the kernel on
+    the closure engine — the memory pool is untouched at raise time, so the
+    fallback is exact.
+    """
+
+
 class PayloadError(ReproError):
     """The host driver could not construct a payload for a kernel signature."""
 

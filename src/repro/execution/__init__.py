@@ -23,15 +23,22 @@ from repro.execution.cache import (
     cached_compile_source,
     compiled_kernel_for,
     run_kernel,
+    vectorized_kernel_for,
 )
 from repro.execution.compiler import CompiledKernel, compile_kernel
+from repro.execution.vectorizer import (
+    VECTORIZER_STATS,
+    NotVectorizable,
+    VectorizedKernel,
+    try_vectorize,
+)
 from repro.execution.interpreter import (
     ExecutionResult,
     ExecutionStats,
     KernelInterpreter,
 )
 from repro.execution.interpreter import run_kernel as run_kernel_interpreted
-from repro.execution.memory import Buffer, MemoryPool
+from repro.execution.memory import Buffer, LockstepBuffer, MemoryPool
 from repro.execution.ndrange import NDRange
 from repro.execution.values import VectorValue, convert_scalar, values_equal
 
@@ -50,10 +57,16 @@ __all__ = [
     "ExecutionStats",
     "KernelInterpreter",
     "KernelProfile",
+    "LockstepBuffer",
     "MemoryPool",
     "NDRange",
+    "NotVectorizable",
     "Platform",
+    "VECTORIZER_STATS",
     "VectorValue",
+    "VectorizedKernel",
+    "try_vectorize",
+    "vectorized_kernel_for",
     "all_platforms",
     "amd_platform",
     "amd_tahiti_7970",

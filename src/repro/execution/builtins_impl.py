@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
+from repro.errors import LockstepBailout
 from repro.execution.values import VectorValue, convert_scalar
 
 
@@ -276,6 +279,130 @@ def evaluate_builtin(name: str, args: list):
     except TypeError:
         return 0
     raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Lockstep (SIMT) evaluation for the vectorized execution tier.
+# ---------------------------------------------------------------------------
+
+#: Builtins whose NumPy lowering is *provably* bit-identical to the scalar
+#: implementation (IEEE-exact operations only).  Everything else — notably
+#: the transcendentals, whose libm and NumPy implementations are each
+#: correctly rounded only to within an ulp — is applied lane-by-lane with
+#: the very same scalar functions the interpreter uses, which keeps the
+#: differential guarantee structural instead of empirical.
+_LOCKSTEP_EXACT_UNARY = {
+    # _safe(sqrt(abs(x))): sqrt is correctly rounded by IEEE 754 everywhere.
+    "sqrt": lambda x: np.sqrt(np.abs(x)),
+    "native_sqrt": lambda x: np.sqrt(np.abs(x)),
+    "half_sqrt": lambda x: np.sqrt(np.abs(x)),
+    "fabs": np.abs,
+}
+
+#: Ternary fused patterns computed as the same two IEEE operations.
+_LOCKSTEP_EXACT_TERNARY = {
+    "mad": lambda a, b, c: a * b + c,
+    "fma": lambda a, b, c: a * b + c,
+}
+
+#: Rounding builtins whose scalar implementation returns a Python *int*;
+#: their NumPy float results are exact, so only the int conversion needs
+#: guarding (non-finite or beyond-int64 lanes take the per-lane path, which
+#: reproduces the _safe()/overflow behaviour of the scalar engines).
+_LOCKSTEP_EXACT_TO_INT = {
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "trunc": np.trunc,
+}
+
+
+def evaluate_builtin_lockstep(name: str, args: list, mask, n: int):
+    """Evaluate builtin *name* over lane values ``(kind, data)``.
+
+    Returns a ``(kind, data)`` lane value, raises ``KeyError`` for names
+    that are not pure value builtins (mirroring :func:`evaluate_builtin`),
+    and :class:`~repro.errors.LockstepBailout` when the per-lane results
+    cannot be represented as a single-kind lane vector.
+    """
+    from repro.execution import vec_ops
+
+    if name == "printf":
+        return ("i", 0)
+
+    arrays = [data for _, data in args if isinstance(data, np.ndarray)]
+    if not arrays:
+        # All-uniform arguments: one scalar call through the interpreter's
+        # own implementation (exact by construction).
+        result = evaluate_builtin(name, [data for _, data in args])
+        if isinstance(result, VectorValue):
+            raise LockstepBailout(f"builtin {name!r} produced a vector value")
+        return ("f" if isinstance(result, float) else "i", result)
+
+    if len(args) == 1 and name in _LOCKSTEP_EXACT_UNARY:
+        kind, data = args[0]
+        with np.errstate(all="ignore"):
+            return ("f", _LOCKSTEP_EXACT_UNARY[name](vec_ops.to_float_data(kind, data)))
+    if len(args) == 3 and name in _LOCKSTEP_EXACT_TERNARY:
+        columns = [vec_ops.to_float_data(kind, data) for kind, data in args]
+        with np.errstate(all="ignore"):
+            return ("f", _LOCKSTEP_EXACT_TERNARY[name](*columns))
+    if len(args) == 1 and name in _LOCKSTEP_EXACT_TO_INT:
+        kind, data = args[0]
+        values = vec_ops.to_float_data(kind, data)
+        active = values if mask is None else values[mask]
+        if bool(np.isfinite(active).all()) and not np.any(np.abs(active) >= 2.0**63):
+            with np.errstate(all="ignore"):
+                rounded = _LOCKSTEP_EXACT_TO_INT[name](values)
+                if mask is not None:
+                    rounded = np.where(np.isfinite(rounded), rounded, 0.0)
+                return ("i", rounded.astype(np.int64))
+        # Non-finite/huge lanes: the scalar _safe() wrapper turns those into
+        # float 0.0 — mixed-kind territory, let the per-lane path decide.
+
+    # Generic path: apply the scalar implementation lane by lane on the
+    # active lanes, passing plain Python numbers (the exact values the
+    # scalar engines would see).
+    lanes = np.arange(n) if mask is None else np.flatnonzero(mask)
+    columns = []
+    for kind, data in args:
+        if isinstance(data, np.ndarray):
+            columns.append(data[lanes].tolist())
+        else:
+            columns.append([data] * lanes.size)
+    # Resolve the scalar implementation once instead of re-dispatching
+    # through evaluate_builtin for every lane.
+    implementation = _SCALAR_FUNCS.get(name) or _INTEGER_FUNCS.get(name) or _RELATIONAL_FUNCS.get(name)
+    if implementation is not None:
+        try:
+            if len(columns) == 1:
+                results = [implementation(value) for value in columns[0]]
+            else:
+                results = [implementation(*row) for row in zip(*columns)]
+        except TypeError:
+            # Arity/type abuse degrades to 0, like evaluate_builtin.
+            results = [0] * lanes.size
+    else:
+        results = [evaluate_builtin(name, list(row)) for row in zip(*columns)]
+    if not results:
+        return ("i", 0)
+    kinds = {type(r) for r in results}
+    if any(issubclass(t, VectorValue) for t in kinds):
+        raise LockstepBailout(f"builtin {name!r} produced a vector value")
+    if all(issubclass(t, int) for t in kinds):
+        kind, dtype = "i", np.int64
+    elif all(issubclass(t, float) for t in kinds):
+        kind, dtype = "f", np.float64
+    else:
+        raise LockstepBailout(f"builtin {name!r} produced mixed int/float lanes")
+    try:
+        values = np.array(results, dtype=dtype)
+    except (OverflowError, ValueError) as error:
+        raise LockstepBailout(f"builtin {name!r} result exceeds int64") from error
+    if mask is None and lanes.size == n:
+        return (kind, values)
+    out = np.zeros(n, dtype=dtype)
+    out[lanes] = values
+    return (kind, out)
 
 
 _VECTOR_SUFFIXES = ("2", "3", "4", "8", "16")

@@ -27,10 +27,15 @@ import weakref
 from collections import OrderedDict
 
 from repro.clc import ast_nodes as ast
+from repro.errors import LockstepBailout
 from repro.execution.compiler import CompiledKernel
 from repro.execution.interpreter import ExecutionResult, KernelInterpreter
 from repro.execution.memory import MemoryPool
 from repro.execution.ndrange import NDRange
+from repro.execution.vectorizer import VectorizedKernel, try_vectorize
+
+#: Cached marker for "this kernel is outside the lockstep subset".
+_NOT_VECTORIZABLE = object()
 
 
 def _cache_capacity(default: int = 512) -> int:
@@ -41,28 +46,42 @@ def _cache_capacity(default: int = 512) -> int:
 
 
 class CompilationCache:
-    """Bounded, thread-safe cache of compiled kernels."""
+    """Bounded, thread-safe cache of compiled kernel artifacts.
+
+    Two artifact kinds share the cache structure: ``"closure"`` (the
+    :class:`CompiledKernel` engine) and ``"vectorized"`` (the lockstep
+    :class:`VectorizedKernel` tier, where a *not vectorizable* verdict is
+    cached too, so rejected kernels are analysed at most once).
+    """
 
     def __init__(self, max_entries: int | None = None):
         self._max_entries = max_entries or _cache_capacity()
         self._lock = threading.Lock()
-        #: id(unit) -> (weakref-or-None, {(kernel_name, max_steps): CompiledKernel})
+        #: id(unit) -> (weakref-or-None, {(artifact, kernel_name, max_steps): artifact})
         self._by_identity: dict[int, tuple[object, dict]] = {}
-        #: (content_hash, kernel_name, max_steps) -> CompiledKernel  (LRU)
-        self._by_content: OrderedDict[tuple, CompiledKernel] = OrderedDict()
+        #: (content_hash, artifact, kernel_name, max_steps) -> artifact  (LRU)
+        self._by_content: OrderedDict[tuple, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _build(unit, kernel_name, max_steps_per_item, artifact):
+        if artifact == "vectorized":
+            compiled = try_vectorize(unit, kernel_name, max_steps_per_item)
+            return _NOT_VECTORIZABLE if compiled is None else compiled
+        return CompiledKernel(unit, kernel_name, max_steps_per_item)
 
     def get(
         self,
         unit: ast.TranslationUnit,
         kernel_name: str | None = None,
         max_steps_per_item: int = 50_000,
+        artifact: str = "closure",
     ) -> CompiledKernel:
-        """Return a compiled kernel for *unit*, compiling at most once."""
-        key = (kernel_name, max_steps_per_item)
+        """Return a compiled artifact for *unit*, compiling at most once."""
+        key = (artifact, kernel_name, max_steps_per_item)
         unit_id = id(unit)
         with self._lock:
             entry = self._by_identity.get(unit_id)
@@ -72,7 +91,7 @@ class CompilationCache:
                     self.hits += 1
                     return compiled
 
-        compiled = self._get_by_content(unit, kernel_name, max_steps_per_item)
+        compiled = self._get_by_content(unit, kernel_name, max_steps_per_item, artifact)
 
         with self._lock:
             entry = self._by_identity.get(unit_id)
@@ -98,19 +117,19 @@ class CompilationCache:
         except TypeError:
             return None
 
-    def _get_by_content(self, unit, kernel_name, max_steps_per_item) -> CompiledKernel:
+    def _get_by_content(self, unit, kernel_name, max_steps_per_item, artifact):
         digest = self._content_hash(unit)
         if digest is None:
             self.misses += 1
-            return CompiledKernel(unit, kernel_name, max_steps_per_item)
-        key = (digest, kernel_name, max_steps_per_item)
+            return self._build(unit, kernel_name, max_steps_per_item, artifact)
+        key = (digest, artifact, kernel_name, max_steps_per_item)
         with self._lock:
             compiled = self._by_content.get(key)
             if compiled is not None:
                 self._by_content.move_to_end(key)
                 self.hits += 1
                 return compiled
-        compiled = CompiledKernel(unit, kernel_name, max_steps_per_item)
+        compiled = self._build(unit, kernel_name, max_steps_per_item, artifact)
         with self._lock:
             self.misses += 1
             self._by_content[key] = compiled
@@ -154,6 +173,22 @@ def compiled_kernel_for(
 ) -> CompiledKernel:
     """Fetch (or compile) *unit*'s kernel from the process-wide cache."""
     return GLOBAL_COMPILATION_CACHE.get(unit, kernel_name, max_steps_per_item)
+
+
+def vectorized_kernel_for(
+    unit: ast.TranslationUnit,
+    kernel_name: str | None = None,
+    max_steps_per_item: int = 50_000,
+) -> VectorizedKernel | None:
+    """Fetch (or build) the lockstep artifact; ``None`` if not vectorizable.
+
+    The vectorizability verdict is cached alongside the closure artifact, so
+    rejected kernels pay for the analysis once per process.
+    """
+    artifact = GLOBAL_COMPILATION_CACHE.get(
+        unit, kernel_name, max_steps_per_item, artifact="vectorized"
+    )
+    return None if artifact is _NOT_VECTORIZABLE else artifact
 
 
 # ---------------------------------------------------------------------------
@@ -210,16 +245,29 @@ def run_kernel(
     ndrange: NDRange,
     kernel_name: str | None = None,
     max_steps_per_item: int = 50_000,
-    engine: str = "compiled",
+    engine: str = "auto",
 ) -> ExecutionResult:
     """Execute *kernel_name* (or the first kernel) of *unit*.
 
-    ``engine="compiled"`` (the default) routes through the process-wide
-    compilation cache; ``engine="interpreter"`` forces the legacy
-    tree-walking interpreter (used by the differential tests).
+    Engines:
+
+    * ``"auto"`` (default) — the vectorized lockstep tier when the kernel is
+      in the vectorizable subset, transparently falling back to the closure
+      engine on a :class:`~repro.errors.LockstepBailout` (the pool is
+      untouched at bailout, so the fallback is exact); the closure engine
+      otherwise.  ``"vectorized"`` is an alias.
+    * ``"compiled"`` — the closure engine only.
+    * ``"interpreter"`` — the legacy tree walker (differential tests).
     """
     if engine == "interpreter":
         interpreter = KernelInterpreter(unit, kernel_name, max_steps_per_item)
         return interpreter.execute(pool, scalar_args, ndrange)
+    if engine in ("auto", "vectorized"):
+        vectorized = vectorized_kernel_for(unit, kernel_name, max_steps_per_item)
+        if vectorized is not None:
+            try:
+                return vectorized.execute(pool, scalar_args, ndrange)
+            except LockstepBailout:
+                pass
     compiled = compiled_kernel_for(unit, kernel_name, max_steps_per_item)
     return compiled.execute(pool, scalar_args, ndrange)

@@ -14,7 +14,9 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass, field
 
-from repro.errors import KernelRuntimeError
+import numpy as np
+
+from repro.errors import KernelRuntimeError, LockstepBailout
 from repro.execution.values import VectorValue, values_equal
 
 
@@ -156,6 +158,275 @@ class Buffer:
             f"Buffer({self.name!r}, size={self.size}, kind={self.element_kind}"
             f"x{self.vector_width}, space={self.address_space})"
         )
+
+
+class LockstepBuffer:
+    """A NumPy view of one :class:`Buffer` for the vectorized (SIMT) tier.
+
+    The scalar engines index list-backed :class:`Buffer` objects one element
+    at a time; the lockstep tier instead gathers/scatters whole lane vectors
+    against an ndarray copy of the data, with the same clamping and access
+    accounting.  Nothing touches the source buffer until :meth:`commit` —
+    a :class:`~repro.errors.LockstepBailout` mid-execution therefore leaves
+    the memory pool pristine for the closure-engine fallback.
+
+    Cross-lane hazards are detected dynamically: the scalar engines run each
+    work-item to completion before the next starts, so lane ``L`` observes
+    the *final* writes of every lane below ``L`` and none of the writes of
+    lanes above it — an ordering one lockstep pass cannot reproduce when
+    lanes communicate through a buffer.  Two per-cell trackers make the
+    check exact:
+
+    * ``writer`` — the lane that last wrote the cell.  A load (or store) of
+      a cell written by a *different* lane bails out.
+    * ``reader_max`` — the highest lane that has read the cell.  A store
+      bails out when a higher lane already read the cell: in sequential
+      order that lane would have observed this write, but in lockstep order
+      it read the stale value.
+
+    Lane-private reuse (the overwhelmingly common ``a[gid] = f(a[gid])``
+    pattern) passes untouched, and duplicate indices within one scatter
+    match sequential order because NumPy fancy assignment is
+    last-write-wins in lane order.
+    """
+
+    __slots__ = (
+        "source", "name", "size", "element_kind", "is_float", "address_space",
+        "data", "writer", "reader_max", "reads", "writes", "out_of_bounds",
+    )
+
+    def __init__(self, source: Buffer):
+        if source.vector_width > 1:
+            raise LockstepBailout("vector-element buffers are not lockstep-executable")
+        if source.strict:
+            raise LockstepBailout("strict bounds-checked buffers fall back to scalar engines")
+        self.source = source
+        self.name = source.name
+        self.size = source.size
+        self.element_kind = source.element_kind
+        self.is_float = source.element_kind in ("float", "double", "half")
+        self.address_space = source.address_space
+        dtype = np.float64 if self.is_float else np.int64
+        try:
+            self.data = np.array(source.to_list(), dtype=dtype)
+        except (OverflowError, TypeError, ValueError) as error:
+            raise LockstepBailout(f"buffer {source.name!r} not int64/float64 representable") from error
+        self.writer: np.ndarray | None = None  # allocated on first store
+        self.reader_max: np.ndarray | None = None  # allocated on first load
+        self.reads = 0
+        self.writes = 0
+        self.out_of_bounds = 0
+
+    # ------------------------------------------------------------------
+
+    def first_element(self, mask=None, lane_ids: np.ndarray | None = None):
+        """The scalar the engines use when a pointer is abused as a scalar.
+
+        Mirrors ``Buffer.to_list()[0]``: no access statistics — but when
+        *lane_ids* is given the peek is hazard-tracked like a load, since
+        the value observed sequentially depends on other lanes' writes.
+        """
+        if self.size == 0:
+            return 0
+        if lane_ids is not None:
+            # _record_read checks hazards and tracks readers without touching
+            # the read/write counters (to_list() is not a counted access).
+            readers = lane_ids if mask is None else lane_ids[mask]
+            self._record_read(np.zeros(readers.size, dtype=np.int64), readers)
+        value = self.data[0]
+        return float(value) if self.is_float else int(value)
+
+    def _clamp(self, indices: np.ndarray, mask) -> np.ndarray:
+        """Clamp *indices* like ``Buffer._clamp_index`` and count OOB lanes."""
+        in_range = (indices >= 0) & (indices < self.size)
+        oob = ~in_range
+        if mask is not None:
+            oob = oob & mask
+        oob_count = int(oob.sum())
+        if oob_count:
+            self.out_of_bounds += oob_count
+        if self.size == 0:
+            return indices  # caller handles the empty-buffer case
+        return np.clip(indices, 0, self.size - 1)
+
+    def load(self, index_data, mask, n: int, lane_ids: np.ndarray):
+        """Masked gather; returns ``(kind, data)`` lane values."""
+        kind = "f" if self.is_float else "i"
+        count = n if mask is None else int(mask.sum())
+        self.reads += count
+        if np.ndim(index_data) == 0:
+            index = int(index_data)
+            if not 0 <= index < self.size:
+                self.out_of_bounds += count
+                if self.size == 0:
+                    return (kind, 0.0 if self.is_float else 0)
+                index = min(max(index, 0), self.size - 1)
+            readers = lane_ids if mask is None else lane_ids[mask]
+            self._record_read(np.full(readers.size, index, dtype=np.int64), readers)
+            value = self.data[index]
+            return (kind, float(value) if self.is_float else int(value))
+        if mask is None:
+            clamped = self._clamp(index_data, None)
+            if self.size == 0:
+                return (kind, np.zeros(n, dtype=self.data.dtype))
+            self._record_read(clamped, lane_ids)
+            return (kind, self.data[clamped])
+        sub_index = index_data[mask]
+        in_range = (sub_index >= 0) & (sub_index < self.size)
+        oob_count = int((~in_range).sum())
+        if oob_count:
+            self.out_of_bounds += oob_count
+        out = np.zeros(n, dtype=self.data.dtype)
+        if self.size == 0:
+            return (kind, out)
+        clamped = np.clip(sub_index, 0, self.size - 1)
+        self._record_read(clamped, lane_ids[mask])
+        out[mask] = self.data[clamped]
+        return (kind, out)
+
+    def _record_read(self, cells: np.ndarray, readers: np.ndarray) -> None:
+        """Check the read against past writers and remember the reader."""
+        if self.writer is not None:
+            owners = self.writer[cells]
+            if np.any((owners >= 0) & (owners != readers)):
+                raise LockstepBailout(f"cross-lane read-after-write hazard on {self.name!r}")
+        if self.reader_max is None:
+            self.reader_max = np.full(self.size, -1, dtype=np.int64)
+        # Lane ids ascend within a scatter, so last-write-wins keeps the max
+        # even for duplicate cells.
+        self.reader_max[cells] = np.maximum(self.reader_max[cells], readers)
+
+    def store(self, index_data, value_data, mask, n: int, lane_ids: np.ndarray) -> None:
+        """Masked scatter with hazard tracking; *value_data* is a lane array
+        or uniform already coerced to this buffer's element flavour."""
+        count = n if mask is None else int(mask.sum())
+        self.writes += count
+        if mask is None:
+            indices = np.asarray(index_data) if np.ndim(index_data) else np.full(n, int(index_data), dtype=np.int64)
+            writers = lane_ids
+            values = value_data
+        else:
+            indices = (index_data[mask] if np.ndim(index_data) else
+                       np.full(count, int(index_data), dtype=np.int64))
+            writers = lane_ids[mask]
+            values = value_data[mask] if np.ndim(value_data) else value_data
+        in_range = (indices >= 0) & (indices < self.size)
+        oob_count = int((~in_range).sum())
+        if oob_count:
+            self.out_of_bounds += oob_count
+        if self.size == 0:
+            return
+        cells = np.clip(indices, 0, self.size - 1)
+        if self.writer is None:
+            self.writer = np.full(self.size, -1, dtype=np.int64)
+        owners = self.writer[cells]
+        if np.any((owners >= 0) & (owners != writers)):
+            raise LockstepBailout(f"cross-lane write-after-write hazard on {self.name!r}")
+        if self.reader_max is not None and np.any(self.reader_max[cells] > writers):
+            # A higher lane already read this cell: sequentially it would
+            # have observed this write, but in lockstep it read stale data.
+            raise LockstepBailout(f"cross-lane write-after-read hazard on {self.name!r}")
+        self.data[cells] = values
+        self.writer[cells] = writers
+
+    # ------------------------------------------------------------------
+
+    _ATOMIC_UFUNCS = {
+        "add": np.add,
+        "sub": np.subtract,
+        "inc": np.add,
+        "dec": np.subtract,
+        "min": np.minimum,
+        "max": np.maximum,
+        "and": np.bitwise_and,
+        "or": np.bitwise_or,
+        "xor": np.bitwise_xor,
+    }
+
+    def atomic_update(self, operation: str, index_data, operand, mask, n: int, lane_ids) -> None:
+        """A result-discarded atomic read-modify-write over the active lanes.
+
+        ``np.ufunc.at`` applies duplicate indices sequentially in lane order
+        — the exact order the scalar engines execute the per-item atomics —
+        so the final cell values are bit-identical for these operations.
+        Atomically-touched cells are poisoned with writer lane ``-2``: any
+        later plain access by a specific lane is order-dependent and bails.
+        """
+        kind, operand_data = operand
+        count = n if mask is None else int(mask.sum())
+        self.reads += count
+        self.writes += count
+        lanes = lane_ids if mask is None else lane_ids[mask]
+        if np.ndim(index_data) == 0:
+            indices = np.full(lanes.size, int(index_data), dtype=np.int64)
+        else:
+            indices = index_data if mask is None else index_data[mask]
+        in_range = (indices >= 0) & (indices < self.size)
+        oob_count = int((~in_range).sum())
+        if oob_count:
+            # Both the load and the store halves clamp (and count) the index.
+            self.out_of_bounds += 2 * oob_count
+        if self.size == 0:
+            return
+        cells = np.clip(indices, 0, self.size - 1)
+
+        if self.writer is not None:
+            owners = self.writer[cells]
+            if np.any((owners >= 0) & (owners != lanes)):
+                raise LockstepBailout(f"atomic after plain write on {self.name!r}")
+        if self.reader_max is not None and np.any(self.reader_max[cells] > lanes):
+            raise LockstepBailout(f"atomic after cross-lane read on {self.name!r}")
+
+        if operation in ("inc", "dec"):
+            values = np.float64(1.0) if self.is_float else np.int64(1)
+        else:
+            values = operand_data if mask is None or np.ndim(operand_data) == 0 else operand_data[mask]
+            if self.is_float:
+                if kind == "i":
+                    values = np.asarray(values, dtype=np.float64)
+            elif kind == "f":
+                # int(old + float_operand) truncates at *every* step of the
+                # sequential chain; no order-independent equivalent exists.
+                raise LockstepBailout("float-operand atomic on an integer buffer")
+            else:
+                try:
+                    values = np.asarray(values, dtype=np.int64)
+                except OverflowError as error:
+                    raise LockstepBailout("atomic operand exceeds int64") from error
+
+        if operation == "xchg":
+            self.data[cells] = np.asarray(values, dtype=self.data.dtype)
+        else:
+            ufunc = self._ATOMIC_UFUNCS.get(operation)
+            if ufunc is None:
+                raise LockstepBailout(f"order-dependent atomic {operation!r}")
+            if self.is_float:
+                if operation in ("min", "max"):
+                    # Python min/max and np.minimum/maximum disagree on NaN
+                    # propagation and signed-zero ties.
+                    raise LockstepBailout("float atomic min/max")
+                if not bool(np.isfinite(self.data).all()) or not bool(
+                    np.isfinite(values).all() if np.ndim(values) else np.isfinite(values)
+                ):
+                    raise LockstepBailout("non-finite float atomic accumulation")
+            else:
+                if operation in ("add", "sub"):
+                    magnitude = float(np.abs(self.data).max()) if self.size else 0.0
+                    magnitude += float(np.abs(values).sum()) if np.ndim(values) else abs(float(values)) * lanes.size
+                    if magnitude >= 2.0**62:
+                        raise LockstepBailout("possible int64 overflow in atomic accumulation")
+            ufunc.at(self.data, cells, values)
+        if self.writer is None:
+            self.writer = np.full(self.size, -1, dtype=np.int64)
+        self.writer[cells] = -2
+
+    def commit(self) -> None:
+        """Fold data and access counters back into the source buffer."""
+        source = self.source
+        source._data = self.data.tolist()
+        source.stats.reads = self.reads
+        source.stats.writes = self.writes
+        source.stats.out_of_bounds = self.out_of_bounds
 
 
 @dataclass

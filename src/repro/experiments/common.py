@@ -165,15 +165,14 @@ def synthesize_and_measure(
     driver = make_driver(config)
     # The paper's host driver synthesizes payloads spanning 128B–130MB; give
     # the synthetic kernels a spread of dataset scales for the same effect.
+    # measure_many measures sequentially by default and fans out over a
+    # process pool when REPRO_MEASURE_WORKERS (or measure_workers) is set.
     scales = [4.0, 16.0, 64.0, 256.0, 1024.0]
-    measurements: list[KernelMeasurement] = []
-    for index, kernel in enumerate(result.kernels):
-        scale = scales[index % len(scales)]
-        measurement = driver.measure_source(
-            kernel.source, name=f"clgen.{index}", dataset_scale=scale
-        )
-        if measurement is not None:
-            measurements.append(measurement)
+    measurements = driver.measure_many(
+        [kernel.source for kernel in result.kernels],
+        names=[f"clgen.{index}" for index in range(len(result.kernels))],
+        dataset_scales=[scales[index % len(scales)] for index in range(len(result.kernels))],
+    )
     _record_timing(timings, "execute", time.perf_counter() - started)
 
     data.synthesis = result
