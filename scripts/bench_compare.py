@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` perf snapshots and guard against regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BENCH_PR1.json BENCH_PR2.json
+    python scripts/bench_compare.py old.json new.json --threshold 0.10
+    python scripts/bench_compare.py old.json new.json --phase execute --min-speedup 3.0
+
+Prints a per-phase table (old seconds, new seconds, speedup) and exits
+non-zero when any phase of *new* regresses more than ``--threshold``
+(fractional slowdown, default 10%) relative to *old*, or when
+``--min-speedup`` for ``--phase`` is not met.  Intended for CI and for
+future PRs comparing their snapshot against the previous PR's artifact.
+
+Snapshots are compared at matching ``scale`` by default; pass
+``--allow-scale-mismatch`` to compare across scales anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_snapshot(path: str) -> dict:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read snapshot {path!r}: {error}")
+    if "phases_seconds" not in data:
+        raise SystemExit(f"error: {path!r} is not a BENCH snapshot (no phases_seconds)")
+    return data
+
+
+def compare(old: dict, new: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """Per-phase comparison lines plus a list of regression messages."""
+    old_phases = old["phases_seconds"]
+    new_phases = new["phases_seconds"]
+    lines = [f"{'phase':<12}{'old s':>10}{'new s':>10}{'speedup':>10}"]
+    regressions: list[str] = []
+    for phase in sorted(set(old_phases) | set(new_phases)):
+        old_seconds = old_phases.get(phase)
+        new_seconds = new_phases.get(phase)
+        if old_seconds is None or new_seconds is None:
+            lines.append(f"{phase:<12}{old_seconds or '-':>10}{new_seconds or '-':>10}{'n/a':>10}")
+            continue
+        speedup = old_seconds / max(new_seconds, 1e-9)
+        lines.append(f"{phase:<12}{old_seconds:>10.3f}{new_seconds:>10.3f}{speedup:>9.2f}x")
+        if new_seconds > old_seconds * (1.0 + threshold):
+            slowdown = new_seconds / max(old_seconds, 1e-9) - 1.0
+            regressions.append(
+                f"phase {phase!r} regressed {slowdown:.1%} "
+                f"({old_seconds:.3f}s -> {new_seconds:.3f}s, threshold {threshold:.0%})"
+            )
+    old_total = old.get("total_seconds", sum(old_phases.values()))
+    new_total = new.get("total_seconds", sum(new_phases.values()))
+    lines.append(
+        f"{'total':<12}{old_total:>10.3f}{new_total:>10.3f}"
+        f"{old_total / max(new_total, 1e-9):>9.2f}x"
+    )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json snapshot")
+    parser.add_argument("new", help="candidate BENCH_*.json snapshot")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="max tolerated fractional slowdown per phase (default 0.10)",
+    )
+    parser.add_argument(
+        "--phase", default=None,
+        help="phase to check --min-speedup against (e.g. execute)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="require old/new >= this ratio for --phase",
+    )
+    parser.add_argument(
+        "--allow-scale-mismatch", action="store_true",
+        help="compare snapshots measured at different REPRO_BENCH_SCALEs",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_snapshot(args.old)
+    new = load_snapshot(args.new)
+    if not args.allow_scale_mismatch and old.get("scale") != new.get("scale"):
+        print(
+            f"error: scale mismatch ({old.get('scale')!r} vs {new.get('scale')!r}); "
+            "pass --allow-scale-mismatch to compare anyway",
+            file=sys.stderr,
+        )
+        return 2
+
+    lines, regressions = compare(old, new, args.threshold)
+    print(f"{args.old} -> {args.new}")
+    print("\n".join(lines))
+
+    failed = False
+    for regression in regressions:
+        print(f"REGRESSION: {regression}", file=sys.stderr)
+        failed = True
+    if args.min_speedup is not None:
+        phase = args.phase or "execute"
+        old_seconds = old["phases_seconds"].get(phase)
+        new_seconds = new["phases_seconds"].get(phase)
+        if old_seconds is None or new_seconds is None:
+            print(f"error: phase {phase!r} missing from a snapshot", file=sys.stderr)
+            failed = True
+        else:
+            speedup = old_seconds / max(new_seconds, 1e-9)
+            if speedup < args.min_speedup:
+                print(
+                    f"SPEEDUP SHORTFALL: phase {phase!r} is {speedup:.2f}x, "
+                    f"required {args.min_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(f"phase {phase!r} speedup {speedup:.2f}x >= {args.min_speedup:.2f}x")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

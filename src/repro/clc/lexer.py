@@ -300,7 +300,12 @@ class Lexer:
         self._pos = match.end()
         self._column += len(text)
         if text[:2] in ("0x", "0X"):
-            is_float = False
+            # The hex-digit run greedily claims f/F, so only suffix
+            # characters that cannot be hex digits (after a u/U/l/L) remain
+            # in the tail — an h/H or trailing f/F there marks a float,
+            # exactly as the character-by-character scanner classified it.
+            tail = text[2:].lstrip("0123456789abcdefABCDEF")
+            is_float = any(c in _FLOAT_SUFFIXES for c in tail)
         else:
             body = text.rstrip("uUlLfFhH")
             suffixes = text[len(body):]

@@ -285,10 +285,22 @@ class HostDriver:
         """
         workers = self._resolve_workers(workers)
         if workers > 1 and len(sources) > 1:
+            import pickle
+            import warnings
+            from concurrent.futures import BrokenExecutor
+
             try:
                 return self._measure_many_parallel(sources, names, dataset_scales, workers)
-            except Exception:
-                pass  # pool/pickling failure: measure in-process instead
+            except (pickle.PicklingError, AttributeError, TypeError, OSError,
+                    ImportError, BrokenExecutor) as error:
+                # Unpicklable configs/measurements or an unusable pool: fall
+                # back to in-process measurement, but say so — a silently
+                # dead opt-in would rot undetected.
+                warnings.warn(
+                    f"measure_many worker pool unavailable ({error!r}); measuring sequentially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         measurements: list[KernelMeasurement] = []
         for index, source in enumerate(sources):
             name = names[index] if names else None

@@ -79,8 +79,13 @@ class CompilationCache:
         kernel_name: str | None = None,
         max_steps_per_item: int = 50_000,
         artifact: str = "closure",
-    ) -> CompiledKernel:
-        """Return a compiled artifact for *unit*, compiling at most once."""
+    ) -> object:
+        """Return a compiled artifact for *unit*, compiling at most once.
+
+        ``artifact="closure"`` yields a :class:`CompiledKernel`;
+        ``artifact="vectorized"`` yields a :class:`VectorizedKernel` or the
+        ``_NOT_VECTORIZABLE`` sentinel.
+        """
         key = (artifact, kernel_name, max_steps_per_item)
         unit_id = id(unit)
         with self._lock:

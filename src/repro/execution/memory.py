@@ -326,7 +326,12 @@ class LockstepBuffer:
             # A higher lane already read this cell: sequentially it would
             # have observed this write, but in lockstep it read stale data.
             raise LockstepBailout(f"cross-lane write-after-read hazard on {self.name!r}")
-        self.data[cells] = values
+        try:
+            self.data[cells] = values
+        except OverflowError as error:
+            # A uniform Python int beyond int64: the scalar engines store
+            # arbitrary-precision values, so fall back to them.
+            raise LockstepBailout(f"stored value exceeds int64 on {self.name!r}") from error
         self.writer[cells] = writers
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import LockstepBailout
 from repro.execution.ops import apply_binary
+from repro.execution.values import _INT_RANGES
 
 INT_KIND = "i"
 FLOAT_KIND = "f"
@@ -39,20 +40,6 @@ FLOAT_KIND = "f"
 _I64_MIN = -(2**63)
 _I64_MAX = 2**63 - 1
 _EXACT_INT = 2**53
-
-#: Integer ranges for ``convert_scalar`` (mirrors values._INT_RANGES).
-_INT_RANGES = {
-    "bool": (0, 1),
-    "char": (-(2**7), 2**7 - 1),
-    "uchar": (0, 2**8 - 1),
-    "short": (-(2**15), 2**15 - 1),
-    "ushort": (0, 2**16 - 1),
-    "int": (-(2**31), 2**31 - 1),
-    "uint": (0, 2**32 - 1),
-    "long": (_I64_MIN, _I64_MAX),
-    "ulong": (0, 2**64 - 1),
-    "size_t": (0, 2**64 - 1),
-}
 
 _FLOAT_TYPE_KINDS = ("float", "double", "half")
 
@@ -192,8 +179,12 @@ def to_float_data(kind: str, data):
 
 def to_int_data(kind: str, data, mask):
     """``int(value)`` per lane: truncation toward zero, with bailout where
-    Python would raise (non-finite) or exceed int64."""
+    Python would raise (non-finite) or the value exceeds int64 (uniform
+    Python ints are arbitrary precision; downstream NumPy consumers are
+    not)."""
     if kind == INT_KIND:
+        if is_uniform(data) and not _I64_MIN <= data <= _I64_MAX:
+            raise LockstepBailout("integer value exceeds int64")
         return data
     if is_uniform(data):
         if data != data or data in (float("inf"), float("-inf")):
@@ -415,6 +406,13 @@ def _modulo(lk, ld, rk, rd, mask):
             return (INT_KIND, 0)
         raise LockstepBailout("per-lane int/float kind split in % by zero")
     lf = to_float_data(lk, _np_operand(lk, ld))
+    # math.fmod raises ValueError on an infinite dividend where np.fmod
+    # would return NaN; the scalar engines crash there, so refuse.
+    if is_uniform(lf):
+        if lf == float("inf") or lf == float("-inf"):
+            raise LockstepBailout("fmod of an infinite dividend")
+    elif _active_any(np.isinf(lf), mask):
+        raise LockstepBailout("fmod of an infinite dividend")
     with np.errstate(invalid="ignore"):
         return (FLOAT_KIND, np.fmod(lf, rf))
 
@@ -476,20 +474,23 @@ def convert(target_kind: str, value, mask):
             return (INT_KIND, 1 if outcome else 0)
         return (INT_KIND, outcome.astype(np.int64))
     low, high = _INT_RANGES.get(target_kind, _INT_RANGES["int"])
+    if is_uniform(data):
+        # Uniform Python ints wrap with arbitrary precision, exactly like
+        # wrap_integer — including values far outside int64 (which is why
+        # the int kind bypasses to_int_data's int64 guard here).
+        as_int = data if kind == INT_KIND else to_int_data(kind, data, mask)
+        wrapped = (as_int - low) % (high - low + 1) + low
+        if not _I64_MIN <= wrapped <= _I64_MAX:
+            raise LockstepBailout(f"{target_kind} cast result exceeds int64")
+        return (INT_KIND, wrapped)
     as_int = to_int_data(kind, data, mask)
     if low == _I64_MIN and high == _I64_MAX:  # long: int64 is already the range
         return (INT_KIND, as_int)
     if high == 2**64 - 1:  # ulong/size_t: negative values wrap beyond int64
-        if is_uniform(as_int):
-            if as_int < 0:
-                raise LockstepBailout("negative value wrapped into ulong range")
-            return (INT_KIND, as_int)
         if _active_any(as_int < 0, mask):
             raise LockstepBailout("negative value wrapped into ulong range")
         return (INT_KIND, as_int)
     span = high - low + 1
-    if is_uniform(as_int):
-        return (INT_KIND, (as_int - low) % span + low)
     remainder = np.mod(as_int, span)
     return (INT_KIND, np.where(remainder > high, remainder - span, remainder))
 

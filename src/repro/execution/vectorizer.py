@@ -155,12 +155,16 @@ class _PrivateLanes:
 
     def store(self, index_data, value_data, mask, n: int, lane_ids) -> None:
         rows, cols = self._cells(index_data, mask, lane_ids)
-        if mask is None:
-            self.data[rows, cols] = value_data
-        else:
-            self.data[rows, cols] = (
-                value_data[mask] if np.ndim(value_data) else value_data
-            )
+        try:
+            if mask is None:
+                self.data[rows, cols] = value_data
+            else:
+                self.data[rows, cols] = (
+                    value_data[mask] if np.ndim(value_data) else value_data
+                )
+        except OverflowError as error:
+            # Uniform Python ints beyond int64 need arbitrary precision.
+            raise LockstepBailout("stored value exceeds int64") from error
 
 
 _POINTERISH = (LockstepBuffer, _PrivateLanes)
@@ -429,6 +433,13 @@ class VectorizedKernel:
         self._site_count = 0
         self._helper_impls: dict[str, tuple[tuple[str, ...], object]] = {}
         self._helpers_in_progress: set[str] = set()
+        #: Static nesting depth of break/continue targets at the point being
+        #: compiled, within the current function body.  A break/continue
+        #: with no target in its own function unwinds *through the call* in
+        #: the scalar engines — unrepresentable in lockstep, so those
+        #: compile to bailouts (see _compile_break/_compile_continue).
+        self._break_depth = 0
+        self._continue_depth = 0
         #: Set after a dynamic bailout: the hazards that trigger one are a
         #: property of the kernel's access pattern far more than of the
         #: payload, so later executions skip straight to the closure engine
@@ -598,11 +609,8 @@ class VectorizedKernel:
                     total_steps += int(ctx.steps.sum())
                 last_group_locals = ctx.group_locals
 
-        # Success: commit ndarray views and counters back into the pool.
-        for buffer in pool.buffers.values():
-            buffer.stats.reads = 0
-            buffer.stats.writes = 0
-            buffer.stats.out_of_bounds = 0
+        # Success: commit ndarray views and counters back into the pool
+        # (every pool buffer has a view, so commit() replaces all stats).
         for view in views:
             view.commit()
         group_locals: dict = {}
@@ -901,7 +909,11 @@ class VectorizedKernel:
             if statement.increment is not None
             else None
         )
+        self._break_depth += 1
+        self._continue_depth += 1
         body_fn = self._compile_statement(statement.body, in_helper)
+        self._break_depth -= 1
+        self._continue_depth -= 1
 
         def run(ctx, mask):
             ctx.bump(mask)
@@ -935,7 +947,11 @@ class VectorizedKernel:
 
     def _compile_while(self, statement: ast.WhileStmt, in_helper: bool):
         condition_fn = self._compile_expression(statement.condition)
+        self._break_depth += 1
+        self._continue_depth += 1
         body_fn = self._compile_statement(statement.body, in_helper)
+        self._break_depth -= 1
+        self._continue_depth -= 1
 
         def run(ctx, mask):
             ctx.bump(mask)
@@ -966,7 +982,11 @@ class VectorizedKernel:
 
     def _compile_do_while(self, statement: ast.DoWhileStmt, in_helper: bool):
         condition_fn = self._compile_expression(statement.condition)
+        self._break_depth += 1
+        self._continue_depth += 1
         body_fn = self._compile_statement(statement.body, in_helper)
+        self._break_depth -= 1
+        self._continue_depth -= 1
 
         def run(ctx, mask):
             ctx.bump(mask)
@@ -998,10 +1018,12 @@ class VectorizedKernel:
     def _compile_switch(self, statement: ast.SwitchStmt, in_helper: bool):
         condition_fn = self._compile_expression(statement.condition)
         cases = []
+        self._break_depth += 1
         for case in statement.cases:
             value_fn = self._compile_expression(case.value) if case.value is not None else None
             children = [self._compile_statement(child, in_helper) for child in case.body]
             cases.append((value_fn, [fn for fn in children if fn is not None]))
+        self._break_depth -= 1
 
         def run(ctx, mask):
             ctx.bump(mask)
@@ -1049,6 +1071,16 @@ class VectorizedKernel:
         return run
 
     def _compile_break(self, statement: ast.BreakStmt, in_helper: bool):
+        if in_helper and self._break_depth == 0:
+            # The scalar engines let the BreakSignal unwind *through the
+            # call* into the caller's loop — mid-expression control flow one
+            # lockstep pass cannot reproduce.
+            def run_escaping(ctx, mask):
+                ctx.bump(mask)
+                raise LockstepBailout("break unwinding out of a helper call")
+
+            return run_escaping
+
         def run(ctx, mask):
             ctx.bump(mask)
             if ctx.break_stack:
@@ -1061,6 +1093,13 @@ class VectorizedKernel:
         return run
 
     def _compile_continue(self, statement: ast.ContinueStmt, in_helper: bool):
+        if in_helper and self._continue_depth == 0:
+            def run_escaping(ctx, mask):
+                ctx.bump(mask)
+                raise LockstepBailout("continue unwinding out of a helper call")
+
+            return run_escaping
+
         def run(ctx, mask):
             ctx.bump(mask)
             if ctx.cont_stack:
@@ -1563,12 +1602,16 @@ class VectorizedKernel:
         if name in self._helpers_in_progress:
             raise NotVectorizable("recursive helper function")
         self._helpers_in_progress.add(name)
+        saved_depths = (self._break_depth, self._continue_depth)
+        self._break_depth = 0
+        self._continue_depth = 0
         try:
             function = self._functions[name]
             parameter_names = tuple(p.name for p in function.parameters)
             body_fn = self._compile_statement(function.body, in_helper=True)
             self._helper_impls[name] = (parameter_names, body_fn)
         finally:
+            self._break_depth, self._continue_depth = saved_depths
             self._helpers_in_progress.discard(name)
 
     # ------------------------------------------------------------------

@@ -1,10 +1,15 @@
-"""Differential tests: compiled engine vs. tree-walking interpreter.
+"""Differential tests: all three execution engines against each other.
 
-The closure compiler must be a perfect stand-in for the legacy interpreter:
-identical buffer contents and identical :class:`ExecutionStats` on every
-kernel of every benchmark suite, plus equivalent behaviour on the edge
-cases (barriers, timeouts, helper functions, atomics).  The compilation
-cache must hand back the same compiled object for repeated executions.
+The closure compiler must be a perfect stand-in for the legacy interpreter,
+and the vectorized lockstep tier a perfect stand-in for both: identical
+buffer contents and identical :class:`ExecutionStats` on every kernel of
+every benchmark suite, plus equivalent behaviour on the edge cases
+(barriers, timeouts, helper functions, atomics).  The lockstep tier is
+exercised through the engine router, so kernels it rejects or bails out of
+exercise the closure fallback — which must still agree, making the
+invariant hold for every kernel regardless of which tier actually ran it.
+The compilation cache must hand back the same compiled object for repeated
+executions.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ import pytest
 from repro.clc import compile_source, parse
 from repro.driver.harness import HostDriver
 from repro.driver.payload import PayloadConfig, PayloadGenerator
-from repro.errors import KernelTimeoutError
+from repro.errors import KernelTimeoutError, LockstepBailout
 from repro.execution import (
     CompilationCache,
     CompiledKernel,
@@ -26,6 +31,7 @@ from repro.execution import (
     compiled_kernel_for,
     run_kernel,
     run_kernel_interpreted,
+    try_vectorize,
 )
 from repro.preprocess.shim import shim_include_resolver, with_shim
 from repro.suites.registry import all_suites
@@ -50,8 +56,21 @@ def _execute(engine, payload):
     return buffers, dataclasses.asdict(result.stats)
 
 
+def _assert_same(reference, candidate, label: str) -> None:
+    buffers_reference, stats_reference = reference
+    buffers_candidate, stats_candidate = candidate
+    assert stats_candidate == stats_reference, label
+    assert buffers_candidate.keys() == buffers_reference.keys(), label
+    for name in buffers_reference:
+        reference_values = buffers_reference[name]
+        candidate_values = buffers_candidate[name]
+        assert len(candidate_values) == len(reference_values), (label, name)
+        for index, (a, b) in enumerate(zip(candidate_values, reference_values)):
+            assert _bit_identical(a, b), (label, name, index, a, b)
+
+
 class TestDifferentialSuites:
-    """Every suite kernel, executed by both engines, must agree exactly."""
+    """Every suite kernel, executed by all three engines, must agree exactly."""
 
     @pytest.mark.parametrize("suite_benchmark", _suite_benchmarks())
     def test_identical_buffers_and_stats(self, suite_benchmark):
@@ -65,20 +84,63 @@ class TestDifferentialSuites:
         generator = PayloadGenerator(PayloadConfig(global_size=32, local_size=8, seed=3))
         payload = generator.generate(kernel, work_dim=work_dim)
         payload_interpreted = payload.clone()
+        payload_lockstep = payload.clone()
 
-        interpreted = CompiledKernel(unit, kernel.name)
-        buffers_compiled, stats_compiled = _execute(interpreted, payload)
+        compiled = CompiledKernel(unit, kernel.name)
+        results_compiled = _execute(compiled, payload)
         legacy = KernelInterpreter(unit, kernel.name)
-        buffers_legacy, stats_legacy = _execute(legacy, payload_interpreted)
+        results_legacy = _execute(legacy, payload_interpreted)
+        _assert_same(results_legacy, results_compiled, "closure-vs-interpreter")
 
-        assert stats_compiled == stats_legacy
-        assert buffers_compiled.keys() == buffers_legacy.keys()
-        for name in buffers_legacy:
-            compiled_values = buffers_compiled[name]
-            legacy_values = buffers_legacy[name]
-            assert len(compiled_values) == len(legacy_values), name
-            for index, (a, b) in enumerate(zip(compiled_values, legacy_values)):
-                assert _bit_identical(a, b), (name, index, a, b)
+        # Third way: the lockstep tier, exactly as the router would run it —
+        # vectorize if possible, fall back to the closure engine on rejection
+        # or mid-flight bailout (the pool must be untouched at bailout).
+        vectorized = try_vectorize(unit, kernel.name)
+        if vectorized is None:
+            # Statically outside the lockstep subset: the router would use
+            # the closure engine, which is already asserted above.
+            return
+        try:
+            results_lockstep = _execute(vectorized, payload_lockstep)
+        except LockstepBailout:
+            fallback = CompiledKernel(unit, kernel.name)
+            results_lockstep = _execute(fallback, payload_lockstep)
+        _assert_same(results_legacy, results_lockstep, "lockstep-vs-interpreter")
+
+
+class TestLockstepCoverage:
+    """The lockstep tier must actually run most of the suite inventory —
+    otherwise a regression could silently fall everything back to closures
+    while the differential suite stays green."""
+
+    def test_most_suite_kernels_vectorize_without_bailout(self):
+        clean = 0
+        total = 0
+        for suite in all_suites():
+            for benchmark in suite.benchmarks:
+                total += 1
+                unit = _compile_unit(benchmark.source)
+                kernel = (
+                    unit.kernel(benchmark.kernel_name)
+                    if benchmark.kernel_name
+                    else unit.kernels[0]
+                )
+                vectorized = try_vectorize(unit, kernel.name)
+                if vectorized is None:
+                    continue
+                work_dim = HostDriver._kernel_work_dim(kernel)
+                generator = PayloadGenerator(
+                    PayloadConfig(global_size=32, local_size=8, seed=3)
+                )
+                payload = generator.generate(kernel, work_dim=work_dim)
+                try:
+                    vectorized.execute(payload.pool, payload.scalar_args, payload.ndrange)
+                except LockstepBailout:
+                    continue
+                clean += 1
+        # 62 of 71 at the time of writing; the floor leaves headroom for new
+        # benchmarks without letting coverage quietly collapse.
+        assert clean >= int(0.75 * total), (clean, total)
 
 
 def _bit_identical(a, b) -> bool:

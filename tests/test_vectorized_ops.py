@@ -1,0 +1,267 @@
+"""Property tests: lockstep operators agree element-wise with ops.py.
+
+Every scalar operation of :mod:`repro.execution.ops` must agree with its
+vectorized counterpart in :mod:`repro.execution.vec_ops` on every lane — or
+refuse via :class:`~repro.errors.LockstepBailout`, in which case the engine
+router re-runs the kernel on the scalar engines and no wrong answer can
+escape.  The properties therefore assert "equal or bailed", including the
+overflow/wraparound and division/modulo edge cases, across int/float kind
+combinations, uniform/array operand shapes and full/partial masks.
+
+Within the documented exact envelope (|ints| < 2**53, any float64) the
+operators must *not* bail for +, comparisons, bitwise ops and shifts of
+in-range results — that is the envelope the execute tier relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LockstepBailout
+from repro.execution import vec_ops
+from repro.execution.ops import apply_binary
+from repro.execution.values import convert_scalar
+
+_BINARY_OPS = ("+", "-", "*", "/", "%", "==", "!=", "<", ">", "<=", ">=",
+               "&", "|", "^", "<<", ">>")
+
+#: Scalars that exercise the edge cases: zeros (division/modulo), sign
+#: boundaries, values beyond int64 and beyond the 2**53 exact-float window,
+#: plus non-finite floats.
+_EDGE_INTS = [0, 1, -1, 2, -2, 63, 64, 127, 128, 255, 2**31 - 1, -(2**31),
+              2**53 - 1, 2**53 + 1, 2**62, -(2**62), 2**63 - 1, -(2**63), 2**70]
+_EDGE_FLOATS = [0.0, -0.0, 1.0, -1.0, 0.5, -2.5, 1e-300, 1e300,
+                float("inf"), float("-inf"), float("nan")]
+
+_ints = st.one_of(st.sampled_from(_EDGE_INTS), st.integers(-(2**64), 2**64))
+_floats = st.one_of(
+    st.sampled_from(_EDGE_FLOATS), st.floats(allow_nan=True, allow_infinity=True)
+)
+_scalars = st.one_of(_ints, _floats)
+
+
+def _lane_value(values):
+    """Lift Python scalars to a (kind, data) lane array.
+
+    Raises OverflowError when the values do not fit the lane dtype — the
+    same condition under which the engine itself would have bailed.
+    """
+    if all(isinstance(v, int) for v in values):
+        return ("i", np.array(values, dtype=np.int64)), values
+    if not all(isinstance(v, float) for v in values):
+        # A lane vector holds one kind; per-lane kind mixtures are exactly
+        # what the engine refuses (kind-divergence bailouts), so there is no
+        # engine configuration to compare against.
+        raise OverflowError("mixed-kind lanes are not representable")
+    return ("f", np.array(values, dtype=np.float64)), values
+
+
+def _representable(originals, exact) -> bool:
+    """Whether lifting to a lane array preserved every value (NaN == NaN)."""
+    for a, b in zip(originals, exact):
+        if isinstance(a, float) and isinstance(b, float) and a != a and b != b:
+            continue
+        if a != b:
+            return False
+    return True
+
+
+def _expected(op, lhs, rhs):
+    try:
+        return [apply_binary(op, a, b) for a, b in zip(lhs, rhs)]
+    except Exception as error:  # e.g. int(nan) in as-yet-unreachable paths
+        return error
+
+
+def _assert_lane_equal(result, expected, where: str):
+    kind, data = result
+    values = data.tolist() if isinstance(data, np.ndarray) else [data] * len(expected)
+    assert len(values) == len(expected), where
+    for got, want in zip(values, expected):
+        if isinstance(want, float) and isinstance(got, float):
+            assert got == want or (got != got and want != want), (where, got, want)
+        else:
+            assert got == want, (where, got, want)
+            # The per-lane int/float flavour is semantically significant
+            # (division truncation, slot coercion) — it must match too.
+            assert isinstance(got, bool) or (
+                isinstance(got, float) == isinstance(want, float)
+            ), (where, got, want)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    op=st.sampled_from(_BINARY_OPS),
+    lhs=st.lists(_scalars, min_size=1, max_size=4),
+    rhs_scalar=_scalars,
+    rhs_is_uniform=st.booleans(),
+)
+def test_binary_matches_apply_binary_or_bails(op, lhs, rhs_scalar, rhs_is_uniform):
+    """Lane-wise binary results equal apply_binary exactly, or bail."""
+    rhs = [rhs_scalar] * len(lhs)
+    try:
+        left, lhs_exact = _lane_value(lhs)
+    except OverflowError:
+        return  # not representable as a lane array at all
+    if rhs_is_uniform:
+        right = (("f" if isinstance(rhs_scalar, float) else "i"), rhs_scalar)
+        rhs_exact = rhs
+    else:
+        try:
+            right, rhs_exact = _lane_value(rhs)
+        except OverflowError:
+            return
+    # int64/float64 materialisation may change out-of-range values — the
+    # engine would have bailed converting them; mirror that here.
+    if not _representable(lhs, lhs_exact) or not _representable(rhs, rhs_exact):
+        return
+
+    try:
+        with np.errstate(all="ignore"):
+            result = vec_ops.binary(op, left, right, None)
+    except LockstepBailout:
+        return  # refusal is always safe: the router re-runs on scalars
+    expected = _expected(op, lhs, rhs)
+    assert not isinstance(expected, Exception), "engine produced a value where scalars raise"
+    _assert_lane_equal(result, expected, f"{op} over {lhs} x {rhs_scalar}")
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    op=st.sampled_from(("+", "==", "<", "&", "|", "^", ">>")),
+    lhs=st.lists(st.integers(-(2**52), 2**52), min_size=1, max_size=4),
+    rhs=st.integers(-(2**52), 2**52),
+)
+def test_exact_envelope_never_bails(op, lhs, rhs):
+    """Inside the documented envelope the hot operators must not bail."""
+    left, _ = _lane_value(lhs)
+    result = vec_ops.binary(op, left, ("i", rhs), None)
+    _assert_lane_equal(result, _expected(op, lhs, [rhs] * len(lhs)), f"{op} {lhs} {rhs}")
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lhs=st.lists(st.one_of(_ints, _floats), min_size=1, max_size=4),
+    rhs=st.one_of(_ints, _floats),
+    op=st.sampled_from(("/", "%")),
+)
+def test_division_and_modulo_by_zero(lhs, rhs, op):
+    """Zero divisors follow ops.py (0 for ints, signed inf/nan for floats)."""
+    try:
+        left, exact = _lane_value(lhs)
+    except OverflowError:
+        return
+    if not _representable(lhs, exact):
+        return
+    zero = 0 if isinstance(rhs, int) else 0.0
+    try:
+        with np.errstate(all="ignore"):
+            result = vec_ops.binary(op, left, ("i" if isinstance(zero, int) else "f", zero), None)
+    except LockstepBailout:
+        return
+    expected = _expected(op, lhs, [zero] * len(lhs))
+    assert not isinstance(expected, Exception)
+    _assert_lane_equal(result, expected, f"{op} by zero over {lhs}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    kind=st.sampled_from(["bool", "char", "uchar", "short", "ushort", "int",
+                          "uint", "long", "ulong", "size_t", "float", "double", "half"]),
+    value=st.one_of(_ints, st.integers(-(2**70), 2**70)),
+)
+def test_convert_wraps_uniform_bignums_or_bails(kind, value):
+    """Uniform Python ints beyond int64 must wrap exactly (or bail)."""
+    try:
+        with np.errstate(all="ignore"):
+            result = vec_ops.convert(kind, ("i", value), None)
+    except LockstepBailout:
+        return
+    _assert_lane_equal(result, [convert_scalar(kind, value)], f"uniform convert {kind} of {value}")
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    kind=st.sampled_from(["bool", "char", "uchar", "short", "ushort", "int",
+                          "uint", "long", "ulong", "size_t", "float", "double", "half"]),
+    values=st.lists(st.one_of(_ints, _floats), min_size=1, max_size=4),
+)
+def test_convert_matches_convert_scalar_or_bails(kind, values):
+    """Type casts wrap exactly like values.convert_scalar, or bail."""
+    try:
+        lane, exact = _lane_value(values)
+    except OverflowError:
+        return
+    if not _representable(values, exact):
+        return
+    try:
+        with np.errstate(all="ignore"):
+            result = vec_ops.convert(kind, lane, None)
+    except LockstepBailout:
+        return
+    expected = []
+    for value in values:
+        try:
+            expected.append(convert_scalar(kind, value))
+        except (ValueError, OverflowError):
+            pytest.fail("engine produced a value where convert_scalar raises")
+    _assert_lane_equal(result, expected, f"convert {kind} over {values}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=st.lists(st.one_of(_ints, _floats), min_size=1, max_size=4))
+def test_unary_negate_invert_not(values):
+    try:
+        lane, exact = _lane_value(values)
+    except OverflowError:
+        return
+    if not _representable(values, exact):
+        return
+    try:
+        result = vec_ops.negate(lane, None)
+        _assert_lane_equal(result, [-v for v in values], f"negate {values}")
+    except LockstepBailout:
+        pass
+    result = vec_ops.logical_not(lane)
+    _assert_lane_equal(result, [0 if v else 1 for v in values], f"! {values}")
+    try:
+        with np.errstate(all="ignore"):
+            result = vec_ops.invert(lane, None)
+        expected = []
+        for v in values:
+            try:
+                expected.append(~int(v))
+            except (ValueError, OverflowError):
+                pytest.fail("engine inverted a value the scalars cannot")
+        _assert_lane_equal(result, expected, f"~ {values}")
+    except LockstepBailout:
+        pass
+
+
+def test_masked_guard_ignores_inactive_lanes():
+    """Guards only inspect active lanes: dead-lane garbage must not bail."""
+    left = ("i", np.array([1, 2**62, 3], dtype=np.int64))
+    mask = np.array([True, False, True])
+    kind, data = vec_ops.binary("*", left, ("i", 2**52), mask)
+    assert data[0] == 2**52 and data[2] == 3 * 2**52
+
+
+def test_mask_algebra():
+    full, empty = None, False
+    some = np.array([True, False, True, False])
+    assert vec_ops.mask_count(full, 4) == 4
+    assert vec_ops.mask_count(empty, 4) == 0
+    assert vec_ops.mask_count(some, 4) == 2
+    assert vec_ops.mask_and(full, some).tolist() == some.tolist()
+    assert vec_ops.mask_and(some, np.array([True] * 4)).tolist() == some.tolist()
+    # All-true and all-false intersections normalise to the fast sentinels.
+    assert vec_ops.mask_and(full, np.array([True] * 4)) is None
+    assert vec_ops.mask_and(some, np.array([False] * 4)) is False
+    assert vec_ops.mask_or(some, vec_ops.mask_minus(full, some)) is None
+    assert vec_ops.mask_minus(some, full) is False
+    assert vec_ops.mask_minus(full, empty) is None
