@@ -4,20 +4,26 @@ Each benchmark regenerates one of the paper's tables or figures.  The heavy
 shared inputs (suite measurements, the trained synthesizer) are built once
 per session at a scale controlled by the ``REPRO_BENCH_SCALE`` environment
 variable: ``quick`` (default, minutes) or ``full`` (paper-scale synthetic
-kernel counts).
+kernel counts).  They resolve through the pipeline stage graph
+(:mod:`repro.store`), so pointing ``REPRO_STORE_DIR`` at a directory makes
+repeat sessions reuse every unchanged stage artifact.
 
-The session also emits a perf snapshot at the repo root — ``BENCH_PR2.json``
+The session also emits a perf snapshot at the repo root — ``BENCH_PR3.json``
 by default, overridable with the ``REPRO_BENCH_OUT`` environment variable so
 each PR's bench run stops clobbering the previous PR's artifact — recording
 wall-clock seconds per pipeline phase (preprocess, train, sample, execute).
 See the "Performance" section of ROADMAP.md for how to read it and for the
 benchmark protocol; ``scripts/bench_compare.py`` diffs two snapshots.
+
+The ``perfgate`` marker (``-m perfgate``, see ``test_perf_gate.py``) turns
+the comparison against the previous PR's committed snapshot into a CI gate.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
@@ -29,12 +35,17 @@ from repro.experiments import (
     measure_suites,
     synthesize_and_measure,
 )
+from repro.store import default_runner, warm_phases
 
 #: Wall-clock seconds per pipeline phase, accumulated by the session fixtures.
 _PHASE_TIMINGS: dict[str, float] = {}
 
+#: Position in the default runner's event log when the session started, so
+#: warm-phase detection only looks at this session's stage resolutions.
+_RUNNER_MARK = 0
+
 _SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / os.environ.get(
-    "REPRO_BENCH_OUT", "BENCH_PR2.json"
+    "REPRO_BENCH_OUT", "BENCH_PR3.json"
 )
 
 #: Pre-PR-1 reference numbers for the quick-scale synthesize-and-measure
@@ -48,23 +59,48 @@ _PR0_BASELINE_SECONDS = {
     "execute": 4.313,
 }
 
-#: PR-1 reference numbers re-measured at commit f45fae8 with *this same
-#: pytest bench harness* on the same machine state as this PR's snapshot
-#: (mean of two runs; the profile script agrees within noise: 0.93–1.21 s
-#: execute over six runs).  The committed ``BENCH_PR1.json`` was recorded
-#: under a markedly faster machine state — compare against these for a
+#: PR-2 reference numbers re-measured at commit 5fd32b3 with *this same
+#: pytest bench harness* on the same day/machine state as this PR's
+#: snapshot (mean of two runs).  The committed ``BENCH_PR2.json`` was
+#: recorded under a different machine state — compare against these for a
 #: like-for-like phase speedup (ROADMAP "Performance" has the drift
 #: caveat).
-_PR1_REMEASURED_SECONDS = {
-    "preprocess": 0.367,
-    "train": 0.156,
-    "sample": 0.453,
-    "execute": 1.017,
+_PR2_REMEASURED_SECONDS = {
+    "preprocess": 0.265,
+    "train": 0.168,
+    "sample": 0.446,
+    "execute": 0.420,
 }
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perfgate: perf regression gate comparing this session's phase timings "
+        "against the previous PR's committed BENCH snapshot (opt-in: -m perfgate)",
+    )
 
 
 def _bench_scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_runner_mark():
+    global _RUNNER_MARK
+    _RUNNER_MARK = default_runner().mark()
+
+
+def _warm_phases() -> list[str]:
+    """Phases whose timings this session were tainted by store warmth.
+
+    Warm (cross-session) hits record store-lookup times, not real work — a
+    snapshot or perf gate built from them would be bogus, so both refuse
+    them.  See :func:`repro.store.stages.warm_phases` for the exact rule
+    (it distinguishes structural same-session hits from cross-session ones,
+    so even a partially warm phase is caught).
+    """
+    return warm_phases(default_runner().events[_RUNNER_MARK:])
 
 
 @pytest.fixture(scope="session")
@@ -93,12 +129,34 @@ def bench_data(bench_config, bench_clgen):
     )
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Write the per-phase perf snapshot once the heavy fixtures have run."""
+@pytest.fixture(scope="session")
+def bench_phase_timings(bench_data) -> dict[str, float]:
+    """The session's per-phase wall-clock seconds (forces the heavy fixtures)."""
+    return _PHASE_TIMINGS
+
+
+@pytest.fixture(scope="session")
+def bench_warm_phases(bench_data) -> list[str]:
+    """Phases served entirely from the artifact store this session."""
+    return _warm_phases()
+
+
+def _build_snapshot() -> dict | None:
     if set(_PHASE_TIMINGS) != {"preprocess", "train", "sample", "execute"}:
         # A filtered or failed session timed only some phases; a partial
-        # total would overwrite the snapshot with a bogus speedup.
-        return
+        # total would make a bogus speedup.
+        return None
+    warm = _warm_phases()
+    if warm:
+        # Store-warm phases timed cache lookups, not pipeline work (e.g. a
+        # second session against the same REPRO_STORE_DIR); a snapshot of
+        # them would report fantasy speedups.
+        print(
+            f"bench snapshot skipped: phases {', '.join(warm)} were served "
+            "from the artifact store (warm); measure with a cold store",
+            file=sys.stderr,
+        )
+        return None
     total = sum(_PHASE_TIMINGS.values())
     snapshot = {
         "scale": _bench_scale(),
@@ -113,12 +171,20 @@ def pytest_sessionfinish(session, exitstatus):
         snapshot["pr0_baseline_seconds"] = dict(_PR0_BASELINE_SECONDS)
         snapshot["pr0_baseline_total_seconds"] = round(baseline_total, 3)
         snapshot["speedup_vs_pr0"] = round(baseline_total / max(total, 1e-9), 2)
-        snapshot["pr1_remeasured_seconds"] = dict(_PR1_REMEASURED_SECONDS)
-        snapshot["execute_speedup_vs_pr1_remeasured"] = round(
-            _PR1_REMEASURED_SECONDS["execute"]
+        snapshot["pr2_remeasured_seconds"] = dict(_PR2_REMEASURED_SECONDS)
+        snapshot["execute_speedup_vs_pr2_remeasured"] = round(
+            _PR2_REMEASURED_SECONDS["execute"]
             / max(_PHASE_TIMINGS["execute"], 1e-9),
             2,
         )
+    return snapshot
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-phase perf snapshot once the heavy fixtures have run."""
+    snapshot = _build_snapshot()
+    if snapshot is None:
+        return
     try:
         _SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
     except OSError:

@@ -1,0 +1,82 @@
+"""Opt-in perf regression gate (``-m perfgate``).
+
+Compares this session's freshly measured per-phase timings against the
+previous PR's committed ``BENCH_*.json`` snapshot through
+``scripts/bench_compare.py``, failing on any phase regression beyond the
+documented 10% threshold.  Run it on its own so the timings are cold::
+
+    PYTHONPATH=src python -m pytest benchmarks -m perfgate
+
+Because absolute numbers drift with machine load (ROADMAP "Performance"
+caveat), the gate only runs when explicitly selected; in a plain session it
+skips before building any fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perfgate
+
+_ROOT = Path(__file__).resolve().parent.parent
+_COMPARE = _ROOT / "scripts" / "bench_compare.py"
+#: The previous PR's committed snapshot (the gate's baseline).
+_BASELINE = _ROOT / "BENCH_PR2.json"
+#: Documented per-phase regression tolerance (ROADMAP "Performance").
+_THRESHOLD = 0.10
+
+
+def test_no_phase_regression_vs_previous_pr(request, tmp_path):
+    if "perfgate" not in (request.config.option.markexpr or ""):
+        pytest.skip("perf gate is opt-in: select it with -m perfgate")
+    if not _BASELINE.exists():
+        pytest.skip(f"baseline snapshot {_BASELINE.name} not committed")
+
+    baseline = json.loads(_BASELINE.read_text())
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if baseline.get("scale") != scale:
+        pytest.skip(f"scale mismatch: baseline {baseline.get('scale')!r} vs {scale!r}")
+
+    # Force the heavy session fixtures only once the gate is actually on.
+    timings = request.getfixturevalue("bench_phase_timings")
+    warm = request.getfixturevalue("bench_warm_phases")
+    if warm:
+        pytest.skip(
+            f"phases {', '.join(warm)} were served warm from the artifact "
+            "store; the gate needs cold timings (clear the store or unset "
+            "REPRO_STORE_DIR)"
+        )
+
+    fresh = tmp_path / "BENCH_FRESH.json"
+    fresh.write_text(
+        json.dumps(
+            {
+                "scale": scale,
+                "phases_seconds": {k: round(v, 3) for k, v in timings.items()},
+                "total_seconds": round(sum(timings.values()), 3),
+            }
+        )
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(_COMPARE),
+            str(_BASELINE),
+            str(fresh),
+            "--threshold",
+            str(_THRESHOLD),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=str(_ROOT),
+    )
+    assert completed.returncode == 0, (
+        f"perf gate failed against {_BASELINE.name}:\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )

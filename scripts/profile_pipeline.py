@@ -10,10 +10,17 @@ Usage::
     PYTHONPATH=src python scripts/profile_pipeline.py                 # time phases
     PYTHONPATH=src python scripts/profile_pipeline.py --profile p.out # + cProfile
     PYTHONPATH=src python scripts/profile_pipeline.py --json out.json # + snapshot
+    PYTHONPATH=src python scripts/profile_pipeline.py --warm          # + warm re-run
+    PYTHONPATH=src python scripts/profile_pipeline.py \
+        --cache-dir /tmp/store --warm                                 # on-disk store
 
-The script deliberately sticks to the stable pipeline API (it drives the
-same phases as ``benchmarks/conftest.py``) so it can be pointed at older
-checkouts for before/after comparisons.
+When the checkout provides the stage graph (``repro.store``), the pipeline
+runs through it and the report includes per-stage cache hit/miss results;
+``--warm`` re-runs the whole pipeline against the now-populated store to
+show what a repeat invocation costs per stage.  On older checkouts (no
+``repro.store``) the script falls back to the direct pipeline API with the
+same phase semantics, so it can still be pointed at them
+(``PYTHONPATH=<old>/src``) for before/after comparisons.
 """
 
 from __future__ import annotations
@@ -25,10 +32,16 @@ import pstats
 import sys
 import time
 
+PHASES = ("preprocess", "train", "sample", "execute")
 
-def run_pipeline(kernel_count: int, repository_count: int, timings: dict[str, float]) -> dict:
+
+def run_pipeline_legacy(
+    kernel_count: int, repository_count: int, timings: dict[str, float]
+) -> dict:
+    """The pre-stage-graph path: direct calls into the stable pipeline API,
+    bypassing the artifact store entirely so its timings are always cold."""
     from repro.corpus.corpus import Corpus
-    from repro.experiments.common import ExperimentConfig, make_driver, measure_suites
+    from repro.experiments.common import ExperimentConfig, make_driver, measure_benchmark
     from repro.synthesis.generator import CLgen
     from repro.synthesis.sampler import SamplerConfig
 
@@ -58,8 +71,15 @@ def run_pipeline(kernel_count: int, repository_count: int, timings: dict[str, fl
     timings["sample"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    data = measure_suites(config)
+    try:
+        from repro.suites.registry import all_suites
+    except ImportError:  # pragma: no cover - very old checkouts
+        all_suites = lambda: []  # noqa: E731
     driver = make_driver(config)
+    suite_measurements = 0
+    for suite in all_suites():
+        for benchmark in suite.benchmarks:
+            suite_measurements += len(measure_benchmark(driver, benchmark))
     scales = [4.0, 16.0, 64.0, 256.0, 1024.0]
     measured = 0
     for index, kernel in enumerate(synthesis.kernels):
@@ -74,8 +94,90 @@ def run_pipeline(kernel_count: int, repository_count: int, timings: dict[str, fl
         "corpus_kernels": corpus.size,
         "synthesized": len(synthesis.kernels),
         "synthetic_measured": measured,
-        "suite_measurements": len(data.all_suite_measurements),
+        "suite_measurements": suite_measurements,
     }
+
+
+def run_pipeline_staged(
+    kernel_count: int,
+    repository_count: int,
+    timings: dict[str, float],
+    cache_dir: str | None,
+    stage_report: list[dict] | None = None,
+):
+    """Run through the stage graph; returns None when unavailable (old tree)."""
+    try:
+        from repro.store import PipelineConfig, PipelineRunner
+    except ImportError:
+        return None
+    from repro.experiments.common import ExperimentConfig
+
+    config = ExperimentConfig.quick()
+    config.synthetic_kernel_count = kernel_count
+    config.corpus_repository_count = repository_count
+    stage_config = PipelineConfig.from_experiment(config)
+
+    runner = PipelineRunner(cache_dir=cache_dir)
+    corpus = runner.corpus(stage_config)
+    runner.trained_model(stage_config)
+    synthesis = runner.synthesis(stage_config)
+    suites = runner.suite_measurements(stage_config)
+    measurements = runner.synthetic_measurements(stage_config)
+
+    timings.update(runner.phase_seconds())
+    for phase in PHASES:
+        timings.setdefault(phase, 0.0)
+    if stage_report is not None:
+        for event in runner.events:
+            stage_report.append(
+                {
+                    "stage": event.stage,
+                    "hit": event.hit,
+                    "seconds": round(event.seconds, 3),
+                    "fingerprint": event.fingerprint,
+                }
+            )
+    return {
+        "corpus_kernels": corpus.size,
+        "synthesized": len(synthesis.kernels),
+        "synthetic_measured": len(measurements),
+        "suite_measurements": sum(len(m) for m in suites.suite_measurements.values()),
+    }
+
+
+def run_pipeline(
+    kernel_count: int,
+    repository_count: int,
+    timings: dict[str, float],
+    cache_dir: str | None = None,
+    legacy: bool = False,
+    stage_report: list[dict] | None = None,
+) -> dict:
+    if not legacy:
+        counts = run_pipeline_staged(
+            kernel_count, repository_count, timings, cache_dir, stage_report
+        )
+        if counts is not None:
+            return counts
+    return run_pipeline_legacy(kernel_count, repository_count, timings)
+
+
+def _warm_phases(stage_report: list[dict]) -> list[str]:
+    """Phases tainted by cross-session store warmth (see
+    ``repro.store.stages.warm_phases``): they time store lookups, not
+    pipeline work, so they must not masquerade as a cold BENCH snapshot."""
+    try:
+        from repro.store import warm_phases
+    except ImportError:
+        return []
+    return warm_phases(stage_report)
+
+
+def _print_stage_report(label: str, stage_report: list[dict]) -> None:
+    print(f"{label}: {'stage':<12}{'result':>8}{'seconds':>10}")
+    for entry in stage_report:
+        result = "hit" if entry["hit"] else "miss"
+        print(f"{'':<{len(label) + 2}}{entry['stage']:<12}{result:>8}{entry['seconds']:>10.3f}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,29 +192,74 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --profile, print the top N cumulative entries")
     parser.add_argument("--json", metavar="PATH",
                         help="write a BENCH-style JSON snapshot to PATH")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="on-disk artifact store (default: $REPRO_STORE_DIR or in-memory)")
+    parser.add_argument("--warm", action="store_true",
+                        help="after the timed run, re-run the pipeline against the "
+                             "populated store and report per-stage warm timings")
+    parser.add_argument("--legacy", action="store_true",
+                        help="force the pre-stage-graph direct pipeline API")
     args = parser.parse_args(argv)
+    if args.warm and args.legacy:
+        parser.error("--warm needs the stage graph; it cannot combine with --legacy")
 
     timings: dict[str, float] = {}
+    cold_stages: list[dict] = []
     if args.profile:
         profiler = cProfile.Profile()
         profiler.enable()
-        counts = run_pipeline(args.kernels, args.repositories, timings)
+        counts = run_pipeline(args.kernels, args.repositories, timings,
+                              cache_dir=args.cache_dir, legacy=args.legacy,
+                              stage_report=cold_stages)
         profiler.disable()
         profiler.dump_stats(args.profile)
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative").print_stats(args.top)
         print(f"profile written to {args.profile}")
     else:
-        counts = run_pipeline(args.kernels, args.repositories, timings)
+        counts = run_pipeline(args.kernels, args.repositories, timings,
+                              cache_dir=args.cache_dir, legacy=args.legacy,
+                              stage_report=cold_stages)
+
+    warm_timings: dict[str, float] = {}
+    warm_stages: list[dict] = []
+    if args.warm and not cold_stages:
+        # The legacy path (or an old checkout's fallback) never consults the
+        # store; a "warm" rerun would just repeat the cold pipeline.
+        print("warm pass skipped: no stage graph on this path", file=sys.stderr)
+    elif args.warm:
+        run_pipeline(args.kernels, args.repositories, warm_timings,
+                     cache_dir=args.cache_dir, legacy=args.legacy,
+                     stage_report=warm_stages)
 
     total = sum(timings.values())
-    print("phase      seconds")
-    for phase in ("preprocess", "train", "sample", "execute"):
-        print(f"{phase:10s} {timings.get(phase, 0.0):8.3f}")
-    print(f"{'total':10s} {total:8.3f}")
+    if warm_timings:
+        warm_total = sum(warm_timings.values())
+        print("phase        cold s    warm s")
+        for phase in PHASES:
+            print(f"{phase:10s} {timings.get(phase, 0.0):8.3f}  {warm_timings.get(phase, 0.0):8.3f}")
+        print(f"{'total':10s} {total:8.3f}  {warm_total:8.3f}")
+    else:
+        print("phase      seconds")
+        for phase in PHASES:
+            print(f"{phase:10s} {timings.get(phase, 0.0):8.3f}")
+        print(f"{'total':10s} {total:8.3f}")
+    if cold_stages:
+        _print_stage_report("cold", cold_stages)
+    if warm_stages:
+        _print_stage_report("warm", warm_stages)
     print(", ".join(f"{key}={value}" for key, value in counts.items()))
 
     if args.json:
+        warm = _warm_phases(cold_stages)
+        if warm:
+            print(
+                f"snapshot NOT written: phases {', '.join(warm)} were served "
+                "from the artifact store (warm); re-run with a cold store "
+                "(clear it or unset REPRO_STORE_DIR), or use --legacy",
+                file=sys.stderr,
+            )
+            return 1
         snapshot = {
             "scale": "quick",
             "phases_seconds": {k: round(v, 3) for k, v in timings.items()},
@@ -120,6 +267,14 @@ def main(argv: list[str] | None = None) -> int:
             "counts": counts,
             "unix_time": int(time.time()),
         }
+        if cold_stages:
+            snapshot["stages"] = cold_stages
+        if warm_timings:
+            snapshot["warm_phases_seconds"] = {
+                k: round(v, 3) for k, v in warm_timings.items()
+            }
+            snapshot["warm_total_seconds"] = round(sum(warm_timings.values()), 3)
+            snapshot["warm_stages"] = warm_stages
         with open(args.json, "w") as handle:
             json.dump(snapshot, handle, indent=2)
             handle.write("\n")

@@ -6,6 +6,14 @@ Sub-commands mirror the original tool's workflow:
 * ``train``       — train a language model on the corpus and checkpoint it
 * ``sample``      — synthesize kernels from a trained (or freshly trained) model
 * ``experiments`` — regenerate every table/figure and print the report
+* ``pipeline``    — run every stage once and report per-stage cache hits/timings
+
+Every sub-command resolves its heavy inputs through the pipeline stage
+graph (:mod:`repro.store`): with ``--cache-dir`` (or ``REPRO_STORE_DIR``)
+set, artifacts persist on disk and repeat invocations stop re-mining,
+re-preprocessing, re-training and re-sampling from scratch — ``train``
+after ``mine`` reuses the corpus, ``sample`` after ``train`` reuses the
+model, and a second ``experiments`` run reuses everything untouched.
 """
 
 from __future__ import annotations
@@ -13,14 +21,20 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.corpus import Corpus
 from repro.experiments import ExperimentConfig, run_all
-from repro.model import save_model, train_model
+from repro.model import load_model, save_model
+from repro.store import PipelineConfig, PipelineRunner, STAGE_ORDER
 from repro.synthesis import CLgen, SamplerConfig
 
 
+def _make_runner(args: argparse.Namespace) -> PipelineRunner:
+    return PipelineRunner(cache_dir=getattr(args, "cache_dir", None))
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    corpus = Corpus.mine_and_build(repository_count=args.repositories, seed=args.seed)
+    runner = _make_runner(args)
+    config = PipelineConfig(repository_count=args.repositories, seed=args.seed)
+    corpus = runner.corpus(config)
     stats = corpus.statistics
     print(f"content files: {stats.content_files} ({stats.content_lines} lines)")
     print(f"accepted: {stats.accepted_files}  rejected: {stats.rejected_files} "
@@ -31,8 +45,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    corpus = Corpus.mine_and_build(repository_count=args.repositories, seed=args.seed)
-    trained = train_model(corpus, backend=args.backend, ngram_order=args.order)
+    runner = _make_runner(args)
+    config = PipelineConfig(
+        repository_count=args.repositories,
+        seed=args.seed,
+        backend=args.backend,
+        ngram_order=args.order,
+    )
+    trained = runner.trained_model(config)
     print(f"trained {args.backend} model on {trained.corpus_characters} characters "
           f"(final loss {trained.summary.final_loss:.3f})")
     if args.checkpoint:
@@ -42,13 +62,33 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
-    clgen = CLgen.from_github(
-        repository_count=args.repositories,
-        seed=args.seed,
-        ngram_order=args.order,
-        sampler_config=SamplerConfig(temperature=args.temperature),
-    )
-    result = clgen.generate_kernels(args.count, seed=args.seed)
+    if args.checkpoint:
+        # Sample a previously saved model without rebuilding or retraining.
+        # Same attempt budget as the stage-graph path, so the two paths
+        # sample identically for the same model and flags.
+        model = load_model(args.checkpoint)
+        clgen = CLgen(
+            model=model, sampler_config=SamplerConfig(temperature=args.temperature)
+        )
+        result = clgen.generate_kernels(
+            args.count,
+            seed=args.seed,
+            max_attempts_per_kernel=PipelineConfig().max_attempts_per_kernel,
+        )
+    else:
+        runner = _make_runner(args)
+        # Deliberately all-default beyond the flags: the same flags must
+        # produce the same synthesis fingerprint as `repro pipeline` and the
+        # experiment harness, so the sub-commands share artifacts.
+        config = PipelineConfig(
+            repository_count=args.repositories,
+            seed=args.seed,
+            ngram_order=args.order,
+            sampler_temperature=args.temperature,
+            synthetic_kernel_count=args.count,
+            sample_seed=args.seed,
+        )
+        result = runner.synthesis(config)
     for kernel in result.kernels:
         print(kernel.source)
         print()
@@ -65,8 +105,53 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     config = ExperimentConfig.full() if args.full else ExperimentConfig.quick()
     if args.synthetic_kernels:
         config.synthetic_kernel_count = args.synthetic_kernels
-    report = run_all(config)
+    report = run_all(config, runner=_make_runner(args))
     print(report.render())
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    """Run every stage once and report the store's work for each."""
+    runner = _make_runner(args)
+    config = PipelineConfig(
+        repository_count=args.repositories,
+        seed=args.seed,
+        ngram_order=args.order,
+        sampler_temperature=args.temperature,
+        synthetic_kernel_count=args.count,
+        sample_seed=args.seed,
+        executed_global_size=args.global_size,
+        local_size=args.local_size,
+        payload_seed=args.seed,
+    )
+    suites = runner.suite_measurements(config)
+    synthesis = runner.synthesis(config)
+    measurements = runner.synthetic_measurements(config)
+
+    print(f"{'stage':<12}{'result':>8}{'seconds':>10}  fingerprint")
+    by_stage: dict[str, list] = {}
+    for event in runner.events:
+        by_stage.setdefault(event.stage, []).append(event)
+    total = 0.0
+    for stage in STAGE_ORDER:
+        for event in by_stage.get(stage, ()):
+            label = "hit" if event.hit else "miss"
+            total += event.seconds
+            print(f"{stage:<12}{label:>8}{event.seconds:>10.3f}  {event.fingerprint[:12]}")
+    print(f"{'total':<12}{'':>8}{total:>10.3f}")
+
+    suite_count = sum(len(m) for m in suites.suite_measurements.values())
+    print(
+        f"// {synthesis.statistics.generated} kernels synthesized, "
+        f"{len(measurements)} synthetic + {suite_count} suite measurements",
+        file=sys.stderr,
+    )
+    if runner.store.directory is None:
+        print(
+            "// no on-disk store configured; pass --cache-dir (or set "
+            "REPRO_STORE_DIR) to persist artifacts across runs",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -77,12 +162,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    mine = subparsers.add_parser("mine", help="mine the OpenCL corpus and print statistics")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="artifact-store directory (default: $REPRO_STORE_DIR, else in-memory only)",
+    )
+
+    mine = subparsers.add_parser(
+        "mine", parents=[common], help="mine the OpenCL corpus and print statistics"
+    )
     mine.add_argument("--repositories", type=int, default=100)
     mine.add_argument("--seed", type=int, default=0)
     mine.set_defaults(func=_cmd_mine)
 
-    train = subparsers.add_parser("train", help="train a language model on the corpus")
+    train = subparsers.add_parser(
+        "train", parents=[common], help="train a language model on the corpus"
+    )
     train.add_argument("--repositories", type=int, default=100)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--backend", choices=["ngram", "lstm"], default="ngram")
@@ -90,18 +187,45 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint", type=str, default=None)
     train.set_defaults(func=_cmd_train)
 
-    sample = subparsers.add_parser("sample", help="synthesize OpenCL kernels")
+    sample = subparsers.add_parser(
+        "sample", parents=[common], help="synthesize OpenCL kernels"
+    )
     sample.add_argument("--count", type=int, default=10)
-    sample.add_argument("--repositories", type=int, default=80)
+    # Same default as mine/train: identical flags must resolve to the same
+    # corpus/model fingerprints so the sub-commands reuse each other's
+    # artifacts.
+    sample.add_argument("--repositories", type=int, default=100)
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument("--order", type=int, default=12)
     sample.add_argument("--temperature", type=float, default=0.6)
+    sample.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="sample a saved model checkpoint instead of mining and training",
+    )
     sample.set_defaults(func=_cmd_sample)
 
-    experiments = subparsers.add_parser("experiments", help="regenerate every table and figure")
+    experiments = subparsers.add_parser(
+        "experiments", parents=[common], help="regenerate every table and figure"
+    )
     experiments.add_argument("--full", action="store_true", help="paper-scale configuration")
     experiments.add_argument("--synthetic-kernels", type=int, default=None)
     experiments.set_defaults(func=_cmd_experiments)
+
+    pipeline = subparsers.add_parser(
+        "pipeline",
+        parents=[common],
+        help="run all pipeline stages once, reporting per-stage cache hits and timings",
+    )
+    pipeline.add_argument("--repositories", type=int, default=100)
+    pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.add_argument("--order", type=int, default=12)
+    pipeline.add_argument("--temperature", type=float, default=0.6)
+    pipeline.add_argument("--count", type=int, default=50)
+    pipeline.add_argument("--global-size", type=int, default=128)
+    pipeline.add_argument("--local-size", type=int, default=32)
+    pipeline.set_defaults(func=_cmd_pipeline)
     return parser
 
 

@@ -266,6 +266,27 @@ class HostDriver:
             transfer_count=payload.transfer_count,
         )
 
+    def measure_benchmark(self, benchmark) -> list[KernelMeasurement]:
+        """Measure one suite benchmark across all of its datasets.
+
+        *benchmark* is any object with ``source``, ``qualified_name`` and
+        ``datasets`` (each with ``name`` and ``scale``) — i.e. a
+        :class:`repro.suites.registry.Benchmark`, duck-typed so this layer
+        stays independent of the suites registry.  This is the single
+        implementation behind both the experiment harness and the stage
+        graph's ``execute`` stage.
+        """
+        measurements = []
+        for dataset in benchmark.datasets:
+            measurement = self.measure_source(
+                benchmark.source,
+                name=f"{benchmark.qualified_name}.{dataset.name}",
+                dataset_scale=dataset.scale,
+            )
+            if measurement is not None:
+                measurements.append(measurement)
+        return measurements
+
     def measure_many(
         self,
         sources: list[str],

@@ -133,12 +133,17 @@ class FullReport:
         return out.getvalue()
 
 
-def run_all(config: ExperimentConfig | None = None) -> FullReport:
-    """Run every experiment with shared measurements and one CLgen instance."""
+def run_all(config: ExperimentConfig | None = None, runner=None) -> FullReport:
+    """Run every experiment with shared measurements and one CLgen instance.
+
+    *runner* is an optional :class:`repro.store.PipelineRunner`; the heavy
+    inputs resolve through its artifact store, so a second run against the
+    same store reuses every unchanged stage.
+    """
     config = config or ExperimentConfig()
-    data: ExperimentData = measure_suites(config)
-    clgen = build_clgen(config)
-    data = synthesize_and_measure(config, data, clgen=clgen)
+    data: ExperimentData = measure_suites(config, runner=runner)
+    clgen = build_clgen(config, runner=runner)
+    data = synthesize_and_measure(config, data, clgen=clgen, runner=runner)
 
     return FullReport(
         config=config,

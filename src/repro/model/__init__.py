@@ -6,7 +6,7 @@ n-gram model (the fast generator the experiment harness uses).
 """
 
 from repro.model.backend import LanguageModel, TrainingSummary, apply_temperature
-from repro.model.checkpoint import load_model, save_model
+from repro.model.checkpoint import load_model, model_from_dict, model_to_dict, save_model
 from repro.model.lstm import LSTMConfig, LSTMLanguageModel, LSTMSamplerState
 from repro.model.ngram import NgramLanguageModel
 from repro.model.optimizer import SGD, Adam, StepDecaySchedule, clip_gradients
@@ -30,6 +30,8 @@ __all__ = [
     "apply_temperature",
     "clip_gradients",
     "load_model",
+    "model_from_dict",
+    "model_to_dict",
     "save_model",
     "train_model",
 ]

@@ -3,6 +3,11 @@
 The paper ships a 648 MB trained Torch checkpoint with its artifact; here a
 checkpoint is a (optionally gzip-compressed) JSON document so that both the
 n-gram model and the numpy LSTM round-trip without any binary dependencies.
+
+The dictionary form (:func:`model_to_dict` / :func:`model_from_dict`) is
+also the ``train`` stage's artifact in the content-addressed store
+(:mod:`repro.store`): a checkpoint written by ``repro train --checkpoint``
+and a store-cached model are the same serialization.
 """
 
 from __future__ import annotations
@@ -17,6 +22,23 @@ from repro.model.lstm import LSTMLanguageModel
 from repro.model.ngram import NgramLanguageModel
 
 
+def model_to_dict(model: LanguageModel) -> dict:
+    """The JSON-compatible checkpoint dictionary for *model*."""
+    if not hasattr(model, "to_dict"):
+        raise ModelError(f"model {type(model).__name__} does not support checkpointing")
+    return model.to_dict()  # type: ignore[attr-defined]
+
+
+def model_from_dict(payload: dict) -> LanguageModel:
+    """Rebuild a model from its checkpoint dictionary."""
+    kind = payload.get("kind")
+    if kind == "ngram":
+        return NgramLanguageModel.from_dict(payload)
+    if kind == "lstm":
+        return LSTMLanguageModel.from_dict(payload)
+    raise ModelError(f"unknown checkpoint kind: {kind!r}")
+
+
 def save_model(model: LanguageModel, path: str | Path, compress: bool | None = None) -> Path:
     """Serialize *model* to *path*.
 
@@ -24,9 +46,7 @@ def save_model(model: LanguageModel, path: str | Path, compress: bool | None = N
     Returns the path written.
     """
     path = Path(path)
-    if not hasattr(model, "to_dict"):
-        raise ModelError(f"model {type(model).__name__} does not support checkpointing")
-    payload = json.dumps(model.to_dict())  # type: ignore[attr-defined]
+    payload = json.dumps(model_to_dict(model))
     use_gzip = compress if compress is not None else path.suffix == ".gz"
     path.parent.mkdir(parents=True, exist_ok=True)
     if use_gzip:
@@ -47,9 +67,4 @@ def load_model(path: str | Path) -> LanguageModel:
             payload = json.load(handle)
     else:
         payload = json.loads(path.read_text(encoding="utf-8"))
-    kind = payload.get("kind")
-    if kind == "ngram":
-        return NgramLanguageModel.from_dict(payload)
-    if kind == "lstm":
-        return LSTMLanguageModel.from_dict(payload)
-    raise ModelError(f"unknown checkpoint kind: {kind!r}")
+    return model_from_dict(payload)

@@ -2,18 +2,18 @@
 
 Rejection filtering and rewriting are pure functions of ``(content file,
 pipeline configuration)``, and corpus builds repeat the same content files
-constantly — unit tests mine the same synthetic repositories dozens of
-times, the benchmark harness rebuilds the corpus per session, and shim
-ablations run the pipeline twice over identical inputs.  Keying outcomes by
-a content hash makes every repeat near-free.
+constantly, so outcomes are keyed by a content hash — the original of the
+design that :mod:`repro.store` generalizes to whole pipeline stages (see
+ARCHITECTURE.md).
 
 Two layers:
 
-* an in-process bounded LRU, always on (shared process-wide), and
-* an optional on-disk store (one pickle per entry, sharded by hash prefix)
-  enabled by passing ``directory=`` or setting the
-  ``REPRO_PREPROCESS_CACHE_DIR`` environment variable, which makes repeated
-  corpus builds cheap *across* processes (benchmarks, experiments, CI).
+* an in-process bounded LRU of live outcome records, always on, and
+* an optional on-disk layer delegated to the generic
+  :class:`repro.store.artifact_store.ArtifactStore` (artifact kind
+  ``preprocess-file``), enabled by passing ``directory=`` or setting
+  ``REPRO_PREPROCESS_CACHE_DIR`` (falling back to ``REPRO_STORE_DIR``, so
+  one store root serves both per-file outcomes and stage artifacts).
 
 Disk entries embed a schema version; unreadable or stale entries are
 silently recomputed.
@@ -23,18 +23,29 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 import threading
 from collections import OrderedDict
 from pathlib import Path
 
-#: Bump when the cached record layout or pipeline semantics change.
-CACHE_SCHEMA_VERSION = 1
+from repro.store.artifact_store import ArtifactStore
+from repro.store.fingerprint import schema_version
+
+#: Artifact kind under which outcomes live in the store.  The single
+#: invalidation knob is ``SCHEMA_VERSIONS["preprocess-file"]`` in
+#: :mod:`repro.store.fingerprint`: it is baked into every outcome key (so
+#: stale entries stop being addressed) *and* validated inside each stored
+#: entry by the store — bump it there when the record layout or the
+#: pipeline semantics change.
+ARTIFACT_KIND = "preprocess-file"
 
 
 def default_cache_directory() -> str | None:
     """The on-disk cache location from the environment, if configured."""
-    return os.environ.get("REPRO_PREPROCESS_CACHE_DIR") or None
+    return (
+        os.environ.get("REPRO_PREPROCESS_CACHE_DIR")
+        or os.environ.get("REPRO_STORE_DIR")
+        or None
+    )
 
 
 def outcome_key(
@@ -45,8 +56,8 @@ def outcome_key(
 ) -> str:
     """Content-address of one (file, configuration) preprocessing outcome."""
     tag = (
-        f"v{CACHE_SCHEMA_VERSION}|shim={int(use_shim)}|rename={int(rename_identifiers)}"
-        f"|min={min_static_instructions}|"
+        f"v{schema_version(ARTIFACT_KIND)}|shim={int(use_shim)}"
+        f"|rename={int(rename_identifiers)}|min={min_static_instructions}|"
     )
     digest = hashlib.sha1()
     digest.update(tag.encode("ascii"))
@@ -55,17 +66,33 @@ def outcome_key(
 
 
 class PreprocessCache:
-    """Bounded in-memory LRU with an optional on-disk mirror."""
+    """Bounded in-memory LRU with an optional on-disk artifact-store mirror.
+
+    Unlike the stage-level store, the memory layer here holds *live* records
+    rather than serialized bytes: outcomes are treated as immutable by every
+    consumer and the per-file path is hot enough that a deserialization per
+    hit would show up in corpus builds.
+    """
 
     def __init__(self, directory: str | None = None, memory_entries: int = 8192):
         self._memory: OrderedDict[str, object] = OrderedDict()
         self._memory_entries = memory_entries
         self._lock = threading.Lock()
-        self._directory = Path(directory) if directory else None
+        self._store = ArtifactStore(directory=directory, memory_entries=0) if directory else None
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path | None:
+        return self._store.directory if self._store is not None else None
+
+    def entry_path(self, key: str) -> Path | None:
+        """Where the on-disk entry for *key* lives, if a directory is set."""
+        if self._store is None:
+            return None
+        return self._store.entry_path(ARTIFACT_KIND, key)
 
     def get(self, key: str):
         """The cached record for *key*, or ``None``."""
@@ -74,7 +101,7 @@ class PreprocessCache:
                 self._memory.move_to_end(key)
                 self.hits += 1
                 return self._memory[key]
-        record = self._read_disk(key)
+        record = self._store.get(ARTIFACT_KIND, key) if self._store is not None else None
         if record is not None:
             with self._lock:
                 self.hits += 1
@@ -87,47 +114,14 @@ class PreprocessCache:
     def put(self, key: str, record) -> None:
         with self._lock:
             self._remember(key, record)
-        self._write_disk(key, record)
+        if self._store is not None:
+            self._store.put(ARTIFACT_KIND, key, record)
 
     def _remember(self, key: str, record) -> None:
         self._memory[key] = record
         self._memory.move_to_end(key)
         while len(self._memory) > self._memory_entries:
             self._memory.popitem(last=False)
-
-    # ------------------------------------------------------------------
-
-    def _entry_path(self, key: str) -> Path | None:
-        if self._directory is None:
-            return None
-        return self._directory / key[:2] / f"{key}.pkl"
-
-    def _read_disk(self, key: str):
-        path = self._entry_path(key)
-        if path is None:
-            return None
-        try:
-            with open(path, "rb") as handle:
-                version, record = pickle.load(handle)
-        except Exception:
-            return None
-        if version != CACHE_SCHEMA_VERSION:
-            return None
-        return record
-
-    def _write_disk(self, key: str, record) -> None:
-        path = self._entry_path(key)
-        if path is None:
-            return
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            temp = path.with_suffix(f".tmp.{os.getpid()}")
-            with open(temp, "wb") as handle:
-                pickle.dump((CACHE_SCHEMA_VERSION, record), handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp, path)
-        except Exception:
-            # Disk caching is best-effort; never fail a corpus build over it.
-            return
 
     def clear(self) -> None:
         with self._lock:

@@ -1,0 +1,66 @@
+"""``repro.store`` — the content-addressed artifact store and stage graph.
+
+See ARCHITECTURE.md for the full design: artifact kinds, fingerprint rules
+and cache environment variables.
+"""
+
+from repro.store.artifact_store import (
+    ArtifactStore,
+    GLOBAL_MEMORY_STORE,
+    default_store_directory,
+    resolve_store,
+)
+from repro.store.fingerprint import SCHEMA_VERSIONS, fingerprint, schema_version, text_digest
+
+#: Stage-graph symbols, loaded lazily (PEP 562): the per-file preprocess
+#: cache imports this package from inside the corpus layer, and the stage
+#: graph imports the corpus layer — eager re-export here would be circular.
+_STAGE_EXPORTS = {
+    "PipelineConfig",
+    "PipelineRunner",
+    "STAGE_ORDER",
+    "STAGE_PHASES",
+    "StageEvent",
+    "SuiteMeasurementSet",
+    "corpus_fingerprint",
+    "default_runner",
+    "mine_fingerprint",
+    "model_fingerprint",
+    "suite_execution_fingerprint",
+    "synthesis_fingerprint",
+    "synthetic_execution_fingerprint",
+    "warm_phases",
+}
+
+
+def __getattr__(name: str):
+    if name in _STAGE_EXPORTS:
+        from repro.store import stages
+
+        return getattr(stages, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ArtifactStore",
+    "GLOBAL_MEMORY_STORE",
+    "PipelineConfig",
+    "PipelineRunner",
+    "SCHEMA_VERSIONS",
+    "STAGE_ORDER",
+    "STAGE_PHASES",
+    "StageEvent",
+    "SuiteMeasurementSet",
+    "corpus_fingerprint",
+    "default_runner",
+    "default_store_directory",
+    "fingerprint",
+    "mine_fingerprint",
+    "model_fingerprint",
+    "resolve_store",
+    "schema_version",
+    "suite_execution_fingerprint",
+    "synthesis_fingerprint",
+    "synthetic_execution_fingerprint",
+    "text_digest",
+    "warm_phases",
+]

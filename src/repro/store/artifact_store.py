@@ -1,0 +1,220 @@
+"""The content-addressed artifact store.
+
+Generalizes the design proven by the per-file preprocessing cache
+(:mod:`repro.preprocess.cache`) into a store any pipeline stage can use:
+
+* artifacts are addressed by ``(kind, key)`` where *key* is a
+  :func:`repro.store.fingerprint.fingerprint` over the artifact's inputs;
+* an **in-process LRU** sits in front, holding the *serialized* bytes of
+  recently used artifacts — every hit deserializes a fresh copy, so cached
+  artifacts can never be corrupted by a consumer mutating its result;
+* an optional **sharded on-disk layer** (``<dir>/<kind>/<key[:2]>/<key>.pkl``,
+  one pickle per entry, atomically replaced) makes artifacts survive across
+  processes and sessions;
+* disk entries embed the kind and its schema version; unreadable, truncated
+  or stale entries read as misses, and the recompute's ``put`` atomically
+  overwrites the slot — readers never delete (an unlink could race a
+  concurrent writer's ``os.replace`` and destroy a fresh valid entry), so a
+  damaged store heals itself by recomputation.
+
+Writers never block readers: entries are written to a pid-suffixed
+temporary file and ``os.replace``d into place, so concurrent writers
+(threads or processes) racing on the same key all leave a complete entry
+behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.store.fingerprint import schema_version
+
+
+def default_store_directory() -> str | None:
+    """The on-disk store location from the environment, if configured."""
+    return os.environ.get("REPRO_STORE_DIR") or None
+
+
+class ArtifactStore:
+    """A content-addressed artifact store with an LRU front and disk behind."""
+
+    def __init__(self, directory: str | os.PathLike | None = None, memory_entries: int = 32):
+        self._directory = Path(directory) if directory else None
+        self._memory: OrderedDict[tuple[str, str], bytes] = OrderedDict()
+        self._memory_entries = memory_entries
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path | None:
+        return self._directory
+
+    def counts(self, kind: str) -> dict[str, int]:
+        """``{"hit": n, "miss": m}`` for one artifact kind."""
+        with self._lock:
+            return {"hit": self._hits.get(kind, 0), "miss": self._misses.get(kind, 0)}
+
+    def entry_path(self, kind: str, key: str) -> Path | None:
+        """Where the disk entry for ``(kind, key)`` lives (None if memory-only)."""
+        if self._directory is None:
+            return None
+        return self._directory / kind / key[:2] / f"{key}.pkl"
+
+    def memory_size(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # Read / write.
+    # ------------------------------------------------------------------
+
+    def get(self, kind: str, key: str):
+        """The stored artifact for ``(kind, key)``, or ``None``.
+
+        Every hit returns a freshly deserialized copy, never a shared
+        reference.
+        """
+        token = (kind, key)
+        with self._lock:
+            serialized = self._memory.get(token)
+            if serialized is not None:
+                self._memory.move_to_end(token)
+        if serialized is not None:
+            value = self._deserialize(kind, serialized)
+            with self._lock:
+                if value is None:
+                    self._misses[kind] = self._misses.get(kind, 0) + 1
+                else:
+                    self._hits[kind] = self._hits.get(kind, 0) + 1
+            return value
+        loaded = self._read_disk(kind, key)
+        if loaded is None:
+            with self._lock:
+                self._misses[kind] = self._misses.get(kind, 0) + 1
+            return None
+        serialized, value = loaded
+        with self._lock:
+            self._remember(token, serialized)
+            self._hits[kind] = self._hits.get(kind, 0) + 1
+        return value
+
+    def put(self, kind: str, key: str, value) -> None:
+        """Store *value* under ``(kind, key)`` in memory and (if configured) disk.
+
+        Best-effort: an artifact that cannot be serialized is simply not
+        cached — the pipeline must never fail over caching.
+        """
+        try:
+            serialized = pickle.dumps(
+                (kind, schema_version(kind), value), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            return
+        with self._lock:
+            self._remember((kind, key), serialized)
+        self._write_disk(kind, key, serialized)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries are untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    def reset_counts(self) -> None:
+        with self._lock:
+            self._hits.clear()
+            self._misses.clear()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _remember(self, token: tuple[str, str], serialized: bytes) -> None:
+        if self._memory_entries <= 0:
+            return
+        self._memory[token] = serialized
+        self._memory.move_to_end(token)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    def _deserialize(self, kind: str, serialized: bytes):
+        """Decode one entry, validating kind and schema version."""
+        try:
+            stored_kind, stored_schema, value = pickle.loads(serialized)
+        except Exception:
+            return None
+        if stored_kind != kind or stored_schema != schema_version(kind):
+            return None
+        return value
+
+    def _read_disk(self, kind: str, key: str) -> tuple[bytes, object] | None:
+        """Read one disk entry, returning ``(serialized, value)`` or ``None``.
+
+        Truncated/corrupt/stale entries read as misses; the recompute's
+        ``put`` then atomically overwrites the slot, which is how a damaged
+        store heals.  (Deliberately no reader-side unlink: between this read
+        and an unlink another process may have ``os.replace``d a fresh valid
+        entry, and deleting it would break the concurrent-writer guarantee.)
+        The decoded value rides along so a disk hit costs a single
+        deserialization.
+        """
+        path = self.entry_path(kind, key)
+        if path is None:
+            return None
+        try:
+            serialized = path.read_bytes()
+        except OSError:
+            return None
+        value = self._deserialize(kind, serialized)
+        if value is None:
+            return None
+        return serialized, value
+
+    def _write_disk(self, kind: str, key: str, serialized: bytes) -> None:
+        path = self.entry_path(kind, key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+            temp.write_bytes(serialized)
+            os.replace(temp, path)
+        except Exception:
+            # Disk persistence is best-effort; never fail a pipeline over it.
+            return
+
+
+#: Process-wide store used when no directory is configured: stages still
+#: get cross-invocation reuse within one process (unit tests, the bench
+#: harness, long-lived services) without touching the filesystem.
+GLOBAL_MEMORY_STORE = ArtifactStore(directory=None)
+
+_DIRECTORY_STORES: dict[str, ArtifactStore] = {}
+_DIRECTORY_LOCK = threading.Lock()
+
+
+def resolve_store(directory: str | None = None) -> ArtifactStore:
+    """The store for *directory* (or the ``REPRO_STORE_DIR`` default).
+
+    Without a directory this is the shared in-memory store; with one, a
+    per-directory singleton so the LRU layer is shared between all pipelines
+    pointing at the same store.
+    """
+    directory = directory or default_store_directory()
+    if directory is None:
+        return GLOBAL_MEMORY_STORE
+    directory = os.path.abspath(directory)
+    with _DIRECTORY_LOCK:
+        store = _DIRECTORY_STORES.get(directory)
+        if store is None:
+            store = ArtifactStore(directory=directory)
+            _DIRECTORY_STORES[directory] = store
+        return store

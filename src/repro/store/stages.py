@@ -1,0 +1,520 @@
+"""The pipeline stage graph: mine → preprocess → train → sample → execute.
+
+The paper's workflow is a linear pipeline, but until this module existed it
+was only implicit in ad-hoc call chains (``experiments/common.py``,
+``cli.py``, the bench harness) that re-ran everything end-to-end on every
+invocation.  Here each stage is explicit:
+
+=============  ==========================  ============================
+stage          artifact kind               artifact value
+=============  ==========================  ============================
+``mine``       ``mine``                    mined content-file texts
+``preprocess`` ``corpus``                  :class:`~repro.corpus.corpus.Corpus`
+``train``      ``model``                   checkpoint record (``to_dict``)
+``sample``     ``synthesis``               :class:`~repro.synthesis.generator.SynthesisResult`
+``execute``    ``suite-measurements`` /    measurement sets
+               ``synthetic-measurements``
+=============  ==========================  ============================
+
+Each stage declares a :func:`~repro.store.fingerprint.fingerprint` over its
+configuration plus the fingerprints of its upstream artifacts, and persists
+its output to the :class:`~repro.store.artifact_store.ArtifactStore`.
+Re-running any entry point reuses every stage whose fingerprint still
+matches and recomputes only downstream of a change; a downstream hit
+short-circuits its entire upstream chain (a warm ``sample`` never re-mines
+the corpus).
+
+All stage computations are deterministic functions of their fingerprinted
+inputs, so cached results are bit-identical to recomputation — the same
+invariant the execution engines already guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.corpus.corpus import Corpus
+from repro.driver.harness import DriverConfig, HostDriver, KernelMeasurement
+from repro.model.backend import TrainingSummary
+from repro.model.checkpoint import model_from_dict, model_to_dict
+from repro.model.trainer import ModelTrainer, TrainedModel, TrainerConfig
+from repro.store.artifact_store import ArtifactStore, resolve_store
+from repro.store.fingerprint import fingerprint, text_digest
+from repro.suites.registry import all_suites
+from repro.synthesis.generator import CLgen, SynthesisResult
+from repro.synthesis.sampler import SamplerConfig
+
+#: Stage name -> benchmark-protocol phase name (ROADMAP "Performance").
+STAGE_PHASES = {
+    "mine": "preprocess",
+    "preprocess": "preprocess",
+    "train": "train",
+    "sample": "sample",
+    "execute": "execute",
+}
+
+#: Pipeline order, for reporting.
+STAGE_ORDER = ("mine", "preprocess", "train", "sample", "execute")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything the five stages depend on, in one fingerprintable record."""
+
+    # mine
+    repository_count: int = 100
+    seed: int = 0
+    # preprocess
+    use_shim: bool = True
+    rename_identifiers: bool = True
+    min_static_instructions: int = 3
+    #: Worker processes for cold preprocessing.  Deliberately *not* part of
+    #: any fingerprint: parallel and serial runs are byte-identical.
+    preprocess_jobs: int | None = None
+    # train
+    backend: str = "ngram"
+    ngram_order: int = 12
+    shuffle_seed: int = 0
+    # sample
+    sampler_temperature: float = 0.6
+    max_kernel_length: int = 2048
+    seed_kernel_name: str = "A"
+    synthetic_kernel_count: int = 100
+    max_attempts_per_kernel: int = 40
+    sample_seed: int = 0
+    # execute
+    executed_global_size: int = 128
+    local_size: int = 32
+    payload_seed: int = 0
+    dataset_scales: tuple[float, ...] = (4.0, 16.0, 64.0, 256.0, 1024.0)
+    suites: tuple[str, ...] | None = None
+
+    @classmethod
+    def from_experiment(cls, config, suites=None, count: int | None = None) -> "PipelineConfig":
+        """Derive stage configuration from an ``ExperimentConfig``."""
+        return cls(
+            repository_count=config.corpus_repository_count,
+            seed=config.seed,
+            ngram_order=config.ngram_order,
+            sampler_temperature=config.sampler_temperature,
+            synthetic_kernel_count=(
+                count if count is not None else config.synthetic_kernel_count
+            ),
+            sample_seed=config.seed,
+            executed_global_size=config.executed_global_size,
+            local_size=config.local_size,
+            payload_seed=config.seed,
+            suites=tuple(suites) if suites is not None else None,
+        )
+
+    def with_count(self, count: int) -> "PipelineConfig":
+        return replace(self, synthetic_kernel_count=count)
+
+
+# ---------------------------------------------------------------------------
+# Stage fingerprints.  Each includes its upstream fingerprint, chaining
+# invalidation all the way down the graph.
+# ---------------------------------------------------------------------------
+
+
+def mine_fingerprint(cfg: PipelineConfig) -> str:
+    return fingerprint("mine", {"repository_count": cfg.repository_count, "seed": cfg.seed})
+
+
+def corpus_fingerprint(cfg: PipelineConfig) -> str:
+    return fingerprint(
+        "corpus",
+        {
+            "mine": mine_fingerprint(cfg),
+            "use_shim": cfg.use_shim,
+            "rename_identifiers": cfg.rename_identifiers,
+            "min_static_instructions": cfg.min_static_instructions,
+        },
+    )
+
+
+def model_fingerprint(cfg: PipelineConfig) -> str:
+    return fingerprint(
+        "model",
+        {
+            "corpus": corpus_fingerprint(cfg),
+            "backend": cfg.backend,
+            "ngram_order": cfg.ngram_order,
+            "shuffle_seed": cfg.shuffle_seed,
+        },
+    )
+
+
+def synthesis_fingerprint(cfg: PipelineConfig) -> str:
+    return fingerprint(
+        "synthesis",
+        {
+            "model": model_fingerprint(cfg),
+            "temperature": cfg.sampler_temperature,
+            "max_kernel_length": cfg.max_kernel_length,
+            "seed_kernel_name": cfg.seed_kernel_name,
+            "count": cfg.synthetic_kernel_count,
+            "sample_seed": cfg.sample_seed,
+            "max_attempts_per_kernel": cfg.max_attempts_per_kernel,
+            "min_static_instructions": cfg.min_static_instructions,
+        },
+    )
+
+
+def _driver_payload(cfg: PipelineConfig) -> dict:
+    # Engine choice and measurement workers are deliberately excluded: all
+    # engines and any worker count produce bit-identical measurements (the
+    # differential tests enforce this), so artifacts are shareable across
+    # them.
+    return {
+        "executed_global_size": cfg.executed_global_size,
+        "local_size": cfg.local_size,
+        "payload_seed": cfg.payload_seed,
+    }
+
+
+def _selected_suites(cfg: PipelineConfig):
+    return [
+        suite
+        for suite in all_suites()
+        if cfg.suites is None or suite.name in cfg.suites
+    ]
+
+
+def suite_execution_fingerprint(cfg: PipelineConfig) -> str:
+    # The suite kernels are code-defined, so fingerprint their sources too:
+    # editing a benchmark invalidates its stored measurements without a
+    # schema bump.
+    suites = _selected_suites(cfg)
+    texts: list[str] = []
+    for suite in suites:
+        for benchmark in suite.benchmarks:
+            texts.append(benchmark.qualified_name)
+            for dataset in benchmark.datasets:
+                texts.append(f"{dataset.name}:{dataset.scale!r}")
+            texts.append(benchmark.source)
+    return fingerprint(
+        "suite-measurements",
+        {
+            "driver": _driver_payload(cfg),
+            "suites": [suite.name for suite in suites],
+            "sources": text_digest(*texts),
+        },
+    )
+
+
+def synthetic_execution_fingerprint(cfg: PipelineConfig) -> str:
+    return fingerprint(
+        "synthetic-measurements",
+        {
+            "synthesis": synthesis_fingerprint(cfg),
+            "driver": _driver_payload(cfg),
+            "dataset_scales": list(cfg.dataset_scales),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# The runner.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StageEvent:
+    """One stage resolution: served from the store (hit) or recomputed."""
+
+    stage: str
+    fingerprint: str
+    hit: bool
+    seconds: float
+
+
+def warm_phases(events) -> list[str]:
+    """Benchmark phases whose timings are tainted by cross-session warmth.
+
+    A hit whose fingerprint was *missed earlier in the same event slice* is
+    structural (the same session computed it moments ago — e.g. the execute
+    stage re-resolving its sample artifact) and costs nothing; a hit with no
+    such miss was served from a previous session's store and replaced real
+    work with a lookup.  Any phase containing the latter must not be used as
+    a cold timing source (bench snapshots, perf gates).  *events* may be
+    :class:`StageEvent` objects or dicts with ``stage``/``fingerprint``/
+    ``hit`` entries.
+    """
+    missed: set[str] = set()
+    tainted: set[str] = set()
+    for event in events:
+        if isinstance(event, dict):
+            stage, fingerprint, hit = event["stage"], event["fingerprint"], event["hit"]
+        else:
+            stage, fingerprint, hit = event.stage, event.fingerprint, event.hit
+        if hit:
+            if fingerprint not in missed:
+                tainted.add(STAGE_PHASES.get(stage, stage))
+        else:
+            missed.add(fingerprint)
+    return sorted(tainted)
+
+
+@dataclass
+class SuiteMeasurementSet:
+    """The execute stage's suite-side artifact."""
+
+    suite_measurements: dict[str, list[KernelMeasurement]] = field(default_factory=dict)
+    benchmark_measurements: dict[str, list[KernelMeasurement]] = field(default_factory=dict)
+
+
+class PipelineRunner:
+    """Resolves pipeline stages through the artifact store.
+
+    One runner wraps one store (by default the process-wide memory store, or
+    the directory named by ``REPRO_STORE_DIR`` / ``cache_dir``).  Every
+    stage resolution is recorded as a :class:`StageEvent` with its
+    wall-clock cost (exclusive of upstream stages), which is what the CLI,
+    the profile script and the warm-run tests report.
+    """
+
+    #: Bound on live (deserialization-free) objects kept for in-process reuse.
+    _LIVE_LIMIT = 16
+
+    def __init__(self, store: ArtifactStore | None = None, cache_dir: str | None = None):
+        self.store = store if store is not None else resolve_store(cache_dir)
+        self.events: list[StageEvent] = []
+        #: Live objects (the trained model instance, with its sampling memos
+        #: warm) keyed by fingerprint, so in-process reuse skips even the
+        #: deserialization cost and downstream stages compute from the very
+        #: object that produced the stored artifact.
+        self._live: dict[tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------------
+    # Event accounting.
+    # ------------------------------------------------------------------
+
+    def mark(self) -> int:
+        """A position in the event log (see :meth:`phase_seconds`)."""
+        return len(self.events)
+
+    def stage_counts(self, since: int = 0) -> dict[str, dict[str, int]]:
+        """``{stage: {"hit": n, "miss": m}}`` over events from *since*."""
+        counts: dict[str, dict[str, int]] = {}
+        for event in self.events[since:]:
+            bucket = counts.setdefault(event.stage, {"hit": 0, "miss": 0})
+            bucket["hit" if event.hit else "miss"] += 1
+        return counts
+
+    def phase_seconds(self, since: int = 0) -> dict[str, float]:
+        """Per-benchmark-phase seconds over events from *since*."""
+        phases: dict[str, float] = {}
+        for event in self.events[since:]:
+            phase = STAGE_PHASES.get(event.stage, event.stage)
+            phases[phase] = phases.get(phase, 0.0) + event.seconds
+        return phases
+
+    # ------------------------------------------------------------------
+    # Stages.
+    # ------------------------------------------------------------------
+
+    def content_files(self, cfg: PipelineConfig) -> list[str]:
+        """Stage ``mine``: the mined content-file texts."""
+
+        def compute() -> list[str]:
+            from repro.corpus.github import GitHubMiner
+
+            mining = GitHubMiner(seed=cfg.seed).mine(cfg.repository_count)
+            return [content_file.text for content_file in mining.content_files]
+
+        return self._stage("mine", "mine", mine_fingerprint(cfg), compute)
+
+    def corpus(self, cfg: PipelineConfig) -> Corpus:
+        """Stage ``preprocess``: the normalized language corpus."""
+        key = corpus_fingerprint(cfg)
+        live = self._live.get(("corpus", key))
+        if live is not None:
+            # In-process repeat: skip even the store deserialization (the
+            # corpus is treated as immutable by every consumer, exactly as
+            # the pre-stage-graph code shared one Corpus object around).
+            self.events.append(StageEvent("preprocess", key, True, 0.0))
+            return live
+
+        def compute() -> Corpus:
+            texts = self.content_files(cfg)
+            built = Corpus.from_content_files(
+                texts,
+                use_shim=cfg.use_shim,
+                rename_identifiers=cfg.rename_identifiers,
+                jobs=cfg.preprocess_jobs,
+            )
+            # Drop the raw mined texts: the mine artifact already holds them,
+            # and keeping them here would double the size of every corpus
+            # entry (no downstream stage reads Corpus.content_files).
+            return Corpus(kernels=built.kernels, statistics=built.statistics)
+
+        value = self._stage("preprocess", "corpus", key, compute)
+        self._keep_live(("corpus", key), value)
+        return value
+
+    def trained_model(self, cfg: PipelineConfig) -> TrainedModel:
+        """Stage ``train``: the trained language model (checkpoint artifact)."""
+        key = model_fingerprint(cfg)
+        cached = self._live.get(("trained", key))
+        if cached is not None:
+            # In-process repeat: reuse the live model (its sampling memos
+            # stay warm) instead of re-deserializing the checkpoint.
+            self.events.append(StageEvent("train", key, True, 0.0))
+            return cached
+
+        def compute() -> dict:
+            corpus = self.corpus(cfg)
+            trainer = ModelTrainer(
+                TrainerConfig(
+                    backend=cfg.backend,
+                    ngram_order=cfg.ngram_order,
+                    shuffle_seed=cfg.shuffle_seed,
+                )
+            )
+            trained = trainer.train(corpus)
+            self._keep_live(("model", key), trained.model)
+            return {
+                "checkpoint": model_to_dict(trained.model),
+                "losses": list(trained.summary.losses),
+                "epochs": trained.summary.epochs,
+                "parameters": trained.summary.parameters,
+                "corpus_characters": trained.corpus_characters,
+            }
+
+        artifact = self._stage("train", "model", key, compute)
+        model = self._live.get(("model", key))
+        if model is None:
+            model = model_from_dict(artifact["checkpoint"])
+        summary = TrainingSummary(
+            losses=list(artifact["losses"]),
+            epochs=artifact["epochs"],
+            parameters=artifact["parameters"],
+        )
+        trained = TrainedModel(
+            model=model, summary=summary, corpus_characters=artifact["corpus_characters"]
+        )
+        self._live.pop(("model", key), None)
+        self._keep_live(("trained", key), trained)
+        return trained
+
+    def clgen(self, cfg: PipelineConfig) -> CLgen:
+        """A synthesizer assembled from the ``preprocess`` and ``train`` artifacts."""
+        trained = self.trained_model(cfg)
+        corpus = self.corpus(cfg)
+        synthesizer = CLgen(
+            model=trained.model,
+            corpus=corpus,
+            sampler_config=SamplerConfig(
+                max_kernel_length=cfg.max_kernel_length,
+                temperature=cfg.sampler_temperature,
+                seed_kernel_name=cfg.seed_kernel_name,
+            ),
+            min_static_instructions=cfg.min_static_instructions,
+        )
+        # Tag the synthesizer with the model artifact it embeds, so callers
+        # (experiments/common.py) can tell a stage-graph product from an
+        # ad-hoc synthesizer that must bypass the store.
+        synthesizer.stage_model_fingerprint = model_fingerprint(cfg)
+        return synthesizer
+
+    def synthesis(self, cfg: PipelineConfig) -> SynthesisResult:
+        """Stage ``sample``: the synthetic kernel batch."""
+
+        def compute() -> SynthesisResult:
+            synthesizer = self.clgen(cfg)
+            return synthesizer.generate_kernels(
+                cfg.synthetic_kernel_count,
+                seed=cfg.sample_seed,
+                max_attempts_per_kernel=cfg.max_attempts_per_kernel,
+            )
+
+        return self._stage("sample", "synthesis", synthesis_fingerprint(cfg), compute)
+
+    def suite_measurements(self, cfg: PipelineConfig) -> SuiteMeasurementSet:
+        """Stage ``execute`` (suite side): measurements of every benchmark."""
+
+        def compute() -> SuiteMeasurementSet:
+            driver = self._make_driver(cfg)
+            out = SuiteMeasurementSet()
+            for suite in _selected_suites(cfg):
+                suite_measurements: list[KernelMeasurement] = []
+                for benchmark in suite.benchmarks:
+                    measurements = driver.measure_benchmark(benchmark)
+                    if measurements:
+                        out.benchmark_measurements[benchmark.qualified_name] = measurements
+                        suite_measurements.extend(measurements)
+                out.suite_measurements[suite.name] = suite_measurements
+            return out
+
+        return self._stage(
+            "execute", "suite-measurements", suite_execution_fingerprint(cfg), compute
+        )
+
+    def synthetic_measurements(self, cfg: PipelineConfig) -> list[KernelMeasurement]:
+        """Stage ``execute`` (synthetic side): measurements of the kernel batch."""
+
+        def compute() -> list[KernelMeasurement]:
+            synthesis = self.synthesis(cfg)
+            driver = self._make_driver(cfg)
+            scales = cfg.dataset_scales
+            return driver.measure_many(
+                [kernel.source for kernel in synthesis.kernels],
+                names=[f"clgen.{index}" for index in range(len(synthesis.kernels))],
+                dataset_scales=[
+                    scales[index % len(scales)] for index in range(len(synthesis.kernels))
+                ],
+            )
+
+        return self._stage(
+            "execute", "synthetic-measurements", synthetic_execution_fingerprint(cfg), compute
+        )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _make_driver(self, cfg: PipelineConfig) -> HostDriver:
+        return HostDriver(
+            config=DriverConfig(
+                executed_global_size=cfg.executed_global_size,
+                local_size=cfg.local_size,
+                payload_seed=cfg.payload_seed,
+            )
+        )
+
+    def _keep_live(self, token: tuple[str, str], value: object) -> None:
+        self._live[token] = value
+        while len(self._live) > self._LIVE_LIMIT:
+            self._live.pop(next(iter(self._live)))
+
+    def _stage(self, stage: str, kind: str, key: str, compute):
+        started = time.perf_counter()
+        value = self.store.get(kind, key)
+        if value is not None:
+            self.events.append(
+                StageEvent(stage, key, True, time.perf_counter() - started)
+            )
+            return value
+        mark = len(self.events)
+        value = compute()
+        self.store.put(kind, key, value)
+        # Upstream stages resolved inside compute() logged their own events;
+        # subtract them so each event carries exclusive wall-clock.
+        nested = sum(event.seconds for event in self.events[mark:])
+        self.events.append(
+            StageEvent(stage, key, False, time.perf_counter() - started - nested)
+        )
+        return value
+
+
+_DEFAULT_RUNNER: PipelineRunner | None = None
+
+
+def default_runner() -> PipelineRunner:
+    """The process-wide runner over the env-configured (or memory) store."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None or _DEFAULT_RUNNER.store is not resolve_store(None):
+        _DEFAULT_RUNNER = PipelineRunner(store=resolve_store(None))
+    return _DEFAULT_RUNNER

@@ -152,8 +152,8 @@ class TestPreprocessCacheAndParallelism:
         key = outcome_key(ACCEPTED_SOURCE, True, True, 3)
         pipeline = PreprocessingPipeline(cache=cache)
         pipeline.run([ACCEPTED_SOURCE])
-        entry = directory / key[:2] / f"{key}.pkl"
-        assert entry.exists()
+        entry = cache.entry_path(key)
+        assert entry is not None and entry.exists()
         entry.write_bytes(b"garbage")
 
         fresh = PreprocessCache(directory=str(directory))
