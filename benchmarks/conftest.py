@@ -8,12 +8,21 @@ kernel counts).  They resolve through the pipeline stage graph
 (:mod:`repro.store`), so pointing ``REPRO_STORE_DIR`` at a directory makes
 repeat sessions reuse every unchanged stage artifact.
 
-The session also emits a perf snapshot at the repo root — ``BENCH_PR3.json``
+The session also emits a perf snapshot at the repo root — ``BENCH_PR4.json``
 by default, overridable with the ``REPRO_BENCH_OUT`` environment variable so
 each PR's bench run stops clobbering the previous PR's artifact — recording
 wall-clock seconds per pipeline phase (preprocess, train, sample, execute).
 See the "Performance" section of ROADMAP.md for how to read it and for the
-benchmark protocol; ``scripts/bench_compare.py`` diffs two snapshots.
+benchmark protocol; ``scripts/bench_compare.py`` diffs two snapshots (and
+refuses to compare snapshots taken at different scales).
+
+Sharding rides along through the default runner: ``REPRO_SHARDS`` /
+``REPRO_WORKERS`` split the data-parallel stages and dispatch them to a
+process pool.  The guards below cover sharded runs too — a merge fed
+entirely by store-warm shards taints its phase exactly like a direct warm
+hit, and any sharded session (whose phases carry shard overhead, or
+aggregate worker seconds under a pool) is refused as a snapshot source:
+committed snapshots are always cold, shard-free wall-clock.
 
 The ``perfgate`` marker (``-m perfgate``, see ``test_perf_gate.py``) turns
 the comparison against the previous PR's committed snapshot into a CI gate.
@@ -45,7 +54,7 @@ _PHASE_TIMINGS: dict[str, float] = {}
 _RUNNER_MARK = 0
 
 _SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / os.environ.get(
-    "REPRO_BENCH_OUT", "BENCH_PR3.json"
+    "REPRO_BENCH_OUT", "BENCH_PR4.json"
 )
 
 #: Pre-PR-1 reference numbers for the quick-scale synthesize-and-measure
@@ -59,17 +68,17 @@ _PR0_BASELINE_SECONDS = {
     "execute": 4.313,
 }
 
-#: PR-2 reference numbers re-measured at commit 5fd32b3 with *this same
+#: PR-3 reference numbers re-measured at commit b94c8b3 with *this same
 #: pytest bench harness* on the same day/machine state as this PR's
-#: snapshot (mean of two runs).  The committed ``BENCH_PR2.json`` was
-#: recorded under a different machine state — compare against these for a
-#: like-for-like phase speedup (ROADMAP "Performance" has the drift
-#: caveat).
-_PR2_REMEASURED_SECONDS = {
-    "preprocess": 0.265,
-    "train": 0.168,
-    "sample": 0.446,
-    "execute": 0.420,
+#: snapshot (mean of two runs spanning e.g. execute 0.43–0.59 s).  The
+#: committed ``BENCH_PR3.json`` was recorded under a different machine
+#: state — compare against these for a like-for-like phase speedup
+#: (ROADMAP "Performance" has the drift caveat).
+_PR3_REMEASURED_SECONDS = {
+    "preprocess": 0.263,
+    "train": 0.177,
+    "sample": 0.490,
+    "execute": 0.510,
 }
 
 
@@ -82,7 +91,11 @@ def pytest_configure(config):
 
 
 def _bench_scale() -> str:
-    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+    # Hardened: an unknown scale falls back to "quick" with a warning
+    # instead of being silently treated as quick while claiming otherwise.
+    from repro.envutil import env_choice
+
+    return env_choice("REPRO_BENCH_SCALE", ("quick", "full"), "quick")
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -101,6 +114,19 @@ def _warm_phases() -> list[str]:
     so even a partially warm phase is caught).
     """
     return warm_phases(default_runner().events[_RUNNER_MARK:])
+
+
+def _sharded() -> bool:
+    """True when this session's runner resolves stages through shards.
+
+    Sharded sessions must never become a snapshot or feed the perf gate:
+    pool-computed shards report aggregate worker seconds (up to ~Nx the
+    wall-clock on an N-wide pool), and even in-process sharding adds its
+    own measurable overhead (~6% at quick scale, ROADMAP PR 4) that would
+    silently eat the gate's 10% headroom.  Workers without shards never
+    create a pool, so those timings stay genuine wall-clock.
+    """
+    return default_runner().plan.sharded
 
 
 @pytest.fixture(scope="session")
@@ -157,6 +183,15 @@ def _build_snapshot() -> dict | None:
             file=sys.stderr,
         )
         return None
+    if _sharded():
+        print(
+            "bench snapshot skipped: sharded resolution active "
+            "(REPRO_SHARDS/REPRO_WORKERS); sharded phases carry shard "
+            "overhead (and pooled ones aggregate worker seconds) — "
+            "measure shard-free",
+            file=sys.stderr,
+        )
+        return None
     total = sum(_PHASE_TIMINGS.values())
     snapshot = {
         "scale": _bench_scale(),
@@ -171,11 +206,9 @@ def _build_snapshot() -> dict | None:
         snapshot["pr0_baseline_seconds"] = dict(_PR0_BASELINE_SECONDS)
         snapshot["pr0_baseline_total_seconds"] = round(baseline_total, 3)
         snapshot["speedup_vs_pr0"] = round(baseline_total / max(total, 1e-9), 2)
-        snapshot["pr2_remeasured_seconds"] = dict(_PR2_REMEASURED_SECONDS)
-        snapshot["execute_speedup_vs_pr2_remeasured"] = round(
-            _PR2_REMEASURED_SECONDS["execute"]
-            / max(_PHASE_TIMINGS["execute"], 1e-9),
-            2,
+        snapshot["pr3_remeasured_seconds"] = dict(_PR3_REMEASURED_SECONDS)
+        snapshot["total_speedup_vs_pr3_remeasured"] = round(
+            sum(_PR3_REMEASURED_SECONDS.values()) / max(total, 1e-9), 2
         )
     return snapshot
 

@@ -15,7 +15,6 @@ skips before building any fixture.
 from __future__ import annotations
 
 import json
-import os
 import subprocess
 import sys
 from pathlib import Path
@@ -27,7 +26,7 @@ pytestmark = pytest.mark.perfgate
 _ROOT = Path(__file__).resolve().parent.parent
 _COMPARE = _ROOT / "scripts" / "bench_compare.py"
 #: The previous PR's committed snapshot (the gate's baseline).
-_BASELINE = _ROOT / "BENCH_PR2.json"
+_BASELINE = _ROOT / "BENCH_PR3.json"
 #: Documented per-phase regression tolerance (ROADMAP "Performance").
 _THRESHOLD = 0.10
 
@@ -38,10 +37,21 @@ def test_no_phase_regression_vs_previous_pr(request, tmp_path):
     if not _BASELINE.exists():
         pytest.skip(f"baseline snapshot {_BASELINE.name} not committed")
 
+    from repro.envutil import env_choice
+
     baseline = json.loads(_BASELINE.read_text())
-    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    scale = env_choice("REPRO_BENCH_SCALE", ("quick", "full"), "quick")
     if baseline.get("scale") != scale:
         pytest.skip(f"scale mismatch: baseline {baseline.get('scale')!r} vs {scale!r}")
+
+    from repro.store import default_runner
+
+    if default_runner().plan.sharded:
+        pytest.skip(
+            "sharded resolution active (REPRO_SHARDS/REPRO_WORKERS); "
+            "sharded timings carry shard overhead (pooled ones aggregate "
+            "worker seconds) — the gate needs shard-free runs"
+        )
 
     # Force the heavy session fixtures only once the gate is actually on.
     timings = request.getfixturevalue("bench_phase_timings")

@@ -13,6 +13,8 @@ Usage::
     PYTHONPATH=src python scripts/profile_pipeline.py --warm          # + warm re-run
     PYTHONPATH=src python scripts/profile_pipeline.py \
         --cache-dir /tmp/store --warm                                 # on-disk store
+    PYTHONPATH=src python scripts/profile_pipeline.py \
+        --shards 4 --workers 4                                        # sharded + pooled
 
 When the checkout provides the stage graph (``repro.store``), the pipeline
 runs through it and the report includes per-stage cache hit/miss results;
@@ -104,6 +106,8 @@ def run_pipeline_staged(
     timings: dict[str, float],
     cache_dir: str | None,
     stage_report: list[dict] | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ):
     """Run through the stage graph; returns None when unavailable (old tree)."""
     try:
@@ -117,7 +121,21 @@ def run_pipeline_staged(
     config.corpus_repository_count = repository_count
     stage_config = PipelineConfig.from_experiment(config)
 
-    runner = PipelineRunner(cache_dir=cache_dir)
+    try:
+        # Same precedence semantics as the repro CLI: explicit flags beat
+        # the REPRO_SHARDS/REPRO_WORKERS environment, and workers imply
+        # shards only when no shard count was given anywhere.
+        from repro.store.shards import resolve_plan
+
+        runner = PipelineRunner(cache_dir=cache_dir, plan=resolve_plan(shards, workers))
+    except (ImportError, TypeError):  # older stage graph without a shard plan
+        if shards is not None or workers is not None:
+            print(
+                "warning: this checkout's stage graph has no shard plan; "
+                "--shards/--workers ignored, timings are unsharded",
+                file=sys.stderr,
+            )
+        runner = PipelineRunner(cache_dir=cache_dir)
     corpus = runner.corpus(stage_config)
     runner.trained_model(stage_config)
     synthesis = runner.synthesis(stage_config)
@@ -152,10 +170,13 @@ def run_pipeline(
     cache_dir: str | None = None,
     legacy: bool = False,
     stage_report: list[dict] | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> dict:
     if not legacy:
         counts = run_pipeline_staged(
-            kernel_count, repository_count, timings, cache_dir, stage_report
+            kernel_count, repository_count, timings, cache_dir, stage_report,
+            shards=shards, workers=workers,
         )
         if counts is not None:
             return counts
@@ -197,11 +218,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--warm", action="store_true",
                         help="after the timed run, re-run the pipeline against the "
                              "populated store and report per-stage warm timings")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="split shardable stages into N per-range artifacts "
+                             "(results bit-identical; default: $REPRO_SHARDS, else unsharded)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for ready shards; implies --shards M "
+                             "when --shards is not given (default: $REPRO_WORKERS, "
+                             "else in-process)")
     parser.add_argument("--legacy", action="store_true",
                         help="force the pre-stage-graph direct pipeline API")
     args = parser.parse_args(argv)
     if args.warm and args.legacy:
         parser.error("--warm needs the stage graph; it cannot combine with --legacy")
+    if args.legacy and (args.shards is not None or args.workers is not None):
+        parser.error("--shards/--workers need the stage graph; they cannot combine with --legacy")
 
     timings: dict[str, float] = {}
     cold_stages: list[dict] = []
@@ -210,7 +240,8 @@ def main(argv: list[str] | None = None) -> int:
         profiler.enable()
         counts = run_pipeline(args.kernels, args.repositories, timings,
                               cache_dir=args.cache_dir, legacy=args.legacy,
-                              stage_report=cold_stages)
+                              stage_report=cold_stages,
+                              shards=args.shards, workers=args.workers)
         profiler.disable()
         profiler.dump_stats(args.profile)
         stats = pstats.Stats(profiler)
@@ -219,7 +250,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         counts = run_pipeline(args.kernels, args.repositories, timings,
                               cache_dir=args.cache_dir, legacy=args.legacy,
-                              stage_report=cold_stages)
+                              stage_report=cold_stages,
+                              shards=args.shards, workers=args.workers)
 
     warm_timings: dict[str, float] = {}
     warm_stages: list[dict] = []
@@ -230,7 +262,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.warm:
         run_pipeline(args.kernels, args.repositories, warm_timings,
                      cache_dir=args.cache_dir, legacy=args.legacy,
-                     stage_report=warm_stages)
+                     stage_report=warm_stages,
+                     shards=args.shards, workers=args.workers)
 
     total = sum(timings.values())
     if warm_timings:

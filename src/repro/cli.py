@@ -7,6 +7,14 @@ Sub-commands mirror the original tool's workflow:
 * ``sample``      — synthesize kernels from a trained (or freshly trained) model
 * ``experiments`` — regenerate every table/figure and print the report
 * ``pipeline``    — run every stage once and report per-stage cache hits/timings
+* ``store``       — ``stats`` / ``gc`` for the on-disk artifact store
+
+``--shards N`` splits the data-parallel stages (mine/preprocess by
+repository range, execute by benchmark/kernel range, sample as a chain)
+into per-range store artifacts, and ``--workers M`` dispatches ready
+shards to a process pool — multiple workers or machines pointing at one
+``--cache-dir`` fill it concurrently, with results bit-identical to an
+unsharded run.
 
 Every sub-command resolves its heavy inputs through the pipeline stage
 graph (:mod:`repro.store`): with ``--cache-dir`` (or ``REPRO_STORE_DIR``)
@@ -28,7 +36,55 @@ from repro.synthesis import CLgen, SamplerConfig
 
 
 def _make_runner(args: argparse.Namespace) -> PipelineRunner:
-    return PipelineRunner(cache_dir=getattr(args, "cache_dir", None))
+    from repro.store.shards import resolve_plan
+
+    return PipelineRunner(
+        cache_dir=getattr(args, "cache_dir", None),
+        plan=resolve_plan(getattr(args, "shards", None), getattr(args, "workers", None)),
+    )
+
+
+def _parse_size(text: str) -> int:
+    """``"500M"`` / ``"2G"`` / plain bytes → bytes (must be >= 0)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+    raw = text.strip().lower().removesuffix("b")
+    try:
+        if raw and raw[-1] in units:
+            value = int(float(raw[:-1]) * units[raw[-1]])
+        else:
+            value = int(raw)
+    except (ValueError, OverflowError):
+        raise argparse.ArgumentTypeError(f"not a size: {text!r} (try 500M, 2G, ...)")
+    if value < 0:
+        # A negative bound would read as "evict everything" — reject it
+        # before it can wipe a shared store.
+        raise argparse.ArgumentTypeError(f"size must be >= 0, got {text!r}")
+    return value
+
+
+def _parse_age(text: str) -> float:
+    """``"7d"`` / ``"12h"`` / ``"30m"`` / plain seconds → seconds (must be >= 0)."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    raw = text.strip().lower()
+    try:
+        if raw and raw[-1] in units:
+            value = float(raw[:-1]) * units[raw[-1]]
+        else:
+            value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an age: {text!r} (try 30m, 12h, 7d)")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"age must be >= 0, got {text!r}")
+    return value
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB"):
+        if value < 1024.0:
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} GiB"
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -155,6 +211,49 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_for(args: argparse.Namespace):
+    """The directory-backed store the ``store`` sub-commands operate on."""
+    from repro.store import resolve_store
+
+    store = resolve_store(getattr(args, "cache_dir", None))
+    if store.directory is None:
+        print(
+            "error: no on-disk store configured; pass --cache-dir or set REPRO_STORE_DIR",
+            file=sys.stderr,
+        )
+        return None
+    return store
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _store_for(args)
+    if store is None:
+        return 2
+    stats = store.stats()
+    print(f"store: {store.directory}")
+    print(f"{'kind':<28}{'entries':>10}{'bytes':>14}")
+    for kind in sorted(stats.kinds):
+        bucket = stats.kinds[kind]
+        print(f"{kind:<28}{bucket['entries']:>10}{_format_bytes(bucket['bytes']):>14}")
+    print(f"{'total':<28}{stats.entries:>10}{_format_bytes(stats.bytes):>14}")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    if args.max_bytes is None and args.max_age is None:
+        print("error: pass --max-bytes and/or --max-age", file=sys.stderr)
+        return 2
+    store = _store_for(args)
+    if store is None:
+        return 2
+    result = store.gc(max_bytes=args.max_bytes, max_age_seconds=args.max_age)
+    print(
+        f"removed {result.removed_entries} entries ({_format_bytes(result.removed_bytes)}); "
+        f"{result.remaining_entries} entries ({_format_bytes(result.remaining_bytes)}) remain"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clgen-repro",
@@ -168,6 +267,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="artifact-store directory (default: $REPRO_STORE_DIR, else in-memory only)",
+    )
+    common.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="split shardable stages into N per-range artifacts "
+             "(default: $REPRO_SHARDS, else unsharded); results are bit-identical",
+    )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for ready shards; implies --shards M when "
+             "--shards is not given (default: $REPRO_WORKERS, else in-process)",
     )
 
     mine = subparsers.add_parser(
@@ -226,6 +339,36 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--global-size", type=int, default=128)
     pipeline.add_argument("--local-size", type=int, default=32)
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or bound the on-disk artifact store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", parents=[common], help="entry count, bytes and per-kind breakdown"
+    )
+    store_stats.set_defaults(func=_cmd_store_stats)
+    store_gc = store_sub.add_parser(
+        "gc",
+        parents=[common],
+        help="drop old entries (age first, then least-recently-written) "
+             "until the store fits the bounds",
+    )
+    store_gc.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="keep at most SIZE on disk (accepts suffixes: 500M, 2G, ...)",
+    )
+    store_gc.add_argument(
+        "--max-age",
+        type=_parse_age,
+        default=None,
+        metavar="AGE",
+        help="drop entries older than AGE (accepts suffixes: 30m, 12h, 7d, ...)",
+    )
+    store_gc.set_defaults(func=_cmd_store_gc)
     return parser
 
 

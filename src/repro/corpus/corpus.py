@@ -39,6 +39,7 @@ class Corpus:
         content_files: list[str],
         use_shim: bool = True,
         rename_identifiers: bool = True,
+        min_static_instructions: int = 3,
         jobs: int | None = None,
         cache_dir: str | None = None,
     ) -> "Corpus":
@@ -46,6 +47,7 @@ class Corpus:
         pipeline = PreprocessingPipeline(
             use_shim=use_shim,
             rename_identifiers=rename_identifiers,
+            min_static_instructions=min_static_instructions,
             jobs=jobs,
             cache_dir=cache_dir,
         )
@@ -64,6 +66,7 @@ class Corpus:
         seed: int = 0,
         use_shim: bool = True,
         rename_identifiers: bool = True,
+        min_static_instructions: int = 3,
         jobs: int | None = None,
         cache_dir: str | None = None,
     ) -> "Corpus":
@@ -74,6 +77,7 @@ class Corpus:
             texts,
             use_shim=use_shim,
             rename_identifiers=rename_identifiers,
+            min_static_instructions=min_static_instructions,
             jobs=jobs,
             cache_dir=cache_dir,
         )

@@ -168,15 +168,25 @@ class GitHubMiner:
     def __init__(self, seed: int = 0):
         self._seed = seed
 
-    def mine(self, repository_count: int = 100) -> MiningResult:
-        """Mine *repository_count* synthetic repositories.
+    def mine(self, stop: int = 100, start: int = 0) -> MiningResult:
+        """Mine repositories ``start`` .. *stop* of the seeded population.
 
-        Returns the repositories and the content files discovered in them,
-        with project headers recursively inlined (the paper's "recursive
-        header inlining").
+        Without *start* this is simply "mine *stop* repositories".  Returns
+        the repositories and the content files discovered in them, with
+        project headers recursively inlined (the paper's "recursive header
+        inlining").
+
+        *stop* is an absolute index into the population, not a count from
+        *start*: the population generator is one sequential RNG, so
+        repository *i* is identical no matter how many repositories follow
+        it, and a ``[start, stop)`` range therefore mines a shard of a
+        larger run bit-identically — ``mine(N)`` equals the shards
+        ``mine(hi, start=lo)`` concatenated.  Repositories before *start*
+        are still generated (to advance the RNG) but never scraped or
+        inlined.
         """
         population = RepositoryPopulation(seed=self._seed)
-        repositories = population.generate(repository_count)
+        repositories = population.generate(stop)[start:]
         content_files: list[ContentFile] = []
         for repository in repositories:
             headers = repository.headers()

@@ -336,12 +336,11 @@ class HostDriver:
             return max(workers, 0)
         if self.config.measure_workers:
             return max(self.config.measure_workers, 0)
-        import os
+        # Malformed values fall back to 0 (sequential) with a warning
+        # rather than crashing a measurement batch over an env typo.
+        from repro.envutil import env_int
 
-        try:
-            return max(int(os.environ.get("REPRO_MEASURE_WORKERS", "0")), 0)
-        except ValueError:
-            return 0
+        return env_int("REPRO_MEASURE_WORKERS", default=0, minimum=0)
 
     def _measure_many_parallel(
         self,

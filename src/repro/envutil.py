@@ -1,0 +1,71 @@
+"""Hardened parsing of ``REPRO_*`` environment knobs.
+
+Every environment variable the pipeline reads goes through these helpers so
+a malformed value (a typo'd worker count, an unknown bench scale, a store
+path pointing at a regular file) degrades to the documented default with a
+:class:`RuntimeWarning` instead of crashing the pipeline mid-run or being
+silently misread.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Sequence
+
+
+def _warn(message: str) -> None:
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def env_int(name: str, default: int = 0, minimum: int | None = None) -> int:
+    """The integer value of ``$name``, or *default* when unset or malformed.
+
+    Values below *minimum* (when given) are clamped up to it, so e.g. a
+    negative worker count reads as "off" rather than crashing a pool.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        _warn(f"ignoring malformed {name}={raw!r} (expected an integer); using {default}")
+        return default
+    if minimum is not None and value < minimum:
+        # As loud as the malformed case: a typo'd sign should not silently
+        # change behavior either.
+        _warn(f"clamping {name}={raw!r} to the minimum of {minimum}")
+        return minimum
+    return value
+
+
+def env_choice(name: str, choices: Sequence[str], default: str) -> str:
+    """The value of ``$name`` restricted to *choices*, else *default*."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip()
+    if value in choices:
+        return value
+    _warn(
+        f"ignoring unknown {name}={raw!r} (expected one of "
+        f"{', '.join(repr(choice) for choice in choices)}); using {default!r}"
+    )
+    return default
+
+
+def env_directory(name: str) -> str | None:
+    """The directory path named by ``$name``, or ``None``.
+
+    A path that exists but is not a directory cannot back a store — it is
+    ignored with a warning rather than producing write errors on every
+    artifact (a nonexistent path is fine: the store creates it lazily).
+    """
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    if os.path.exists(raw) and not os.path.isdir(raw):
+        _warn(f"ignoring {name}={raw!r}: it exists but is not a directory")
+        return None
+    return raw

@@ -21,7 +21,6 @@ Both caches are bounded LRU and safe to share process-wide.
 from __future__ import annotations
 
 import hashlib
-import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -39,10 +38,9 @@ _NOT_VECTORIZABLE = object()
 
 
 def _cache_capacity(default: int = 512) -> int:
-    try:
-        return max(8, int(os.environ.get("REPRO_COMPILE_CACHE_SIZE", default)))
-    except ValueError:
-        return default
+    from repro.envutil import env_int
+
+    return env_int("REPRO_COMPILE_CACHE_SIZE", default=default, minimum=8)
 
 
 class CompilationCache:

@@ -111,7 +111,7 @@ _WORK_ITEM_GETTERS = {
 class _Item:
     """Per-work-item execution context (slotted: created per item per run)."""
 
-    __slots__ = ("global_id", "local_id", "group_id", "env", "steps")
+    __slots__ = ("global_id", "local_id", "group_id", "env", "steps", "call_depth")
 
     def __init__(self, global_id, local_id, group_id, env):
         self.global_id = global_id
@@ -119,6 +119,7 @@ class _Item:
         self.group_id = group_id
         self.env = env
         self.steps = 0
+        self.call_depth = 0
 
 
 class _Runtime:
@@ -1312,10 +1313,13 @@ class CompiledKernel:
         return fn_builtin
 
     def _compile_user_call(self, name: str, argument_fns: list):
+        from repro.execution.interpreter import MAX_CALL_DEPTH
+
         self._ensure_helper_compiled(name)
         impls = self._helper_impls
         max_steps = self._max_steps
         timeout = self._timeout
+        kernel_name = self._kernel.name
 
         def fn(rt, item):
             item.steps = s = item.steps + 1
@@ -1323,6 +1327,14 @@ class CompiledKernel:
                 timeout(item)
             arguments = [argument_fn(rt, item) for argument_fn in argument_fns]
             rt.stats.helper_calls += 1
+            # Same guard (and depth) as the interpreter's user-call path, so
+            # a recursive kernel is excluded identically by every engine.
+            item.call_depth = depth = item.call_depth + 1
+            if depth > MAX_CALL_DEPTH:
+                raise ExecutionError(
+                    f"call depth exceeded {MAX_CALL_DEPTH} in kernel "
+                    f"{kernel_name!r} (recursion is not valid OpenCL C)"
+                )
             parameter_names, body_fn = impls[name]
             saved_env = item.env
             call_env = dict(rt.globals_env)
@@ -1338,6 +1350,7 @@ class CompiledKernel:
                     result = returned.value
             finally:
                 item.env = saved_env
+                item.call_depth -= 1
             return result
 
         return fn

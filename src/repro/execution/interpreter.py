@@ -99,6 +99,15 @@ class ExecutionResult:
         return found
 
 
+#: Bound on nested user-function calls per work-item.  OpenCL C forbids
+#: recursion outright, so any chain this deep is a non-conformant kernel
+#: (e.g. a synthesized kernel calling itself); both execution engines raise
+#: :class:`ExecutionError` at the same depth so the driver excludes the
+#: kernel identically whichever engine ran it — instead of dying on a
+#: Python ``RecursionError`` mid-measurement.
+MAX_CALL_DEPTH = 64
+
+
 @dataclass
 class _WorkItem:
     """Per-work-item execution context."""
@@ -108,6 +117,7 @@ class _WorkItem:
     group_id: tuple[int, ...]
     env: dict = field(default_factory=dict)
     steps: int = 0
+    call_depth: int = 0
 
 
 class KernelInterpreter:
@@ -802,6 +812,12 @@ class KernelInterpreter:
         self, function: ast.FunctionDecl, arguments: list, item: _WorkItem, group_index: int
     ):
         self._stats.helper_calls += 1
+        item.call_depth += 1
+        if item.call_depth > MAX_CALL_DEPTH:
+            raise ExecutionError(
+                f"call depth exceeded {MAX_CALL_DEPTH} in kernel "
+                f"{self._kernel.name!r} (recursion is not valid OpenCL C)"
+            )
         saved_env = item.env
         call_env = dict(self._globals_env)
         for parameter, argument in zip(function.parameters, arguments):
@@ -817,6 +833,7 @@ class KernelInterpreter:
             result = returned.value
         finally:
             item.env = saved_env
+            item.call_depth -= 1
         return result
 
 

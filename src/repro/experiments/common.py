@@ -12,6 +12,14 @@ execute — persists its artifact to the content-addressed store, so repeat
 invocations (a second ``python -m repro experiments``, a re-run of the bench
 harness against the same ``REPRO_STORE_DIR``) reuse every stage whose
 fingerprint still matches and recompute only downstream of a change.
+
+Every helper takes an optional ``runner=``; without one it falls back to
+:func:`repro.store.stages.default_runner`, whose shard plan comes from the
+``REPRO_SHARDS`` / ``REPRO_WORKERS`` environment knobs — set those (or pass
+a ``PipelineRunner(shards=..., workers=...)``) and the data-parallel stages
+resolve as per-range shard artifacts that a process pool (or several
+machines sharing one ``REPRO_STORE_DIR``) fills concurrently, with results
+bit-identical to an unsharded run (see :mod:`repro.store.shards`).
 """
 
 from __future__ import annotations

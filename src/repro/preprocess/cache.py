@@ -40,12 +40,15 @@ ARTIFACT_KIND = "preprocess-file"
 
 
 def default_cache_directory() -> str | None:
-    """The on-disk cache location from the environment, if configured."""
-    return (
-        os.environ.get("REPRO_PREPROCESS_CACHE_DIR")
-        or os.environ.get("REPRO_STORE_DIR")
-        or None
-    )
+    """The on-disk cache location from the environment, if configured.
+
+    Hardened like every other ``REPRO_*`` knob: a path that exists but is
+    not a directory is ignored with a warning instead of silently
+    disabling the cache through swallowed write errors.
+    """
+    from repro.envutil import env_directory
+
+    return env_directory("REPRO_PREPROCESS_CACHE_DIR") or env_directory("REPRO_STORE_DIR")
 
 
 def outcome_key(

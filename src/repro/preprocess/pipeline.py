@@ -22,9 +22,9 @@ parallel and serial runs produce byte-identical results.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
+from repro.envutil import env_int
 from repro.preprocess.cache import PreprocessCache, outcome_key, resolve_cache
 from repro.preprocess.rejection import RejectionFilter, RejectionReason, RejectionResult
 from repro.preprocess.rewriter import CodeRewriter, bag_of_words_vocabulary
@@ -74,8 +74,12 @@ class FileOutcome:
     content_line_count: int = 0
     rewritten_text: str | None = None
     rewritten_line_count: int = 0
-    original_vocabulary: frozenset[str] = frozenset()
-    rewritten_vocabulary: frozenset[str] = frozenset()
+    #: Sorted tuples rather than sets: outcomes are store artifacts (the
+    #: per-file cache and the preprocess shards), and set iteration order
+    #: depends on PYTHONHASHSEED — sorted tuples keep an outcome's
+    #: serialized bytes identical across processes and machines.
+    original_vocabulary: tuple[str, ...] = ()
+    rewritten_vocabulary: tuple[str, ...] = ()
 
     def to_rejection_result(self) -> RejectionResult:
         return RejectionResult(
@@ -134,20 +138,71 @@ class _FileProcessor:
         if not result.accepted:
             return outcome
 
-        outcome.original_vocabulary = frozenset(bag_of_words_vocabulary(text))
+        outcome.original_vocabulary = tuple(sorted(bag_of_words_vocabulary(text)))
         rewritten = self.rewriter.rewrite_or_none(text)
         if rewritten is not None:
             outcome.rewritten_text = rewritten.text
             outcome.rewritten_line_count = count_lines(rewritten.text)
-            outcome.rewritten_vocabulary = frozenset(bag_of_words_vocabulary(rewritten.text))
+            outcome.rewritten_vocabulary = tuple(
+                sorted(bag_of_words_vocabulary(rewritten.text))
+            )
         return outcome
 
 
 def _default_jobs() -> int:
-    try:
-        return max(1, int(os.environ.get("REPRO_PREPROCESS_JOBS", "1")))
-    except ValueError:
-        return 1
+    return env_int("REPRO_PREPROCESS_JOBS", default=1, minimum=1)
+
+
+def fold_outcomes(outcomes: list[FileOutcome]) -> PipelineResult:
+    """Fold per-file *outcomes* (in input order) into a :class:`PipelineResult`.
+
+    This is the whole statistics computation of a preprocessing run: because
+    it consumes only the per-file outcomes, folding the concatenation of
+    several shards' outcomes is bit-identical to one unsharded run over the
+    concatenated files (the invariant the sharded ``preprocess`` merge stage
+    relies on — see :mod:`repro.store.shards`).
+    """
+    statistics = CorpusStatistics()
+    statistics.content_files = len(outcomes)
+    original_vocabulary: set[str] = set()
+    rewritten_vocabulary: set[str] = set()
+    corpus_texts: list[str] = []
+    rejections: list[RejectionResult] = []
+
+    for outcome in outcomes:
+        statistics.content_lines += outcome.content_line_count
+        rejections.append(outcome.to_rejection_result())
+        if not outcome.accepted:
+            statistics.rejected_files += 1
+            reason = outcome.reason_value
+            statistics.rejection_reasons[reason] = (
+                statistics.rejection_reasons.get(reason, 0) + 1
+            )
+            continue
+
+        statistics.accepted_files += 1
+        statistics.accepted_lines += outcome.content_line_count
+        original_vocabulary.update(outcome.original_vocabulary)
+
+        if outcome.rewritten_text is None:
+            statistics.rejection_reasons["rewriter failure"] = (
+                statistics.rejection_reasons.get("rewriter failure", 0) + 1
+            )
+            continue
+
+        statistics.rewritten_files += 1
+        statistics.rewritten_lines += outcome.rewritten_line_count
+        rewritten_vocabulary.update(outcome.rewritten_vocabulary)
+        statistics.kernel_functions += outcome.kernel_count
+        corpus_texts.append(outcome.rewritten_text)
+
+    if statistics.content_files:
+        statistics.discard_rate = statistics.rejected_files / statistics.content_files
+    statistics.original_vocabulary = len(original_vocabulary)
+    statistics.rewritten_vocabulary = len(rewritten_vocabulary)
+    return PipelineResult(
+        corpus_texts=corpus_texts, statistics=statistics, rejections=rejections
+    )
 
 
 class PreprocessingPipeline:
@@ -178,49 +233,13 @@ class PreprocessingPipeline:
 
     def run(self, content_files: list[str]) -> PipelineResult:
         """Process *content_files* and return the normalized corpus texts."""
-        outcomes = self._outcomes_for(content_files)
+        return fold_outcomes(self.outcomes(content_files))
 
-        statistics = CorpusStatistics()
-        statistics.content_files = len(content_files)
-        original_vocabulary: set[str] = set()
-        rewritten_vocabulary: set[str] = set()
-        corpus_texts: list[str] = []
-        rejections: list[RejectionResult] = []
-
-        for outcome in outcomes:
-            statistics.content_lines += outcome.content_line_count
-            rejections.append(outcome.to_rejection_result())
-            if not outcome.accepted:
-                statistics.rejected_files += 1
-                reason = outcome.reason_value
-                statistics.rejection_reasons[reason] = (
-                    statistics.rejection_reasons.get(reason, 0) + 1
-                )
-                continue
-
-            statistics.accepted_files += 1
-            statistics.accepted_lines += outcome.content_line_count
-            original_vocabulary |= outcome.original_vocabulary
-
-            if outcome.rewritten_text is None:
-                statistics.rejection_reasons["rewriter failure"] = (
-                    statistics.rejection_reasons.get("rewriter failure", 0) + 1
-                )
-                continue
-
-            statistics.rewritten_files += 1
-            statistics.rewritten_lines += outcome.rewritten_line_count
-            rewritten_vocabulary |= outcome.rewritten_vocabulary
-            statistics.kernel_functions += outcome.kernel_count
-            corpus_texts.append(outcome.rewritten_text)
-
-        if statistics.content_files:
-            statistics.discard_rate = statistics.rejected_files / statistics.content_files
-        statistics.original_vocabulary = len(original_vocabulary)
-        statistics.rewritten_vocabulary = len(rewritten_vocabulary)
-        return PipelineResult(
-            corpus_texts=corpus_texts, statistics=statistics, rejections=rejections
-        )
+    def outcomes(self, content_files: list[str]) -> list[FileOutcome]:
+        """Per-file outcomes in input order (the shardable half of a run:
+        pure per-file work, cache-served and parallelizable; all global
+        aggregation lives in :func:`fold_outcomes`)."""
+        return self._outcomes_for(content_files)
 
     # ------------------------------------------------------------------
 

@@ -6,11 +6,14 @@ and cache environment variables.
 
 from repro.store.artifact_store import (
     ArtifactStore,
+    GCResult,
     GLOBAL_MEMORY_STORE,
+    StoreStats,
     default_store_directory,
     resolve_store,
 )
 from repro.store.fingerprint import SCHEMA_VERSIONS, fingerprint, schema_version, text_digest
+from repro.store.shards import ShardPlan, plan_from_env, shard_ranges
 
 #: Stage-graph symbols, loaded lazily (PEP 562): the per-file preprocess
 #: cache imports this package from inside the corpus layer, and the stage
@@ -42,12 +45,15 @@ def __getattr__(name: str):
 
 __all__ = [
     "ArtifactStore",
+    "GCResult",
     "GLOBAL_MEMORY_STORE",
+    "StoreStats",
     "PipelineConfig",
     "PipelineRunner",
     "SCHEMA_VERSIONS",
     "STAGE_ORDER",
     "STAGE_PHASES",
+    "ShardPlan",
     "StageEvent",
     "SuiteMeasurementSet",
     "corpus_fingerprint",
@@ -56,8 +62,10 @@ __all__ = [
     "fingerprint",
     "mine_fingerprint",
     "model_fingerprint",
+    "plan_from_env",
     "resolve_store",
     "schema_version",
+    "shard_ranges",
     "suite_execution_fingerprint",
     "synthesis_fingerprint",
     "synthetic_execution_fingerprint",

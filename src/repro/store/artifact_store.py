@@ -28,15 +28,43 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.envutil import env_directory
 from repro.store.fingerprint import schema_version
 
 
 def default_store_directory() -> str | None:
-    """The on-disk store location from the environment, if configured."""
-    return os.environ.get("REPRO_STORE_DIR") or None
+    """The on-disk store location from the environment, if configured.
+
+    A ``REPRO_STORE_DIR`` that exists but is not a directory is ignored
+    with a warning (every write would fail against it otherwise).
+    """
+    return env_directory("REPRO_STORE_DIR")
+
+
+@dataclass
+class StoreStats:
+    """Size accounting for one store (``repro store stats``)."""
+
+    entries: int = 0
+    bytes: int = 0
+    #: Per-artifact-kind breakdown: ``{kind: {"entries": n, "bytes": b}}``.
+    kinds: dict[str, dict[str, int]] = field(default_factory=dict)
+    memory_entries: int = 0
+
+
+@dataclass
+class GCResult:
+    """What one :meth:`ArtifactStore.gc` pass removed and what remains."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    remaining_entries: int = 0
+    remaining_bytes: int = 0
 
 
 class ArtifactStore:
@@ -72,6 +100,110 @@ class ArtifactStore:
     def memory_size(self) -> int:
         with self._lock:
             return len(self._memory)
+
+    def _disk_entries(self) -> list[tuple[Path, str, int, float]]:
+        """All on-disk entries as ``(path, kind, bytes, mtime)``.
+
+        Entries that vanish mid-scan (a concurrent gc or writer) are
+        skipped; in-flight ``.tmp.`` files are not entries.
+        """
+        if self._directory is None or not self._directory.is_dir():
+            return []
+        entries: list[tuple[Path, str, int, float]] = []
+        for kind_dir in sorted(self._directory.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob("*/*.pkl")):
+                try:
+                    status = path.stat()
+                except OSError:
+                    continue
+                entries.append((path, kind_dir.name, status.st_size, status.st_mtime))
+        return entries
+
+    def stats(self) -> StoreStats:
+        """Entry count, total bytes and per-kind breakdown of the disk layer."""
+        out = StoreStats(memory_entries=self.memory_size())
+        for _, kind, size, _ in self._disk_entries():
+            out.entries += 1
+            out.bytes += size
+            bucket = out.kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return out
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_seconds: float | None = None,
+        now: float | None = None,
+    ) -> GCResult:
+        """Bound the disk layer: drop entries older than *max_age_seconds*,
+        then the least-recently-written until at most *max_bytes* remain.
+
+        Safe against concurrent workers: removal is a plain unlink of a
+        complete entry, a racing writer's ``os.replace`` simply recreates
+        the key, and readers treat a vanished file as a miss that heals by
+        recomputation.  Stale ``.tmp.`` spill files from crashed writers
+        are swept too.  The in-process memory layer is left alone — its
+        entries are content-addressed copies that stay valid regardless of
+        what is on disk.
+        """
+        now = time.time() if now is None else now
+        result = GCResult()
+        entries = self._disk_entries()
+
+        survivors: list[tuple[Path, str, int, float]] = []
+        for entry in entries:
+            path, _, size, mtime = entry
+            if max_age_seconds is not None and now - mtime > max_age_seconds:
+                if self._remove_entry(path):
+                    result.removed_entries += 1
+                    result.removed_bytes += size
+                    continue
+            survivors.append(entry)
+
+        if max_bytes is not None:
+            total = sum(size for _, _, size, _ in survivors)
+            evicted: set[Path] = set()
+            for entry in sorted(survivors, key=lambda entry: entry[3]):
+                if total <= max_bytes:
+                    break
+                path, _, size, _ = entry
+                if self._remove_entry(path):
+                    result.removed_entries += 1
+                    result.removed_bytes += size
+                    total -= size
+                    evicted.add(path)
+            if evicted:
+                survivors = [entry for entry in survivors if entry[0] not in evicted]
+
+        self._sweep_stale_temp_files(now)
+        result.remaining_entries = len(survivors)
+        result.remaining_bytes = sum(size for _, _, size, _ in survivors)
+        return result
+
+    @staticmethod
+    def _remove_entry(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    #: A writer's temp file older than this is a crash leftover, not a
+    #: write in flight.
+    _TEMP_FILE_TTL_SECONDS = 3600.0
+
+    def _sweep_stale_temp_files(self, now: float) -> None:
+        if self._directory is None or not self._directory.is_dir():
+            return
+        for path in self._directory.glob("*/*/*.tmp.*"):
+            try:
+                if now - path.stat().st_mtime > self._TEMP_FILE_TTL_SECONDS:
+                    path.unlink()
+            except OSError:
+                continue
 
     # ------------------------------------------------------------------
     # Read / write.
@@ -206,10 +338,23 @@ def resolve_store(directory: str | None = None) -> ArtifactStore:
 
     Without a directory this is the shared in-memory store; with one, a
     per-directory singleton so the LRU layer is shared between all pipelines
-    pointing at the same store.
+    pointing at the same store.  A path that exists but is not a directory
+    (env- or ``--cache-dir``-supplied alike) cannot back a store: it falls
+    back to the in-memory store with a warning rather than silently
+    swallowing every disk write.
     """
     directory = directory or default_store_directory()
     if directory is None:
+        return GLOBAL_MEMORY_STORE
+    if os.path.exists(directory) and not os.path.isdir(directory):
+        import warnings
+
+        warnings.warn(
+            f"store path {directory!r} exists but is not a directory; "
+            "using the in-memory store",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return GLOBAL_MEMORY_STORE
     directory = os.path.abspath(directory)
     with _DIRECTORY_LOCK:

@@ -27,8 +27,11 @@ from typing import Any, Mapping
 SCHEMA_VERSIONS: dict[str, int] = {
     #: Mined content-file texts (list[str]).
     "mine": 1,
-    #: A preprocessed :class:`repro.corpus.corpus.Corpus`.
-    "corpus": 1,
+    #: A preprocessed :class:`repro.corpus.corpus.Corpus`.  v2: the compute
+    #: now honors ``min_static_instructions`` (older stores may hold
+    #: corpora filtered at the former hard-coded default under non-default
+    #: keys — flush them).
+    "corpus": 2,
     #: A trained-model checkpoint record (model ``to_dict`` + summary).
     "model": 1,
     #: A :class:`repro.synthesis.generator.SynthesisResult` kernel batch.
@@ -37,8 +40,20 @@ SCHEMA_VERSIONS: dict[str, int] = {
     "suite-measurements": 1,
     #: Synthetic-kernel measurement lists.
     "synthetic-measurements": 1,
-    #: Per-file preprocessing outcomes (repro.preprocess.cache).
-    "preprocess-file": 1,
+    #: Per-file preprocessing outcomes (repro.preprocess.cache).  v2:
+    #: FileOutcome vocabularies became sorted tuples (hash-seed-stable
+    #: serialization for shared stores).
+    "preprocess-file": 2,
+    #: Per-repository-range mined texts (repro.store.shards).
+    "mine-shard": 1,
+    #: Per-repository-range preprocessing outcomes (list[FileOutcome]).
+    "corpus-shard": 1,
+    #: One link of the sample chain (kernels + sampler state carry-over).
+    "synthesis-shard": 1,
+    #: Per-benchmark-range suite measurements.
+    "suite-measurements-shard": 1,
+    #: Per-kernel-range synthetic measurements.
+    "synthetic-measurements-shard": 1,
 }
 
 

@@ -1,0 +1,731 @@
+"""Sharding the stage graph: per-range shard stages plus deterministic merges.
+
+The stage graph (:mod:`repro.store.stages`) resolves whole-pipeline
+artifacts — the full mined corpus, the complete kernel batch, every
+measurement.  This module splits the data-parallel stages into **shards**
+so several workers (process-pool workers here, or whole machines pointing
+at one ``REPRO_STORE_DIR``) can fill one store concurrently:
+
+=============  =========================  ==================================
+stage          shard axis                 shard artifact kind
+=============  =========================  ==================================
+``mine``       repository range           ``mine-shard``
+``preprocess`` repository range           ``corpus-shard`` (file outcomes)
+``sample``     kernel range (a *chain*)   ``synthesis-shard``
+``execute``    benchmark / kernel range   ``suite-measurements-shard`` /
+                                          ``synthetic-measurements-shard``
+=============  =========================  ==================================
+
+Each shard has its own fingerprint — the parent (whole-artifact)
+fingerprint plus the shard index and extent — and a **merge** combines the
+shard artifacts into the existing whole-pipeline artifact *bit-identically*
+to an unsharded run, stored under the unsharded fingerprint.  A warm repeat
+therefore serves the merged artifact directly; a partially warm store
+serves the shards it has and recomputes only the missing ones.
+
+Two shard shapes exist:
+
+* **Fan-out** stages (mine, preprocess, both execute sides) are
+  embarrassingly parallel: every shard is a pure function of the pipeline
+  configuration and its range, so ready shards are dispatched to a process
+  pool (``ShardPlan.workers``).  Results are bit-identical to sequential
+  resolution because each shard is deterministic in isolation.
+* The **sample chain**: kernel synthesis threads one ``random.Random`` and
+  one cross-kernel dedup set through the whole batch, so shard *k* extends
+  shard *k-1* — its artifact carries the sampler's RNG state, the seen-hash
+  set and the cumulative statistics forward.  Chains resolve sequentially,
+  but each link is a store artifact, so an interrupted run resumes from its
+  last completed link and a concurrent worker picks the chain up where
+  another left it.  (Links chain off the whole-batch fingerprint, which
+  includes the kernel count — growing the budget readdresses the chain;
+  see ROADMAP "Parallel sample shards" for the schema-bump alternative.)
+
+Concurrency model: the artifact store already tolerates concurrent writers
+(atomic ``os.replace`` per entry), so shard workers never coordinate — they
+race benignly, and whoever finishes a key last leaves the same bytes as
+whoever finished first.  The merge is pure recombination (no RNG, no
+wall-clock), so it is deterministic under any shard completion order.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import time
+from dataclasses import dataclass
+
+from repro.envutil import env_int
+
+#: Artifact kinds introduced by sharding (registered in
+#: :data:`repro.store.fingerprint.SCHEMA_VERSIONS`).
+SHARD_KINDS = (
+    "mine-shard",
+    "corpus-shard",
+    "synthesis-shard",
+    "suite-measurements-shard",
+    "synthetic-measurements-shard",
+)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How a :class:`~repro.store.stages.PipelineRunner` splits stage work.
+
+    ``shards`` is the number of ranges each shardable stage is split into
+    (1 = the unsharded legacy path, byte-for-byte).  ``workers`` is the
+    process-pool width for dispatching ready fan-out shards; 0 or 1 resolves
+    shards in-process (still sharded, still incremental — just sequential).
+    """
+
+    shards: int = 1
+    workers: int = 0
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    @property
+    def sharded(self) -> bool:
+        return self.shards > 1
+
+    @property
+    def pooled(self) -> bool:
+        """True when shard work can actually reach the worker pool.
+
+        ``workers`` alone is not enough: with a single shard the pool is
+        never created, so timings stay genuine wall-clock (the bench
+        snapshot/perf-gate guards key off this, not off ``workers``).
+        """
+        return self.sharded and self.workers > 1
+
+
+def normalized_plan(shards: int, workers: int) -> ShardPlan:
+    """A :class:`ShardPlan` from loose knobs.
+
+    Asking for workers without shards means "parallelize this": it implies
+    one shard per worker, so ``--workers 8`` alone is not a silent no-op.
+    """
+    shards = max(shards, 1)
+    workers = max(workers, 0)
+    if shards == 1 and workers > 1:
+        shards = workers
+    return ShardPlan(shards=shards, workers=workers)
+
+
+def resolve_plan(shards: int | None, workers: int | None) -> ShardPlan:
+    """Combine explicit knobs (``None`` = not given) with the environment.
+
+    The single source of the precedence rules, shared by the CLI flags and
+    ``REPRO_SHARDS``/``REPRO_WORKERS``: an explicit value always beats the
+    environment, and the workers-imply-shards expansion fires only when no
+    shard count was given anywhere — asking for 1 shard means 1 shard.
+    """
+    import os
+
+    if shards is None and (os.environ.get("REPRO_SHARDS") or "").strip():
+        # 0 doubles as the sentinel for "no usable value": an explicit
+        # REPRO_SHARDS=0 and a malformed one (env_int's warned fallback)
+        # both leave the count undecided, so workers may still imply it.
+        parsed = env_int("REPRO_SHARDS", default=0, minimum=0)
+        if parsed >= 1:
+            shards = parsed
+    if workers is None:
+        workers = env_int("REPRO_WORKERS", default=0, minimum=0)
+    if shards is None:
+        return normalized_plan(1, workers)
+    if shards < 1 or workers < 0:
+        # As loud as the env knobs: a typo'd sign must not silently
+        # sequentialize the run.
+        import warnings
+
+        warnings.warn(
+            f"clamping shards={shards}/workers={workers} to the valid range",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    plan = ShardPlan(shards=max(shards, 1), workers=max(workers, 0))
+    if plan.workers > 1 and not plan.pooled:
+        import warnings
+
+        warnings.warn(
+            f"workers={plan.workers} has no effect with a single shard; "
+            "raise the shard count (or drop it to let workers imply one)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return plan
+
+
+def plan_from_env() -> ShardPlan:
+    """The plan named by ``REPRO_SHARDS`` / ``REPRO_WORKERS`` (default: unsharded)."""
+    return resolve_plan(None, None)
+
+
+def shard_ranges(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most *shards* contiguous, non-empty,
+    disjoint ranges covering it in order.
+
+    Deterministic: the first ``total % shards`` ranges are one longer.
+    Fewer than *shards* ranges come back when *total* is smaller.
+    """
+    if total <= 0:
+        return []
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+# ---------------------------------------------------------------------------
+# Shard fingerprints: parent fingerprint + shard index/extent.
+# ---------------------------------------------------------------------------
+
+
+def _shard_fingerprint(kind: str, parent: str, index: int, shards: int,
+                       start: int, stop: int) -> str:
+    from repro.store.fingerprint import fingerprint
+
+    return fingerprint(
+        kind,
+        {"parent": parent, "index": index, "shards": shards,
+         "start": start, "stop": stop},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fan-out shard specs.  Each knows its total extent, per-shard key and
+# per-shard compute; resolution goes through runner._stage so events,
+# store probing and warm accounting are identical to whole stages.
+# ---------------------------------------------------------------------------
+
+
+class _FanoutSpec:
+    """One shardable fan-out stage (mine / preprocess / execute sides)."""
+
+    name: str  # registry key, also used to route pool workers
+    stage: str  # StageEvent stage name (phase accounting)
+    kind: str  # shard artifact kind
+
+    def total(self, cfg) -> int:
+        raise NotImplementedError
+
+    def parent_fingerprint(self, cfg) -> str:
+        raise NotImplementedError
+
+    def key(self, cfg, index: int, shards: int) -> str:
+        return self.keys(cfg, shards)[index]
+
+    def keys(self, cfg, shards: int) -> list[str]:
+        """All shard keys of this stage, computing the parent fingerprint
+        and the ranges once (probing every shard re-uses one digest pass)."""
+        parent = self.parent_fingerprint(cfg)
+        return [
+            _shard_fingerprint(self.kind, parent, index, shards, start, stop)
+            for index, (start, stop) in enumerate(shard_ranges(self.total(cfg), shards))
+        ]
+
+    def compute(self, runner, cfg, index: int, shards: int):
+        raise NotImplementedError
+
+    def resolve(self, runner, cfg, index: int, shards: int, key: str | None = None):
+        return runner._stage(
+            self.stage,
+            self.kind,
+            key if key is not None else self.key(cfg, index, shards),
+            lambda: self.compute(runner, cfg, index, shards),
+        )
+
+    def _range(self, cfg, index: int, shards: int) -> tuple[int, int]:
+        return shard_ranges(self.total(cfg), shards)[index]
+
+
+class _MineSpec(_FanoutSpec):
+    name = "mine"
+    stage = "mine"
+    kind = "mine-shard"
+
+    def total(self, cfg) -> int:
+        return cfg.repository_count
+
+    def parent_fingerprint(self, cfg) -> str:
+        from repro.store import stages
+
+        return stages.mine_fingerprint(cfg)
+
+    def compute(self, runner, cfg, index: int, shards: int) -> list[str]:
+        from repro.corpus.github import GitHubMiner
+
+        start, stop = self._range(cfg, index, shards)
+        mining = GitHubMiner(seed=cfg.seed).mine(stop, start=start)
+        return [content_file.text for content_file in mining.content_files]
+
+
+class _CorpusSpec(_FanoutSpec):
+    """Per-repository-range preprocessing: the shard artifact is the list of
+    per-file outcomes (the preprocessing pipeline's unit of work), so the
+    merge can fold statistics exactly as an unsharded run does."""
+
+    name = "corpus"
+    stage = "preprocess"
+    kind = "corpus-shard"
+
+    def total(self, cfg) -> int:
+        return cfg.repository_count
+
+    def parent_fingerprint(self, cfg) -> str:
+        from repro.store import stages
+
+        return stages.corpus_fingerprint(cfg)
+
+    def compute(self, runner, cfg, index: int, shards: int):
+        from repro.preprocess.pipeline import PreprocessingPipeline
+        from repro.store.stages import detached
+
+        texts = _MINE.resolve(runner, cfg, index, shards)
+        pipeline = PreprocessingPipeline(
+            use_shim=cfg.use_shim,
+            rename_identifiers=cfg.rename_identifiers,
+            min_static_instructions=cfg.min_static_instructions,
+            jobs=cfg.preprocess_jobs,
+        )
+        # Detached per outcome: a cold run shares one FileOutcome between
+        # duplicate (forked) files while per-file-cache hits yield distinct
+        # objects — detaching makes the shard's bytes independent of cache
+        # state, like the execute/sample shard artifacts.
+        return [detached(outcome) for outcome in pipeline.outcomes(texts)]
+
+
+class _SuiteExecutionSpec(_FanoutSpec):
+    name = "suite-exec"
+    stage = "execute"
+    kind = "suite-measurements-shard"
+
+    def total(self, cfg) -> int:
+        return len(self._flat_benchmarks(cfg))
+
+    def parent_fingerprint(self, cfg) -> str:
+        from repro.store import stages
+
+        return stages.suite_execution_fingerprint(cfg)
+
+    @staticmethod
+    def _flat_benchmarks(cfg):
+        from repro.store.stages import _selected_suites
+
+        return [
+            (suite.name, benchmark)
+            for suite in _selected_suites(cfg)
+            for benchmark in suite.benchmarks
+        ]
+
+    def compute(self, runner, cfg, index: int, shards: int):
+        from repro.store.stages import detached
+
+        start, stop = self._range(cfg, index, shards)
+        driver = runner._make_driver(cfg)
+        return [
+            (suite_name, benchmark.qualified_name, detached(driver.measure_benchmark(benchmark)))
+            for suite_name, benchmark in self._flat_benchmarks(cfg)[start:stop]
+        ]
+
+
+class _SyntheticExecutionSpec(_FanoutSpec):
+    name = "synth-exec"
+    stage = "execute"
+    kind = "synthetic-measurements-shard"
+
+    def total(self, cfg) -> int:
+        return cfg.synthetic_kernel_count
+
+    def parent_fingerprint(self, cfg) -> str:
+        from repro.store import stages
+
+        return stages.synthetic_execution_fingerprint(cfg)
+
+    def compute(self, runner, cfg, index: int, shards: int):
+        # Ranges are over the *generated* kernel list (which may fall short
+        # of the requested count on sampler exhaustion); a shard past the
+        # end measures nothing.  Names and dataset scales use the global
+        # kernel index, exactly like the unsharded execute stage.
+        synthesis = runner.synthesis(cfg)
+        ranges = shard_ranges(len(synthesis.kernels), shards)
+        if index >= len(ranges):
+            return []
+        start, stop = ranges[index]
+        driver = runner._make_driver(cfg)
+        scales = cfg.dataset_scales
+        measured = driver.measure_many(
+            [kernel.source for kernel in synthesis.kernels[start:stop]],
+            names=[f"clgen.{position}" for position in range(start, stop)],
+            dataset_scales=[
+                scales[position % len(scales)] for position in range(start, stop)
+            ],
+        )
+        from repro.store.stages import detached
+
+        return [detached(measurement) for measurement in measured]
+
+
+_MINE = _MineSpec()
+_CORPUS = _CorpusSpec()
+_SUITE_EXEC = _SuiteExecutionSpec()
+_SYNTH_EXEC = _SyntheticExecutionSpec()
+
+_SPECS = {spec.name: spec for spec in (_MINE, _CORPUS, _SUITE_EXEC, _SYNTH_EXEC)}
+
+
+# ---------------------------------------------------------------------------
+# The sample chain.
+# ---------------------------------------------------------------------------
+
+
+def _synthesis_shard_key(cfg, index: int, shards: int) -> str:
+    from repro.store import stages
+
+    ranges = shard_ranges(cfg.synthetic_kernel_count, shards)
+    start, stop = ranges[index]
+    return _shard_fingerprint(
+        "synthesis-shard", stages.synthesis_fingerprint(cfg), index, shards, start, stop
+    )
+
+
+def _compute_synthesis_shard(runner, cfg, index: int, shards: int, prev: dict | None) -> dict:
+    """Extend the sample chain by one kernel range.
+
+    The artifact carries everything the next link needs to continue the
+    sequence exactly where an unsharded ``generate_kernels`` would be after
+    the same number of kernels: the sampler RNG state, the cross-kernel
+    dedup hashes, and the cumulative statistics object (mutated in place by
+    ``generate_kernel``, deep-copied here so stored links stay immutable).
+    """
+    from repro.synthesis.generator import SynthesisStatistics
+
+    start, stop = shard_ranges(cfg.synthetic_kernel_count, shards)[index]
+    if prev is None:
+        rng = random.Random(cfg.sample_seed)
+        seen_hashes: set[str] = set()
+        statistics = SynthesisStatistics(requested=cfg.synthetic_kernel_count)
+        exhausted = False
+    else:
+        rng = random.Random()
+        rng.setstate(prev["rng_state"])
+        seen_hashes = set(prev["seen_hashes"])
+        statistics = copy.deepcopy(prev["statistics"])
+        exhausted = prev["exhausted"]
+
+    kernels = []
+    if not exhausted:
+        from repro.store.stages import detached
+
+        synthesizer = runner.clgen(cfg)
+        for _ in range(stop - start):
+            kernel = synthesizer.generate_kernel(
+                rng=rng,
+                max_attempts=cfg.max_attempts_per_kernel,
+                statistics=statistics,
+                seen_hashes=seen_hashes,
+            )
+            if kernel is None:
+                # Mirrors the unsharded early stop: once the attempt budget
+                # fails, no later position is ever attempted.
+                exhausted = True
+                break
+            # Detached for locality-independent bytes, like the unsharded
+            # sample compute.
+            kernels.append(detached(kernel))
+
+    return {
+        "kernels": kernels,
+        "rng_state": rng.getstate(),
+        # Sorted so the link's serialized bytes do not depend on set
+        # iteration order (PYTHONHASHSEED) — racing writers from different
+        # machines converge on identical entry bytes.
+        "seen_hashes": sorted(seen_hashes),
+        "statistics": statistics,
+        "exhausted": exhausted,
+    }
+
+
+def sharded_synthesis(runner, cfg):
+    """Resolve the ``sample`` stage through the shard chain and merge."""
+    from repro.errors import SynthesisError
+    from repro.store import stages
+    from repro.synthesis.generator import SynthesisResult
+
+    if cfg.synthetic_kernel_count <= 0:
+        # Same contract as the unsharded generate_kernels.
+        raise SynthesisError("kernel count must be positive")
+
+    def merge():
+        links = []
+        prev = None
+        for index in range(len(shard_ranges(cfg.synthetic_kernel_count, runner.plan.shards))):
+            held = prev
+            prev = runner._stage(
+                "sample",
+                "synthesis-shard",
+                _synthesis_shard_key(cfg, index, runner.plan.shards),
+                lambda index=index, held=held: _compute_synthesis_shard(
+                    runner, cfg, index, runner.plan.shards, held
+                ),
+            )
+            links.append(prev)
+        kernels = [kernel for link in links for kernel in link["kernels"]]
+        return SynthesisResult(
+            kernels=kernels, statistics=copy.deepcopy(links[-1]["statistics"])
+        )
+
+    return _merged(
+        runner, "sample", "synthesis", stages.synthesis_fingerprint(cfg), merge
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fan-out resolution (with the process pool) and merges.
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker(task):
+    """Process-pool entry point: resolve one fan-out shard on a fresh runner.
+
+    The worker's runner points at the same on-disk store (when one is
+    configured), so its artifact lands there directly; the value and the
+    worker's stage events ride back so the parent can warm its own memory
+    layer and keep honest hit/miss accounting.
+    """
+    cache_dir, cfg, spec_name, index, shards = task
+    import os
+
+    from repro.store.artifact_store import resolve_store
+    from repro.store.stages import PipelineRunner
+
+    # The shard pool *is* the parallelism: neutralize the nested pool knobs
+    # (env and config-carried alike) so N shard workers do not each spawn
+    # their own measure/preprocess pools and thrash the host with N*M
+    # processes.  Results are identical with or without those pools by
+    # their own contracts, and preprocess_jobs is deliberately
+    # un-fingerprinted, so no store key changes.
+    import dataclasses
+
+    os.environ["REPRO_MEASURE_WORKERS"] = "0"
+    os.environ["REPRO_PREPROCESS_JOBS"] = "1"
+    os.environ["REPRO_WORKERS"] = "0"
+    cfg = dataclasses.replace(cfg, preprocess_jobs=1)
+    # resolve_store, not a fresh ArtifactStore: a pool worker handling
+    # several shard tasks then shares one memory layer across them (e.g.
+    # the merged kernel batch deserializes once per worker, not per task).
+    runner = PipelineRunner(store=resolve_store(cache_dir), shards=shards, workers=0)
+    value = _SPECS[spec_name].resolve(runner, cfg, index, shards)
+    return index, value, runner.events
+
+
+def _resolve_fanout(runner, cfg, spec: _FanoutSpec) -> list:
+    """All shard values of *spec*, in shard order.
+
+    Warm shards are served (and logged as hits) from the parent's store;
+    the remaining cold shards are computed — through a process pool when the
+    plan asks for one and more than one shard is pending, in-process
+    otherwise.  Pool failures (unpicklable values, no multiprocessing
+    support) degrade to in-process computation with a warning.
+    """
+    shards = runner.plan.shards
+    keys = spec.keys(cfg, shards)
+    values: list = [None] * len(keys)
+    pending: list[int] = []
+    for index, key in enumerate(keys):
+        started = time.perf_counter()
+        value = runner.store.get(spec.kind, key)
+        if value is not None:
+            runner._record_event(spec.stage, key, True, time.perf_counter() - started)
+            values[index] = value
+        else:
+            pending.append(index)
+
+    if len(pending) > 1 and runner.plan.pooled:
+        # (A memory-only store never reaches here: PipelineRunner
+        # construction degrades such plans to workers=0 with one warning.)
+        import warnings
+
+        try:
+            _resolve_fanout_pool(runner, cfg, spec, pending, values)
+        except _PoolUnavailable as error:
+            # Only genuine pool-machinery failures (worker crashes,
+            # unpicklable payloads, no multiprocessing support) degrade
+            # to in-process resolution; a deterministic error raised
+            # *inside* a shard's compute propagates as-is — recomputing
+            # it would just repeat the work and the exception.
+            warnings.warn(
+                f"shard worker pool unavailable ({error}); resolving shards in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        # Outside the try: shards that landed before a mid-batch pool
+        # failure are kept, so the in-process fallback only computes
+        # what is actually still missing.
+        pending = [index for index in pending if values[index] is None]
+    for index in pending:
+        values[index] = spec.resolve(runner, cfg, index, shards, key=keys[index])
+    return values
+
+
+class _PoolUnavailable(RuntimeError):
+    """The shard worker pool itself failed (not a shard's computation)."""
+
+
+def _resolve_fanout_pool(runner, cfg, spec, pending: list[int], values: list) -> None:
+    """Fan *pending* shard indices out over a process pool.
+
+    Only called for disk-backed stores (the caller refuses otherwise), so
+    every worker persists its shard into the shared directory itself; the
+    value rides back purely for the parent's merge.
+
+    Failure classification matters here: pool-machinery problems (no
+    multiprocessing support, unpicklable payloads, a hard worker crash)
+    raise :class:`_PoolUnavailable` so the caller can degrade to in-process
+    resolution, while a deterministic exception raised *inside* a shard's
+    compute propagates unchanged — re-running it locally would only repeat
+    the work and then the same error.
+    """
+    import pickle as pickle_mod
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+
+    cache_dir = str(runner.store.directory)
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(runner.plan.workers, len(pending)))
+    except (ImportError, OSError, ValueError) as error:
+        raise _PoolUnavailable(f"cannot start pool: {error!r}") from error
+    with pool:
+        try:
+            futures = {
+                pool.submit(
+                    _shard_worker, (cache_dir, cfg, spec.name, index, runner.plan.shards)
+                ): index
+                for index in pending
+            }
+        except (pickle_mod.PicklingError, AttributeError, TypeError) as error:
+            raise _PoolUnavailable(f"cannot ship shard task: {error!r}") from error
+        for future in as_completed(futures):
+            try:
+                index, value, events = future.result()
+            except (BrokenExecutor, pickle_mod.PicklingError) as error:
+                raise _PoolUnavailable(f"worker failed: {error!r}") from error
+            values[index] = value
+            # Replay the worker's stage events (its own hits/misses plus any
+            # upstream stages it resolved) so phase accounting and the
+            # warm-phase guard see exactly what happened.  With a pool these
+            # seconds are aggregate worker time, not wall-clock.
+            for event in events:
+                runner._record_event(event.stage, event.fingerprint, event.hit, event.seconds)
+
+
+def _merged(runner, stage: str, kind: str, key: str, combine):
+    """Serve the whole-pipeline artifact, or merge its shards into it.
+
+    The merged artifact is stored under the **unsharded** fingerprint, so
+    sharded and unsharded runs address (and share) the same whole-pipeline
+    entries, and a warm repeat serves the merge without touching shards.
+    Resolution (probe, events, exclusive-seconds accounting) is the
+    ordinary stage machinery.
+    """
+    return runner._stage(stage, kind, key, combine)
+
+
+def sharded_mine(runner, cfg) -> list[str]:
+    """Resolve the ``mine`` stage by repository-range shards and merge."""
+    from repro.store import stages
+
+    def merge() -> list[str]:
+        shard_values = _resolve_fanout(runner, cfg, _MINE)
+        return [text for value in shard_values for text in value]
+
+    return _merged(runner, "mine", "mine", stages.mine_fingerprint(cfg), merge)
+
+
+def sharded_corpus(runner, cfg):
+    """Resolve the ``preprocess`` stage by repository-range shards and merge.
+
+    The merge folds the concatenated per-file outcomes with the same fold an
+    unsharded preprocessing run uses, then deduplicates — bit-identical to
+    ``Corpus.from_content_files`` over the whole mined text list.
+    """
+    from repro.corpus.corpus import Corpus
+    from repro.preprocess.pipeline import fold_outcomes
+    from repro.store import stages
+
+    def merge() -> Corpus:
+        shard_values = _resolve_fanout(runner, cfg, _CORPUS)
+        outcomes = [outcome for value in shard_values for outcome in value]
+        result = fold_outcomes(outcomes)
+        return Corpus(
+            kernels=Corpus._deduplicate(result.corpus_texts),
+            statistics=result.statistics,
+        )
+
+    return _merged(runner, "preprocess", "corpus", stages.corpus_fingerprint(cfg), merge)
+
+
+def sharded_suite_measurements(runner, cfg):
+    """Resolve the suite side of ``execute`` by benchmark-range shards."""
+    from repro.store import stages
+    from repro.store.stages import SuiteMeasurementSet, _selected_suites
+
+    def merge() -> SuiteMeasurementSet:
+        shard_values = _resolve_fanout(runner, cfg, _SUITE_EXEC)
+        flat = [entry for value in shard_values for entry in value]
+        by_benchmark = {name: measurements for _, name, measurements in flat}
+        out = SuiteMeasurementSet()
+        # Rebuild in suite/benchmark declaration order so dict insertion
+        # orders match the unsharded compute exactly (bit-identity).
+        for suite in _selected_suites(cfg):
+            suite_measurements = []
+            for benchmark in suite.benchmarks:
+                measurements = by_benchmark.get(benchmark.qualified_name, [])
+                if measurements:
+                    out.benchmark_measurements[benchmark.qualified_name] = measurements
+                    suite_measurements.extend(measurements)
+            out.suite_measurements[suite.name] = suite_measurements
+        return out
+
+    return _merged(
+        runner,
+        "execute",
+        "suite-measurements",
+        stages.suite_execution_fingerprint(cfg),
+        merge,
+    )
+
+
+def sharded_synthetic_measurements(runner, cfg):
+    """Resolve the synthetic side of ``execute`` by kernel-range shards."""
+    from repro.errors import SynthesisError
+    from repro.store import stages
+
+    if cfg.synthetic_kernel_count <= 0:
+        # The unsharded path raises from inside its synthesis resolution;
+        # with zero shards that resolution would never run, and a config
+        # error must not be swallowed into an empty cached artifact.
+        raise SynthesisError("kernel count must be positive")
+
+    def merge():
+        # Resolve the sample chain in the parent before fanning out: it
+        # lands in the shared store, so pool workers (whose shard computes
+        # re-resolve it for the kernel list) hit instead of each racing to
+        # recompute the whole sequential chain.
+        runner.synthesis(cfg)
+        shard_values = _resolve_fanout(runner, cfg, _SYNTH_EXEC)
+        return [measurement for value in shard_values for measurement in value]
+
+    return _merged(
+        runner,
+        "execute",
+        "synthetic-measurements",
+        stages.synthetic_execution_fingerprint(cfg),
+        merge,
+    )

@@ -31,16 +31,19 @@ invariant the execution engines already guarantee.
 
 from __future__ import annotations
 
+import pickle
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.corpus.corpus import Corpus
 from repro.driver.harness import DriverConfig, HostDriver, KernelMeasurement
 from repro.model.backend import TrainingSummary
 from repro.model.checkpoint import model_from_dict, model_to_dict
+from repro.model.lstm import LSTMConfig
 from repro.model.trainer import ModelTrainer, TrainedModel, TrainerConfig
 from repro.store.artifact_store import ArtifactStore, resolve_store
 from repro.store.fingerprint import fingerprint, text_digest
+from repro.store.shards import ShardPlan, normalized_plan, plan_from_env
 from repro.suites.registry import all_suites
 from repro.synthesis.generator import CLgen, SynthesisResult
 from repro.synthesis.sampler import SamplerConfig
@@ -76,6 +79,11 @@ class PipelineConfig:
     backend: str = "ngram"
     ngram_order: int = 12
     shuffle_seed: int = 0
+    #: LSTM hyper-parameters, used (and fingerprinted) only when
+    #: ``backend == "lstm"`` — two LSTM trainings with different knobs must
+    #: never share a ``model`` store entry.  ``None`` means the
+    #: :class:`~repro.model.lstm.LSTMConfig` defaults.
+    lstm: LSTMConfig | None = None
     # sample
     sampler_temperature: float = 0.6
     max_kernel_length: int = 2048
@@ -135,15 +143,19 @@ def corpus_fingerprint(cfg: PipelineConfig) -> str:
 
 
 def model_fingerprint(cfg: PipelineConfig) -> str:
-    return fingerprint(
-        "model",
-        {
-            "corpus": corpus_fingerprint(cfg),
-            "backend": cfg.backend,
-            "ngram_order": cfg.ngram_order,
-            "shuffle_seed": cfg.shuffle_seed,
-        },
-    )
+    payload = {
+        "corpus": corpus_fingerprint(cfg),
+        "backend": cfg.backend,
+        "ngram_order": cfg.ngram_order,
+        "shuffle_seed": cfg.shuffle_seed,
+    }
+    if cfg.backend == "lstm":
+        # Every LSTM hyper-parameter joins the payload (defaults made
+        # explicit), so differently-configured trainings address different
+        # checkpoints.  The n-gram payload is untouched: its fingerprints —
+        # and every stored n-gram model — stay valid.
+        payload["lstm"] = asdict(cfg.lstm if cfg.lstm is not None else LSTMConfig())
+    return fingerprint("model", payload)
 
 
 def synthesis_fingerprint(cfg: PipelineConfig) -> str:
@@ -265,6 +277,20 @@ class SuiteMeasurementSet:
     benchmark_measurements: dict[str, list[KernelMeasurement]] = field(default_factory=dict)
 
 
+def detached(value):
+    """A deep copy of *value* with no object sharing beyond its own graph.
+
+    Measurements computed in one process share sub-objects through
+    process-wide caches (e.g. every compilation embeds the same shim-prelude
+    AST nodes), so the pickled bytes of a measurement *batch* would depend
+    on which process computed which member.  Execute artifacts detach each
+    benchmark/kernel island at creation instead, making the artifact's
+    serialization independent of compute locality — the property that lets
+    sharded, pooled and unsharded runs produce byte-identical store entries.
+    """
+    return pickle.loads(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 class PipelineRunner:
     """Resolves pipeline stages through the artifact store.
 
@@ -273,13 +299,44 @@ class PipelineRunner:
     stage resolution is recorded as a :class:`StageEvent` with its
     wall-clock cost (exclusive of upstream stages), which is what the CLI,
     the profile script and the warm-run tests report.
+
+    With ``shards > 1`` the data-parallel stages (mine, preprocess, both
+    execute sides, and the sample chain) resolve as per-range shard
+    artifacts plus a deterministic merge (see :mod:`repro.store.shards`);
+    ``workers > 1`` dispatches ready fan-out shards to a process pool.
+    Sharded, pooled and unsharded runs produce bit-identical whole-pipeline
+    artifacts under the same store keys.
     """
 
     #: Bound on live (deserialization-free) objects kept for in-process reuse.
     _LIVE_LIMIT = 16
 
-    def __init__(self, store: ArtifactStore | None = None, cache_dir: str | None = None):
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        cache_dir: str | None = None,
+        shards: int = 1,
+        workers: int = 0,
+        plan: ShardPlan | None = None,
+    ):
         self.store = store if store is not None else resolve_store(cache_dir)
+        # workers without shards implies one shard per worker (an explicit
+        # plan= is taken verbatim).
+        self.plan = plan if plan is not None else normalized_plan(shards, workers)
+        if self.plan.pooled and self.store.directory is None:
+            # A memory-only store is invisible to pool workers: each would
+            # recompute the whole upstream chain privately and ship it
+            # back, making the pool slower than sequential resolution.
+            # Warn once here rather than on every stage resolution.
+            import warnings
+
+            warnings.warn(
+                "shard worker pool needs an on-disk store (cache_dir or "
+                "REPRO_STORE_DIR); resolving shards in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.plan = replace(self.plan, workers=0)
         self.events: list[StageEvent] = []
         #: Live objects (the trained model instance, with its sampling memos
         #: warm) keyed by fingerprint, so in-process reuse skips even the
@@ -304,7 +361,13 @@ class PipelineRunner:
         return counts
 
     def phase_seconds(self, since: int = 0) -> dict[str, float]:
-        """Per-benchmark-phase seconds over events from *since*."""
+        """Per-benchmark-phase seconds over events from *since*.
+
+        Sums each event's exclusive seconds.  With a shard worker pool
+        (``workers > 1``) pool-computed shards report their worker's
+        compute time, so a phase's sum is aggregate worker seconds — an
+        upper bound on (not equal to) its wall-clock.
+        """
         phases: dict[str, float] = {}
         for event in self.events[since:]:
             phase = STAGE_PHASES.get(event.stage, event.stage)
@@ -317,6 +380,10 @@ class PipelineRunner:
 
     def content_files(self, cfg: PipelineConfig) -> list[str]:
         """Stage ``mine``: the mined content-file texts."""
+        if self.plan.sharded:
+            from repro.store import shards as shardlib
+
+            return shardlib.sharded_mine(self, cfg)
 
         def compute() -> list[str]:
             from repro.corpus.github import GitHubMiner
@@ -337,12 +404,20 @@ class PipelineRunner:
             self.events.append(StageEvent("preprocess", key, True, 0.0))
             return live
 
+        if self.plan.sharded:
+            from repro.store import shards as shardlib
+
+            value = shardlib.sharded_corpus(self, cfg)
+            self._keep_live(("corpus", key), value)
+            return value
+
         def compute() -> Corpus:
             texts = self.content_files(cfg)
             built = Corpus.from_content_files(
                 texts,
                 use_shim=cfg.use_shim,
                 rename_identifiers=cfg.rename_identifiers,
+                min_static_instructions=cfg.min_static_instructions,
                 jobs=cfg.preprocess_jobs,
             )
             # Drop the raw mined texts: the mine artifact already holds them,
@@ -370,6 +445,7 @@ class PipelineRunner:
                 TrainerConfig(
                     backend=cfg.backend,
                     ngram_order=cfg.ngram_order,
+                    lstm=cfg.lstm,
                     shuffle_seed=cfg.shuffle_seed,
                 )
             )
@@ -421,19 +497,35 @@ class PipelineRunner:
 
     def synthesis(self, cfg: PipelineConfig) -> SynthesisResult:
         """Stage ``sample``: the synthetic kernel batch."""
+        if self.plan.sharded:
+            from repro.store import shards as shardlib
+
+            return shardlib.sharded_synthesis(self, cfg)
 
         def compute() -> SynthesisResult:
             synthesizer = self.clgen(cfg)
-            return synthesizer.generate_kernels(
+            result = synthesizer.generate_kernels(
                 cfg.synthetic_kernel_count,
                 seed=cfg.sample_seed,
                 max_attempts_per_kernel=cfg.max_attempts_per_kernel,
+            )
+            # Detach each kernel (see detached()) so the artifact's bytes
+            # do not depend on in-process string/object sharing — the
+            # sample chain merge must reproduce them exactly from
+            # separately stored links.
+            return SynthesisResult(
+                kernels=[detached(kernel) for kernel in result.kernels],
+                statistics=result.statistics,
             )
 
         return self._stage("sample", "synthesis", synthesis_fingerprint(cfg), compute)
 
     def suite_measurements(self, cfg: PipelineConfig) -> SuiteMeasurementSet:
         """Stage ``execute`` (suite side): measurements of every benchmark."""
+        if self.plan.sharded:
+            from repro.store import shards as shardlib
+
+            return shardlib.sharded_suite_measurements(self, cfg)
 
         def compute() -> SuiteMeasurementSet:
             driver = self._make_driver(cfg)
@@ -441,7 +533,7 @@ class PipelineRunner:
             for suite in _selected_suites(cfg):
                 suite_measurements: list[KernelMeasurement] = []
                 for benchmark in suite.benchmarks:
-                    measurements = driver.measure_benchmark(benchmark)
+                    measurements = detached(driver.measure_benchmark(benchmark))
                     if measurements:
                         out.benchmark_measurements[benchmark.qualified_name] = measurements
                         suite_measurements.extend(measurements)
@@ -454,18 +546,23 @@ class PipelineRunner:
 
     def synthetic_measurements(self, cfg: PipelineConfig) -> list[KernelMeasurement]:
         """Stage ``execute`` (synthetic side): measurements of the kernel batch."""
+        if self.plan.sharded:
+            from repro.store import shards as shardlib
+
+            return shardlib.sharded_synthetic_measurements(self, cfg)
 
         def compute() -> list[KernelMeasurement]:
             synthesis = self.synthesis(cfg)
             driver = self._make_driver(cfg)
             scales = cfg.dataset_scales
-            return driver.measure_many(
+            measured = driver.measure_many(
                 [kernel.source for kernel in synthesis.kernels],
                 names=[f"clgen.{index}" for index in range(len(synthesis.kernels))],
                 dataset_scales=[
                     scales[index % len(scales)] for index in range(len(synthesis.kernels))
                 ],
             )
+            return [detached(measurement) for measurement in measured]
 
         return self._stage(
             "execute", "synthetic-measurements", synthetic_execution_fingerprint(cfg), compute
@@ -484,6 +581,11 @@ class PipelineRunner:
             )
         )
 
+    def _record_event(self, stage: str, key: str, hit: bool, seconds: float) -> None:
+        """Append one resolution event (used by the shard layer, which logs
+        probes and pool-worker results itself)."""
+        self.events.append(StageEvent(stage, key, hit, seconds))
+
     def _keep_live(self, token: tuple[str, str], value: object) -> None:
         self._live[token] = value
         while len(self._live) > self._LIVE_LIMIT:
@@ -501,10 +603,12 @@ class PipelineRunner:
         value = compute()
         self.store.put(kind, key, value)
         # Upstream stages resolved inside compute() logged their own events;
-        # subtract them so each event carries exclusive wall-clock.
+        # subtract them so each event carries exclusive wall-clock.  Clamped:
+        # pool-computed shards report aggregate worker seconds, which can
+        # exceed the enclosing merge's wall-clock.
         nested = sum(event.seconds for event in self.events[mark:])
         self.events.append(
-            StageEvent(stage, key, False, time.perf_counter() - started - nested)
+            StageEvent(stage, key, False, max(0.0, time.perf_counter() - started - nested))
         )
         return value
 
@@ -513,8 +617,18 @@ _DEFAULT_RUNNER: PipelineRunner | None = None
 
 
 def default_runner() -> PipelineRunner:
-    """The process-wide runner over the env-configured (or memory) store."""
+    """The process-wide runner over the env-configured (or memory) store.
+
+    The shard plan comes from ``REPRO_SHARDS`` / ``REPRO_WORKERS``, which is
+    how entry points that only take a runner implicitly — the experiment
+    harness, the bench session fixtures — opt into sharded resolution.
+    """
     global _DEFAULT_RUNNER
-    if _DEFAULT_RUNNER is None or _DEFAULT_RUNNER.store is not resolve_store(None):
-        _DEFAULT_RUNNER = PipelineRunner(store=resolve_store(None))
+    plan = plan_from_env()
+    if (
+        _DEFAULT_RUNNER is None
+        or _DEFAULT_RUNNER.store is not resolve_store(None)
+        or _DEFAULT_RUNNER.plan != plan
+    ):
+        _DEFAULT_RUNNER = PipelineRunner(store=resolve_store(None), plan=plan)
     return _DEFAULT_RUNNER

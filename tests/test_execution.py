@@ -297,3 +297,76 @@ class TestDeviceModels:
             times = platform.runtimes(profile)
             assert times["cpu"] > 0 and times["gpu"] > 0
             assert times["cpu"] < 1e6 and times["gpu"] < 1e6
+
+
+class TestRecursiveKernelGuard:
+    """A self-recursive kernel (invalid OpenCL C, but the lenient frontend
+    accepts it — full-scale synthesis produces them) must raise a catchable
+    ExecutionError at the same call depth on every engine, not blow the
+    Python stack mid-measurement (PR 4 regression)."""
+
+    # Shape synthesized at full scale (the condition is taken, so the
+    # self-call really recurses).
+    RECURSIVE = """
+    __kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+      int e = get_global_id(0);
+      if (d >= c) {
+        b[d] = 0.0f;
+        for (int f = 0; f < 16; f++) {
+          a = A(a);
+        }
+        b[d] = tanh(a[d]);
+      }
+    }
+    """
+
+    @pytest.mark.parametrize("engine", ["compiled", "interpreter", "auto"])
+    def test_every_engine_raises_execution_error(self, engine):
+        from repro.driver.payload import PayloadConfig, PayloadGenerator
+        from repro.execution.cache import cached_compile_source, run_kernel
+        from repro.preprocess.shim import shim_include_resolver, with_shim
+
+        compilation = cached_compile_source(
+            with_shim(self.RECURSIVE),
+            include_resolver=shim_include_resolver,
+            strict=False,
+        )
+        kernel = compilation.unit.kernels[0]
+        payload = PayloadGenerator(
+            PayloadConfig(global_size=32, local_size=16, seed=0)
+        ).generate(kernel, work_dim=1)
+        with pytest.raises(ExecutionError, match="call depth"):
+            run_kernel(
+                compilation.unit,
+                payload.pool,
+                payload.scalar_args,
+                payload.ndrange,
+                kernel_name=kernel.name,
+                engine=engine,
+            )
+
+    def test_driver_excludes_the_kernel(self):
+        from repro.driver.harness import DriverConfig, HostDriver
+
+        driver = HostDriver(
+            config=DriverConfig(executed_global_size=32, local_size=16)
+        )
+        assert driver.measure_source(self.RECURSIVE) is None
+
+    def test_bounded_helper_chains_still_run(self):
+        from repro.driver.harness import DriverConfig, HostDriver
+
+        source = """
+        float f(float x) { return x + 1.0f; }
+        float g(float x) { return f(x) * 2.0f; }
+        __kernel void A(__global float* a, const int d) {
+          int e = get_global_id(0);
+          if (e < d) {
+            a[e] = g(a[e]);
+          }
+        }
+        """
+        driver = HostDriver(
+            config=DriverConfig(executed_global_size=32, local_size=16)
+        )
+        assert driver.measure_source(source) is not None

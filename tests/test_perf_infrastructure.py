@@ -159,3 +159,45 @@ class TestPreprocessCacheAndParallelism:
         fresh = PreprocessCache(directory=str(directory))
         result = PreprocessingPipeline(cache=fresh).run([ACCEPTED_SOURCE])
         assert result.statistics.accepted_files == 1
+
+
+class TestBenchCompareScaleGuard:
+    """`scripts/bench_compare.py` must refuse to diff snapshots taken at
+    different REPRO_BENCH_SCALEs — a full-vs-quick comparison reads as a
+    huge fake regression (ISSUE 4 CI satellite)."""
+
+    @staticmethod
+    def _compare(tmp_path, old: dict, new: dict, *extra: str) -> int:
+        import json
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        return subprocess.run(
+            [sys.executable, str(script), str(old_path), str(new_path), *extra],
+            capture_output=True,
+        ).returncode
+
+    def test_scale_mismatch_is_refused(self, tmp_path):
+        quick = {"scale": "quick", "phases_seconds": {"execute": 0.4}, "total_seconds": 0.4}
+        full = {"scale": "full", "phases_seconds": {"execute": 9.0}, "total_seconds": 9.0}
+        assert self._compare(tmp_path, quick, full) == 2
+
+    def test_scale_mismatch_override(self, tmp_path):
+        quick = {"scale": "quick", "phases_seconds": {"execute": 0.4}, "total_seconds": 0.4}
+        full = {"scale": "full", "phases_seconds": {"execute": 0.4}, "total_seconds": 0.4}
+        assert self._compare(tmp_path, quick, full, "--allow-scale-mismatch") == 0
+
+    def test_matching_scales_compare(self, tmp_path):
+        old = {"scale": "quick", "phases_seconds": {"execute": 0.4}, "total_seconds": 0.4}
+        new = {"scale": "quick", "phases_seconds": {"execute": 0.41}, "total_seconds": 0.41}
+        assert self._compare(tmp_path, old, new) == 0
+
+    def test_regression_still_fails_at_matching_scale(self, tmp_path):
+        old = {"scale": "quick", "phases_seconds": {"execute": 0.4}, "total_seconds": 0.4}
+        new = {"scale": "quick", "phases_seconds": {"execute": 0.9}, "total_seconds": 0.9}
+        assert self._compare(tmp_path, old, new) == 1

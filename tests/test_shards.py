@@ -1,0 +1,516 @@
+"""Tests for the sharded stage graph (``repro.store.shards``) and the PR-4
+bugfixes (LSTM fingerprint collision, env-knob hardening, store gc).
+
+The headline invariant (ISSUE 4 acceptance): a sharded run produces
+artifacts and measurements bit-identical to the unsharded pipeline — for
+every stage kind, under any shard completion order, and with shards filled
+by separate processes sharing one store.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.model.lstm import LSTMConfig
+from repro.store.artifact_store import ArtifactStore
+from repro.store.shards import (
+    ShardPlan,
+    _CORPUS,
+    _MINE,
+    _SUITE_EXEC,
+    _SYNTH_EXEC,
+    _shard_worker,
+    plan_from_env,
+    shard_ranges,
+)
+from repro.store.stages import (
+    PipelineConfig,
+    PipelineRunner,
+    model_fingerprint,
+    synthesis_fingerprint,
+    warm_phases,
+)
+
+
+def canonical_bytes(value) -> bytes:
+    """Pickle fixpoint: byte equality ⇒ identical values *and* identical
+    internal object-sharing structure (see tests/test_stage_graph.py)."""
+    return pickle.dumps(pickle.loads(pickle.dumps(value)))
+
+
+def tiny_config() -> PipelineConfig:
+    return PipelineConfig(
+        repository_count=12,
+        seed=3,
+        synthetic_kernel_count=5,
+        executed_global_size=32,
+        local_size=16,
+        payload_seed=3,
+        suites=("NPB",),
+    )
+
+
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Unsharded artifacts for :func:`tiny_config`, computed once."""
+    runner = PipelineRunner(store=ArtifactStore(directory=None))
+    cfg = tiny_config()
+    return {
+        "mine": runner.content_files(cfg),
+        "corpus": runner.corpus(cfg),
+        "synthesis": runner.synthesis(cfg),
+        "suites": runner.suite_measurements(cfg),
+        "measurements": runner.synthetic_measurements(cfg),
+    }
+
+
+def assert_matches_reference(runner: PipelineRunner, reference) -> None:
+    cfg = tiny_config()
+    assert runner.content_files(cfg) == reference["mine"]
+    assert canonical_bytes(runner.corpus(cfg)) == canonical_bytes(reference["corpus"])
+    assert canonical_bytes(runner.synthesis(cfg)) == canonical_bytes(
+        reference["synthesis"]
+    )
+    assert canonical_bytes(runner.suite_measurements(cfg)) == canonical_bytes(
+        reference["suites"]
+    )
+    assert canonical_bytes(runner.synthetic_measurements(cfg)) == canonical_bytes(
+        reference["measurements"]
+    )
+
+
+class TestShardRanges:
+    def test_covers_disjoint_in_order(self):
+        for total in (1, 2, 5, 7, 100):
+            for shards in (1, 2, 3, 5, 8, 200):
+                ranges = shard_ranges(total, shards)
+                assert len(ranges) == min(shards, total)
+                flat = [i for lo, hi in ranges for i in range(lo, hi)]
+                assert flat == list(range(total))
+                assert all(hi > lo for lo, hi in ranges)
+
+    def test_deterministic_split(self):
+        assert shard_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert shard_ranges(0, 4) == []
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(shards=0)
+        with pytest.raises(ValueError):
+            ShardPlan(workers=-1)
+        assert not ShardPlan().sharded
+        assert ShardPlan(shards=2).sharded
+
+    def test_workers_without_shards_imply_shards(self, tmp_path, monkeypatch):
+        # `--workers 8` alone must not be a silent no-op: it implies one
+        # shard per worker.  (Disk-backed store: a memory-only runner
+        # degrades its pool at construction.)
+        assert PipelineRunner(
+            store=ArtifactStore(directory=tmp_path / "store"), workers=3
+        ).plan == ShardPlan(shards=3, workers=3)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert plan_from_env() == ShardPlan(shards=2, workers=2)
+
+    def test_explicit_shard_count_beats_worker_implication(self, monkeypatch):
+        # An explicit shard count (flag or env) is never expanded by
+        # REPRO_WORKERS — asking for 1 shard means 1 shard.
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        monkeypatch.setenv("REPRO_SHARDS", "1")
+        with pytest.warns(RuntimeWarning, match="no effect with a single shard"):
+            assert plan_from_env() == ShardPlan(shards=1, workers=8)
+
+        from repro.cli import _make_runner
+
+        class Args:
+            cache_dir = None
+            shards = 1
+            workers = None
+
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        with pytest.warns(RuntimeWarning, match="no effect with a single shard"):
+            plan = _make_runner(Args()).plan
+        assert plan == ShardPlan(shards=1, workers=8)
+        assert not plan.pooled  # one shard -> the pool can never engage
+        Args.shards, Args.workers = None, 0
+        assert _make_runner(Args()).plan == ShardPlan(shards=1, workers=0)
+
+    def test_malformed_env_shards_do_not_disable_worker_implication(self, monkeypatch):
+        # A typo'd REPRO_SHARDS must not silently sequentialize a run that
+        # asked for workers: the count falls back to "undecided" and the
+        # implication still fires.
+        monkeypatch.setenv("REPRO_SHARDS", "4x")
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        with pytest.warns(RuntimeWarning, match="REPRO_SHARDS"):
+            plan = plan_from_env()
+        assert plan == ShardPlan(shards=8, workers=8)
+        assert plan.pooled
+
+
+class TestShardedBitIdentity:
+    """Acceptance: every stage kind, sharded vs unsharded, bit-identical."""
+
+    def test_every_stage_kind_matches_unsharded(self, reference):
+        runner = PipelineRunner(store=ArtifactStore(directory=None), shards=SHARDS)
+        assert_matches_reference(runner, reference)
+
+    def test_more_shards_than_items_degrade_gracefully(self, reference):
+        # 64 shards over 12 repositories / 5 kernels: ranges clamp to the
+        # item counts and the merge still reproduces the whole artifacts.
+        runner = PipelineRunner(store=ArtifactStore(directory=None), shards=64)
+        assert_matches_reference(runner, reference)
+
+    def test_disk_entries_byte_identical_to_unsharded(self, tmp_path, reference):
+        cfg = tiny_config()
+        plain_dir, sharded_dir = tmp_path / "plain", tmp_path / "sharded"
+        for directory, shards in ((plain_dir, 1), (sharded_dir, SHARDS)):
+            runner = PipelineRunner(store=ArtifactStore(directory=directory), shards=shards)
+            runner.content_files(cfg)
+            runner.corpus(cfg)
+            runner.synthesis(cfg)
+            runner.suite_measurements(cfg)
+            runner.synthetic_measurements(cfg)
+        for kind in (
+            "mine", "corpus", "model", "synthesis",
+            "suite-measurements", "synthetic-measurements",
+        ):
+            entries = sorted((plain_dir / kind).glob("*/*.pkl"))
+            assert entries, kind
+            for entry in entries:
+                twin = sharded_dir / kind / entry.parent.name / entry.name
+                assert twin.exists(), f"{kind}: sharded run missed key {entry.name}"
+                assert entry.read_bytes() == twin.read_bytes(), kind
+
+    def test_non_default_min_static_instructions_matches_unsharded(self):
+        # Regression: the unsharded corpus compute used to drop
+        # cfg.min_static_instructions (always filtering at the pipeline
+        # default of 3) while the sharded path honored it — divergent
+        # corpora under one fingerprint.
+        cfg = PipelineConfig(
+            repository_count=12, seed=3, min_static_instructions=20, suites=("NPB",)
+        )
+        plain = PipelineRunner(store=ArtifactStore(directory=None)).corpus(cfg)
+        sharded = PipelineRunner(store=ArtifactStore(directory=None), shards=3).corpus(cfg)
+        assert canonical_bytes(plain) == canonical_bytes(sharded)
+        default = PipelineRunner(store=ArtifactStore(directory=None)).corpus(
+            PipelineConfig(repository_count=12, seed=3, suites=("NPB",))
+        )
+        # The knob actually filters: a stricter floor keeps fewer kernels.
+        assert plain.size < default.size
+
+    def test_nonpositive_kernel_count_raises_like_unsharded(self):
+        from repro.errors import SynthesisError
+
+        cfg = PipelineConfig(repository_count=12, seed=3, synthetic_kernel_count=0)
+        runner = PipelineRunner(store=ArtifactStore(directory=None), shards=3)
+        with pytest.raises(SynthesisError, match="positive"):
+            runner.synthesis(cfg)
+        # The execute side must surface the same config error, not cache an
+        # empty measurement artifact.
+        with pytest.raises(SynthesisError, match="positive"):
+            runner.synthetic_measurements(cfg)
+
+    def test_corpus_shard_bytes_independent_of_file_cache_state(self, tmp_path):
+        # The first compute runs the per-file preprocess cache cold (duplicate
+        # fork files share one outcome object); the second is served from the
+        # warm cache (fresh copies).  The stored shard entry must be
+        # byte-identical either way.
+        cfg = tiny_config()
+        store = ArtifactStore(directory=tmp_path / "store")
+        runner = PipelineRunner(store=store, shards=SHARDS)
+        key = _CORPUS.key(cfg, 0, SHARDS)
+        _CORPUS.resolve(runner, cfg, 0, SHARDS)
+        path = store.entry_path("corpus-shard", key)
+        first = path.read_bytes()
+        path.unlink()
+        store.clear_memory()
+        _CORPUS.resolve(runner, cfg, 0, SHARDS)
+        assert path.read_bytes() == first
+
+    def test_sample_chain_early_stop_matches_unsharded(self):
+        # An attempt budget of 1 at this scale exhausts the sampler before
+        # the requested count; the chain must stop (and record statistics)
+        # exactly like the unsharded single-RNG loop.
+        cfg = PipelineConfig(
+            repository_count=12,
+            seed=3,
+            synthetic_kernel_count=8,
+            max_attempts_per_kernel=1,
+            sampler_temperature=1.5,
+            suites=("NPB",),
+        )
+        plain = PipelineRunner(store=ArtifactStore(directory=None)).synthesis(cfg)
+        sharded = PipelineRunner(store=ArtifactStore(directory=None), shards=4).synthesis(cfg)
+        assert canonical_bytes(sharded) == canonical_bytes(plain)
+        assert sharded.statistics.generated == plain.statistics.generated
+
+
+class TestMergeDeterminism:
+    """The merge consumes shard artifacts from the store; it cannot depend
+    on the order the shards were produced in."""
+
+    @pytest.mark.parametrize("completion_seed", [0, 1, 2])
+    def test_shuffled_shard_completion_order(self, tmp_path, reference, completion_seed):
+        cfg = tiny_config()
+        directory = tmp_path / f"store{completion_seed}"
+        filler = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
+
+        tasks = []
+        for spec in (_MINE, _CORPUS, _SUITE_EXEC, _SYNTH_EXEC):
+            count = len(shard_ranges(spec.total(cfg), SHARDS))
+            tasks.extend((spec, index, count) for index in range(count))
+        random.Random(completion_seed).shuffle(tasks)
+        for spec, index, count in tasks:
+            spec.resolve(filler, cfg, index, count)
+
+        # Drop every whole-pipeline artifact the filler produced as a side
+        # effect (the synth-exec shards resolve their upstream chain), so
+        # the merges below can only be built from the stored shards.
+        from repro.store.stages import (
+            corpus_fingerprint,
+            mine_fingerprint,
+            suite_execution_fingerprint,
+            synthetic_execution_fingerprint,
+        )
+
+        for kind, fingerprint in (
+            ("mine", mine_fingerprint(cfg)),
+            ("corpus", corpus_fingerprint(cfg)),
+            ("synthesis", synthesis_fingerprint(cfg)),
+            ("suite-measurements", suite_execution_fingerprint(cfg)),
+            ("synthetic-measurements", synthetic_execution_fingerprint(cfg)),
+        ):
+            path = filler.store.entry_path(kind, fingerprint)
+            if path.exists():
+                path.unlink()
+
+        merger = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
+        assert_matches_reference(merger, reference)
+        # Every fan-out shard (and sample-chain link) was served warm; only
+        # the five merges recomputed.
+        counts = merger.stage_counts()
+        assert counts["mine"] == {"hit": SHARDS, "miss": 1}
+        assert counts["preprocess"]["hit"] >= SHARDS
+        assert counts["preprocess"]["miss"] == 1
+        # SHARDS chain-link hits plus the structural whole-batch hit the
+        # synthetic-execute merge records when it pre-resolves the chain.
+        assert counts["sample"] == {"hit": SHARDS + 1, "miss": 1}
+        assert counts["execute"] == {"hit": 2 * SHARDS, "miss": 2}
+
+    def test_synthesis_chain_links_resolve_from_store(self, tmp_path, reference):
+        cfg = tiny_config()
+        directory = tmp_path / "store"
+        first = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
+        first.synthesis(cfg)
+
+        # Drop the merged artifact but keep the chain links: the merge must
+        # rebuild bit-identically from warm links alone.
+        first.store.entry_path("synthesis", synthesis_fingerprint(cfg)).unlink()
+        second = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
+        result = second.synthesis(cfg)
+        assert canonical_bytes(result) == canonical_bytes(reference["synthesis"])
+        counts = second.stage_counts()
+        assert counts["sample"]["hit"] == SHARDS
+        assert counts["sample"]["miss"] == 1  # the merge itself
+
+
+class TestConcurrentShardFill:
+    def test_two_processes_fill_disjoint_shards_of_one_store(self, tmp_path, reference):
+        """Two worker processes, each resolving a disjoint half of the
+        corpus shards against the same directory, then a parent merge."""
+        cfg = tiny_config()
+        directory = tmp_path / "store"
+        directory.mkdir()
+        tasks = [
+            (str(directory), cfg, "corpus", index, SHARDS) for index in range(SHARDS)
+        ]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = list(pool.map(_shard_worker, tasks))
+        assert sorted(index for index, _, _ in results) == list(range(SHARDS))
+        # Every shard landed in the shared store (mine + corpus per range).
+        assert len(list((directory / "corpus-shard").glob("*/*.pkl"))) == SHARDS
+        assert len(list((directory / "mine-shard").glob("*/*.pkl"))) == SHARDS
+
+        merger = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
+        merged = merger.corpus(cfg)
+        assert canonical_bytes(merged) == canonical_bytes(reference["corpus"])
+        counts = merger.stage_counts()
+        assert counts["preprocess"]["hit"] == SHARDS
+
+    def test_pool_dispatch_matches_unsharded(self, tmp_path, reference):
+        runner = PipelineRunner(
+            store=ArtifactStore(directory=tmp_path / "store"), shards=SHARDS, workers=2
+        )
+        assert_matches_reference(runner, reference)
+
+    def test_pool_over_memory_store_warns_and_resolves_in_process(self, reference):
+        # Workers cannot see a memory-only store; each would privately
+        # recompute the whole upstream chain, so the pool is refused once,
+        # at construction, and the plan degrades to in-process shards.
+        with pytest.warns(RuntimeWarning, match="on-disk store"):
+            runner = PipelineRunner(
+                store=ArtifactStore(directory=None), shards=SHARDS, workers=2
+            )
+        assert runner.plan == ShardPlan(shards=SHARDS, workers=0)
+        suites = runner.suite_measurements(tiny_config())
+        assert canonical_bytes(suites) == canonical_bytes(reference["suites"])
+
+
+class TestWarmAwareness:
+    def test_merge_fed_by_warm_shards_is_warm(self, tmp_path):
+        """A merge whose shards all came from a previous session replaced
+        real work with lookups: its phase must be refused as a cold timing
+        source, exactly like a direct warm hit."""
+        cfg = tiny_config()
+        directory = tmp_path / "store"
+        cold = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
+        cold.suite_measurements(cfg)
+        assert warm_phases(cold.events) == []
+
+        # New session, whole artifact gone, shards still present.
+        from repro.store.stages import suite_execution_fingerprint
+
+        cold.store.entry_path(
+            "suite-measurements", suite_execution_fingerprint(cfg)
+        ).unlink()
+        warm = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
+        warm.suite_measurements(cfg)
+        assert warm_phases(warm.events) == ["execute"]
+
+    def test_fully_cold_sharded_run_is_not_warm(self):
+        cfg = tiny_config()
+        runner = PipelineRunner(store=ArtifactStore(directory=None), shards=SHARDS)
+        runner.suite_measurements(cfg)
+        runner.synthetic_measurements(cfg)
+        assert warm_phases(runner.events) == []
+
+
+class TestLSTMFingerprintRegression:
+    """ISSUE 4 bugfix: ``backend="lstm"`` used to fingerprint identically
+    regardless of ``LSTMConfig``, so differently-configured trainings
+    collided on one store key and served each other's checkpoints."""
+
+    def test_different_lstm_configs_do_not_collide(self):
+        small = PipelineConfig(backend="lstm", lstm=LSTMConfig(hidden_size=24))
+        large = PipelineConfig(backend="lstm", lstm=LSTMConfig(hidden_size=512))
+        assert model_fingerprint(small) != model_fingerprint(large)
+
+    @pytest.mark.parametrize(
+        "knob, value",
+        [
+            ("num_layers", 3),
+            ("sequence_length", 48),
+            ("batch_size", 32),
+            ("epochs", 4),
+            ("optimizer", "sgd"),
+            ("learning_rate", 0.01),
+            ("gradient_clip", 1.0),
+            ("seed", 7),
+        ],
+    )
+    def test_every_knob_readdresses_the_checkpoint(self, knob, value):
+        base = PipelineConfig(backend="lstm")
+        tweaked = PipelineConfig(backend="lstm", lstm=LSTMConfig(**{knob: value}))
+        assert model_fingerprint(base) != model_fingerprint(tweaked)
+
+    def test_default_none_equals_explicit_defaults(self):
+        assert model_fingerprint(
+            PipelineConfig(backend="lstm")
+        ) == model_fingerprint(PipelineConfig(backend="lstm", lstm=LSTMConfig()))
+
+    def test_ngram_fingerprints_ignore_lstm_knobs(self):
+        # The n-gram payload is unchanged, so stored n-gram models stay valid.
+        assert model_fingerprint(PipelineConfig()) == model_fingerprint(
+            PipelineConfig(lstm=LSTMConfig(hidden_size=999))
+        )
+
+    def test_lstm_knobs_reach_the_trainer(self):
+        from repro.model.trainer import ModelTrainer, TrainerConfig
+
+        lstm = LSTMConfig(hidden_size=24, num_layers=1, epochs=1)
+        trainer = ModelTrainer(
+            TrainerConfig(backend="lstm", lstm=lstm)
+        )
+        model = trainer.build_model()
+        assert model.config.hidden_size == 24
+
+        # And through the stage graph: the runner's TrainerConfig carries
+        # cfg.lstm (this is the second half of the bugfix — the knobs used
+        # to be dropped on the floor, not just un-fingerprinted).
+        cfg = PipelineConfig(
+            repository_count=6, seed=3, backend="lstm", lstm=lstm, suites=("NPB",)
+        )
+        runner = PipelineRunner(store=ArtifactStore(directory=None))
+        trained = runner.trained_model(cfg)
+        assert trained.model.config.hidden_size == 24
+        assert trained.model.config.epochs == 1
+
+
+class TestEnvHardeningRegression:
+    """ISSUE 4 bugfix: malformed ``REPRO_*`` env knobs must degrade with a
+    warning, never crash or be silently misread."""
+
+    def test_malformed_measure_workers_falls_back_to_sequential(self, monkeypatch):
+        from repro.driver.harness import HostDriver
+
+        monkeypatch.setenv("REPRO_MEASURE_WORKERS", "banana")
+        driver = HostDriver()
+        with pytest.warns(RuntimeWarning, match="REPRO_MEASURE_WORKERS"):
+            assert driver._resolve_workers(None) == 0
+
+    def test_negative_measure_workers_clamp_to_zero(self, monkeypatch):
+        from repro.driver.harness import HostDriver
+
+        monkeypatch.setenv("REPRO_MEASURE_WORKERS", "-3")
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            assert HostDriver()._resolve_workers(None) == 0
+
+    def test_malformed_bench_scale_falls_back_to_quick(self, monkeypatch):
+        from repro.envutil import env_choice
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "fulll")
+        with pytest.warns(RuntimeWarning, match="REPRO_BENCH_SCALE"):
+            assert env_choice("REPRO_BENCH_SCALE", ("quick", "full"), "quick") == "quick"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert env_choice("REPRO_BENCH_SCALE", ("quick", "full"), "quick") == "full"
+
+    def test_store_dir_pointing_at_a_file_is_ignored(self, tmp_path, monkeypatch):
+        from repro.store.artifact_store import default_store_directory
+
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        monkeypatch.setenv("REPRO_STORE_DIR", str(not_a_dir))
+        with pytest.warns(RuntimeWarning, match="REPRO_STORE_DIR"):
+            assert default_store_directory() is None
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "fresh"))
+        assert default_store_directory() == str(tmp_path / "fresh")
+
+    def test_preprocess_cache_dir_pointing_at_a_file_is_ignored(self, tmp_path, monkeypatch):
+        from repro.preprocess.cache import default_cache_directory
+
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        monkeypatch.delenv("REPRO_PREPROCESS_CACHE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_STORE_DIR", str(not_a_dir))
+        with pytest.warns(RuntimeWarning, match="REPRO_STORE_DIR"):
+            assert default_cache_directory() is None
+
+    def test_malformed_shard_plan_env_is_unsharded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "many")
+        monkeypatch.setenv("REPRO_WORKERS", "0x4")
+        with pytest.warns(RuntimeWarning):
+            assert plan_from_env() == ShardPlan(shards=1, workers=0)
+
+    def test_malformed_preprocess_jobs_fall_back_to_one(self, monkeypatch):
+        from repro.preprocess.pipeline import _default_jobs
+
+        monkeypatch.setenv("REPRO_PREPROCESS_JOBS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_PREPROCESS_JOBS"):
+            assert _default_jobs() == 1

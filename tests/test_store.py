@@ -244,3 +244,133 @@ class TestConcurrentWriters:
         # The contended key holds one complete value from some writer.
         contended = reader.get("corpus", "ff" * 32)
         assert contended in [{"winner": n} for n in range(3)]
+
+
+class TestStatsAndGC:
+    """Store hygiene (ISSUE 4): size accounting and the age/LRU gc that
+    keeps shared sharded stores from growing without bound."""
+
+    @staticmethod
+    def _fill(store: ArtifactStore, kind: str, count: int, payload_bytes: int = 256):
+        for index in range(count):
+            key = f"{index:02d}" + "a" * 62
+            store.put(kind, key, "x" * payload_bytes)
+
+    def test_stats_counts_entries_and_bytes_per_kind(self, tmp_path):
+        store = ArtifactStore(directory=tmp_path / "store")
+        self._fill(store, "mine", 3)
+        self._fill(store, "corpus", 2)
+        stats = store.stats()
+        assert stats.entries == 5
+        assert stats.kinds["mine"]["entries"] == 3
+        assert stats.kinds["corpus"]["entries"] == 2
+        assert stats.bytes == sum(b["bytes"] for b in stats.kinds.values())
+        assert stats.bytes > 5 * 256  # pickle overhead on top of payloads
+
+    def test_stats_memory_only_store(self):
+        store = ArtifactStore(directory=None)
+        store.put("mine", "ab" * 32, [1, 2, 3])
+        stats = store.stats()
+        assert stats.entries == 0 and stats.bytes == 0
+        assert stats.memory_entries == 1
+
+    def test_gc_by_age_drops_only_old_entries(self, tmp_path):
+        import os as _os
+
+        store = ArtifactStore(directory=tmp_path / "store")
+        self._fill(store, "mine", 4)
+        old = store.entry_path("mine", "00" + "a" * 62)
+        aged = old.stat().st_mtime - 1000
+        _os.utime(old, (aged, aged))
+        result = store.gc(max_age_seconds=500)
+        assert result.removed_entries == 1
+        assert result.remaining_entries == 3
+        assert not old.exists()
+        # The dropped entry reads as a miss and heals by recomputation.
+        fresh = ArtifactStore(directory=tmp_path / "store")
+        assert fresh.get("mine", "00" + "a" * 62) is None
+
+    def test_gc_by_max_bytes_evicts_least_recently_written(self, tmp_path):
+        import os as _os
+
+        store = ArtifactStore(directory=tmp_path / "store")
+        self._fill(store, "mine", 5)
+        # Spread mtimes so eviction order is deterministic: entry 0 oldest.
+        for index in range(5):
+            path = store.entry_path("mine", f"{index:02d}" + "a" * 62)
+            stamp = path.stat().st_mtime - (100 - index)
+            _os.utime(path, (stamp, stamp))
+        total = store.stats().bytes
+        entry_size = total // 5
+        result = store.gc(max_bytes=total - 2 * entry_size)
+        assert result.removed_entries == 2
+        assert result.remaining_bytes <= total - 2 * entry_size
+        # Oldest two gone, newest three kept.
+        assert not store.entry_path("mine", "00" + "a" * 62).exists()
+        assert not store.entry_path("mine", "01" + "a" * 62).exists()
+        assert store.entry_path("mine", "04" + "a" * 62).exists()
+
+    def test_gc_sweeps_stale_temp_files(self, tmp_path):
+        import os as _os
+
+        store = ArtifactStore(directory=tmp_path / "store")
+        self._fill(store, "mine", 1)
+        stale = store.entry_path("mine", "00" + "a" * 62).with_suffix(".tmp.999.1")
+        stale.write_bytes(b"half-written")
+        aged = stale.stat().st_mtime - 7200
+        _os.utime(stale, (aged, aged))
+        fresh_tmp = store.entry_path("mine", "00" + "a" * 62).with_suffix(".tmp.999.2")
+        fresh_tmp.write_bytes(b"in flight")
+        store.gc(max_age_seconds=1e9)
+        assert not stale.exists()
+        assert fresh_tmp.exists()  # a write in flight is never swept
+        assert store.stats().entries == 1
+
+    def test_gc_noop_without_bounds_is_safe(self, tmp_path):
+        store = ArtifactStore(directory=tmp_path / "store")
+        self._fill(store, "mine", 2)
+        result = store.gc()
+        assert result.removed_entries == 0
+        assert result.remaining_entries == 2
+
+    def test_cli_store_stats_and_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ArtifactStore(directory=tmp_path / "store")
+        self._fill(store, "mine", 3)
+        assert main(["store", "stats", "--cache-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "mine" in out and "total" in out
+
+        assert main(["store", "gc", "--max-bytes", "0", "--cache-dir",
+                     str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3 entries" in out
+        assert store.stats().entries == 0
+
+    def test_cli_store_gc_requires_a_bound(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["store", "gc", "--cache-dir", str(tmp_path / "store")]) == 2
+
+    def test_cli_size_and_age_suffixes(self):
+        from repro.cli import _parse_age, _parse_size
+
+        assert _parse_size("500M") == 500 * (1 << 20)
+        assert _parse_size("2G") == 2 * (1 << 30)
+        assert _parse_size("1024") == 1024
+        assert _parse_age("7d") == 7 * 86400.0
+        assert _parse_age("30m") == 1800.0
+        assert _parse_age("45") == 45.0
+
+    def test_cli_rejects_negative_gc_bounds(self, tmp_path, capsys):
+        import pytest as _pytest
+
+        from repro.cli import main
+
+        with _pytest.raises(SystemExit):
+            main(["store", "gc", "--max-bytes", "-500M",
+                  "--cache-dir", str(tmp_path / "store")])
+        with _pytest.raises(SystemExit):
+            main(["store", "gc", "--max-age", "-1d",
+                  "--cache-dir", str(tmp_path / "store")])
