@@ -8,21 +8,26 @@ kernel counts).  They resolve through the pipeline stage graph
 (:mod:`repro.store`), so pointing ``REPRO_STORE_DIR`` at a directory makes
 repeat sessions reuse every unchanged stage artifact.
 
-The session also emits a perf snapshot at the repo root — ``BENCH_PR4.json``
+The session also emits a perf snapshot at the repo root — ``BENCH_PR5.json``
 by default, overridable with the ``REPRO_BENCH_OUT`` environment variable so
 each PR's bench run stops clobbering the previous PR's artifact — recording
-wall-clock seconds per pipeline phase (preprocess, train, sample, execute).
-See the "Performance" section of ROADMAP.md for how to read it and for the
-benchmark protocol; ``scripts/bench_compare.py`` diffs two snapshots (and
-refuses to compare snapshots taken at different scales).
+wall-clock seconds per pipeline phase (preprocess, train, sample, execute)
+plus the ``synthesis`` schema version the sample phase was measured under
+(``sample_schema``), so ``scripts/bench_compare.py`` can flag — rather than
+fail — sample comparisons spanning a sampling-semantics bump.  See the
+"Performance" section of ROADMAP.md for how to read it and for the
+benchmark protocol; ``bench_compare`` also refuses to compare snapshots
+taken at different scales.
 
 Sharding rides along through the default runner: ``REPRO_SHARDS`` /
 ``REPRO_WORKERS`` split the data-parallel stages and dispatch them to a
-process pool.  The guards below cover sharded runs too — a merge fed
+process pool, and ``REPRO_STEAL`` resolves them through the work-stealing
+claim queue.  The guards below cover those runs too — a merge fed
 entirely by store-warm shards taints its phase exactly like a direct warm
-hit, and any sharded session (whose phases carry shard overhead, or
-aggregate worker seconds under a pool) is refused as a snapshot source:
-committed snapshots are always cold, shard-free wall-clock.
+hit, and any sharded or stealing session (whose phases carry shard/claim
+overhead, aggregate worker seconds under a pool, or queue wait time) is
+refused as a snapshot source: committed snapshots are always cold,
+shard-free, steal-free wall-clock.
 
 The ``perfgate`` marker (``-m perfgate``, see ``test_perf_gate.py``) turns
 the comparison against the previous PR's committed snapshot into a CI gate.
@@ -54,7 +59,7 @@ _PHASE_TIMINGS: dict[str, float] = {}
 _RUNNER_MARK = 0
 
 _SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / os.environ.get(
-    "REPRO_BENCH_OUT", "BENCH_PR4.json"
+    "REPRO_BENCH_OUT", "BENCH_PR5.json"
 )
 
 #: Pre-PR-1 reference numbers for the quick-scale synthesize-and-measure
@@ -68,17 +73,20 @@ _PR0_BASELINE_SECONDS = {
     "execute": 4.313,
 }
 
-#: PR-3 reference numbers re-measured at commit b94c8b3 with *this same
+#: PR-4 reference numbers re-measured at commit 90c7d28 with *this same
 #: pytest bench harness* on the same day/machine state as this PR's
-#: snapshot (mean of two runs spanning e.g. execute 0.43–0.59 s).  The
-#: committed ``BENCH_PR3.json`` was recorded under a different machine
-#: state — compare against these for a like-for-like phase speedup
-#: (ROADMAP "Performance" has the drift caveat).
-_PR3_REMEASURED_SECONDS = {
-    "preprocess": 0.263,
-    "train": 0.177,
-    "sample": 0.490,
-    "execute": 0.510,
+#: snapshot (mean of two runs).  The committed ``BENCH_PR4.json`` was
+#: recorded under a different machine state — compare against these for a
+#: like-for-like phase speedup (ROADMAP "Performance" has the drift
+#: caveat).  Caveat for ``sample``: PR 4 measured the sequential-chain
+#: sampler (synthesis schema v1); this tree's independently-seeded streams
+#: (v2) synthesize different kernels, so the sample comparison is a
+#: re-baseline, not a like-for-like speedup (``bench_compare`` flags it).
+_PR4_REMEASURED_SECONDS = {
+    "preprocess": 0.232,
+    "train": 0.153,
+    "sample": 0.397,
+    "execute": 0.495,
 }
 
 
@@ -117,16 +125,19 @@ def _warm_phases() -> list[str]:
 
 
 def _sharded() -> bool:
-    """True when this session's runner resolves stages through shards.
+    """True when this session's runner resolves stages through shards or
+    the work-stealing queue.
 
-    Sharded sessions must never become a snapshot or feed the perf gate:
+    Such sessions must never become a snapshot or feed the perf gate:
     pool-computed shards report aggregate worker seconds (up to ~Nx the
-    wall-clock on an N-wide pool), and even in-process sharding adds its
-    own measurable overhead (~6% at quick scale, ROADMAP PR 4) that would
-    silently eat the gate's 10% headroom.  Workers without shards never
-    create a pool, so those timings stay genuine wall-clock.
+    wall-clock on an N-wide pool), in-process sharding adds its own
+    measurable overhead (~6% at quick scale, ROADMAP PR 4) that would
+    silently eat the gate's 10% headroom, and steal-mode hits time queue
+    *waits* rather than work.  Workers without shards never create a pool,
+    so those timings stay genuine wall-clock.
     """
-    return default_runner().plan.sharded
+    runner = default_runner()
+    return runner.plan.sharded or runner.plan.steal
 
 
 @pytest.fixture(scope="session")
@@ -185,13 +196,15 @@ def _build_snapshot() -> dict | None:
         return None
     if _sharded():
         print(
-            "bench snapshot skipped: sharded resolution active "
-            "(REPRO_SHARDS/REPRO_WORKERS); sharded phases carry shard "
-            "overhead (and pooled ones aggregate worker seconds) — "
-            "measure shard-free",
+            "bench snapshot skipped: sharded or work-stealing resolution "
+            "active (REPRO_SHARDS/REPRO_WORKERS/REPRO_STEAL); those phases "
+            "carry shard/claim overhead (pooled ones aggregate worker "
+            "seconds, stealing ones time queue waits) — measure shard-free",
             file=sys.stderr,
         )
         return None
+    from repro.store import SCHEMA_VERSIONS
+
     total = sum(_PHASE_TIMINGS.values())
     snapshot = {
         "scale": _bench_scale(),
@@ -199,6 +212,9 @@ def _build_snapshot() -> dict | None:
             phase: round(_PHASE_TIMINGS[phase], 3) for phase in sorted(_PHASE_TIMINGS)
         },
         "total_seconds": round(total, 3),
+        # The synthesis schema the sample phase measured: bench_compare
+        # flags (instead of failing) sample diffs across a schema bump.
+        "sample_schema": SCHEMA_VERSIONS.get("synthesis", 1),
         "unix_time": int(time.time()),
     }
     if _bench_scale() == "quick":
@@ -206,9 +222,9 @@ def _build_snapshot() -> dict | None:
         snapshot["pr0_baseline_seconds"] = dict(_PR0_BASELINE_SECONDS)
         snapshot["pr0_baseline_total_seconds"] = round(baseline_total, 3)
         snapshot["speedup_vs_pr0"] = round(baseline_total / max(total, 1e-9), 2)
-        snapshot["pr3_remeasured_seconds"] = dict(_PR3_REMEASURED_SECONDS)
-        snapshot["total_speedup_vs_pr3_remeasured"] = round(
-            sum(_PR3_REMEASURED_SECONDS.values()) / max(total, 1e-9), 2
+        snapshot["pr4_remeasured_seconds"] = dict(_PR4_REMEASURED_SECONDS)
+        snapshot["total_speedup_vs_pr4_remeasured"] = round(
+            sum(_PR4_REMEASURED_SECONDS.values()) / max(total, 1e-9), 2
         )
     return snapshot
 

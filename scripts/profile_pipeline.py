@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import json
+import os
 import pstats
 import sys
 import time
@@ -108,6 +109,7 @@ def run_pipeline_staged(
     stage_report: list[dict] | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    steal: bool = False,
 ):
     """Run through the stage graph; returns None when unavailable (old tree)."""
     try:
@@ -123,19 +125,40 @@ def run_pipeline_staged(
 
     try:
         # Same precedence semantics as the repro CLI: explicit flags beat
-        # the REPRO_SHARDS/REPRO_WORKERS environment, and workers imply
-        # shards only when no shard count was given anywhere.
+        # the REPRO_SHARDS/REPRO_WORKERS/REPRO_STEAL environment, and
+        # workers imply shards only when no shard count was given anywhere.
         from repro.store.shards import resolve_plan
 
-        runner = PipelineRunner(cache_dir=cache_dir, plan=resolve_plan(shards, workers))
+        runner = PipelineRunner(
+            cache_dir=cache_dir,
+            plan=resolve_plan(shards, workers, steal=(True if steal else None)),
+        )
     except (ImportError, TypeError):  # older stage graph without a shard plan
-        if shards is not None or workers is not None:
+        if shards is not None or workers is not None or steal:
             print(
                 "warning: this checkout's stage graph has no shard plan; "
-                "--shards/--workers ignored, timings are unsharded",
+                "--shards/--workers/--steal ignored, timings are unsharded",
                 file=sys.stderr,
             )
         runner = PipelineRunner(cache_dir=cache_dir)
+    if getattr(runner, "stealing", False):
+        # Publish the plan so concurrently launched `repro worker --store
+        # DIR` processes can join this very run and drain its queue.
+        from repro.store.queue import publish_plan
+
+        if not runner.plan.sharded:
+            print(
+                "warning: --steal without --shards publishes a single-shard "
+                "plan — joining workers can only claim whole stages; pass "
+                "--shards N for shard-level work sharing",
+                file=sys.stderr,
+            )
+        key = publish_plan(runner.store, stage_config, runner.plan.shards)
+        print(
+            f"plan {key[:12]} published; join with: repro worker --store "
+            f"{runner.store.directory}",
+            file=sys.stderr,
+        )
     corpus = runner.corpus(stage_config)
     runner.trained_model(stage_config)
     synthesis = runner.synthesis(stage_config)
@@ -172,11 +195,12 @@ def run_pipeline(
     stage_report: list[dict] | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    steal: bool = False,
 ) -> dict:
     if not legacy:
         counts = run_pipeline_staged(
             kernel_count, repository_count, timings, cache_dir, stage_report,
-            shards=shards, workers=workers,
+            shards=shards, workers=workers, steal=steal,
         )
         if counts is not None:
             return counts
@@ -225,13 +249,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="process-pool width for ready shards; implies --shards M "
                              "when --shards is not given (default: $REPRO_WORKERS, "
                              "else in-process)")
+    parser.add_argument("--steal", action="store_true",
+                        help="resolve through the work-stealing claim queue (needs "
+                             "--cache-dir) and publish the plan so concurrent "
+                             "`repro worker --store DIR` processes can join this run")
     parser.add_argument("--legacy", action="store_true",
                         help="force the pre-stage-graph direct pipeline API")
     args = parser.parse_args(argv)
     if args.warm and args.legacy:
         parser.error("--warm needs the stage graph; it cannot combine with --legacy")
-    if args.legacy and (args.shards is not None or args.workers is not None):
-        parser.error("--shards/--workers need the stage graph; they cannot combine with --legacy")
+    if args.legacy and (args.shards is not None or args.workers is not None or args.steal):
+        parser.error("--shards/--workers/--steal need the stage graph; "
+                     "they cannot combine with --legacy")
+    if args.steal and not args.cache_dir and not os.environ.get("REPRO_STORE_DIR"):
+        parser.error("--steal needs an on-disk store; pass --cache-dir "
+                     "(or set REPRO_STORE_DIR)")
 
     timings: dict[str, float] = {}
     cold_stages: list[dict] = []
@@ -241,7 +273,8 @@ def main(argv: list[str] | None = None) -> int:
         counts = run_pipeline(args.kernels, args.repositories, timings,
                               cache_dir=args.cache_dir, legacy=args.legacy,
                               stage_report=cold_stages,
-                              shards=args.shards, workers=args.workers)
+                              shards=args.shards, workers=args.workers,
+                              steal=args.steal)
         profiler.disable()
         profiler.dump_stats(args.profile)
         stats = pstats.Stats(profiler)
@@ -251,7 +284,8 @@ def main(argv: list[str] | None = None) -> int:
         counts = run_pipeline(args.kernels, args.repositories, timings,
                               cache_dir=args.cache_dir, legacy=args.legacy,
                               stage_report=cold_stages,
-                              shards=args.shards, workers=args.workers)
+                              shards=args.shards, workers=args.workers,
+                              steal=args.steal)
 
     warm_timings: dict[str, float] = {}
     warm_stages: list[dict] = []
@@ -263,7 +297,8 @@ def main(argv: list[str] | None = None) -> int:
         run_pipeline(args.kernels, args.repositories, warm_timings,
                      cache_dir=args.cache_dir, legacy=args.legacy,
                      stage_report=warm_stages,
-                     shards=args.shards, workers=args.workers)
+                     shards=args.shards, workers=args.workers,
+                     steal=args.steal)
 
     total = sum(timings.values())
     if warm_timings:
@@ -300,6 +335,15 @@ def main(argv: list[str] | None = None) -> int:
             "counts": counts,
             "unix_time": int(time.time()),
         }
+        try:
+            from repro.store.fingerprint import SCHEMA_VERSIONS
+
+            # The synthesis schema version rides along so bench_compare can
+            # flag (rather than fail) sample comparisons across a sampling
+            # semantics bump, where every kernel legitimately changed.
+            snapshot["sample_schema"] = SCHEMA_VERSIONS.get("synthesis", 1)
+        except ImportError:  # pre-stage-graph checkout
+            pass
         if cold_stages:
             snapshot["stages"] = cold_stages
         if warm_timings:

@@ -7,14 +7,19 @@ Sub-commands mirror the original tool's workflow:
 * ``sample``      — synthesize kernels from a trained (or freshly trained) model
 * ``experiments`` — regenerate every table/figure and print the report
 * ``pipeline``    — run every stage once and report per-stage cache hits/timings
+* ``worker``      — join published pipeline plans and drain their queues
 * ``store``       — ``stats`` / ``gc`` for the on-disk artifact store
 
 ``--shards N`` splits the data-parallel stages (mine/preprocess by
-repository range, execute by benchmark/kernel range, sample as a chain)
-into per-range store artifacts, and ``--workers M`` dispatches ready
-shards to a process pool — multiple workers or machines pointing at one
-``--cache-dir`` fill it concurrently, with results bit-identical to an
-unsharded run.
+repository range, sample by kernel-stream range, execute by
+benchmark/kernel range) into per-range store artifacts, and ``--workers
+M`` dispatches ready shards to a process pool — multiple workers or
+machines pointing at one ``--cache-dir`` fill it concurrently, with
+results bit-identical to an unsharded run.  ``--steal`` goes further:
+instead of static ranges, pending work is claimed from a lease-based
+queue in the store, ``repro pipeline --steal`` publishes its plan, and
+any number of ``repro worker --store DIR`` processes join in and drain
+it until the merge fires.
 
 Every sub-command resolves its heavy inputs through the pipeline stage
 graph (:mod:`repro.store`): with ``--cache-dir`` (or ``REPRO_STORE_DIR``)
@@ -40,26 +45,28 @@ def _make_runner(args: argparse.Namespace) -> PipelineRunner:
 
     return PipelineRunner(
         cache_dir=getattr(args, "cache_dir", None),
-        plan=resolve_plan(getattr(args, "shards", None), getattr(args, "workers", None)),
+        plan=resolve_plan(
+            getattr(args, "shards", None),
+            getattr(args, "workers", None),
+            steal=(True if getattr(args, "steal", False) else None),
+        ),
     )
 
 
 def _parse_size(text: str) -> int:
-    """``"500M"`` / ``"2G"`` / plain bytes → bytes (must be >= 0)."""
-    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
-    raw = text.strip().lower().removesuffix("b")
+    """``"500M"`` / ``"2G"`` / plain bytes → bytes (must be >= 0).
+
+    Shares its grammar with the ``REPRO_STORE_MAX_BYTES`` auto-gc
+    watermark (:func:`repro.envutil.parse_size`); a negative bound would
+    read as "evict everything", so it is rejected before it can wipe a
+    shared store.
+    """
+    from repro.envutil import parse_size
+
     try:
-        if raw and raw[-1] in units:
-            value = int(float(raw[:-1]) * units[raw[-1]])
-        else:
-            value = int(raw)
+        return parse_size(text)
     except (ValueError, OverflowError):
         raise argparse.ArgumentTypeError(f"not a size: {text!r} (try 500M, 2G, ...)")
-    if value < 0:
-        # A negative bound would read as "evict everything" — reject it
-        # before it can wipe a shared store.
-        raise argparse.ArgumentTypeError(f"size must be >= 0, got {text!r}")
-    return value
 
 
 def _parse_age(text: str) -> float:
@@ -100,14 +107,40 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
-    runner = _make_runner(args)
-    config = PipelineConfig(
+def _train_config(args: argparse.Namespace) -> PipelineConfig:
+    """The pipeline configuration ``repro train`` flags describe.
+
+    The LSTM hyper-parameter flags thread into ``PipelineConfig.lstm`` —
+    and therefore into the ``model`` fingerprint — so two trainings with
+    different knobs never share a checkpoint entry.  They are refused with
+    the n-gram backend rather than silently ignored.
+    """
+    lstm = None
+    lstm_flags = {
+        "epochs": getattr(args, "lstm_epochs", None),
+        "hidden_size": getattr(args, "lstm_size", None),
+    }
+    given = {name: value for name, value in lstm_flags.items() if value is not None}
+    if given:
+        if args.backend != "lstm":
+            raise SystemExit(
+                "error: --lstm-epochs/--lstm-size require --backend lstm"
+            )
+        from repro.model.lstm import LSTMConfig
+
+        lstm = LSTMConfig(**given)
+    return PipelineConfig(
         repository_count=args.repositories,
         seed=args.seed,
         backend=args.backend,
         ngram_order=args.order,
+        lstm=lstm,
     )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    config = _train_config(args)
     trained = runner.trained_model(config)
     print(f"trained {args.backend} model on {trained.corpus_characters} characters "
           f"(final loss {trained.summary.final_loss:.3f})")
@@ -180,6 +213,21 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         local_size=args.local_size,
         payload_seed=args.seed,
     )
+    if runner.stealing:
+        # Make this run joinable: `repro worker --store DIR` discovers the
+        # published plan and drains the same claim queue concurrently.
+        from repro.store.queue import publish_plan
+
+        if not runner.plan.sharded:
+            print(
+                "// warning: --steal without --shards publishes a "
+                "single-shard plan — joining workers can only claim whole "
+                "stages; pass --shards N for shard-level work sharing",
+                file=sys.stderr,
+            )
+        key = publish_plan(runner.store, config, runner.plan.shards)
+        print(f"// plan {key[:12]} published; join with: "
+              f"repro worker --store {runner.store.directory}", file=sys.stderr)
     suites = runner.suite_measurements(config)
     synthesis = runner.synthesis(config)
     measurements = runner.synthetic_measurements(config)
@@ -208,6 +256,56 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             "REPRO_STORE_DIR) to persist artifacts across runs",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Join published pipeline plans and drain their claim queues.
+
+    The inverse of ``repro pipeline --steal``: instead of describing work,
+    a worker discovers the plans already published in the store and claims
+    whatever stages/shards are still pending, until every plan is fully
+    resolved.  Any number of workers — across processes and machines
+    sharing the store directory — cooperate through the claim protocol;
+    results are bit-identical to a single-process run.
+    """
+    from repro.store import PipelineRunner, resolve_store
+    from repro.store.queue import drain_plan, load_plans
+    from repro.store.shards import ShardPlan
+
+    store = resolve_store(args.store)
+    if store.directory is None:
+        print(
+            "error: a worker needs an on-disk store; pass --store or set REPRO_STORE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    plans = load_plans(store)
+    if not plans:
+        print(f"no published plans in {store.directory}", file=sys.stderr)
+        return 0
+    for key, plan in plans:
+        if plan["shards"] == 1 and args.workers > 1:
+            print(
+                f"warning: plan {key[:12]} was published with a single "
+                "shard, so --workers has no shard-level work to pool; "
+                "republish it with --shards N for real fan-out",
+                file=sys.stderr,
+            )
+        runner = PipelineRunner(
+            store=store,
+            plan=ShardPlan(
+                shards=plan["shards"], workers=args.workers or 0, steal=True
+            ),
+            lease_seconds=args.lease,
+        )
+        drain_plan(runner, plan["config"])
+        counts = runner.stage_counts()
+        computed = sum(bucket["miss"] for bucket in counts.values())
+        served = sum(bucket["hit"] for bucket in counts.values())
+        print(f"plan {key[:12]}: computed {computed} stage artifacts, "
+              f"{served} served by the store or other workers")
+    print(f"drained {len(plans)} plan(s)")
     return 0
 
 
@@ -282,6 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for ready shards; implies --shards M when "
              "--shards is not given (default: $REPRO_WORKERS, else in-process)",
     )
+    common.add_argument(
+        "--steal",
+        action="store_true",
+        default=False,
+        help="resolve stages through the work-stealing claim queue (needs "
+             "--cache-dir / REPRO_STORE_DIR); concurrent runners and "
+             "`repro worker` processes then drain the same plan "
+             "(default: $REPRO_STEAL, else off)",
+    )
 
     mine = subparsers.add_parser(
         "mine", parents=[common], help="mine the OpenCL corpus and print statistics"
@@ -298,6 +405,21 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--backend", choices=["ngram", "lstm"], default="ngram")
     train.add_argument("--order", type=int, default=12)
     train.add_argument("--checkpoint", type=str, default=None)
+    train.add_argument(
+        "--lstm-epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LSTM training epochs (requires --backend lstm; fingerprints "
+             "the checkpoint, so different values never collide)",
+    )
+    train.add_argument(
+        "--lstm-size",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help="LSTM hidden-layer width (requires --backend lstm)",
+    )
     train.set_defaults(func=_cmd_train)
 
     sample = subparsers.add_parser(
@@ -339,6 +461,35 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--global-size", type=int, default=128)
     pipeline.add_argument("--local-size", type=int, default=32)
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="join published pipeline plans in a shared store and drain "
+             "their work-stealing queues until empty",
+    )
+    worker.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="the shared artifact-store directory (default: $REPRO_STORE_DIR)",
+    )
+    worker.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="additionally fan this worker's shard draining out over a "
+             "process pool of this width",
+    )
+    worker.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="claim lease; a claim older than this is treated as a crashed "
+             "worker's and stolen (default: $REPRO_QUEUE_LEASE, else 300)",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     store = subparsers.add_parser(
         "store", help="inspect or bound the on-disk artifact store"

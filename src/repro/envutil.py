@@ -40,6 +40,80 @@ def env_int(name: str, default: int = 0, minimum: int | None = None) -> int:
     return value
 
 
+def env_float(name: str, default: float = 0.0, minimum: float | None = None) -> float:
+    """The float value of ``$name``, or *default* when unset or malformed.
+
+    Same contract as :func:`env_int` (used for e.g. the work-stealing
+    queue's ``REPRO_QUEUE_LEASE`` lease seconds).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        _warn(f"ignoring malformed {name}={raw!r} (expected a number); using {default}")
+        return default
+    if value != value:  # NaN compares unequal to itself
+        _warn(f"ignoring malformed {name}={raw!r} (NaN); using {default}")
+        return default
+    if minimum is not None and value < minimum:
+        _warn(f"clamping {name}={raw!r} to the minimum of {minimum}")
+        return minimum
+    return value
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """The boolean value of ``$name`` (1/true/yes/on vs 0/false/no/off)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off"):
+        return False
+    _warn(f"ignoring malformed {name}={raw!r} (expected a boolean); using {default}")
+    return default
+
+
+def parse_size(text: str) -> int:
+    """``"500M"`` / ``"2G"`` / plain bytes → bytes.
+
+    Raises :class:`ValueError` on malformed input or a negative size (the
+    CLI and the env parser wrap this with their own error reporting).
+    """
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+    raw = text.strip().lower().removesuffix("b")
+    if raw and raw[-1] in units:
+        value = int(float(raw[:-1]) * units[raw[-1]])
+    else:
+        value = int(raw)
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {text!r}")
+    return value
+
+
+def env_size(name: str, default: int | None = None) -> int | None:
+    """The byte-size value of ``$name`` (suffixes: 500M, 2G, ...), or *default*.
+
+    Used for the ``REPRO_STORE_MAX_BYTES`` auto-gc watermark; malformed
+    values degrade to *default* with a warning so a typo cannot either
+    crash a pipeline or silently wipe a shared store.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return parse_size(raw)
+    except (ValueError, OverflowError):
+        _warn(
+            f"ignoring malformed {name}={raw!r} (expected a byte size like "
+            f"500M or 2G); using {default}"
+        )
+        return default
+
+
 def env_choice(name: str, choices: Sequence[str], default: str) -> str:
     """The value of ``$name`` restricted to *choices*, else *default*."""
     raw = os.environ.get(name)

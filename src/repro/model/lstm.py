@@ -422,15 +422,28 @@ class LSTMBatchSamplerState:
         """The ``(N, vocab)`` distribution over each chain's next character."""
         return self._distribution
 
-    def sample(self, rng: random.Random, temperature: float = 1.0) -> list[str]:
-        """Draw one character per chain and advance all chains one step."""
+    def sample(self, rng, temperature: float = 1.0) -> list[str]:
+        """Draw one character per chain and advance all chains one step.
+
+        *rng* is either one shared :class:`random.Random` (every chain draws
+        from the same stream, in row order) or a sequence of per-chain
+        generators — one per active row, as the independently-seeded sample
+        streams use — so chain *k* consumes only its own stream regardless
+        of which other chains ride in the batch.
+        """
         distributions = _apply_temperature_rows(self._distribution, temperature)
         cumulative = np.cumsum(distributions, axis=1)
         vocabulary = self._model.vocabulary
         characters: list[str] = []
         indices = np.empty(self._batch_size, dtype=np.int64)
+        per_row = None if isinstance(rng, random.Random) else list(rng)
+        if per_row is not None and len(per_row) != self._batch_size:
+            raise ModelError(
+                f"expected {self._batch_size} per-chain rngs, got {len(per_row)}"
+            )
         for row in range(self._batch_size):
-            draw = rng.random() * cumulative[row, -1]
+            source = rng if per_row is None else per_row[row]
+            draw = source.random() * cumulative[row, -1]
             index = int(np.searchsorted(cumulative[row], draw, side="right"))
             index = min(index, vocabulary.size - 1)
             character = vocabulary.character(index) or " "

@@ -151,6 +151,19 @@ class NgramLanguageModel(LanguageModel):
             raise ModelError("model has not been trained")
         return NgramSamplerState(self, context)
 
+    def make_batch_sampler(self, context: str = "", batch_size: int = 1) -> "NgramBatchSamplerState":
+        """A sampler advancing *batch_size* independent chains together.
+
+        Unlike the LSTM there is no matrix product to amortize — each lane
+        is an ordinary :class:`NgramSamplerState` — but exposing the same
+        batch interface lets :meth:`KernelSampler.sample_many` drive both
+        backends identically, including with one independently-seeded RNG
+        per chain (the parallel sample streams).
+        """
+        if not self._trained:
+            raise ModelError("model has not been trained")
+        return NgramBatchSamplerState(self, context, batch_size)
+
     # ------------------------------------------------------------------
     # Serialization.
     # ------------------------------------------------------------------
@@ -214,3 +227,40 @@ class NgramSamplerState:
                 character = " "
         self.feed(character)
         return character
+
+
+class NgramBatchSamplerState:
+    """N independent :class:`NgramSamplerState` lanes behind the batch
+    sampler interface (``sample`` / ``compact``) the LSTM exposes."""
+
+    def __init__(self, model: NgramLanguageModel, context: str, batch_size: int):
+        if batch_size < 1:
+            raise ModelError("batch size must be positive")
+        self._lanes = [NgramSamplerState(model, context) for _ in range(batch_size)]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self._lanes)
+
+    def feed(self, text: str) -> None:
+        for lane in self._lanes:
+            lane.feed(text)
+
+    def sample(self, rng, temperature: float = 1.0) -> list[str]:
+        """One character per lane: *rng* is a shared :class:`random.Random`
+        (lanes draw from it in order) or one generator per lane."""
+        if isinstance(rng, random.Random):
+            return [lane.sample(rng, temperature) for lane in self._lanes]
+        per_lane = list(rng)
+        if len(per_lane) != len(self._lanes):
+            raise ModelError(
+                f"expected {len(self._lanes)} per-chain rngs, got {len(per_lane)}"
+            )
+        return [
+            lane.sample(source, temperature)
+            for lane, source in zip(self._lanes, per_lane)
+        ]
+
+    def compact(self, keep: list[int]) -> None:
+        """Retain only the lanes at positions *keep* (in order)."""
+        self._lanes = [self._lanes[position] for position in keep]

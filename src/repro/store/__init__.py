@@ -10,9 +10,17 @@ from repro.store.artifact_store import (
     GLOBAL_MEMORY_STORE,
     StoreStats,
     default_store_directory,
+    default_store_max_bytes,
     resolve_store,
 )
 from repro.store.fingerprint import SCHEMA_VERSIONS, fingerprint, schema_version, text_digest
+from repro.store.queue import (
+    ShardQueue,
+    drain_plan,
+    load_plans,
+    plan_fingerprint,
+    publish_plan,
+)
 from repro.store.shards import ShardPlan, plan_from_env, shard_ranges
 
 #: Stage-graph symbols, loaded lazily (PEP 562): the per-file preprocess
@@ -54,15 +62,21 @@ __all__ = [
     "STAGE_ORDER",
     "STAGE_PHASES",
     "ShardPlan",
+    "ShardQueue",
     "StageEvent",
     "SuiteMeasurementSet",
     "corpus_fingerprint",
     "default_runner",
     "default_store_directory",
+    "default_store_max_bytes",
+    "drain_plan",
     "fingerprint",
+    "load_plans",
     "mine_fingerprint",
     "model_fingerprint",
+    "plan_fingerprint",
     "plan_from_env",
+    "publish_plan",
     "resolve_store",
     "schema_version",
     "shard_ranges",

@@ -33,7 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.envutil import env_directory
+from repro.envutil import env_directory, env_size
 from repro.store.fingerprint import schema_version
 
 
@@ -67,16 +67,40 @@ class GCResult:
     remaining_bytes: int = 0
 
 
+def default_store_max_bytes() -> int | None:
+    """The auto-gc watermark from ``REPRO_STORE_MAX_BYTES``, if configured.
+
+    Size suffixes are accepted (``500M``, ``2G``, ...); malformed values
+    warn and read as "no watermark" rather than either crashing a pipeline
+    or silently evicting a shared store.
+    """
+    return env_size("REPRO_STORE_MAX_BYTES")
+
+
 class ArtifactStore:
     """A content-addressed artifact store with an LRU front and disk behind."""
 
-    def __init__(self, directory: str | os.PathLike | None = None, memory_entries: int = 32):
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        memory_entries: int = 32,
+        max_bytes: int | None = None,
+    ):
         self._directory = Path(directory) if directory else None
         self._memory: OrderedDict[tuple[str, str], bytes] = OrderedDict()
         self._memory_entries = memory_entries
         self._lock = threading.Lock()
         self._hits: dict[str, int] = {}
         self._misses: dict[str, int] = {}
+        #: Auto-gc watermark: after a put pushes the disk layer past this
+        #: many bytes, a gc pass with the standard age/least-recently-written
+        #: policy trims it back — long-lived shared stores stay bounded
+        #: without an operator.  ``None`` (and no env default) disables it.
+        self._max_bytes = max_bytes if max_bytes is not None else default_store_max_bytes()
+        #: Bytes written since the last watermark check; the check scans the
+        #: directory, so it only runs once enough new data accumulated to
+        #: plausibly cross the watermark (<= ~12.5% overshoot between scans).
+        self._written_since_gc = 0
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -100,6 +124,16 @@ class ArtifactStore:
     def memory_size(self) -> int:
         with self._lock:
             return len(self._memory)
+
+    def keys(self, kind: str) -> list[str]:
+        """All on-disk keys of *kind*, sorted (used by ``repro worker`` to
+        enumerate published plans; the memory layer is a strict subset)."""
+        if self._directory is None:
+            return []
+        kind_dir = self._directory / kind
+        if not kind_dir.is_dir():
+            return []
+        return sorted(path.stem for path in kind_dir.glob("*/*.pkl"))
 
     def _disk_entries(self) -> list[tuple[Path, str, int, float]]:
         """All on-disk entries as ``(path, kind, bytes, mtime)``.
@@ -254,6 +288,7 @@ class ArtifactStore:
         with self._lock:
             self._remember((kind, key), serialized)
         self._write_disk(kind, key, serialized)
+        self._maybe_auto_gc(len(serialized))
 
     def clear_memory(self) -> None:
         """Drop the in-process layer (disk entries are untouched)."""
@@ -309,6 +344,29 @@ class ArtifactStore:
         if value is None:
             return None
         return serialized, value
+
+    def _maybe_auto_gc(self, written: int) -> None:
+        """Enforce the ``max_bytes`` watermark after a disk write.
+
+        Throttled by write volume: the directory scan runs only once the
+        bytes written since the previous check reach an eighth of the
+        watermark, so steady-state overshoot is bounded without paying a
+        scan per put.  Eviction reuses :meth:`gc`'s least-recently-written
+        policy, which is concurrency-safe (evicted keys recompute and
+        re-land; racing writers are never corrupted).
+        """
+        if self._max_bytes is None or self._directory is None:
+            return
+        with self._lock:
+            self._written_since_gc += written
+            if self._written_since_gc < max(self._max_bytes // 8, 1):
+                return
+            self._written_since_gc = 0
+        try:
+            self.gc(max_bytes=self._max_bytes)
+        except Exception:
+            # The watermark is hygiene, never a reason to fail a pipeline.
+            return
 
     def _write_disk(self, kind: str, key: str, serialized: bytes) -> None:
         path = self.entry_path(kind, key)

@@ -35,7 +35,11 @@ SCHEMA_VERSIONS: dict[str, int] = {
     #: A trained-model checkpoint record (model ``to_dict`` + summary).
     "model": 1,
     #: A :class:`repro.synthesis.generator.SynthesisResult` kernel batch.
-    "synthesis": 1,
+    #: v2: per-kernel independently-seeded sampling (``(sample_seed, index)``
+    #: streams with a deterministic cross-stream dedup merge) replaced the
+    #: single sequential RNG chain — every sampled kernel changed, so every
+    #: v1 batch (and everything fingerprint-downstream of it) is invalid.
+    "synthesis": 2,
     #: Benchmark-suite measurement sets (dict of suite -> measurements).
     "suite-measurements": 1,
     #: Synthetic-kernel measurement lists.
@@ -48,12 +52,18 @@ SCHEMA_VERSIONS: dict[str, int] = {
     "mine-shard": 1,
     #: Per-repository-range preprocessing outcomes (list[FileOutcome]).
     "corpus-shard": 1,
-    #: One link of the sample chain (kernels + sampler state carry-over).
-    "synthesis-shard": 1,
+    #: One sample fan-out shard: per-index kernel stream results.  v2: the
+    #: sequential chain links (RNG state + dedup-set carry-over) became
+    #: independently-seeded fan-out shards (lists of
+    #: :class:`repro.synthesis.generator.KernelStreamResult`).
+    "synthesis-shard": 2,
     #: Per-benchmark-range suite measurements.
     "suite-measurements-shard": 1,
     #: Per-kernel-range synthetic measurements.
     "synthetic-measurements-shard": 1,
+    #: A published work-stealing pipeline plan (config + shard count) that
+    #: ``repro worker`` instances discover and drain (repro.store.queue).
+    "plan": 1,
 }
 
 

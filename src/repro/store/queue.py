@@ -1,0 +1,242 @@
+"""The work-stealing shard queue, materialized in the artifact store.
+
+PR 4's sharding statically partitions ranges: worker *k* computes shards
+``k, k+N, ...`` and everyone idles behind the slowest straggler before the
+merge can fire.  This module replaces assignment with **claiming**: the
+pending work of a pipeline plan is the set of store keys that do not exist
+yet, and a worker takes a unit of work by atomically creating a *claim
+file* for its key.  ``O_CREAT | O_EXCL`` is the whole mutual-exclusion
+story — the filesystem guarantees exactly one creator — so any number of
+heterogeneous workers (threads, processes, machines sharing one
+``REPRO_STORE_DIR`` over a network filesystem) drain one plan without a
+coordinator.
+
+Crash tolerance comes from **leases**: a claim carries its creation time
+(the file's mtime), and a claim older than the lease is treated as
+abandoned — some worker died mid-shard.  Stealing an expired claim is a
+two-step dance that preserves single-winner semantics: rename the stale
+claim file away (``os.rename`` has exactly one winner; losers see
+``ENOENT``) and then re-create the claim with ``O_EXCL`` as usual.  The
+artifact a crashed worker half-wrote is invisible by construction — store
+writes land via temp file + ``os.replace``, so an interrupted shard leaves
+only a stale ``.tmp.`` spill (swept by gc), never a truncated entry.
+
+Completion needs no bookkeeping either: a unit of work is done exactly
+when its store entry exists.  Workers therefore poll the store between
+claim attempts, and the stage merge fires in whichever worker claims it
+after the last shard lands.  Because every compute is a deterministic
+function of fingerprinted inputs, even the worst race — two workers
+computing the same shard because a lease expired under a live-but-slow
+worker — is benign: both leave byte-identical entries.
+
+A **plan** is how ``repro worker`` finds work in the first place: the
+process that wants a pipeline resolved publishes its
+:class:`~repro.store.stages.PipelineConfig` plus shard count as an ordinary
+store artifact (kind ``plan``), and workers pointed at the directory
+enumerate the plans and drain each one's stage graph through the claim
+protocol until nothing is left to do.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.envutil import env_float
+
+#: A claim older than this is an abandoned worker's, and may be stolen.
+DEFAULT_LEASE_SECONDS = 300.0
+
+#: How long a worker sleeps between probes while someone else holds a claim.
+DEFAULT_POLL_SECONDS = 0.05
+
+
+def default_lease_seconds() -> float:
+    """The claim lease from ``REPRO_QUEUE_LEASE`` (seconds), hardened."""
+    return env_float("REPRO_QUEUE_LEASE", default=DEFAULT_LEASE_SECONDS, minimum=0.001)
+
+
+class ShardQueue:
+    """Claim/lease coordination for one store directory.
+
+    Claims live in ``<directory>/queue/claims/<key>.claim`` — beside, not
+    inside, the artifact kind directories, so gc and stats never mistake
+    them for entries.  Task identifiers are artifact store keys
+    (fingerprints), which are globally unique across kinds and plans, so
+    one claim namespace serves every plan sharing the store.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        lease_seconds: float | None = None,
+        poll_seconds: float | None = None,
+    ):
+        self.claims = Path(directory) / "queue" / "claims"
+        self.lease_seconds = (
+            lease_seconds if lease_seconds is not None else default_lease_seconds()
+        )
+        self.poll_seconds = (
+            poll_seconds if poll_seconds is not None else DEFAULT_POLL_SECONDS
+        )
+        self.worker_id = (
+            f"{socket.gethostname()}.{os.getpid()}.{threading.get_ident()}"
+        )
+
+    def _claim_path(self, task_id: str) -> Path:
+        return self.claims / f"{task_id}.claim"
+
+    # ------------------------------------------------------------------
+    # The claim protocol.
+    # ------------------------------------------------------------------
+
+    def try_claim(self, task_id: str) -> bool:
+        """Atomically take *task_id*; steal it first if its lease expired.
+
+        Returns ``True`` for exactly one caller per claim lifetime: the
+        ``O_EXCL`` create admits a single winner, and an expired claim is
+        stolen through a single-winner ``os.rename`` before re-claiming.
+        """
+        path = self._claim_path(task_id)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        if self._create_claim(path):
+            return True
+        if not self._expired(path):
+            return False
+        # Steal: move the stale claim aside.  os.rename of one source has
+        # exactly one winner — every losing stealer gets ENOENT — and the
+        # slot then reopens for an ordinary O_EXCL claim (which a third
+        # worker may legitimately win first).
+        stale = path.with_name(
+            f"{path.name}.stale.{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            os.rename(path, stale)
+        except OSError:
+            return False
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+        return self._create_claim(path)
+
+    def _create_claim(self, path: Path) -> bool:
+        try:
+            descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+        payload = json.dumps(
+            {"worker": self.worker_id, "claimed_at": time.time()}
+        )
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(payload)
+        return True
+
+    def _expired(self, path: Path) -> bool:
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            # Vanished between the failed create and this stat: the holder
+            # completed (or a stealer renamed it).  Not ours to steal; the
+            # caller re-probes the store / retries the claim.
+            return False
+        return age > self.lease_seconds
+
+    def refresh(self, task_id: str) -> None:
+        """Extend the lease of a held claim (long computes call this to
+        keep stealers away; missing it only risks duplicate benign work)."""
+        try:
+            os.utime(self._claim_path(task_id))
+        except OSError:
+            pass
+
+    def complete(self, task_id: str) -> None:
+        """Drop the claim after the artifact landed (or the compute raised,
+        so another worker may retry without waiting out the lease)."""
+        try:
+            self._claim_path(task_id).unlink()
+        except OSError:
+            pass
+
+    def holder(self, task_id: str) -> dict | None:
+        """The claim record for *task_id*, or ``None`` (diagnostics only)."""
+        try:
+            return json.loads(self._claim_path(task_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Published plans: how `repro worker` discovers what to drain.
+# ---------------------------------------------------------------------------
+
+
+def plan_fingerprint(cfg, shards: int) -> str:
+    """The store key of the plan resolving *cfg* at *shards* shards.
+
+    Keyed off the two execute-side fingerprints (which transitively include
+    every upstream stage), so a plan readdresses whenever any stage of the
+    pipeline it describes would.
+    """
+    from repro.store import stages
+    from repro.store.fingerprint import fingerprint
+
+    return fingerprint(
+        "plan",
+        {
+            "suite": stages.suite_execution_fingerprint(cfg),
+            "synthetic": stages.synthetic_execution_fingerprint(cfg),
+            "shards": shards,
+        },
+    )
+
+
+def publish_plan(store, cfg, shards: int) -> str:
+    """Persist *cfg* as a drainable plan; returns its key.
+
+    Idempotent: republishing the same configuration lands on the same key
+    with the same bytes.
+    """
+    key = plan_fingerprint(cfg, shards)
+    store.put("plan", key, {"config": cfg, "shards": shards})
+    return key
+
+
+def load_plans(store) -> list[tuple[str, dict]]:
+    """All published plans in *store*, as ``(key, value)`` pairs.
+
+    Sorted by key so every worker visits plans in the same order (workers
+    colliding on the same plan is fine — that is the point — but a shared
+    order drains one plan at full width before starting the next).
+    """
+    return [
+        (key, value)
+        for key in sorted(store.keys("plan"))
+        if (value := store.get("plan", key)) is not None
+    ]
+
+
+def drain_plan(runner, cfg) -> None:
+    """Resolve every stage of *cfg* through *runner*.
+
+    Ordered so independent work comes first: the suite-side measurements
+    need no model, so workers blocked behind another worker's ``train``
+    claim would otherwise idle when there are still suite shards to take.
+    ``content_files`` is listed explicitly because the sharded corpus merge
+    consumes mine *shards* directly — without it the whole-``mine`` entry
+    an unsharded run leaves behind would be missing, and queue-drained
+    stores must be entry-for-entry identical to unsharded ones.
+    """
+    runner.suite_measurements(cfg)
+    runner.content_files(cfg)
+    runner.synthesis(cfg)
+    runner.synthetic_measurements(cfg)

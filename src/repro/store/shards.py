@@ -11,7 +11,7 @@ stage          shard axis                 shard artifact kind
 =============  =========================  ==================================
 ``mine``       repository range           ``mine-shard``
 ``preprocess`` repository range           ``corpus-shard`` (file outcomes)
-``sample``     kernel range (a *chain*)   ``synthesis-shard``
+``sample``     kernel-stream range        ``synthesis-shard``
 ``execute``    benchmark / kernel range   ``suite-measurements-shard`` /
                                           ``synthetic-measurements-shard``
 =============  =========================  ==================================
@@ -23,34 +23,35 @@ to an unsharded run, stored under the unsharded fingerprint.  A warm repeat
 therefore serves the merged artifact directly; a partially warm store
 serves the shards it has and recomputes only the missing ones.
 
-Two shard shapes exist:
-
-* **Fan-out** stages (mine, preprocess, both execute sides) are
-  embarrassingly parallel: every shard is a pure function of the pipeline
-  configuration and its range, so ready shards are dispatched to a process
-  pool (``ShardPlan.workers``).  Results are bit-identical to sequential
-  resolution because each shard is deterministic in isolation.
-* The **sample chain**: kernel synthesis threads one ``random.Random`` and
-  one cross-kernel dedup set through the whole batch, so shard *k* extends
-  shard *k-1* — its artifact carries the sampler's RNG state, the seen-hash
-  set and the cumulative statistics forward.  Chains resolve sequentially,
-  but each link is a store artifact, so an interrupted run resumes from its
-  last completed link and a concurrent worker picks the chain up where
-  another left it.  (Links chain off the whole-batch fingerprint, which
-  includes the kernel count — growing the budget readdresses the chain;
-  see ROADMAP "Parallel sample shards" for the schema-bump alternative.)
+Every shardable stage — including ``sample`` since the synthesis layer
+moved to per-kernel independently-seeded streams
+(:func:`repro.synthesis.sampler.stream_rng`) — is a **fan-out**: each shard
+is a pure function of the pipeline configuration and its range, so ready
+shards are dispatched to a process pool (``ShardPlan.workers``).  Results
+are bit-identical to sequential resolution because each shard is
+deterministic in isolation; the sample merge restores batch-level kernel
+uniqueness with a deterministic cross-shard dedup
+(:func:`repro.synthesis.generator.merge_stream_results`).
 
 Concurrency model: the artifact store already tolerates concurrent writers
 (atomic ``os.replace`` per entry), so shard workers never coordinate — they
 race benignly, and whoever finishes a key last leaves the same bytes as
 whoever finished first.  The merge is pure recombination (no RNG, no
 wall-clock), so it is deterministic under any shard completion order.
+
+On top of the benign races sits an opt-in **work-stealing scheduler**
+(``ShardPlan.steal``, :mod:`repro.store.queue`): instead of each worker
+computing a statically assigned range, pending shard keys are claimed by
+atomic create in a claim directory beside the store, with lease timestamps
+so a crashed worker's claim expires and is re-stealable.  Any number of
+heterogeneous workers (including separate ``repro worker`` processes on
+other machines) drain one plan; the merge fires in whichever worker claims
+it once the last shard lands.  Stolen, pooled and unsharded runs all leave
+byte-identical store entries.
 """
 
 from __future__ import annotations
 
-import copy
-import random
 import time
 from dataclasses import dataclass
 
@@ -75,10 +76,16 @@ class ShardPlan:
     (1 = the unsharded legacy path, byte-for-byte).  ``workers`` is the
     process-pool width for dispatching ready fan-out shards; 0 or 1 resolves
     shards in-process (still sharded, still incremental — just sequential).
+    ``steal`` switches from static range assignment to the work-stealing
+    claim queue (:mod:`repro.store.queue`): every stage resolution is
+    claimed by atomic create before computing, so concurrent runners —
+    pool workers, other processes, other machines — drain one plan without
+    duplicating work or idling behind a straggler's static range.
     """
 
     shards: int = 1
     workers: int = 0
+    steal: bool = False
 
     def __post_init__(self):
         if self.shards < 1:
@@ -101,7 +108,7 @@ class ShardPlan:
         return self.sharded and self.workers > 1
 
 
-def normalized_plan(shards: int, workers: int) -> ShardPlan:
+def normalized_plan(shards: int, workers: int, steal: bool = False) -> ShardPlan:
     """A :class:`ShardPlan` from loose knobs.
 
     Asking for workers without shards means "parallelize this": it implies
@@ -111,10 +118,12 @@ def normalized_plan(shards: int, workers: int) -> ShardPlan:
     workers = max(workers, 0)
     if shards == 1 and workers > 1:
         shards = workers
-    return ShardPlan(shards=shards, workers=workers)
+    return ShardPlan(shards=shards, workers=workers, steal=steal)
 
 
-def resolve_plan(shards: int | None, workers: int | None) -> ShardPlan:
+def resolve_plan(
+    shards: int | None, workers: int | None, steal: bool | None = None
+) -> ShardPlan:
     """Combine explicit knobs (``None`` = not given) with the environment.
 
     The single source of the precedence rules, shared by the CLI flags and
@@ -133,8 +142,12 @@ def resolve_plan(shards: int | None, workers: int | None) -> ShardPlan:
             shards = parsed
     if workers is None:
         workers = env_int("REPRO_WORKERS", default=0, minimum=0)
+    if steal is None:
+        from repro.envutil import env_flag
+
+        steal = env_flag("REPRO_STEAL", default=False)
     if shards is None:
-        return normalized_plan(1, workers)
+        return normalized_plan(1, workers, steal=steal)
     if shards < 1 or workers < 0:
         # As loud as the env knobs: a typo'd sign must not silently
         # sequentialize the run.
@@ -145,7 +158,7 @@ def resolve_plan(shards: int | None, workers: int | None) -> ShardPlan:
             RuntimeWarning,
             stacklevel=3,
         )
-    plan = ShardPlan(shards=max(shards, 1), workers=max(workers, 0))
+    plan = ShardPlan(shards=max(shards, 1), workers=max(workers, 0), steal=steal)
     if plan.workers > 1 and not plan.pooled:
         import warnings
 
@@ -234,12 +247,23 @@ class _FanoutSpec:
     def compute(self, runner, cfg, index: int, shards: int):
         raise NotImplementedError
 
-    def resolve(self, runner, cfg, index: int, shards: int, key: str | None = None):
+    def resolve(
+        self,
+        runner,
+        cfg,
+        index: int,
+        shards: int,
+        key: str | None = None,
+        direct: bool = False,
+    ):
+        # direct=True skips the runner's claim-or-await wrapper: the
+        # steal-mode drain loop claims shard keys itself before resolving.
         return runner._stage(
             self.stage,
             self.kind,
             key if key is not None else self.key(cfg, index, shards),
             lambda: self.compute(runner, cfg, index, shards),
+            direct=direct,
         )
 
     def _range(self, cfg, index: int, shards: int) -> tuple[int, int]:
@@ -373,123 +397,108 @@ class _SyntheticExecutionSpec(_FanoutSpec):
         return [detached(measurement) for measurement in measured]
 
 
+class _SampleSpec(_FanoutSpec):
+    """Per-kernel-stream-range synthesis shards.
+
+    Since the synthesis layer moved to independently-seeded
+    ``(sample_seed, index)`` streams, a sample shard is a pure function of
+    the configuration and its index range — exactly like an execute shard —
+    and the old sequential chain (RNG state + dedup set threaded link to
+    link) is gone.  The shard artifact is the list of per-stream
+    :class:`~repro.synthesis.generator.KernelStreamResult` entries; the
+    merge restores batch-level uniqueness deterministically.
+    """
+
+    name = "sample"
+    stage = "sample"
+    kind = "synthesis-shard"
+
+    def total(self, cfg) -> int:
+        return cfg.synthetic_kernel_count
+
+    def parent_fingerprint(self, cfg) -> str:
+        from repro.store import stages
+
+        return stages.synthesis_fingerprint(cfg)
+
+    def compute(self, runner, cfg, index: int, shards: int):
+        from repro.store.stages import detached
+
+        start, stop = self._range(cfg, index, shards)
+        synthesizer = runner.clgen(cfg)
+        entries = synthesizer.generate_kernel_range(
+            start,
+            stop,
+            seed=cfg.sample_seed,
+            max_attempts_per_kernel=cfg.max_attempts_per_kernel,
+        )
+        # Detached per stream entry so the shard's bytes are independent of
+        # in-process object sharing, like every other shard artifact.
+        return [detached(entry) for entry in entries]
+
+
 _MINE = _MineSpec()
 _CORPUS = _CorpusSpec()
+_SAMPLE = _SampleSpec()
 _SUITE_EXEC = _SuiteExecutionSpec()
 _SYNTH_EXEC = _SyntheticExecutionSpec()
 
-_SPECS = {spec.name: spec for spec in (_MINE, _CORPUS, _SUITE_EXEC, _SYNTH_EXEC)}
-
-
-# ---------------------------------------------------------------------------
-# The sample chain.
-# ---------------------------------------------------------------------------
-
-
-def _synthesis_shard_key(cfg, index: int, shards: int) -> str:
-    from repro.store import stages
-
-    ranges = shard_ranges(cfg.synthetic_kernel_count, shards)
-    start, stop = ranges[index]
-    return _shard_fingerprint(
-        "synthesis-shard", stages.synthesis_fingerprint(cfg), index, shards, start, stop
-    )
-
-
-def _compute_synthesis_shard(runner, cfg, index: int, shards: int, prev: dict | None) -> dict:
-    """Extend the sample chain by one kernel range.
-
-    The artifact carries everything the next link needs to continue the
-    sequence exactly where an unsharded ``generate_kernels`` would be after
-    the same number of kernels: the sampler RNG state, the cross-kernel
-    dedup hashes, and the cumulative statistics object (mutated in place by
-    ``generate_kernel``, deep-copied here so stored links stay immutable).
-    """
-    from repro.synthesis.generator import SynthesisStatistics
-
-    start, stop = shard_ranges(cfg.synthetic_kernel_count, shards)[index]
-    if prev is None:
-        rng = random.Random(cfg.sample_seed)
-        seen_hashes: set[str] = set()
-        statistics = SynthesisStatistics(requested=cfg.synthetic_kernel_count)
-        exhausted = False
-    else:
-        rng = random.Random()
-        rng.setstate(prev["rng_state"])
-        seen_hashes = set(prev["seen_hashes"])
-        statistics = copy.deepcopy(prev["statistics"])
-        exhausted = prev["exhausted"]
-
-    kernels = []
-    if not exhausted:
-        from repro.store.stages import detached
-
-        synthesizer = runner.clgen(cfg)
-        for _ in range(stop - start):
-            kernel = synthesizer.generate_kernel(
-                rng=rng,
-                max_attempts=cfg.max_attempts_per_kernel,
-                statistics=statistics,
-                seen_hashes=seen_hashes,
-            )
-            if kernel is None:
-                # Mirrors the unsharded early stop: once the attempt budget
-                # fails, no later position is ever attempted.
-                exhausted = True
-                break
-            # Detached for locality-independent bytes, like the unsharded
-            # sample compute.
-            kernels.append(detached(kernel))
-
-    return {
-        "kernels": kernels,
-        "rng_state": rng.getstate(),
-        # Sorted so the link's serialized bytes do not depend on set
-        # iteration order (PYTHONHASHSEED) — racing writers from different
-        # machines converge on identical entry bytes.
-        "seen_hashes": sorted(seen_hashes),
-        "statistics": statistics,
-        "exhausted": exhausted,
-    }
+_SPECS = {
+    spec.name: spec for spec in (_MINE, _CORPUS, _SAMPLE, _SUITE_EXEC, _SYNTH_EXEC)
+}
 
 
 def sharded_synthesis(runner, cfg):
-    """Resolve the ``sample`` stage through the shard chain and merge."""
+    """Resolve the ``sample`` stage by kernel-stream-range shards and merge."""
     from repro.errors import SynthesisError
     from repro.store import stages
-    from repro.synthesis.generator import SynthesisResult
+    from repro.synthesis.generator import merge_stream_results
 
     if cfg.synthetic_kernel_count <= 0:
         # Same contract as the unsharded generate_kernels.
         raise SynthesisError("kernel count must be positive")
 
     def merge():
-        links = []
-        prev = None
-        for index in range(len(shard_ranges(cfg.synthetic_kernel_count, runner.plan.shards))):
-            held = prev
-            prev = runner._stage(
-                "sample",
-                "synthesis-shard",
-                _synthesis_shard_key(cfg, index, runner.plan.shards),
-                lambda index=index, held=held: _compute_synthesis_shard(
-                    runner, cfg, index, runner.plan.shards, held
-                ),
-            )
-            links.append(prev)
-        kernels = [kernel for link in links for kernel in link["kernels"]]
-        return SynthesisResult(
-            kernels=kernels, statistics=copy.deepcopy(links[-1]["statistics"])
-        )
+        # Resolve the synthesizer in the parent before fanning out, so pool
+        # workers (whose shard computes rebuild it from the store) hit the
+        # model/corpus artifacts instead of each re-training privately.
+        runner.clgen(cfg)
+        shard_values = _resolve_fanout(runner, cfg, _SAMPLE)
+        entries = [entry for value in shard_values for entry in value]
+        return merge_stream_results(entries, requested=cfg.synthetic_kernel_count)
+
+    def drain():
+        runner.clgen(cfg)
+        _resolve_fanout(runner, cfg, _SAMPLE)
 
     return _merged(
-        runner, "sample", "synthesis", stages.synthesis_fingerprint(cfg), merge
+        runner, "sample", "synthesis", stages.synthesis_fingerprint(cfg), merge,
+        drain=drain,
     )
 
 
 # ---------------------------------------------------------------------------
 # Fan-out resolution (with the process pool) and merges.
 # ---------------------------------------------------------------------------
+
+
+def _neutralized_worker_config(cfg):
+    """Strip nested-parallelism knobs for a pool worker process.
+
+    The shard pool *is* the parallelism: neutralize the nested pool knobs
+    (env and config-carried alike) so N shard workers do not each spawn
+    their own measure/preprocess pools and thrash the host with N*M
+    processes.  Results are identical with or without those pools by
+    their own contracts, and preprocess_jobs is deliberately
+    un-fingerprinted, so no store key changes.
+    """
+    import dataclasses
+    import os
+
+    os.environ["REPRO_MEASURE_WORKERS"] = "0"
+    os.environ["REPRO_PREPROCESS_JOBS"] = "1"
+    os.environ["REPRO_WORKERS"] = "0"
+    return dataclasses.replace(cfg, preprocess_jobs=1)
 
 
 def _shard_worker(task):
@@ -501,29 +510,39 @@ def _shard_worker(task):
     layer and keep honest hit/miss accounting.
     """
     cache_dir, cfg, spec_name, index, shards = task
-    import os
-
     from repro.store.artifact_store import resolve_store
     from repro.store.stages import PipelineRunner
 
-    # The shard pool *is* the parallelism: neutralize the nested pool knobs
-    # (env and config-carried alike) so N shard workers do not each spawn
-    # their own measure/preprocess pools and thrash the host with N*M
-    # processes.  Results are identical with or without those pools by
-    # their own contracts, and preprocess_jobs is deliberately
-    # un-fingerprinted, so no store key changes.
-    import dataclasses
-
-    os.environ["REPRO_MEASURE_WORKERS"] = "0"
-    os.environ["REPRO_PREPROCESS_JOBS"] = "1"
-    os.environ["REPRO_WORKERS"] = "0"
-    cfg = dataclasses.replace(cfg, preprocess_jobs=1)
+    cfg = _neutralized_worker_config(cfg)
     # resolve_store, not a fresh ArtifactStore: a pool worker handling
     # several shard tasks then shares one memory layer across them (e.g.
     # the merged kernel batch deserializes once per worker, not per task).
     runner = PipelineRunner(store=resolve_store(cache_dir), shards=shards, workers=0)
     value = _SPECS[spec_name].resolve(runner, cfg, index, shards)
     return index, value, runner.events
+
+
+def _drain_worker(task):
+    """Process-pool entry point for steal mode: drain one spec's queue.
+
+    Unlike :func:`_shard_worker` there is no assigned index — the worker
+    claims whatever shards of *spec* are still unclaimed, computes them,
+    and returns when the spec's shards all exist in the store (its own or
+    other workers').  Heterogeneous workers therefore finish together
+    instead of idling behind a straggler's static range.
+    """
+    cache_dir, cfg, spec_name, shards, lease_seconds = task
+    from repro.store.artifact_store import resolve_store
+    from repro.store.stages import PipelineRunner
+
+    cfg = _neutralized_worker_config(cfg)
+    runner = PipelineRunner(
+        store=resolve_store(cache_dir),
+        plan=ShardPlan(shards=shards, workers=0, steal=True),
+        lease_seconds=lease_seconds,
+    )
+    _drain_fanout(runner, cfg, _SPECS[spec_name])
+    return runner.events
 
 
 def _resolve_fanout(runner, cfg, spec: _FanoutSpec) -> list:
@@ -534,7 +553,12 @@ def _resolve_fanout(runner, cfg, spec: _FanoutSpec) -> list:
     plan asks for one and more than one shard is pending, in-process
     otherwise.  Pool failures (unpicklable values, no multiprocessing
     support) degrade to in-process computation with a warning.
+
+    In steal mode the static split of pending work is replaced by the claim
+    queue: see :func:`_drain_fanout`.
     """
+    if runner.stealing:
+        return _drain_fanout(runner, cfg, spec)
     shards = runner.plan.shards
     keys = spec.keys(cfg, shards)
     values: list = [None] * len(keys)
@@ -625,7 +649,111 @@ def _resolve_fanout_pool(runner, cfg, spec, pending: list[int], values: list) ->
                 runner._record_event(event.stage, event.fingerprint, event.hit, event.seconds)
 
 
-def _merged(runner, stage: str, kind: str, key: str, combine):
+def _drain_fanout(runner, cfg, spec: _FanoutSpec) -> list:
+    """Steal-mode resolution of *spec*: claim, compute, or await each shard.
+
+    Every participating runner (this one, its pooled drain workers, and any
+    ``repro worker`` process pointed at the same store) runs this same
+    loop: probe each missing shard, claim one and compute it, and poll for
+    the shards other workers hold claims on.  The loop ends when every
+    shard exists — nobody idles while *any* shard is still unclaimed, and a
+    crashed worker's claim expires (lease) and is stolen.
+
+    With ``workers > 1`` the loop is preceded by a best-effort pool of
+    :func:`_drain_worker` processes draining the same queue; the parent
+    loop afterwards collects the values (and computes any stragglers
+    itself), so pool failures degrade seamlessly.
+    """
+    shards = runner.plan.shards
+    keys = spec.keys(cfg, shards)
+    values: list = [None] * len(keys)
+    pending = set(range(len(keys)))
+
+    def sweep(claim: bool) -> bool:
+        progressed = False
+        queue = runner.queue()
+        for index in sorted(pending):
+            started = time.perf_counter()
+            value = runner.store.get(spec.kind, keys[index])
+            if value is not None:
+                runner._record_event(
+                    spec.stage, keys[index], True, time.perf_counter() - started
+                )
+                values[index] = value
+                pending.discard(index)
+                progressed = True
+                continue
+            if claim and queue.try_claim(keys[index]):
+                try:
+                    values[index] = spec.resolve(
+                        runner, cfg, index, shards, key=keys[index], direct=True
+                    )
+                finally:
+                    queue.complete(keys[index])
+                pending.discard(index)
+                progressed = True
+        return progressed
+
+    # Probe-only sweep first: warm shards come straight from the store, and
+    # the pool (when asked for) should get the cold work, not the parent.
+    sweep(claim=False)
+    if len(pending) > 1 and runner.plan.pooled:
+        import warnings
+
+        try:
+            _drain_fanout_pool(runner, cfg, spec, len(pending))
+        except _PoolUnavailable as error:
+            warnings.warn(
+                f"drain worker pool unavailable ({error}); draining in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    while pending:
+        if not sweep(claim=True) and pending:
+            time.sleep(runner.queue().poll_seconds)
+    return values
+
+
+def _drain_fanout_pool(runner, cfg, spec, pending_count: int) -> None:
+    """Fan steal-mode drain workers out over a process pool.
+
+    Each worker drains the spec's claim queue until every shard exists;
+    their stage events are replayed into the parent for honest accounting
+    (a shard computed by a pool worker replays as a miss, so the parent's
+    subsequent collection hit reads as structural, not warm).  Failure
+    classification mirrors :func:`_resolve_fanout_pool`.
+    """
+    import pickle as pickle_mod
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+
+    cache_dir = str(runner.store.directory)
+    lease = runner.queue().lease_seconds
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=min(runner.plan.workers, pending_count)
+        )
+    except (ImportError, OSError, ValueError) as error:
+        raise _PoolUnavailable(f"cannot start pool: {error!r}") from error
+    with pool:
+        try:
+            futures = [
+                pool.submit(
+                    _drain_worker, (cache_dir, cfg, spec.name, runner.plan.shards, lease)
+                )
+                for _ in range(min(runner.plan.workers, pending_count))
+            ]
+        except (pickle_mod.PicklingError, AttributeError, TypeError) as error:
+            raise _PoolUnavailable(f"cannot ship drain task: {error!r}") from error
+        for future in as_completed(futures):
+            try:
+                events = future.result()
+            except (BrokenExecutor, pickle_mod.PicklingError) as error:
+                raise _PoolUnavailable(f"worker failed: {error!r}") from error
+            for event in events:
+                runner._record_event(event.stage, event.fingerprint, event.hit, event.seconds)
+
+
+def _merged(runner, stage: str, kind: str, key: str, combine, drain=None):
     """Serve the whole-pipeline artifact, or merge its shards into it.
 
     The merged artifact is stored under the **unsharded** fingerprint, so
@@ -633,7 +761,17 @@ def _merged(runner, stage: str, kind: str, key: str, combine):
     entries, and a warm repeat serves the merge without touching shards.
     Resolution (probe, events, exclusive-seconds accounting) is the
     ordinary stage machinery.
+
+    In steal mode, *drain* (the stage's shard fan-out) runs **before** the
+    merge claim is contested: every worker helps drain the shard queue, and
+    only then does exactly one of them claim the (cheap, pure-recombination)
+    merge while the rest await its store entry.  Without the pre-drain, the
+    merge claim's single winner would resolve every shard alone while the
+    other workers idled — the exact straggler pattern this scheduler
+    replaces.
     """
+    if drain is not None and runner.stealing and not runner.has_entry(kind, key):
+        drain()
     return runner._stage(stage, kind, key, combine)
 
 
@@ -645,7 +783,14 @@ def sharded_mine(runner, cfg) -> list[str]:
         shard_values = _resolve_fanout(runner, cfg, _MINE)
         return [text for value in shard_values for text in value]
 
-    return _merged(runner, "mine", "mine", stages.mine_fingerprint(cfg), merge)
+    return _merged(
+        runner,
+        "mine",
+        "mine",
+        stages.mine_fingerprint(cfg),
+        merge,
+        drain=lambda: _resolve_fanout(runner, cfg, _MINE),
+    )
 
 
 def sharded_corpus(runner, cfg):
@@ -668,7 +813,14 @@ def sharded_corpus(runner, cfg):
             statistics=result.statistics,
         )
 
-    return _merged(runner, "preprocess", "corpus", stages.corpus_fingerprint(cfg), merge)
+    return _merged(
+        runner,
+        "preprocess",
+        "corpus",
+        stages.corpus_fingerprint(cfg),
+        merge,
+        drain=lambda: _resolve_fanout(runner, cfg, _CORPUS),
+    )
 
 
 def sharded_suite_measurements(runner, cfg):
@@ -699,6 +851,7 @@ def sharded_suite_measurements(runner, cfg):
         "suite-measurements",
         stages.suite_execution_fingerprint(cfg),
         merge,
+        drain=lambda: _resolve_fanout(runner, cfg, _SUITE_EXEC),
     )
 
 
@@ -722,10 +875,15 @@ def sharded_synthetic_measurements(runner, cfg):
         shard_values = _resolve_fanout(runner, cfg, _SYNTH_EXEC)
         return [measurement for value in shard_values for measurement in value]
 
+    def drain():
+        runner.synthesis(cfg)
+        _resolve_fanout(runner, cfg, _SYNTH_EXEC)
+
     return _merged(
         runner,
         "execute",
         "synthetic-measurements",
         stages.synthetic_execution_fingerprint(cfg),
         merge,
+        drain=drain,
     )

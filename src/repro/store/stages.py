@@ -300,11 +300,15 @@ class PipelineRunner:
     wall-clock cost (exclusive of upstream stages), which is what the CLI,
     the profile script and the warm-run tests report.
 
-    With ``shards > 1`` the data-parallel stages (mine, preprocess, both
-    execute sides, and the sample chain) resolve as per-range shard
-    artifacts plus a deterministic merge (see :mod:`repro.store.shards`);
-    ``workers > 1`` dispatches ready fan-out shards to a process pool.
-    Sharded, pooled and unsharded runs produce bit-identical whole-pipeline
+    With ``shards > 1`` the data-parallel stages (mine, preprocess, sample,
+    both execute sides) resolve as per-range shard artifacts plus a
+    deterministic merge (see :mod:`repro.store.shards`); ``workers > 1``
+    dispatches ready fan-out shards to a process pool.  With ``steal=True``
+    (and an on-disk store) every stage resolution is claimed through the
+    work-stealing queue (:mod:`repro.store.queue`) before computing, so any
+    number of runners — this process, its pool workers, and separate
+    ``repro worker`` processes — drain one plan together.  Sharded, pooled,
+    stolen and unsharded runs produce bit-identical whole-pipeline
     artifacts under the same store keys.
     """
 
@@ -317,12 +321,20 @@ class PipelineRunner:
         cache_dir: str | None = None,
         shards: int = 1,
         workers: int = 0,
+        steal: bool = False,
         plan: ShardPlan | None = None,
+        lease_seconds: float | None = None,
+        poll_seconds: float | None = None,
     ):
         self.store = store if store is not None else resolve_store(cache_dir)
         # workers without shards implies one shard per worker (an explicit
         # plan= is taken verbatim).
-        self.plan = plan if plan is not None else normalized_plan(shards, workers)
+        self.plan = plan if plan is not None else normalized_plan(shards, workers, steal=steal)
+        #: The plan as asked for, before any store-capability demotions —
+        #: default_runner() compares against this so a runner whose plan was
+        #: demoted (e.g. steal without a disk store) is not rebuilt, and
+        #: re-warned, on every call.
+        self.requested_plan = self.plan
         if self.plan.pooled and self.store.directory is None:
             # A memory-only store is invisible to pool workers: each would
             # recompute the whole upstream chain privately and ship it
@@ -337,6 +349,23 @@ class PipelineRunner:
                 stacklevel=2,
             )
             self.plan = replace(self.plan, workers=0)
+        if self.plan.steal and self.store.directory is None:
+            # The claim queue is a directory protocol; without a shared
+            # directory there is nobody to coordinate with anyway.
+            import warnings
+
+            warnings.warn(
+                "work-stealing needs an on-disk store (cache_dir or "
+                "REPRO_STORE_DIR); resolving stages directly",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.plan = replace(self.plan, steal=False)
+        #: Claim lease/poll overrides for the work-stealing queue (None =
+        #: the queue defaults / REPRO_QUEUE_LEASE).
+        self._lease_seconds = lease_seconds
+        self._poll_seconds = poll_seconds
+        self._shard_queue = None
         self.events: list[StageEvent] = []
         #: Live objects (the trained model instance, with its sampling memos
         #: warm) keyed by fingerprint, so in-process reuse skips even the
@@ -503,20 +532,29 @@ class PipelineRunner:
             return shardlib.sharded_synthesis(self, cfg)
 
         def compute() -> SynthesisResult:
+            from repro.errors import SynthesisError
+            from repro.synthesis.generator import merge_stream_results
+
+            if cfg.synthetic_kernel_count <= 0:
+                # Same contract as generate_kernels (and the sharded path):
+                # a config error must never cache an empty artifact.
+                raise SynthesisError("kernel count must be positive")
             synthesizer = self.clgen(cfg)
-            result = synthesizer.generate_kernels(
-                cfg.synthetic_kernel_count,
-                seed=cfg.sample_seed,
-                max_attempts_per_kernel=cfg.max_attempts_per_kernel,
-            )
-            # Detach each kernel (see detached()) so the artifact's bytes
-            # do not depend on in-process string/object sharing — the
-            # sample chain merge must reproduce them exactly from
-            # separately stored links.
-            return SynthesisResult(
-                kernels=[detached(kernel) for kernel in result.kernels],
-                statistics=result.statistics,
-            )
+            # Detach each per-stream entry (see detached()) before merging,
+            # exactly as the shard computes do, so the merged artifact's
+            # bytes do not depend on in-process object sharing — sharded
+            # merges must reproduce them bit-identically from separately
+            # stored shards.
+            entries = [
+                detached(entry)
+                for entry in synthesizer.generate_kernel_range(
+                    0,
+                    cfg.synthetic_kernel_count,
+                    seed=cfg.sample_seed,
+                    max_attempts_per_kernel=cfg.max_attempts_per_kernel,
+                )
+            ]
+            return merge_stream_results(entries, requested=cfg.synthetic_kernel_count)
 
         return self._stage("sample", "synthesis", synthesis_fingerprint(cfg), compute)
 
@@ -591,7 +629,30 @@ class PipelineRunner:
         while len(self._live) > self._LIVE_LIMIT:
             self._live.pop(next(iter(self._live)))
 
-    def _stage(self, stage: str, kind: str, key: str, compute):
+    @property
+    def stealing(self) -> bool:
+        """True when stage resolution goes through the claim queue."""
+        return self.plan.steal and self.store.directory is not None
+
+    def queue(self):
+        """The claim queue over this runner's store directory (steal mode)."""
+        if self._shard_queue is None:
+            from repro.store.queue import ShardQueue
+
+            self._shard_queue = ShardQueue(
+                self.store.directory,
+                lease_seconds=self._lease_seconds,
+                poll_seconds=self._poll_seconds,
+            )
+        return self._shard_queue
+
+    def has_entry(self, kind: str, key: str) -> bool:
+        """Whether the store already holds ``(kind, key)`` on disk — a
+        cheap existence probe that records no event and decodes nothing."""
+        path = self.store.entry_path(kind, key)
+        return path is not None and path.exists()
+
+    def _stage(self, stage: str, kind: str, key: str, compute, direct: bool = False):
         started = time.perf_counter()
         value = self.store.get(kind, key)
         if value is not None:
@@ -599,6 +660,11 @@ class PipelineRunner:
                 StageEvent(stage, key, True, time.perf_counter() - started)
             )
             return value
+        if self.stealing and not direct:
+            return self._stage_stolen(stage, kind, key, compute, started)
+        return self._compute_stage(stage, kind, key, compute, started)
+
+    def _compute_stage(self, stage: str, kind: str, key: str, compute, started: float):
         mark = len(self.events)
         value = compute()
         self.store.put(kind, key, value)
@@ -611,6 +677,33 @@ class PipelineRunner:
             StageEvent(stage, key, False, max(0.0, time.perf_counter() - started - nested))
         )
         return value
+
+    def _stage_stolen(self, stage: str, kind: str, key: str, compute, started: float):
+        """Claim-or-await resolution (work-stealing mode).
+
+        Exactly one concurrent runner wins the claim and computes; everyone
+        else polls the store until the artifact lands, recorded as a hit
+        whose seconds are wait rather than work (one reason steal-mode
+        sessions are refused as bench timing sources).  A crashed winner's
+        claim expires after its lease and the next poller steals it; a
+        winner whose compute *raises* releases the claim immediately, so
+        the (deterministic) error surfaces in every waiting worker instead
+        of hiding behind a lease timeout.
+        """
+        queue = self.queue()
+        while True:
+            if queue.try_claim(key):
+                try:
+                    return self._compute_stage(stage, kind, key, compute, started)
+                finally:
+                    queue.complete(key)
+            time.sleep(queue.poll_seconds)
+            value = self.store.get(kind, key)
+            if value is not None:
+                self.events.append(
+                    StageEvent(stage, key, True, time.perf_counter() - started)
+                )
+                return value
 
 
 _DEFAULT_RUNNER: PipelineRunner | None = None
@@ -628,7 +721,7 @@ def default_runner() -> PipelineRunner:
     if (
         _DEFAULT_RUNNER is None
         or _DEFAULT_RUNNER.store is not resolve_store(None)
-        or _DEFAULT_RUNNER.plan != plan
+        or _DEFAULT_RUNNER.requested_plan != plan
     ):
         _DEFAULT_RUNNER = PipelineRunner(store=resolve_store(None), plan=plan)
     return _DEFAULT_RUNNER

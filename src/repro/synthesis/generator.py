@@ -21,7 +21,7 @@ from repro.model.trainer import TrainerConfig, ModelTrainer
 from repro.preprocess.rejection import RejectionFilter, RejectionResult
 from repro.preprocess.rewriter import CodeRewriter
 from repro.synthesis.argspec import ArgumentSpec
-from repro.synthesis.sampler import KernelSampler, SamplerConfig
+from repro.synthesis.sampler import KernelSampler, SamplerConfig, stream_rng
 
 
 @dataclass
@@ -69,6 +69,70 @@ class SynthesisResult:
     @property
     def sources(self) -> list[str]:
         return [kernel.source for kernel in self.kernels]
+
+
+@dataclass
+class KernelStreamResult:
+    """What one independently-seeded kernel stream produced.
+
+    Stream *index* samples with :func:`repro.synthesis.sampler.stream_rng`
+    ``(sample_seed, index)`` and its own attempt budget/statistics, entirely
+    unaware of every other stream — which is what lets sample shards fan out
+    like execute shards.  ``kernel`` is ``None`` when the stream exhausted
+    its attempt budget.  Batch-level uniqueness is restored afterwards by
+    :func:`merge_stream_results`.
+    """
+
+    index: int
+    kernel: SyntheticKernel | None
+    statistics: SynthesisStatistics
+
+
+def merge_stream_results(
+    entries: list[KernelStreamResult], requested: int
+) -> SynthesisResult:
+    """Combine per-stream results into one batch, deduplicating across streams.
+
+    Entries must arrive in stream-index order (shard merges concatenate
+    range shards, which preserves it).  Deduplication keeps the first
+    occurrence of a source by index and reclassifies later occurrences as
+    duplicate rejections — the deterministic, store-mediated replacement for
+    the old sequential chain's shared seen-hash set.  Pure recombination
+    (no RNG, no wall-clock): merging the same entries always produces the
+    same bytes, whichever worker runs it.
+    """
+    statistics = SynthesisStatistics(requested=requested)
+    kernels: list[SyntheticKernel] = []
+    seen_sources: set[str] = set()
+    for entry in entries:
+        stream = entry.statistics
+        statistics.attempts += stream.attempts
+        statistics.generated += stream.generated
+        statistics.rejected += stream.rejected
+        statistics.duplicates += stream.duplicates
+        statistics.incomplete_samples += stream.incomplete_samples
+        statistics.characters_sampled += stream.characters_sampled
+        for reason, count in stream.rejection_reasons.items():
+            statistics.rejection_reasons[reason] = (
+                statistics.rejection_reasons.get(reason, 0) + count
+            )
+        if entry.kernel is None:
+            continue
+        if entry.kernel.source in seen_sources:
+            # The stream accepted this kernel locally, but an earlier stream
+            # got there first: reclassify its accepting attempt as a
+            # duplicate rejection so `generated + rejected == attempts`
+            # stays invariant.
+            statistics.generated -= 1
+            statistics.duplicates += 1
+            statistics.rejected += 1
+            statistics.rejection_reasons["duplicate"] = (
+                statistics.rejection_reasons.get("duplicate", 0) + 1
+            )
+            continue
+        seen_sources.add(entry.kernel.source)
+        kernels.append(entry.kernel)
+    return SynthesisResult(kernels=kernels, statistics=statistics)
 
 
 class CLgen:
@@ -193,6 +257,37 @@ class CLgen:
             )
         return None
 
+    def generate_kernel_range(
+        self,
+        start: int,
+        stop: int,
+        spec: ArgumentSpec | None = None,
+        seed: int = 0,
+        max_attempts_per_kernel: int = 50,
+    ) -> list[KernelStreamResult]:
+        """Run the independently-seeded kernel streams ``start..stop``.
+
+        Stream *index* depends only on ``(seed, index)`` — never on any
+        other stream — so any index range can be computed on any worker in
+        any order and concatenated back (see :func:`merge_stream_results`).
+        A stream that exhausts its attempt budget yields ``kernel=None``
+        without affecting later streams.
+        """
+        entries: list[KernelStreamResult] = []
+        for index in range(start, stop):
+            statistics = SynthesisStatistics(requested=1)
+            kernel = self.generate_kernel(
+                spec=spec,
+                rng=stream_rng(seed, index),
+                max_attempts=max_attempts_per_kernel,
+                statistics=statistics,
+                seen_hashes=set(),
+            )
+            entries.append(
+                KernelStreamResult(index=index, kernel=kernel, statistics=statistics)
+            )
+        return entries
+
     def generate_kernels(
         self,
         count: int,
@@ -202,28 +297,20 @@ class CLgen:
     ) -> SynthesisResult:
         """Generate up to *count* unique kernels.
 
-        Stops early (without raising) if the model cannot produce enough
-        acceptable kernels within the attempt budget, so experiment code can
-        report partial coverage rather than crash.
+        Each kernel position is an independently-seeded stream (see
+        :meth:`generate_kernel_range`); positions whose streams exhaust the
+        attempt budget, or whose kernels duplicate an earlier position, are
+        dropped (without raising), so experiment code can report partial
+        coverage rather than crash.
         """
         if count <= 0:
             raise SynthesisError("kernel count must be positive")
-        rng = random.Random(seed)
-        statistics = SynthesisStatistics(requested=count)
-        seen_hashes: set[str] = set()
-        kernels: list[SyntheticKernel] = []
-        for _ in range(count):
-            kernel = self.generate_kernel(
-                spec=spec,
-                rng=rng,
-                max_attempts=max_attempts_per_kernel,
-                statistics=statistics,
-                seen_hashes=seen_hashes,
-            )
-            if kernel is None:
-                break
-            kernels.append(kernel)
-        return SynthesisResult(kernels=kernels, statistics=statistics)
+        return merge_stream_results(
+            self.generate_kernel_range(
+                0, count, spec=spec, seed=seed, max_attempts_per_kernel=max_attempts_per_kernel
+            ),
+            requested=count,
+        )
 
     @staticmethod
     def _count_reason(statistics: SynthesisStatistics, reason: str) -> None:

@@ -9,10 +9,30 @@ synthetic benchmark.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.model.backend import LanguageModel
+
+
+def stream_seed(sample_seed: int, index: int) -> int:
+    """The RNG seed of kernel stream *index* under batch seed *sample_seed*.
+
+    Derived through SHA-256 so it is stable across processes, sessions and
+    machines (no ``PYTHONHASHSEED`` dependence) and so neighbouring indices
+    get statistically unrelated streams.  This is what makes sample shards
+    embarrassingly parallel: stream *index* is a pure function of
+    ``(sample_seed, index)`` with no carried RNG state.
+    """
+    digest = hashlib.sha256(f"repro-sample:{sample_seed}:{index}".encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def stream_rng(sample_seed: int, index: int) -> random.Random:
+    """A fresh :class:`random.Random` positioned at the start of stream *index*."""
+    return random.Random(stream_seed(sample_seed, index))
 
 
 @dataclass
@@ -75,22 +95,51 @@ class KernelSampler:
                     break
         return SampledCandidate(text=text, completed=completed, characters_sampled=sampled)
 
-    def sample_many(self, seed_text: str, count: int, rng: random.Random) -> list[SampledCandidate]:
+    def sample_many(
+        self,
+        seed_text: str,
+        count: int,
+        rng: random.Random | None = None,
+        rngs: Sequence[random.Random] | None = None,
+    ) -> list[SampledCandidate]:
         """Draw *count* independent candidates from the same seed.
 
-        When the backend exposes a batch sampler (the LSTM), all candidates
-        advance through the network in lock-step as one ``(N, vocab)``
-        batch; otherwise candidates are sampled sequentially.
+        When the backend exposes a batch sampler, all candidates advance
+        through the model in lock-step as one batch; otherwise candidates
+        are sampled sequentially.
+
+        Randomness comes either from one shared *rng* (candidate *k*'s
+        stream then depends on every draw candidates ``0..k-1`` made before
+        it) or from *rngs* — one independent generator per candidate, as
+        produced by :func:`stream_rng`.  With per-candidate generators each
+        candidate consumes only its own stream, so batched and sequential
+        sampling produce identical candidates and any subset can be
+        resampled in isolation.  (The parallel sample shards currently
+        sample their streams one at a time through :meth:`sample`; this
+        per-candidate mode is what makes lock-step batching *compatible*
+        with them — see ROADMAP "Sample-stage LSTM batching across
+        streams".)
         """
         if count <= 0:
             return []
+        if (rng is None) == (rngs is None):
+            raise ValueError("pass exactly one of rng= or rngs=")
+        if rngs is not None and len(rngs) != count:
+            raise ValueError(f"expected {count} per-candidate rngs, got {len(rngs)}")
         batch_factory = getattr(self._model, "make_batch_sampler", None)
         if count == 1 or not callable(batch_factory):
+            if rngs is not None:
+                return [self.sample(seed_text, rngs[index]) for index in range(count)]
             return [self.sample(seed_text, rng) for _ in range(count)]
-        return self._sample_batched(seed_text, count, rng, batch_factory)
+        return self._sample_batched(seed_text, count, rng, rngs, batch_factory)
 
     def _sample_batched(
-        self, seed_text: str, count: int, rng: random.Random, batch_factory
+        self,
+        seed_text: str,
+        count: int,
+        rng: random.Random | None,
+        rngs: Sequence[random.Random] | None,
+        batch_factory,
     ) -> list[SampledCandidate]:
         initial_depth = seed_text.count("{") - seed_text.count("}")
         if initial_depth <= 0:
@@ -106,7 +155,11 @@ class KernelSampler:
 
         steps = 0
         while active and steps < self.config.max_kernel_length:
-            characters = sampler.sample(rng, self.config.temperature)
+            # Per-candidate generators ride along with their chains: after a
+            # compact() the batch sampler sees exactly the streams of the
+            # still-active candidates, in position order.
+            source = rng if rngs is None else [rngs[candidate] for candidate in active]
+            characters = sampler.sample(source, self.config.temperature)
             finished_positions: set[int] = set()
             for position, character in enumerate(characters):
                 candidate = active[position]

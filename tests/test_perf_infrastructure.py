@@ -201,3 +201,62 @@ class TestBenchCompareScaleGuard:
         old = {"scale": "quick", "phases_seconds": {"execute": 0.4}, "total_seconds": 0.4}
         new = {"scale": "quick", "phases_seconds": {"execute": 0.9}, "total_seconds": 0.9}
         assert self._compare(tmp_path, old, new) == 1
+
+
+class TestBenchCompareSchemaFlag:
+    """ISSUE 5 CI satellite: a sample comparison across a synthesis schema
+    bump measures *different kernels*, so `bench_compare` FLAGs it instead
+    of failing — while the other phases still gate normally."""
+
+    @staticmethod
+    def _compare(tmp_path, old: dict, new: dict, *extra: str):
+        import json
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        return subprocess.run(
+            [sys.executable, str(script), str(old_path), str(new_path), *extra],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_sample_regression_across_bump_is_flagged_not_failed(self, tmp_path):
+        old = {"scale": "quick", "phases_seconds": {"sample": 0.4, "execute": 0.4}}
+        new = {"scale": "quick", "sample_schema": 2,
+               "phases_seconds": {"sample": 0.9, "execute": 0.4}}
+        completed = self._compare(tmp_path, old, new)
+        assert completed.returncode == 0
+        assert "FLAG" in completed.stderr
+        assert "re-baselined" in completed.stderr
+        assert "REGRESSION" not in completed.stderr
+
+    def test_other_phases_still_gate_across_bump(self, tmp_path):
+        old = {"scale": "quick", "phases_seconds": {"sample": 0.4, "execute": 0.4}}
+        new = {"scale": "quick", "sample_schema": 2,
+               "phases_seconds": {"sample": 0.9, "execute": 0.9}}
+        completed = self._compare(tmp_path, old, new)
+        assert completed.returncode == 1
+        assert "REGRESSION" in completed.stderr
+        assert "'execute'" in completed.stderr
+
+    def test_same_schema_sample_regression_still_fails(self, tmp_path):
+        old = {"scale": "quick", "sample_schema": 2,
+               "phases_seconds": {"sample": 0.4}}
+        new = {"scale": "quick", "sample_schema": 2,
+               "phases_seconds": {"sample": 0.9}}
+        completed = self._compare(tmp_path, old, new)
+        assert completed.returncode == 1
+        assert "REGRESSION" in completed.stderr
+
+    def test_missing_field_reads_as_chain_schema_v1(self, tmp_path):
+        # Two pre-bump snapshots (no field) compare as the same schema.
+        old = {"scale": "quick", "phases_seconds": {"sample": 0.4}}
+        new = {"scale": "quick", "phases_seconds": {"sample": 0.9}}
+        completed = self._compare(tmp_path, old, new)
+        assert completed.returncode == 1
+        assert "REGRESSION" in completed.stderr

@@ -21,6 +21,7 @@ from repro.store.shards import (
     ShardPlan,
     _CORPUS,
     _MINE,
+    _SAMPLE,
     _SUITE_EXEC,
     _SYNTH_EXEC,
     _shard_worker,
@@ -234,10 +235,12 @@ class TestShardedBitIdentity:
         _CORPUS.resolve(runner, cfg, 0, SHARDS)
         assert path.read_bytes() == first
 
-    def test_sample_chain_early_stop_matches_unsharded(self):
-        # An attempt budget of 1 at this scale exhausts the sampler before
-        # the requested count; the chain must stop (and record statistics)
-        # exactly like the unsharded single-RNG loop.
+    def test_sample_attempt_exhaustion_matches_unsharded(self):
+        # An attempt budget of 1 at a hot temperature exhausts some streams.
+        # Under independent seeding an exhausted stream yields None for its
+        # index without stopping later streams (unlike the old sequential
+        # chain's early stop); sharded and unsharded runs must agree on
+        # exactly which indices produced kernels and on the statistics.
         cfg = PipelineConfig(
             repository_count=12,
             seed=3,
@@ -250,6 +253,11 @@ class TestShardedBitIdentity:
         sharded = PipelineRunner(store=ArtifactStore(directory=None), shards=4).synthesis(cfg)
         assert canonical_bytes(sharded) == canonical_bytes(plain)
         assert sharded.statistics.generated == plain.statistics.generated
+        assert plain.statistics.requested == 8
+        # Streams are independent: exhaustion shows up as missing positions,
+        # not as a truncated batch (generated + failed streams + merge
+        # duplicates account for every position).
+        assert plain.statistics.attempts == 8  # one attempt per stream
 
 
 class TestMergeDeterminism:
@@ -263,7 +271,7 @@ class TestMergeDeterminism:
         filler = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
 
         tasks = []
-        for spec in (_MINE, _CORPUS, _SUITE_EXEC, _SYNTH_EXEC):
+        for spec in (_MINE, _CORPUS, _SAMPLE, _SUITE_EXEC, _SYNTH_EXEC):
             count = len(shard_ranges(spec.total(cfg), SHARDS))
             tasks.extend((spec, index, count) for index in range(count))
         random.Random(completion_seed).shuffle(tasks)
@@ -299,19 +307,19 @@ class TestMergeDeterminism:
         assert counts["mine"] == {"hit": SHARDS, "miss": 1}
         assert counts["preprocess"]["hit"] >= SHARDS
         assert counts["preprocess"]["miss"] == 1
-        # SHARDS chain-link hits plus the structural whole-batch hit the
-        # synthetic-execute merge records when it pre-resolves the chain.
+        # SHARDS sample-shard hits plus the structural whole-batch hit the
+        # synthetic-execute merge records when it pre-resolves synthesis.
         assert counts["sample"] == {"hit": SHARDS + 1, "miss": 1}
         assert counts["execute"] == {"hit": 2 * SHARDS, "miss": 2}
 
-    def test_synthesis_chain_links_resolve_from_store(self, tmp_path, reference):
+    def test_synthesis_shards_resolve_from_store(self, tmp_path, reference):
         cfg = tiny_config()
         directory = tmp_path / "store"
         first = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
         first.synthesis(cfg)
 
-        # Drop the merged artifact but keep the chain links: the merge must
-        # rebuild bit-identically from warm links alone.
+        # Drop the merged artifact but keep the shards: the merge must
+        # rebuild bit-identically from warm shards alone.
         first.store.entry_path("synthesis", synthesis_fingerprint(cfg)).unlink()
         second = PipelineRunner(store=ArtifactStore(directory=directory), shards=SHARDS)
         result = second.synthesis(cfg)
