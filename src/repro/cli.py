@@ -259,6 +259,27 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_plan_failure(store, key: str, failure) -> None:
+    """One readable summary per failed plan: the poison task, its attempt
+    history, and where the full structured record lives."""
+    record = failure.record
+    attempts = record.get("attempts", [])
+    print(f"plan {key[:12]} FAILED: {failure}", file=sys.stderr)
+    for entry in attempts:
+        print(
+            f"  attempt {entry.get('attempt', '?')} "
+            f"by {entry.get('worker', 'unknown')}: {entry.get('error', 'unknown')}",
+            file=sys.stderr,
+        )
+    failure_path = (
+        store.directory / "queue" / "failures" / f"{failure.task_id}.json"
+        if store.directory is not None
+        else None
+    )
+    if failure_path is not None:
+        print(f"  full record: {failure_path}", file=sys.stderr)
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     """Join published pipeline plans and drain their claim queues.
 
@@ -268,7 +289,20 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     resolved.  Any number of workers — across processes and machines
     sharing the store directory — cooperate through the claim protocol;
     results are bit-identical to a single-process run.
+
+    A plan whose shard exhausted its retry budget (``PlanFailed``) does not
+    take the worker down: the failure artifact is summarized, the remaining
+    plans still drain, and the exit status is non-zero so a fleet
+    supervisor sees the quarantine.  With ``--watch`` the worker stays
+    resident, polling for newly published plans with jittered backoff and
+    draining them as they appear, until SIGTERM (or SIGINT) asks it to
+    finish its current stage and exit cleanly.
     """
+    import random
+    import signal
+    import threading
+
+    from repro.errors import PlanFailed
     from repro.store import PipelineRunner, resolve_store
     from repro.store.queue import drain_plan, load_plans
     from repro.store.shards import ShardPlan
@@ -280,33 +314,127 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    plans = load_plans(store)
-    if not plans:
-        print(f"no published plans in {store.directory}", file=sys.stderr)
-        return 0
-    for key, plan in plans:
-        if plan["shards"] == 1 and args.workers > 1:
-            print(
-                f"warning: plan {key[:12]} was published with a single "
-                "shard, so --workers has no shard-level work to pool; "
-                "republish it with --shards N for real fan-out",
-                file=sys.stderr,
-            )
-        runner = PipelineRunner(
-            store=store,
-            plan=ShardPlan(
-                shards=plan["shards"], workers=args.workers or 0, steal=True
-            ),
-            lease_seconds=args.lease,
+
+    stop = threading.Event()
+    previous_handlers = {}
+    if args.watch and threading.current_thread() is threading.main_thread():
+        def request_stop(signum, frame):
+            print("// stop requested; finishing current work", file=sys.stderr)
+            stop.set()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, request_stop)
+
+    #: Plan key -> PlanFailed.  A quarantined plan is reported once and
+    #: skipped on re-visits (its failure artifact is permanent until an
+    #: operator clears queue/failures/).
+    failed_plans: dict[str, PlanFailed] = {}
+    drained_keys: set[str] = set()
+    warned_single_shard: set[str] = set()
+    rng = random.Random()
+    poll_seconds = 0.5
+    poll_cap = max(args.poll, 0.5) if args.watch else 0.5
+
+    try:
+        while True:
+            plans = load_plans(store)
+            if not plans and not args.watch:
+                print(f"no published plans in {store.directory}", file=sys.stderr)
+                return 0
+            computed_this_pass = 0
+            for key, plan in plans:
+                if stop.is_set() or key in failed_plans:
+                    continue
+                if plan["shards"] == 1 and args.workers > 1 and key not in warned_single_shard:
+                    warned_single_shard.add(key)
+                    print(
+                        f"warning: plan {key[:12]} was published with a single "
+                        "shard, so --workers has no shard-level work to pool; "
+                        "republish it with --shards N for real fan-out",
+                        file=sys.stderr,
+                    )
+                runner = PipelineRunner(
+                    store=store,
+                    plan=ShardPlan(
+                        shards=plan["shards"], workers=args.workers or 0, steal=True
+                    ),
+                    lease_seconds=args.lease,
+                )
+                try:
+                    drain_plan(runner, plan["config"])
+                except PlanFailed as failure:
+                    failed_plans[key] = failure
+                    _print_plan_failure(store, key, failure)
+                    continue
+                counts = runner.stage_counts()
+                computed = sum(bucket["miss"] for bucket in counts.values())
+                served = sum(bucket["hit"] for bucket in counts.values())
+                computed_this_pass += computed
+                if key not in drained_keys or computed:
+                    print(f"plan {key[:12]}: computed {computed} stage artifacts, "
+                          f"{served} served by the store or other workers")
+                drained_keys.add(key)
+            if not args.watch or stop.is_set():
+                break
+            # Jittered backoff between polls: idle workers ease off (so a
+            # fleet does not hammer a shared filesystem in lockstep), and
+            # any pass that found real work snaps back to the floor.
+            if computed_this_pass:
+                poll_seconds = 0.5
+            else:
+                poll_seconds = min(poll_seconds * 1.6, poll_cap)
+            stop.wait(poll_seconds * (0.5 + 0.5 * rng.random()))
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
+    if failed_plans:
+        print(
+            f"drained {len(drained_keys)} plan(s); "
+            f"{len(failed_plans)} plan(s) ended in quarantined shards",
+            file=sys.stderr,
         )
-        drain_plan(runner, plan["config"])
-        counts = runner.stage_counts()
-        computed = sum(bucket["miss"] for bucket in counts.values())
-        served = sum(bucket["hit"] for bucket in counts.values())
-        print(f"plan {key[:12]}: computed {computed} stage artifacts, "
-              f"{served} served by the store or other workers")
-    print(f"drained {len(plans)} plan(s)")
+        return 1
+    print(f"drained {len(drained_keys)} plan(s)")
     return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    """Inspect the claim queue: live claims and quarantined failures."""
+    from repro.store import resolve_store
+    from repro.store.queue import ShardQueue
+
+    store = resolve_store(args.store)
+    if store.directory is None:
+        print(
+            "error: the queue lives in an on-disk store; pass --store or set "
+            "REPRO_STORE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    queue = ShardQueue(store.directory)
+    claims = queue.claim_records()
+    failures = queue.failure_records()
+    print(f"queue: {store.directory}")
+    print(f"claims: {len(claims)} live (lease {queue.lease_seconds:.0f}s)")
+    for record in claims:
+        if record.get("unreadable"):
+            print(f"  {record['task'][:16]}  <unreadable claim>")
+            continue
+        age = record.get("age_seconds", 0.0)
+        state = "EXPIRED" if age > queue.lease_seconds else "live"
+        print(
+            f"  {record['task'][:16]}  attempt {record.get('attempt', '?')}  "
+            f"age {age:6.1f}s  {state}  held by {record.get('worker', 'unknown')}"
+        )
+    print(f"failures: {len(failures)} quarantined "
+          f"(budget {queue.max_attempts} attempts)")
+    for record in failures:
+        attempts = record.get("attempts", [])
+        last = attempts[-1].get("error", "unknown") if attempts else "unknown"
+        print(f"  {record.get('task', '?')[:16]}  {len(attempts)} attempts  "
+              f"last error: {last}")
+    return 1 if failures else 0
 
 
 def _store_for(args: argparse.Namespace):
@@ -489,7 +617,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="claim lease; a claim older than this is treated as a crashed "
              "worker's and stolen (default: $REPRO_QUEUE_LEASE, else 300)",
     )
+    worker.add_argument(
+        "--watch",
+        action="store_true",
+        help="stay resident after draining: poll the store for newly "
+             "published plans (jittered backoff) until SIGTERM",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="with --watch, the maximum idle-poll interval; backoff starts "
+             "at 0.5s and eases up to this cap (default: 10)",
+    )
     worker.set_defaults(func=_cmd_worker)
+
+    queue = subparsers.add_parser(
+        "queue", help="inspect the work-stealing claim queue"
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    queue_status = queue_sub.add_parser(
+        "status",
+        help="list live claims (task, worker, attempt, lease age) and "
+             "quarantined failures; exits non-zero if any task is quarantined",
+    )
+    queue_status.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="the shared artifact-store directory (default: $REPRO_STORE_DIR)",
+    )
+    queue_status.set_defaults(func=_cmd_queue_status)
 
     store = subparsers.add_parser(
         "store", help="inspect or bound the on-disk artifact store"

@@ -114,6 +114,21 @@ def env_size(name: str, default: int | None = None) -> int | None:
         return default
 
 
+def env_text(name: str, default: str | None = None) -> str | None:
+    """The raw (stripped) text value of ``$name``, or *default* when unset
+    or blank.
+
+    For knobs whose grammar is owned by a dedicated parser (e.g. the
+    ``REPRO_FAULTS`` fault specs): this helper only normalizes "unset",
+    "empty" and "whitespace" to one answer so every caller agrees on what
+    "off" looks like.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip()
+
+
 def env_choice(name: str, choices: Sequence[str], default: str) -> str:
     """The value of ``$name`` restricted to *choices*, else *default*."""
     raw = os.environ.get(name)

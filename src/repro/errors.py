@@ -98,3 +98,29 @@ class SynthesisError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised for problems loading or executing benchmark-suite programs."""
+
+
+class PlanFailed(ReproError):
+    """A queue-drained pipeline plan cannot complete: one of its tasks
+    failed its whole retry budget and was quarantined.
+
+    Raised by every worker awaiting or claiming the poison task — instead
+    of the fleet re-stealing and re-crashing the same shard forever, the
+    plan fails loudly in each participant, naming the task.  The full
+    structured record (worker ids, per-attempt errors, tracebacks) lives in
+    the failure artifact under ``queue/failures/`` in the store.
+
+    Attributes:
+        task_id: Store key of the quarantined task.
+        record: The failure artifact's contents (may be empty if unreadable).
+    """
+
+    def __init__(self, task_id: str, record: dict | None = None):
+        self.task_id = task_id
+        self.record = record or {}
+        attempts = self.record.get("attempts", [])
+        last = attempts[-1].get("error", "unknown error") if attempts else "unknown error"
+        super().__init__(
+            f"task {task_id[:12]} quarantined after {len(attempts)} failed "
+            f"attempt(s); last error: {last}"
+        )

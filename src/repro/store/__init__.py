@@ -9,13 +9,17 @@ from repro.store.artifact_store import (
     GCResult,
     GLOBAL_MEMORY_STORE,
     StoreStats,
+    default_io_retries,
     default_store_directory,
     default_store_max_bytes,
     resolve_store,
+    retry_io,
 )
+from repro.store.faults import CRASH_EXIT_CODE, fault_point
 from repro.store.fingerprint import SCHEMA_VERSIONS, fingerprint, schema_version, text_digest
 from repro.store.queue import (
     ShardQueue,
+    default_max_attempts,
     drain_plan,
     load_plans,
     plan_fingerprint,
@@ -53,6 +57,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "ArtifactStore",
+    "CRASH_EXIT_CODE",
     "GCResult",
     "GLOBAL_MEMORY_STORE",
     "StoreStats",
@@ -66,10 +71,13 @@ __all__ = [
     "StageEvent",
     "SuiteMeasurementSet",
     "corpus_fingerprint",
+    "default_io_retries",
+    "default_max_attempts",
     "default_runner",
     "default_store_directory",
     "default_store_max_bytes",
     "drain_plan",
+    "fault_point",
     "fingerprint",
     "load_plans",
     "mine_fingerprint",
@@ -78,6 +86,7 @@ __all__ = [
     "plan_from_env",
     "publish_plan",
     "resolve_store",
+    "retry_io",
     "schema_version",
     "shard_ranges",
     "suite_execution_fingerprint",

@@ -27,14 +27,70 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.envutil import env_directory, env_size
+from repro.envutil import env_directory, env_int, env_size
+from repro.store.faults import fault_point
 from repro.store.fingerprint import schema_version
+
+#: Transient-I/O retry budget for one store/queue operation (put, get,
+#: claim create).  Retries absorb the blips a shared store over a network
+#: filesystem actually produces — ESTALE, EIO under load, EBUSY — without
+#: masking hard failures for long.
+DEFAULT_IO_RETRIES = 5
+
+
+def default_io_retries() -> int:
+    """The retry budget from ``REPRO_STORE_RETRIES``, hardened (0 = no retries)."""
+    return env_int("REPRO_STORE_RETRIES", default=DEFAULT_IO_RETRIES, minimum=0)
+
+
+#: Deliberately unseeded: jitter exists to decorrelate *workers*, so two
+#: workers sharing code (and any seed) must still back off differently.
+_JITTER_RNG = random.Random()
+
+#: OSErrors that describe the *request*, not the medium — retrying them
+#: can only repeat the same answer slower.
+_NON_TRANSIENT_OS_ERRORS = (
+    FileNotFoundError,
+    FileExistsError,
+    IsADirectoryError,
+    NotADirectoryError,
+)
+
+
+def retry_io(operation, retries: int | None = None, base: float = 0.005,
+             cap: float = 0.25, rng: random.Random | None = None):
+    """Run *operation*, retrying transient :class:`OSError` with capped
+    exponential backoff plus jitter.
+
+    Non-transient errors (missing file, existing file, directory-shape
+    mismatches) propagate immediately — a reader treating ENOENT as
+    retry-worthy would turn every ordinary cache miss into a backoff
+    stall.  The final failure propagates unchanged so callers keep their
+    existing best-effort/except-OSError semantics.
+    """
+    retries = default_io_retries() if retries is None else retries
+    rng = _JITTER_RNG if rng is None else rng
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except _NON_TRANSIENT_OS_ERRORS:
+            raise
+        except OSError:
+            if attempt >= retries:
+                raise
+            delay = min(cap, base * (2 ** attempt))
+            # Full jitter in [delay/2, delay): synchronized workers that
+            # failed together must not retry together.
+            time.sleep(delay * (0.5 + 0.5 * rng.random()))
+            attempt += 1
 
 
 def default_store_directory() -> str | None:
@@ -336,8 +392,13 @@ class ArtifactStore:
         path = self.entry_path(kind, key)
         if path is None:
             return None
+
+        def read() -> bytes:
+            fault_point("io_error", op="get", kind=kind)
+            return path.read_bytes()
+
         try:
-            serialized = path.read_bytes()
+            serialized = retry_io(read)
         except OSError:
             return None
         value = self._deserialize(kind, serialized)
@@ -372,11 +433,24 @@ class ArtifactStore:
         path = self.entry_path(kind, key)
         if path is None:
             return
-        try:
+
+        def write() -> None:
+            fault_point("io_error", op="put", kind=kind)
             path.parent.mkdir(parents=True, exist_ok=True)
             temp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-            temp.write_bytes(serialized)
+            payload = serialized
+            if fault_point("torn_write", kind=kind):
+                # Simulated torn write: the entry lands truncated, as after
+                # a power loss that renamed before the data flushed.  The
+                # reader's deserialize rejects it (a miss), and the
+                # recompute's put heals the slot — the crash-safety story
+                # this injection exists to prove.
+                payload = serialized[: max(1, len(serialized) // 2)]
+            temp.write_bytes(payload)
             os.replace(temp, path)
+
+        try:
+            retry_io(write)
         except Exception:
             # Disk persistence is best-effort; never fail a pipeline over it.
             return

@@ -1,0 +1,276 @@
+"""Deterministic fault injection for the store/queue/runner stack.
+
+A fault-tolerance layer is only trustworthy if its failure paths are
+*executed*, not just written: a lease-expiry steal-back that has never run
+against a worker that actually died mid-claim is a hope, not a mechanism.
+This module gives tests and the chaos harness (``scripts/chaos_drain.py``)
+a way to kill, starve and corrupt workers at every protocol edge — claim
+taken, shard mid-compute, merge about to land, store entry half-written —
+so the surviving fleet's recovery can be asserted byte-for-byte.
+
+Faults are named by the ``REPRO_FAULTS`` environment variable: a
+comma-separated list of specs, each ``name[:token]*`` where a token is
+either ``key=value`` or a bare word (shorthand for ``op=<word>``).
+
+=====================  ====================================================
+spec                   effect at its injection point
+=====================  ====================================================
+``crash_after_claim``  die right after winning a claim (claim left held)
+``crash_mid_shard``    die at the start of a shard's compute
+``crash_pre_merge``    die after the merge computed, before its ``put``
+``fail_shard``         raise :class:`InjectedFault` from a shard compute
+                       (a deterministic, *catchable* poison failure)
+``stall_shard``        sleep ``seconds=`` at the start of a shard compute
+``torn_write``         land a truncated store entry (simulated torn write)
+``io_error``           raise :class:`OSError` from store/queue I/O
+                       (``op=put`` / ``op=get`` / ``op=claim``)
+=====================  ====================================================
+
+Parameters shared by every spec (everything else is a *match attribute*
+that must equal the injection point's keyword, e.g. ``shard=2`` or
+``kind=synthesis-shard``):
+
+* ``p=0.3`` — fire probabilistically per occurrence from a seeded RNG
+  (``seed=N``, default 0) instead of the default fire-once;
+* ``times=N`` — arm the fault for N firings (default 1; with ``p`` the
+  default is unlimited);
+* ``mode=raise`` — crash faults raise :class:`InjectedCrash` (a
+  ``BaseException``, so ordinary ``except Exception`` recovery code cannot
+  swallow it) instead of ``os._exit(70)``.  The default hard exit is the
+  faithful simulation — no ``finally`` blocks run, exactly like a kill —
+  and is what the chaos harness's subprocess workers use;
+* ``seconds=S`` — the stall duration for ``stall_*`` faults (default 1).
+
+Examples::
+
+    REPRO_FAULTS='crash_after_claim:shard=2'
+    REPRO_FAULTS='torn_write:kind=synthesis-shard'
+    REPRO_FAULTS='io_error:put:p=0.2:seed=7'
+    REPRO_FAULTS='fail_shard:shard=1:p=1'        # poison: fails every time
+
+With ``REPRO_FAULTS`` unset every injection point is a cheap no-op, so the
+hooks stay threaded through production paths permanently.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+
+from repro.envutil import env_text
+
+#: The exit status of a hard-crash fault — distinct from real failures so
+#: the chaos harness can tell "worker killed as scripted" from "worker
+#: found a genuine bug".
+CRASH_EXIT_CODE = 70
+
+#: Spec tokens that parameterize the fault rather than match the point.
+_PARAMS = frozenset({"p", "seed", "times", "mode", "seconds"})
+
+#: Names this module knows how to fire (a typo'd name would otherwise be
+#: silently inert, which is the worst failure mode for a failure tester).
+KNOWN_FAULTS = frozenset(
+    {
+        "crash_after_claim",
+        "crash_mid_shard",
+        "crash_pre_merge",
+        "fail_shard",
+        "stall_shard",
+        "torn_write",
+        "io_error",
+    }
+)
+
+
+class InjectedFault(Exception):
+    """A scripted *catchable* failure (``fail_*`` faults): stands in for a
+    deterministic compute bug, so retry/quarantine paths can be driven."""
+
+
+class InjectedCrash(BaseException):
+    """A scripted crash in ``mode=raise``.
+
+    Deliberately a ``BaseException``: recovery code that catches
+    ``Exception`` must not be able to "handle" a simulated worker death —
+    the whole point is that the claim stays held and cleanup never runs,
+    as with a real kill.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: a name, match attributes, and firing policy."""
+
+    name: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    p: float | None = None
+    times: int = 1  # remaining firings; -1 = unlimited
+    mode: str = "exit"
+    seconds: float = 1.0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def matches(self, point: str, attrs: dict) -> bool:
+        if self.name != point:
+            return False
+        return all(str(attrs.get(key)) == value for key, value in self.attrs.items())
+
+
+def parse_faults(raw: str) -> list[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` value; malformed specs warn and are dropped
+    (a typo in a chaos run must not silently disable the experiment)."""
+    specs: list[FaultSpec] = []
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        tokens = chunk.split(":")
+        name = tokens[0].strip()
+        if name not in KNOWN_FAULTS:
+            warnings.warn(
+                f"ignoring unknown fault {name!r} in REPRO_FAULTS "
+                f"(known: {', '.join(sorted(KNOWN_FAULTS))})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            continue
+        attrs: dict[str, str] = {}
+        params: dict[str, str] = {}
+        for token in tokens[1:]:
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                key, _, value = token.partition("=")
+                (params if key in _PARAMS else attrs)[key] = value
+            else:
+                attrs["op"] = token
+        try:
+            p = float(params["p"]) if "p" in params else None
+            seed = int(params.get("seed", "0"))
+            seconds = float(params.get("seconds", "1.0"))
+            times = int(params["times"]) if "times" in params else (-1 if p is not None else 1)
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed fault spec {chunk!r} in REPRO_FAULTS",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            continue
+        mode = params.get("mode", "exit")
+        if mode not in ("exit", "raise"):
+            warnings.warn(
+                f"ignoring fault spec {chunk!r}: mode must be 'exit' or 'raise'",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            continue
+        specs.append(
+            FaultSpec(
+                name=name,
+                attrs=attrs,
+                p=p,
+                times=times,
+                mode=mode,
+                seconds=seconds,
+                rng=random.Random(seed),
+            )
+        )
+    return specs
+
+
+class FaultPlan:
+    """The armed faults of one process, with thread-safe firing state."""
+
+    def __init__(self, specs: list[FaultSpec]):
+        self._specs = specs
+        self._lock = threading.Lock()
+
+    def fire(self, point: str, **attrs) -> bool:
+        """Fire any armed fault matching *point*.
+
+        Crash faults terminate (or raise :class:`InjectedCrash`),
+        ``io_error`` raises :class:`OSError`, ``fail_*`` raises
+        :class:`InjectedFault`, ``stall_*`` sleeps.  Returns ``True`` when a
+        behavior-bearing fault fired that the *caller* must enact
+        (``torn_write``), ``False`` otherwise.
+        """
+        fired: FaultSpec | None = None
+        with self._lock:
+            for spec in self._specs:
+                if not spec.matches(point, attrs):
+                    continue
+                if spec.times == 0:
+                    continue
+                if spec.p is not None and spec.rng.random() >= spec.p:
+                    continue
+                if spec.times > 0:
+                    spec.times -= 1
+                fired = spec
+                break
+        if fired is None:
+            return False
+        return self._enact(fired, point, attrs)
+
+    @staticmethod
+    def _enact(spec: FaultSpec, point: str, attrs: dict) -> bool:
+        detail = ",".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+        if spec.name.startswith("crash"):
+            if spec.mode == "raise":
+                raise InjectedCrash(f"injected {spec.name} at {detail}")
+            os._exit(CRASH_EXIT_CODE)
+        if spec.name == "io_error":
+            raise OSError(f"injected io_error at {detail}")
+        if spec.name.startswith("fail"):
+            raise InjectedFault(f"injected {spec.name} at {detail}")
+        if spec.name.startswith("stall"):
+            time.sleep(spec.seconds)
+            return True
+        return True  # torn_write (and any future caller-enacted fault)
+
+
+#: Parsed-plan cache keyed on the raw env string, so one-shot firing state
+#: survives across injection points within a process while a *changed*
+#: REPRO_FAULTS re-arms from scratch.
+_CACHE: tuple[str, FaultPlan] | None = None
+_CACHE_LOCK = threading.Lock()
+
+
+def active_plan() -> FaultPlan | None:
+    """The process's armed fault plan, or ``None`` when ``REPRO_FAULTS`` is unset."""
+    global _CACHE
+    raw = env_text("REPRO_FAULTS")
+    if raw is None:
+        return None
+    with _CACHE_LOCK:
+        if _CACHE is None or _CACHE[0] != raw:
+            _CACHE = (raw, FaultPlan(parse_faults(raw)))
+        return _CACHE[1]
+
+
+def reset() -> None:
+    """Drop the cached plan so the next :func:`fault_point` re-arms from the
+    environment (tests re-using identical spec strings need this)."""
+    global _CACHE
+    with _CACHE_LOCK:
+        _CACHE = None
+
+
+def fault_point(point: str, **attrs) -> bool:
+    """Declare an injection point.  A no-op unless ``REPRO_FAULTS`` arms a
+    matching fault; returns ``True`` when a caller-enacted fault fired."""
+    plan = active_plan()
+    if plan is None:
+        return False
+    return plan.fire(point, **attrs)
+
+
+def shard_compute_faults(kind: str, shard: int) -> None:
+    """The injection points at the top of every shard compute: die, poison,
+    or stall — the three ways a real worker goes wrong mid-shard."""
+    fault_point("crash_mid_shard", kind=kind, shard=shard)
+    fault_point("fail_shard", kind=kind, shard=shard)
+    fault_point("stall_shard", kind=kind, shard=shard)

@@ -19,7 +19,23 @@ claim file away (``os.rename`` has exactly one winner; losers see
 ``ENOENT``) and then re-create the claim with ``O_EXCL`` as usual.  The
 artifact a crashed worker half-wrote is invisible by construction — store
 writes land via temp file + ``os.replace``, so an interrupted shard leaves
-only a stale ``.tmp.`` spill (swept by gc), never a truncated entry.
+only a stale ``.tmp.`` spill (swept by gc), never a truncated entry.  A
+long *live* computation is distinguished from a dead worker by its
+**heartbeat**: the claim holder refreshes the lease from a daemon thread
+every third of the lease period (:meth:`ShardQueue.heartbeat`), so only a
+worker that actually stopped — crashed, killed, wedged hard enough that
+its heartbeat thread died too — loses its claim.
+
+Lease expiry alone cannot handle the *other* deterministic failure: a
+shard whose computation always crashes or raises would be stolen back,
+re-crashed and re-stolen forever, livelocking the plan.  Claims therefore
+carry **attempt counts** (persisted per task under ``queue/attempts/``),
+and a task that fails :func:`default_max_attempts` times — by raising, or
+by its holder dying and the lease-expiry steal recording the death — is
+**quarantined**: a structured failure artifact (worker ids, per-attempt
+errors, tracebacks) lands under ``queue/failures/``, and every worker
+claiming or awaiting the task raises :class:`~repro.errors.PlanFailed`
+naming the poison shard instead of spinning.
 
 Completion needs no bookkeeping either: a unit of work is done exactly
 when its store entry exists.  Workers therefore poll the store between
@@ -39,14 +55,18 @@ protocol until nothing is left to do.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import socket
 import threading
 import time
+import traceback
 from pathlib import Path
 
-from repro.envutil import env_float
+from repro.envutil import env_float, env_int
+from repro.errors import PlanFailed
+from repro.store.faults import fault_point
 
 #: A claim older than this is an abandoned worker's, and may be stolen.
 DEFAULT_LEASE_SECONDS = 300.0
@@ -54,18 +74,65 @@ DEFAULT_LEASE_SECONDS = 300.0
 #: How long a worker sleeps between probes while someone else holds a claim.
 DEFAULT_POLL_SECONDS = 0.05
 
+#: How many times a task may fail (raise, or crash its holder) before it is
+#: quarantined instead of retried.
+DEFAULT_MAX_ATTEMPTS = 3
+
 
 def default_lease_seconds() -> float:
     """The claim lease from ``REPRO_QUEUE_LEASE`` (seconds), hardened."""
     return env_float("REPRO_QUEUE_LEASE", default=DEFAULT_LEASE_SECONDS, minimum=0.001)
 
 
+def default_max_attempts() -> int:
+    """The retry budget from ``REPRO_QUEUE_MAX_ATTEMPTS``, hardened.
+
+    The minimum is 1: a budget of zero would quarantine every task before
+    its first attempt, which can never be what an operator meant.
+    """
+    return env_int("REPRO_QUEUE_MAX_ATTEMPTS", default=DEFAULT_MAX_ATTEMPTS, minimum=1)
+
+
+class _Heartbeat:
+    """Context manager refreshing a held claim's lease from a daemon thread.
+
+    The refresh period is a third of the lease, so even two consecutive
+    missed beats (scheduler stall, slow NFS utime) leave the claim alive;
+    only a worker whose whole process stopped loses it.  Exceptions from
+    ``refresh`` are already swallowed there — a heartbeat must never be the
+    thing that kills a healthy compute.
+    """
+
+    def __init__(self, queue: "ShardQueue", task_id: str):
+        self._queue = queue
+        self._task_id = task_id
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{task_id[:12]}", daemon=True
+        )
+
+    def _run(self) -> None:
+        interval = max(self._queue.lease_seconds / 3.0, 0.005)
+        while not self._stop.wait(interval):
+            self._queue.refresh(self._task_id)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
 class ShardQueue:
-    """Claim/lease coordination for one store directory.
+    """Claim/lease/attempt coordination for one store directory.
 
     Claims live in ``<directory>/queue/claims/<key>.claim`` — beside, not
     inside, the artifact kind directories, so gc and stats never mistake
-    them for entries.  Task identifiers are artifact store keys
+    them for entries.  Failed-attempt histories live beside them under
+    ``queue/attempts/`` and quarantined-task records under
+    ``queue/failures/``.  Task identifiers are artifact store keys
     (fingerprints), which are globally unique across kinds and plans, so
     one claim namespace serves every plan sharing the store.
     """
@@ -75,13 +142,20 @@ class ShardQueue:
         directory: str | os.PathLike,
         lease_seconds: float | None = None,
         poll_seconds: float | None = None,
+        max_attempts: int | None = None,
     ):
-        self.claims = Path(directory) / "queue" / "claims"
+        root = Path(directory) / "queue"
+        self.claims = root / "claims"
+        self.attempts_dir = root / "attempts"
+        self.failures_dir = root / "failures"
         self.lease_seconds = (
             lease_seconds if lease_seconds is not None else default_lease_seconds()
         )
         self.poll_seconds = (
             poll_seconds if poll_seconds is not None else DEFAULT_POLL_SECONDS
+        )
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else default_max_attempts()
         )
         self.worker_id = (
             f"{socket.gethostname()}.{os.getpid()}.{threading.get_ident()}"
@@ -89,6 +163,12 @@ class ShardQueue:
 
     def _claim_path(self, task_id: str) -> Path:
         return self.claims / f"{task_id}.claim"
+
+    def _attempts_path(self, task_id: str) -> Path:
+        return self.attempts_dir / f"{task_id}.json"
+
+    def _failure_path(self, task_id: str) -> Path:
+        return self.failures_dir / f"{task_id}.json"
 
     # ------------------------------------------------------------------
     # The claim protocol.
@@ -100,13 +180,19 @@ class ShardQueue:
         Returns ``True`` for exactly one caller per claim lifetime: the
         ``O_EXCL`` create admits a single winner, and an expired claim is
         stolen through a single-winner ``os.rename`` before re-claiming.
+        A quarantined task is never claimable, and stealing an expired
+        claim records the dead holder's attempt — so a shard that kills
+        every worker that touches it runs out of retry budget instead of
+        livelocking the fleet.
         """
+        if self.failure(task_id) is not None:
+            return False
         path = self._claim_path(task_id)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
         except OSError:
             return False
-        if self._create_claim(path):
+        if self._create_claim(path, task_id):
             return True
         if not self._expired(path):
             return False
@@ -121,22 +207,48 @@ class ShardQueue:
             os.rename(path, stale)
         except OSError:
             return False
+        # We own the renamed file: read the dead holder's record before
+        # discarding it, and charge the death against the task's budget.
+        dead = {}
+        try:
+            dead = json.loads(stale.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            pass
         try:
             stale.unlink()
         except OSError:
             pass
-        return self._create_claim(path)
+        if self._record_attempt(
+            task_id,
+            worker=dead.get("worker", "unknown"),
+            error="lease expired: worker crashed or stalled mid-compute "
+            "(no heartbeat within the lease)",
+            traceback_text=None,
+        ):
+            return False  # that death exhausted the budget: quarantined
+        return self._create_claim(path, task_id)
 
-    def _create_claim(self, path: Path) -> bool:
+    def _create_claim(self, path: Path, task_id: str) -> bool:
+        from repro.store.artifact_store import retry_io
+
+        payload = json.dumps(
+            {
+                "worker": self.worker_id,
+                "claimed_at": time.time(),
+                "attempt": len(self.attempts(task_id)) + 1,
+            }
+        )
+
+        def create() -> int:
+            fault_point("io_error", op="claim")
+            return os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+
         try:
-            descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            descriptor = retry_io(create)
         except FileExistsError:
             return False
         except OSError:
             return False
-        payload = json.dumps(
-            {"worker": self.worker_id, "claimed_at": time.time()}
-        )
         with os.fdopen(descriptor, "w") as handle:
             handle.write(payload)
         return True
@@ -152,16 +264,32 @@ class ShardQueue:
         return age > self.lease_seconds
 
     def refresh(self, task_id: str) -> None:
-        """Extend the lease of a held claim (long computes call this to
-        keep stealers away; missing it only risks duplicate benign work)."""
+        """Extend the lease of a held claim (the heartbeat calls this so
+        long computations are never mistaken for dead workers)."""
         try:
             os.utime(self._claim_path(task_id))
         except OSError:
             pass
 
+    def heartbeat(self, task_id: str) -> _Heartbeat:
+        """A context manager keeping the held claim *task_id* alive: a
+        daemon thread refreshes the lease every ``lease/3`` seconds until
+        the block exits (or the whole process dies — which is the point)."""
+        return _Heartbeat(self, task_id)
+
     def complete(self, task_id: str) -> None:
-        """Drop the claim after the artifact landed (or the compute raised,
-        so another worker may retry without waiting out the lease)."""
+        """Drop the claim after the artifact landed, and clear the task's
+        failed-attempt history (it succeeded; old failures were transient)."""
+        self.release(task_id)
+        try:
+            self._attempts_path(task_id).unlink()
+        except OSError:
+            pass
+
+    def release(self, task_id: str) -> None:
+        """Drop the claim *without* touching the attempt history — the
+        failure path, so another worker may retry immediately without
+        waiting out the lease."""
         try:
             self._claim_path(task_id).unlink()
         except OSError:
@@ -171,8 +299,157 @@ class ShardQueue:
         """The claim record for *task_id*, or ``None`` (diagnostics only)."""
         try:
             return json.loads(self._claim_path(task_id).read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, ValueError):
             return None
+
+    # ------------------------------------------------------------------
+    # Attempt accounting and quarantine.
+    # ------------------------------------------------------------------
+
+    def attempts(self, task_id: str) -> list[dict]:
+        """The task's failed-attempt history (empty when it never failed)."""
+        try:
+            history = json.loads(self._attempts_path(task_id).read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return []
+        return history if isinstance(history, list) else []
+
+    def record_failure(self, task_id: str, error: BaseException) -> bool:
+        """Charge a raised compute failure against *task_id*'s retry budget.
+
+        Returns ``True`` when this failure was the last straw and the task
+        is now quarantined (the caller should raise
+        :class:`~repro.errors.PlanFailed` rather than retry).
+        """
+        return self._record_attempt(
+            task_id,
+            worker=self.worker_id,
+            error=f"{type(error).__name__}: {error}",
+            traceback_text="".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            ),
+        )
+
+    def _record_attempt(
+        self, task_id: str, worker: str, error: str, traceback_text: str | None
+    ) -> bool:
+        """Append one failed attempt; quarantine when the budget is spent.
+
+        Only the claim winner (or the steal-rename winner) calls this, so
+        the read-modify-write on the history file is single-writer by the
+        claim protocol; the write itself is atomic (temp + ``os.replace``)
+        so concurrent *readers* never see a torn history.
+        """
+        history = self.attempts(task_id)
+        history.append(
+            {
+                "worker": worker,
+                "at": time.time(),
+                "attempt": len(history) + 1,
+                "error": error,
+                "traceback": traceback_text,
+            }
+        )
+        if len(history) >= self.max_attempts:
+            self._quarantine(task_id, history)
+            return True
+        self._write_json(self._attempts_path(task_id), history)
+        return False
+
+    def _quarantine(self, task_id: str, history: list[dict]) -> None:
+        record = {
+            "task": task_id,
+            "quarantined_at": time.time(),
+            "quarantined_by": self.worker_id,
+            "max_attempts": self.max_attempts,
+            "attempts": history,
+        }
+        self._write_json(self._failure_path(task_id), record)
+        try:
+            self._attempts_path(task_id).unlink()
+        except OSError:
+            pass
+
+    def _write_json(self, path: Path, value) -> None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_name(
+                f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+            )
+            temp.write_text(json.dumps(value, indent=2))
+            os.replace(temp, path)
+        except OSError:
+            # Best-effort like every other queue write: losing an attempt
+            # record costs at worst one extra retry, never correctness.
+            pass
+
+    def failure(self, task_id: str) -> dict | None:
+        """The quarantine record for *task_id*, or ``None``."""
+        try:
+            record = json.loads(self._failure_path(task_id).read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def raise_if_failed(self, task_id: str) -> None:
+        """Raise :class:`~repro.errors.PlanFailed` if *task_id* was
+        quarantined — how awaiting workers stop spinning on a poison shard."""
+        record = self.failure(task_id)
+        if record is not None:
+            raise PlanFailed(task_id, record)
+
+    # ------------------------------------------------------------------
+    # Sweep randomization and inspection.
+    # ------------------------------------------------------------------
+
+    def sweep_offset(self, count: int) -> int:
+        """This worker's deterministic sweep start over *count* task slots.
+
+        Every worker sweeping pending tasks in the same sorted order
+        collides on task 0's claim, loses, moves to task 1, collides again…
+        — O(workers) wasted claim attempts per task on wide fan-outs.
+        Hashing the worker id into a start offset spreads first touches
+        across the pending set; sweeps still cover every task (rotation,
+        not subset), so correctness is untouched.
+        """
+        if count <= 0:
+            return 0
+        digest = hashlib.sha256(self.worker_id.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little") % count
+
+    def claim_records(self) -> list[dict]:
+        """All live claims, each with its task, holder, attempt and age
+        (``repro queue status``)."""
+        records: list[dict] = []
+        now = time.time()
+        try:
+            paths = sorted(self.claims.glob("*.claim"))
+        except OSError:
+            return records
+        for path in paths:
+            record = {"task": path.name.removesuffix(".claim")}
+            try:
+                record.update(json.loads(path.read_text()))
+                record["age_seconds"] = now - path.stat().st_mtime
+            except (OSError, json.JSONDecodeError, ValueError):
+                record["unreadable"] = True
+            records.append(record)
+        return records
+
+    def failure_records(self) -> list[dict]:
+        """All quarantine records, sorted by task (``repro queue status``)."""
+        try:
+            paths = sorted(self.failures_dir.glob("*.json"))
+        except OSError:
+            return []
+        records = []
+        for path in paths:
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, ValueError):
+                record = {"task": path.stem, "unreadable": True}
+            records.append(record)
+        return records
 
 
 # ---------------------------------------------------------------------------
@@ -235,6 +512,10 @@ def drain_plan(runner, cfg) -> None:
     consumes mine *shards* directly — without it the whole-``mine`` entry
     an unsharded run leaves behind would be missing, and queue-drained
     stores must be entry-for-entry identical to unsharded ones.
+
+    Raises :class:`~repro.errors.PlanFailed` when any task of the plan was
+    (or becomes) quarantined: the plan cannot complete, and every draining
+    worker surfaces the same poison shard instead of spinning.
     """
     runner.suite_measurements(cfg)
     runner.content_files(cfg)

@@ -256,13 +256,22 @@ class _FanoutSpec:
         key: str | None = None,
         direct: bool = False,
     ):
+        from repro.store.faults import shard_compute_faults
+
+        def compute():
+            # The canonical mid-shard injection points (die / poison /
+            # stall) fire after the claim but before any real work — the
+            # window a real worker failure actually occupies.
+            shard_compute_faults(self.kind, index)
+            return self.compute(runner, cfg, index, shards)
+
         # direct=True skips the runner's claim-or-await wrapper: the
         # steal-mode drain loop claims shard keys itself before resolving.
         return runner._stage(
             self.stage,
             self.kind,
             key if key is not None else self.key(cfg, index, shards),
-            lambda: self.compute(runner, cfg, index, shards),
+            compute,
             direct=direct,
         )
 
@@ -663,7 +672,18 @@ def _drain_fanout(runner, cfg, spec: _FanoutSpec) -> list:
     :func:`_drain_worker` processes draining the same queue; the parent
     loop afterwards collects the values (and computes any stragglers
     itself), so pool failures degrade seamlessly.
+
+    Failure semantics: a shard compute that raises charges the shard's
+    retry budget (:meth:`~repro.store.queue.ShardQueue.record_failure`) and
+    the sweep moves on — this worker or another re-claims it until the
+    budget runs out and the shard is quarantined, at which point every
+    claimer *and* every waiter raises :class:`~repro.errors.PlanFailed`
+    naming the poison shard.  A worker death (simulated or real) leaves its
+    claim held; the lease-expiry steal charges the budget instead.
     """
+    from repro.errors import PlanFailed
+    from repro.store.faults import fault_point
+
     shards = runner.plan.shards
     keys = spec.keys(cfg, shards)
     values: list = [None] * len(keys)
@@ -672,7 +692,12 @@ def _drain_fanout(runner, cfg, spec: _FanoutSpec) -> list:
     def sweep(claim: bool) -> bool:
         progressed = False
         queue = runner.queue()
-        for index in sorted(pending):
+        # Worker-id-hashed start offset: wide fan-outs would otherwise have
+        # every worker contend for the same first pending shard, lose, and
+        # shift by one — O(workers) wasted claim attempts per shard.
+        order = sorted(pending)
+        offset = queue.sweep_offset(len(order))
+        for index in order[offset:] + order[:offset]:
             started = time.perf_counter()
             value = runner.store.get(spec.kind, keys[index])
             if value is not None:
@@ -683,13 +708,25 @@ def _drain_fanout(runner, cfg, spec: _FanoutSpec) -> list:
                 pending.discard(index)
                 progressed = True
                 continue
+            queue.raise_if_failed(keys[index])
             if claim and queue.try_claim(keys[index]):
+                fault_point("crash_after_claim", kind=spec.kind, shard=index)
                 try:
-                    values[index] = spec.resolve(
-                        runner, cfg, index, shards, key=keys[index], direct=True
-                    )
-                finally:
-                    queue.complete(keys[index])
+                    with queue.heartbeat(keys[index]):
+                        values[index] = spec.resolve(
+                            runner, cfg, index, shards, key=keys[index], direct=True
+                        )
+                except PlanFailed:
+                    queue.release(keys[index])
+                    raise
+                except Exception as error:
+                    quarantined = queue.record_failure(keys[index], error)
+                    queue.release(keys[index])
+                    if quarantined:
+                        raise PlanFailed(keys[index], queue.failure(keys[index])) from error
+                    progressed = True  # an attempt was consumed; retry now
+                    continue
+                queue.complete(keys[index])
                 pending.discard(index)
                 progressed = True
         return progressed
@@ -770,9 +807,21 @@ def _merged(runner, stage: str, kind: str, key: str, combine, drain=None):
     other workers idled — the exact straggler pattern this scheduler
     replaces.
     """
+    from repro.store.faults import fault_point
+
     if drain is not None and runner.stealing and not runner.has_entry(kind, key):
         drain()
-    return runner._stage(stage, kind, key, combine)
+
+    def combine_with_faults():
+        value = combine()
+        # The narrowest crash window in the protocol: every shard landed,
+        # the merge is computed, and its put has not happened yet.  A death
+        # here must leave a steal-back winner that re-runs the merge to a
+        # byte-identical whole-pipeline entry.
+        fault_point("crash_pre_merge", kind=kind)
+        return value
+
+    return runner._stage(stage, kind, key, combine_with_faults)
 
 
 def sharded_mine(runner, cfg) -> list[str]:

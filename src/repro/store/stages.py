@@ -681,22 +681,50 @@ class PipelineRunner:
     def _stage_stolen(self, stage: str, kind: str, key: str, compute, started: float):
         """Claim-or-await resolution (work-stealing mode).
 
-        Exactly one concurrent runner wins the claim and computes; everyone
-        else polls the store until the artifact lands, recorded as a hit
-        whose seconds are wait rather than work (one reason steal-mode
-        sessions are refused as bench timing sources).  A crashed winner's
-        claim expires after its lease and the next poller steals it; a
-        winner whose compute *raises* releases the claim immediately, so
-        the (deterministic) error surfaces in every waiting worker instead
-        of hiding behind a lease timeout.
+        Exactly one concurrent runner wins the claim and computes — under a
+        lease heartbeat, so a long compute is never mistaken for a dead
+        worker — while everyone else polls the store until the artifact
+        lands, recorded as a hit whose seconds are wait rather than work
+        (one reason steal-mode sessions are refused as bench timing
+        sources).  A crashed winner's claim expires after its lease and the
+        next poller steals it, charging the death against the task's retry
+        budget; a winner whose compute *raises* records the failure and
+        releases the claim, so the task is retried (here or elsewhere)
+        until the budget runs out and it is quarantined — at which point
+        every claimer and waiter raises
+        :class:`~repro.errors.PlanFailed` instead of spinning.
+
+        A simulated *crash* (:class:`~repro.store.faults.InjectedCrash`, a
+        ``BaseException``) — like a real ``SIGKILL``, a ``KeyboardInterrupt``
+        or the interpreter dying — deliberately leaves the claim held: the
+        lease-expiry steal is the recovery path for deaths, and releasing
+        on the way out would hide it from testing.
         """
+        from repro.errors import PlanFailed
+        from repro.store.faults import fault_point
+
         queue = self.queue()
         while True:
+            queue.raise_if_failed(key)
             if queue.try_claim(key):
+                fault_point("crash_after_claim", kind=kind)
                 try:
-                    return self._compute_stage(stage, kind, key, compute, started)
-                finally:
-                    queue.complete(key)
+                    with queue.heartbeat(key):
+                        value = self._compute_stage(stage, kind, key, compute, started)
+                except PlanFailed:
+                    # An upstream task (resolved inside compute) was
+                    # quarantined: this stage did not fail, it can never
+                    # run.  Pass the verdict through unconsumed.
+                    queue.release(key)
+                    raise
+                except Exception as error:
+                    quarantined = queue.record_failure(key, error)
+                    queue.release(key)
+                    if quarantined:
+                        raise PlanFailed(key, queue.failure(key)) from error
+                    continue  # budget remains: retry (or let another worker)
+                queue.complete(key)
+                return value
             time.sleep(queue.poll_seconds)
             value = self.store.get(kind, key)
             if value is not None:

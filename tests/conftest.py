@@ -51,6 +51,14 @@ __kernel void heavy(__global float* a, __global float* b, const int n) {
 """
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: multi-process fault-injection soak over the work-stealing "
+        "queue (opt-in: -m chaos; see scripts/chaos_drain.py)",
+    )
+
+
 @pytest.fixture(scope="session")
 def corpus() -> Corpus:
     """A small mined-and-preprocessed corpus shared by model/synthesis tests."""

@@ -1,0 +1,201 @@
+"""Tests for the fault-injection layer (``repro.store.faults``) and the
+crash-safe store I/O it exercises (ISSUE 6).
+
+Two halves: the injection machinery itself (spec grammar, firing policy,
+crash semantics) must be trustworthy before any chaos result means
+anything, and the store's defenses (torn-write healing, transient-I/O
+retry) must actually absorb what the faults throw at them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import faults
+from repro.store.artifact_store import ArtifactStore, retry_io
+from repro.store.faults import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    parse_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Every test starts unarmed and re-reads REPRO_FAULTS from scratch."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestSpecGrammar:
+    def test_name_and_match_attributes(self):
+        (spec,) = parse_faults("crash_after_claim:shard=2")
+        assert spec.name == "crash_after_claim"
+        assert spec.attrs == {"shard": "2"}
+        assert spec.times == 1  # fire-once by default
+        assert spec.matches("crash_after_claim", {"shard": 2, "kind": "mine-shard"})
+        assert not spec.matches("crash_after_claim", {"shard": 1})
+        assert not spec.matches("crash_mid_shard", {"shard": 2})
+
+    def test_bare_token_is_op_shorthand(self):
+        (spec,) = parse_faults("io_error:put")
+        assert spec.attrs == {"op": "put"}
+
+    def test_probabilistic_spec_is_unlimited_unless_capped(self):
+        (spec,) = parse_faults("io_error:put:p=0.3:seed=7")
+        assert spec.p == 0.3
+        assert spec.times == -1
+        (capped,) = parse_faults("io_error:put:p=0.3:times=5")
+        assert capped.times == 5
+
+    def test_comma_separated_specs_parse_independently(self):
+        specs = parse_faults("crash_mid_shard:shard=0, torn_write:kind=mine-shard")
+        assert [spec.name for spec in specs] == ["crash_mid_shard", "torn_write"]
+
+    def test_unknown_name_warns_and_is_dropped(self):
+        with pytest.warns(RuntimeWarning, match="unknown fault 'crash_eventually'"):
+            assert parse_faults("crash_eventually:shard=1") == []
+
+    def test_malformed_param_warns_and_is_dropped(self):
+        with pytest.warns(RuntimeWarning, match="malformed fault spec"):
+            assert parse_faults("io_error:put:p=often") == []
+
+    def test_bad_mode_warns_and_is_dropped(self):
+        with pytest.warns(RuntimeWarning, match="mode"):
+            assert parse_faults("crash_mid_shard:mode=explode") == []
+
+
+class TestFiringPolicy:
+    def test_one_shot_fires_exactly_once(self):
+        plan = FaultPlan(parse_faults("torn_write:kind=mine-shard"))
+        assert plan.fire("torn_write", kind="mine-shard") is True
+        assert plan.fire("torn_write", kind="mine-shard") is False
+
+    def test_times_arms_n_firings(self):
+        plan = FaultPlan(parse_faults("torn_write:kind=mine-shard:times=3"))
+        fired = sum(plan.fire("torn_write", kind="mine-shard") for _ in range(10))
+        assert fired == 3
+
+    def test_seeded_probability_is_reproducible(self):
+        def outcomes():
+            plan = FaultPlan(parse_faults("torn_write:p=0.5:seed=3"))
+            return [plan.fire("torn_write") for _ in range(50)]
+
+        first, second = outcomes(), outcomes()
+        assert first == second
+        assert 0 < sum(first) < 50  # actually probabilistic, not constant
+
+    def test_fail_shard_raises_catchable_injected_fault(self):
+        plan = FaultPlan(parse_faults("fail_shard:shard=1:p=1"))
+        for _ in range(3):  # p=1: a poison shard fails every time
+            with pytest.raises(InjectedFault, match="shard=1"):
+                plan.fire("fail_shard", kind="mine-shard", shard=1)
+        plan.fire("fail_shard", kind="mine-shard", shard=0)  # other shards fine
+
+    def test_io_error_raises_oserror(self):
+        plan = FaultPlan(parse_faults("io_error:put"))
+        with pytest.raises(OSError, match="injected io_error"):
+            plan.fire("io_error", op="put", kind="mine")
+
+    def test_crash_mode_raise_is_a_base_exception(self):
+        plan = FaultPlan(parse_faults("crash_mid_shard:shard=0:mode=raise"))
+        with pytest.raises(InjectedCrash):
+            try:
+                plan.fire("crash_mid_shard", kind="mine-shard", shard=0)
+            except Exception:  # noqa: BLE001 — the point under test
+                pytest.fail("recovery code must not be able to catch a crash")
+
+    def test_unarmed_points_are_noops(self):
+        assert faults.fault_point("crash_mid_shard", shard=0) is False
+
+    def test_env_plan_caches_until_reset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "torn_write:kind=mine")
+        assert faults.fault_point("torn_write", kind="mine") is True
+        assert faults.fault_point("torn_write", kind="mine") is False  # consumed
+        faults.reset()
+        assert faults.fault_point("torn_write", kind="mine") is True  # re-armed
+
+    def test_hard_crash_exits_with_the_chaos_code(self):
+        """The default crash mode is a real ``os._exit`` — verified in a
+        child process, the way the chaos harness's workers experience it."""
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.store.faults import FaultPlan, parse_faults;"
+                "FaultPlan(parse_faults('crash_mid_shard')).fire("
+                "'crash_mid_shard', kind='mine-shard', shard=0)",
+            ],
+            capture_output=True,
+        )
+        assert result.returncode == CRASH_EXIT_CODE
+
+
+class TestRetryIO:
+    def test_transient_errors_are_absorbed(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert retry_io(flaky, retries=5, base=0.0001) == "ok"
+        assert len(calls) == 3
+
+    def test_budget_exhaustion_reraises(self):
+        def hopeless():
+            raise OSError("still down")
+
+        with pytest.raises(OSError, match="still down"):
+            retry_io(hopeless, retries=2, base=0.0001)
+
+    def test_not_found_is_never_retried(self):
+        """A missing entry is a cache miss, not a transient fault — retrying
+        it would turn every cold lookup into a backoff stall."""
+        calls = []
+
+        def missing():
+            calls.append(1)
+            raise FileNotFoundError("no such entry")
+
+        with pytest.raises(FileNotFoundError):
+            retry_io(missing, retries=5, base=0.0001)
+        assert len(calls) == 1
+
+    def test_injected_put_errors_are_absorbed_by_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "io_error:put:times=2")
+        faults.reset()
+        store = ArtifactStore(directory=tmp_path / "store")
+        key = "ab" * 32
+        store.put("mine", key, {"value": 1})
+        # The entry landed on disk despite two injected write failures.
+        assert ArtifactStore(directory=tmp_path / "store").get("mine", key) == {
+            "value": 1
+        }
+
+
+class TestTornWriteHealing:
+    def test_torn_entry_is_rejected_and_healed_by_recompute(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "torn_write:kind=mine")
+        faults.reset()
+        directory = tmp_path / "store"
+        key = "cd" * 32
+        torn_writer = ArtifactStore(directory=directory)
+        torn_writer.put("mine", key, {"value": 2})
+        # The write was torn: a fresh reader rejects the truncated pickle.
+        reader = ArtifactStore(directory=directory)
+        assert reader.get("mine", key) is None
+        # The armed fault was one-shot, so the recompute path's overwrite
+        # heals the entry — the store's corrupt-entry story, exercised end
+        # to end under an actual torn byte stream.
+        reader.put("mine", key, {"value": 2})
+        assert ArtifactStore(directory=directory).get("mine", key) == {"value": 2}

@@ -618,3 +618,386 @@ class TestAutoGcWatermark:
         store = ArtifactStore(directory=None, max_bytes=16)
         store.put("mine", "ab" * 32, "x" * 512)
         assert store.get("mine", "ab" * 32) == "x" * 512
+
+
+class TestAttemptBudget:
+    """ISSUE 6: bounded retries with poison-shard quarantine."""
+
+    def test_quarantine_after_exactly_max_attempts(self, tmp_path):
+        queue = ShardQueue(tmp_path, lease_seconds=60, max_attempts=3)
+        task = "ab" * 32
+        assert not queue.record_failure(task, ValueError("boom 1"))
+        assert not queue.record_failure(task, ValueError("boom 2"))
+        assert len(queue.attempts(task)) == 2
+        assert queue.record_failure(task, ValueError("boom 3"))  # the last straw
+        record = queue.failure(task)
+        assert record is not None
+        assert len(record["attempts"]) == 3
+        assert record["max_attempts"] == 3
+        # The structured artifact names workers, errors and tracebacks.
+        assert record["attempts"][0]["worker"] == queue.worker_id
+        assert "boom 1" in record["attempts"][0]["error"]
+        assert "ValueError" in record["attempts"][2]["traceback"] or record[
+            "attempts"
+        ][2]["traceback"] is None
+
+    def test_quarantined_task_is_never_claimable(self, tmp_path):
+        queue = ShardQueue(tmp_path, lease_seconds=60, max_attempts=1)
+        task = "cd" * 32
+        assert queue.record_failure(task, RuntimeError("poison"))
+        assert not queue.try_claim(task)
+        from repro.errors import PlanFailed
+
+        with pytest.raises(PlanFailed, match="quarantined after 1 failed"):
+            queue.raise_if_failed(task)
+
+    def test_complete_clears_the_attempt_history(self, tmp_path):
+        """A success after transient failures resets the budget: the next
+        bad day starts from zero, not from the brink of quarantine."""
+        queue = ShardQueue(tmp_path, lease_seconds=60, max_attempts=3)
+        task = "ef" * 32
+        queue.record_failure(task, OSError("transient"))
+        assert queue.try_claim(task)
+        assert queue.holder(task)["attempt"] == 2  # history shows one failure
+        queue.complete(task)
+        assert queue.attempts(task) == []
+
+    def test_steal_back_charges_the_dead_holder_an_attempt(self, tmp_path):
+        """A worker death is a failed attempt: the lease-expiry stealer
+        records it against the budget, so a shard that kills every worker
+        quarantines instead of livelocking the fleet."""
+        dead = ShardQueue(tmp_path, lease_seconds=0.01, max_attempts=3)
+        task = "12" * 32
+        assert dead.try_claim(task)
+        time.sleep(0.05)  # the holder "crashed": lease expires, no heartbeat
+        stealer = ShardQueue(tmp_path, lease_seconds=0.01, max_attempts=3)
+        assert stealer.try_claim(task)
+        history = stealer.attempts(task)
+        assert len(history) == 1
+        assert history[0]["worker"] == dead.worker_id
+        assert "lease expired" in history[0]["error"]
+        assert stealer.holder(task)["attempt"] == 2
+
+    def test_repeated_deaths_exhaust_the_budget(self, tmp_path):
+        task = "34" * 32
+        for death in range(2):
+            holder = ShardQueue(tmp_path, lease_seconds=0.01, max_attempts=2)
+            assert holder.try_claim(task)
+            time.sleep(0.05)
+        # The second steal was the second death: quarantined, unclaimable.
+        final = ShardQueue(tmp_path, lease_seconds=0.01, max_attempts=2)
+        assert not final.try_claim(task)
+        assert final.failure(task) is not None
+
+    def test_max_attempts_default_comes_from_env(self, monkeypatch, tmp_path):
+        from repro.store.queue import DEFAULT_MAX_ATTEMPTS, default_max_attempts
+
+        monkeypatch.setenv("REPRO_QUEUE_MAX_ATTEMPTS", "5")
+        assert ShardQueue(tmp_path).max_attempts == 5
+        monkeypatch.setenv("REPRO_QUEUE_MAX_ATTEMPTS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_QUEUE_MAX_ATTEMPTS"):
+            assert default_max_attempts() == DEFAULT_MAX_ATTEMPTS
+        monkeypatch.setenv("REPRO_QUEUE_MAX_ATTEMPTS", "0")
+        with pytest.warns(RuntimeWarning, match="REPRO_QUEUE_MAX_ATTEMPTS"):
+            assert default_max_attempts() == 1  # floor: 0 would ban all work
+
+
+class TestHeartbeat:
+    def test_heartbeat_keeps_a_slow_claim_unstolen(self, tmp_path):
+        """ISSUE 6 acceptance: a compute running past 2x the lease keeps
+        its claim as long as the heartbeat beats; it only becomes stealable
+        once the holder (and its heartbeat) actually stops."""
+        holder = ShardQueue(tmp_path, lease_seconds=0.15)
+        thief = ShardQueue(tmp_path, lease_seconds=0.15)
+        task = "56" * 32
+        assert holder.try_claim(task)
+        with holder.heartbeat(task):
+            time.sleep(0.4)  # well past 2x the lease
+            assert not thief.try_claim(task)
+        # The "compute" ended without completing (a hang, say) and the
+        # heartbeat stopped with it: now the lease runs out for real.
+        time.sleep(0.3)
+        assert thief.try_claim(task)
+
+    def test_sweep_offset_is_deterministic_and_in_range(self, tmp_path):
+        queue = ShardQueue(tmp_path)
+        assert queue.sweep_offset(0) == 0
+        offsets = {queue.sweep_offset(7) for _ in range(5)}
+        assert len(offsets) == 1  # stable for one worker
+        assert 0 <= offsets.pop() < 7
+        # Different workers spread across the range (statistically: 32
+        # distinct ids into 1000 slots colliding on one offset is ~nil).
+        distinct = {
+            ShardQueue(tmp_path).sweep_offset(1000)
+            for _ in range(1)
+        }
+        other = ShardQueue(tmp_path)
+        other.worker_id = "somewhere-else.424242.1"
+        distinct.add(other.sweep_offset(1000))
+        assert len(distinct) == 2
+
+
+class TestPoisonShards:
+    """End-to-end quarantine through the runner and the worker CLI."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self, monkeypatch):
+        from repro.store import faults
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_poison_shard_quarantines_and_raises_plan_failed(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.errors import PlanFailed
+        from repro.store import faults
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "fail_shard:kind=synthesis-shard:shard=1:p=1"
+        )
+        faults.reset()
+        cfg = tiny_config()
+        runner = PipelineRunner(
+            store=ArtifactStore(directory=tmp_path / "store"),
+            shards=SHARDS,
+            steal=True,
+            poll_seconds=0.01,
+        )
+        with pytest.raises(PlanFailed, match="quarantined after 3 failed") as info:
+            runner.synthesis(cfg)
+        record = info.value.record
+        assert len(record["attempts"]) == 3
+        assert all(
+            "InjectedFault" in attempt["error"] for attempt in record["attempts"]
+        )
+        # The poison shard's failure artifact is on disk for every other
+        # worker (and the operator) to find.
+        failures = list((tmp_path / "store" / "queue" / "failures").glob("*.json"))
+        assert len(failures) == 1
+
+    def test_transient_failure_is_retried_to_success(self, tmp_path, monkeypatch):
+        """One injected failure (times=1) costs one attempt; the immediate
+        retry succeeds and clears the history — no quarantine, identical
+        artifacts."""
+        from repro.store import faults
+
+        monkeypatch.setenv("REPRO_FAULTS", "fail_shard:kind=synthesis-shard:shard=1")
+        faults.reset()
+        cfg = tiny_config()
+        directory = tmp_path / "store"
+        runner = PipelineRunner(
+            store=ArtifactStore(directory=directory),
+            shards=SHARDS,
+            steal=True,
+            poll_seconds=0.01,
+        )
+        value = runner.synthesis(cfg)
+        assert value.kernels
+        assert list(directory.glob("queue/failures/*.json")) == []
+        assert list(directory.glob("queue/attempts/*.json")) == []
+
+    def test_waiters_surface_a_pre_quarantined_task(self, tmp_path):
+        """A worker joining a plan whose shard was already quarantined gets
+        PlanFailed on its first sweep — no claim, no compute, no spin."""
+        from repro.errors import PlanFailed
+        from repro.store.shards import _SAMPLE
+
+        cfg = tiny_config()
+        directory = tmp_path / "store"
+        poison_key = _SAMPLE.keys(cfg, SHARDS)[1]
+        queue = ShardQueue(directory, max_attempts=1)
+        assert queue.record_failure(poison_key, RuntimeError("known poison"))
+        runner = PipelineRunner(
+            store=ArtifactStore(directory=directory),
+            shards=SHARDS,
+            steal=True,
+            poll_seconds=0.01,
+        )
+        with pytest.raises(PlanFailed, match=poison_key[:12]):
+            runner.synthesis(cfg)
+
+    def test_worker_cli_exits_nonzero_with_failure_summary(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """ISSUE 6 satellite: a drained plan that ended in quarantine makes
+        `repro worker` print the failure artifact and exit non-zero."""
+        from repro.cli import main
+        from repro.store import faults
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "fail_shard:kind=synthesis-shard:shard=0:p=1"
+        )
+        faults.reset()
+        directory = tmp_path / "store"
+        publish_plan(ArtifactStore(directory=directory), tiny_config(), SHARDS)
+        assert main(["worker", "--store", str(directory)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "quarantined" in err
+        assert "attempt 3" in err
+        assert "full record" in err
+
+
+class TestCrashRecovery:
+    """ISSUE 6 satellite: crash-mid-merge (and mid-shard) steal-back."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self, monkeypatch):
+        from repro.store import faults
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_crash_between_last_shard_and_merge_put(
+        self, tmp_path, monkeypatch, reference_store
+    ):
+        """The narrowest window: every shard landed, the merge value was
+        computed, and the worker dies before the merged entry's put.  The
+        claim stays held (a crash runs no cleanup), the lease expires, and
+        the steal-back winner re-runs the merge to a byte-identical entry."""
+        from repro.store import faults
+        from repro.store.faults import InjectedCrash
+
+        monkeypatch.setenv("REPRO_FAULTS", "crash_pre_merge:kind=synthesis:mode=raise")
+        faults.reset()
+        cfg = tiny_config()
+        directory = tmp_path / "store"
+        crashed = PipelineRunner(
+            store=ArtifactStore(directory=directory),
+            shards=SHARDS,
+            steal=True,
+            lease_seconds=0.15,
+            poll_seconds=0.01,
+        )
+        with pytest.raises(InjectedCrash):
+            crashed.synthesis(cfg)
+        # The crash left the merge claim held — exactly like a real death.
+        from repro.store.stages import synthesis_fingerprint
+
+        merge_key = synthesis_fingerprint(cfg)
+        assert ShardQueue(directory).holder(merge_key) is not None
+        assert ArtifactStore(directory=directory).get("synthesis", merge_key) is None
+
+        time.sleep(0.2)  # no heartbeat from the dead worker: lease expires
+        survivor = PipelineRunner(
+            store=ArtifactStore(directory=directory),
+            shards=SHARDS,
+            steal=True,
+            lease_seconds=0.15,
+            poll_seconds=0.01,
+        )
+        merged = survivor.synthesis(cfg)
+        reference = PipelineRunner(
+            store=ArtifactStore(directory=reference_store)
+        ).synthesis(cfg)
+        assert canonical_bytes(merged) == canonical_bytes(reference)
+        # The steal charged the death to the budget, then success cleared it.
+        assert ShardQueue(directory).attempts(merge_key) == []
+
+    def test_crash_mid_shard_recovery_is_byte_identical(
+        self, tmp_path, monkeypatch, reference_store
+    ):
+        from repro.store import faults
+        from repro.store.faults import InjectedCrash
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "crash_mid_shard:kind=suite-measurements-shard:shard=1:mode=raise"
+        )
+        faults.reset()
+        cfg = tiny_config()
+        directory = tmp_path / "store"
+        crashed = PipelineRunner(
+            store=ArtifactStore(directory=directory),
+            shards=SHARDS,
+            steal=True,
+            lease_seconds=0.15,
+            poll_seconds=0.01,
+        )
+        with pytest.raises(InjectedCrash):
+            crashed.suite_measurements(cfg)
+        time.sleep(0.2)
+        survivor = PipelineRunner(
+            store=ArtifactStore(directory=directory),
+            shards=SHARDS,
+            steal=True,
+            lease_seconds=0.15,
+            poll_seconds=0.01,
+        )
+        merged = survivor.suite_measurements(cfg)
+        reference = PipelineRunner(
+            store=ArtifactStore(directory=reference_store)
+        ).suite_measurements(cfg)
+        assert canonical_bytes(merged) == canonical_bytes(reference)
+
+
+class TestQueueStatusCli:
+    def test_status_reports_claims_and_failures(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = tmp_path / "store"
+        queue = ShardQueue(directory, lease_seconds=60, max_attempts=1)
+        assert queue.try_claim("ab" * 32)
+        queue.record_failure("cd" * 32, RuntimeError("poison kernel"))
+        assert main(["queue", "status", "--store", str(directory)]) == 1
+        out = capsys.readouterr().out
+        assert "claims: 1 live" in out
+        assert "abababab" in out and "live" in out
+        assert "failures: 1 quarantined" in out
+        assert "poison kernel" in out
+
+    def test_status_is_clean_and_zero_on_an_idle_queue(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["queue", "status", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "claims: 0 live" in out
+        assert "failures: 0 quarantined" in out
+
+
+class TestWorkerWatch:
+    def test_watch_worker_drains_late_plans_and_honors_sigterm(
+        self, tmp_path, reference_store
+    ):
+        """A resident worker (`--watch`) picks up a plan published *after*
+        it started, and a SIGTERM ends it cleanly with exit 0."""
+        import signal
+
+        directory = tmp_path / "store"
+        directory.mkdir(parents=True)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_STORE_DIR", None)
+        env.pop("REPRO_FAULTS", None)
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--store", str(directory), "--watch", "--poll", "0.2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            time.sleep(1.0)  # the worker is up and polling an empty store
+            publish_plan(ArtifactStore(directory=directory), tiny_config(), SHARDS)
+            deadline = time.time() + 120
+            synthesis = directory / "synthesis"
+            while time.time() < deadline and not list(synthesis.glob("*/*.pkl")):
+                time.sleep(0.2)
+            assert list(synthesis.glob("*/*.pkl")), "watch worker never drained"
+            worker.send_signal(signal.SIGTERM)
+            stdout, stderr = worker.communicate(timeout=60)
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.communicate()
+        assert worker.returncode == 0, stderr
+        assert "stop requested" in stderr
+        assert_stores_byte_identical(reference_store, directory)
