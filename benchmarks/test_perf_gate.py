@@ -32,7 +32,7 @@ _COMPARE = _ROOT / "scripts" / "bench_compare.py"
 #: sample gating — rather than diffing sample across the bump.  The
 #: cross-bump comparison vs BENCH_PR4.json lives in ROADMAP's measured
 #: results, where `bench_compare` FLAGs (not fails) the sample phase.
-_BASELINE = _ROOT / "BENCH_PR5.json"
+_BASELINE = _ROOT / "BENCH_PR7.json"
 #: Documented per-phase regression tolerance (ROADMAP "Performance").
 _THRESHOLD = 0.10
 
@@ -43,7 +43,7 @@ def _baseline_snapshot(tmp_path) -> Path | None:
     The default bench output and the gate baseline are the same file since
     PR 5 (the gate pins this PR's own re-baselined snapshot), so a casual
     local bench run overwrites the working-tree copy.  Preferring
-    ``git show HEAD:BENCH_PR5.json`` keeps the gate pinned to the committed
+    ``git show HEAD:BENCH_PR7.json`` keeps the gate pinned to the committed
     reference regardless of local clobbers; outside a git checkout the
     working-tree file is used as-is.
     """

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 sweep, then (opt-in) the chaos soak.
+#
+#   scripts/ci_check.sh            # tier-1 only: the merge gate
+#   CHAOS=1 scripts/ci_check.sh    # + the -m chaos soak, including the
+#                                  #   supervisor/service rounds
+#
+# Tier-1 is every default-selected test under tests/ — the chaos soak and
+# the perf gate stay opt-in because they spawn real worker fleets and
+# timed runs, which are too heavy (and too jitter-prone) for the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+if [[ "${CHAOS:-0}" != "0" ]]; then
+    echo "== chaos soak (-m chaos): fault menu + supervised service rounds =="
+    python -m pytest tests/test_chaos.py -m chaos -x -q
+fi
+
+echo "ci_check: OK"

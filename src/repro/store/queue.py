@@ -417,6 +417,31 @@ class ShardQueue:
         digest = hashlib.sha256(self.worker_id.encode("utf-8")).digest()
         return int.from_bytes(digest[:8], "little") % count
 
+    def sweep_order(self, task_ids, priorities=None) -> list:
+        """*task_ids* in this worker's claim-sweep order.
+
+        Priority first: tasks are grouped by descending priority (a missing
+        entry in *priorities* reads as 0), so every worker finishes all
+        higher-priority pending work before touching lower — the serve
+        layer's per-plan priority field lands here.  Within one priority
+        class the worker-id-hashed :meth:`sweep_offset` rotation still
+        applies, so equal-priority workers spread their first touches
+        instead of contending for the same claim.
+        """
+        if priorities:
+            classes: dict = {}
+            for task_id in task_ids:
+                classes.setdefault(priorities.get(task_id, 0), []).append(task_id)
+            ordered: list = []
+            for priority in sorted(classes, reverse=True):
+                bucket = classes[priority]
+                offset = self.sweep_offset(len(bucket))
+                ordered.extend(bucket[offset:] + bucket[:offset])
+            return ordered
+        order = list(task_ids)
+        offset = self.sweep_offset(len(order))
+        return order[offset:] + order[:offset]
+
     def claim_records(self) -> list[dict]:
         """All live claims, each with its task, holder, attempt and age
         (``repro queue status``)."""
@@ -477,29 +502,62 @@ def plan_fingerprint(cfg, shards: int) -> str:
     )
 
 
-def publish_plan(store, cfg, shards: int) -> str:
+def publish_plan(store, cfg, shards: int, priority: int = 0) -> str:
     """Persist *cfg* as a drainable plan; returns its key.
 
-    Idempotent: republishing the same configuration lands on the same key
-    with the same bytes.
+    Idempotent: republishing the same configuration lands on the same key.
+    *priority* is deliberately **not** part of the fingerprint — it
+    describes urgency, not work — so republishing an already-pending plan
+    at a new priority re-prioritizes it in place instead of duplicating it.
     """
     key = plan_fingerprint(cfg, shards)
-    store.put("plan", key, {"config": cfg, "shards": shards})
+    store.put("plan", key, {"config": cfg, "shards": shards, "priority": int(priority)})
     return key
+
+
+def plan_priority(value: dict) -> int:
+    """The priority of a published plan value (pre-priority plans read 0)."""
+    priority = value.get("priority", 0) if isinstance(value, dict) else 0
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        return 0
+    return priority
 
 
 def load_plans(store) -> list[tuple[str, dict]]:
     """All published plans in *store*, as ``(key, value)`` pairs.
 
-    Sorted by key so every worker visits plans in the same order (workers
-    colliding on the same plan is fine — that is the point — but a shared
-    order drains one plan at full width before starting the next).
+    Sorted by descending priority, then key, so every worker visits plans
+    in the same order (workers colliding on the same plan is fine — that is
+    the point — but a shared order drains one plan at full width before
+    starting the next, and urgent plans drain before backfill).
     """
-    return [
+    plans = [
         (key, value)
         for key in sorted(store.keys("plan"))
         if (value := store.get("plan", key)) is not None
     ]
+    plans.sort(key=lambda pair: (-plan_priority(pair[1]), pair[0]))
+    return plans
+
+
+def queue_status(directory, lease_seconds: float | None = None) -> dict:
+    """Machine-readable queue state for one store directory.
+
+    The single code path behind ``repro queue status --json`` and the serve
+    layer's ``GET /queue`` endpoint, so dashboards and the front door can
+    never disagree about what "live" or "quarantined" means.
+    """
+    queue = ShardQueue(directory, lease_seconds=lease_seconds)
+    claims = queue.claim_records()
+    for record in claims:
+        record["expired"] = record.get("age_seconds", 0.0) > queue.lease_seconds
+    return {
+        "directory": str(directory),
+        "lease_seconds": queue.lease_seconds,
+        "max_attempts": queue.max_attempts,
+        "claims": claims,
+        "failures": queue.failure_records(),
+    }
 
 
 def drain_plan(runner, cfg) -> None:

@@ -1,0 +1,573 @@
+"""``repro serve`` — the stateless HTTP front door of the synthesis service.
+
+The service architecture is deliberately lopsided: *all* coordination
+state lives in the artifact store (plans, claims, attempts, failures,
+fleet status), and this front end holds **none**.  A request is admitted
+by publishing an ordinary ``plan`` artifact; progress is answered by
+probing which store entries exist; quarantine is read from
+``queue/failures/``; fleet health from ``fleet/status.json``.  Because
+every answer is re-derived from the store on every request, any number of
+``repro serve`` replicas can front one store, a replica can be killed and
+restarted mid-request without losing anything, and a client that
+reconnects to a different replica sees the exact same plan state.
+
+The request lifecycle:
+
+* **admit** — ``POST /plans`` validates the pipeline-config overrides,
+  computes the plan fingerprint, and applies admission control: when the
+  store already holds ``REPRO_SERVE_MAX_PLANS`` unfinished plans the
+  request is refused with ``503`` and a ``Retry-After`` header instead of
+  silently deepening the backlog.
+* **publish** — the accepted request becomes a ``plan`` artifact with a
+  per-plan **priority**; ``load_plans`` orders plans by it and claim
+  sweeps order pending shards by it before the worker-id rotation, so
+  the standing fleet (``repro fleet``) finishes urgent work first.
+* **stream** — ``GET /plans/<key>/events`` emits newline-delimited JSON
+  progress snapshots as shards land, and ``GET /plans/<key>/result?wait=1``
+  blocks until the plan resolves; both poll the store, nothing else.
+* **complete / quarantine / deadline** — a finished plan returns its
+  synthesis and measurement summary; a quarantined plan maps
+  ``queue/failures/<key>.json`` to a structured error naming the poison
+  shard (never a hang); a plan that outlives the per-request deadline
+  (``REPRO_SERVE_DEADLINE``) returns a structured timeout and is simply
+  abandoned — its artifacts stay behind for the store's gc, and workers
+  finishing it later turn the next request into an instant hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.envutil import env_duration, env_int
+from repro.store.queue import (
+    ShardQueue,
+    load_plans,
+    plan_fingerprint,
+    plan_priority,
+    publish_plan,
+    queue_status,
+)
+from repro.store.supervisor import read_fleet_status
+
+#: Default bound on unfinished plans admitted at once (``REPRO_SERVE_MAX_PLANS``).
+DEFAULT_MAX_PLANS = 4
+
+#: Default per-request deadline in seconds (``REPRO_SERVE_DEADLINE``).
+DEFAULT_DEADLINE_SECONDS = 600.0
+
+#: Seconds the saturation response asks clients to back off for.
+RETRY_AFTER_SECONDS = 5
+
+#: The merged artifact kinds whose existence means "plan complete".
+WHOLE_KINDS = (
+    "mine",
+    "corpus",
+    "model",
+    "synthesis",
+    "suite-measurements",
+    "synthetic-measurements",
+)
+
+
+def default_max_plans() -> int:
+    """The admission bound from ``REPRO_SERVE_MAX_PLANS``, hardened."""
+    return env_int("REPRO_SERVE_MAX_PLANS", default=DEFAULT_MAX_PLANS, minimum=1)
+
+
+def default_deadline_seconds() -> float:
+    """The per-request deadline from ``REPRO_SERVE_DEADLINE`` (seconds,
+    suffixes allowed: ``90``, ``45s``, ``10m``), hardened."""
+    return env_duration(
+        "REPRO_SERVE_DEADLINE", default=DEFAULT_DEADLINE_SECONDS, minimum=0.001
+    )
+
+
+class ValidationError(ValueError):
+    """A request body that can never become a valid plan (HTTP 400)."""
+
+
+def build_config(overrides: dict | None):
+    """A :class:`PipelineConfig` from JSON field overrides, strictly.
+
+    Unknown fields are refused rather than ignored — a typo'd field name
+    silently running the default pipeline is the worst failure mode a
+    front door can have.  ``lstm`` is refused too: nested hyper-parameter
+    objects have their own constructor and are a CLI concern.
+    """
+    from repro.store.stages import PipelineConfig
+
+    valid = {field.name for field in dataclasses.fields(PipelineConfig)}
+    kwargs = {}
+    for name, value in (overrides or {}).items():
+        if name not in valid:
+            raise ValidationError(f"unknown config field {name!r}")
+        if name == "lstm":
+            raise ValidationError("config field 'lstm' is not settable over HTTP")
+        if isinstance(value, list):
+            value = tuple(value)
+            for item in value:
+                if not isinstance(item, (bool, int, float, str)):
+                    raise ValidationError(
+                        f"config field {name!r} has unsupported type "
+                        f"{type(item).__name__} in its list"
+                    )
+        elif not isinstance(value, (bool, int, float, str, type(None))):
+            raise ValidationError(
+                f"config field {name!r} has unsupported type {type(value).__name__}"
+            )
+        kwargs[name] = value
+    try:
+        return PipelineConfig(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise ValidationError(str(error)) from error
+
+
+def _whole_keys(cfg) -> dict[str, str]:
+    """Merged-artifact kind → store key for *cfg* (the completion bar)."""
+    from repro.store import stages
+
+    return {
+        "mine": stages.mine_fingerprint(cfg),
+        "corpus": stages.corpus_fingerprint(cfg),
+        "model": stages.model_fingerprint(cfg),
+        "synthesis": stages.synthesis_fingerprint(cfg),
+        "suite-measurements": stages.suite_execution_fingerprint(cfg),
+        "synthetic-measurements": stages.synthetic_execution_fingerprint(cfg),
+    }
+
+
+def _task_labels(cfg, shards: int) -> dict[str, str]:
+    """Every claimable task key of the plan → a human-readable label, so a
+    quarantine record can name the poison shard instead of a bare hash."""
+    labels: dict[str, str] = {}
+    if shards > 1:
+        from repro.store.shards import _SPECS
+
+        for spec in _SPECS.values():
+            for index, key in enumerate(spec.keys(cfg, shards)):
+                labels[key] = f"{spec.kind}[{index}]"
+    for kind, key in _whole_keys(cfg).items():
+        labels[key] = kind
+    return labels
+
+
+def _has_entry(store, kind: str, key: str) -> bool:
+    path = store.entry_path(kind, key)
+    return path is not None and path.exists()
+
+
+def plan_status(store, key: str) -> dict | None:
+    """The observable state of plan *key*, derived purely from the store.
+
+    ``state`` is one of ``pending`` (nothing touched it yet), ``running``
+    (entries or live claims exist), ``complete`` (every merged artifact
+    landed) or ``failed`` (a task of the plan was quarantined — the
+    response names the poison shard and carries the failure record).
+    """
+    value = store.get("plan", key)
+    if value is None:
+        return None
+    cfg, shards = value["config"], value["shards"]
+    labels = _task_labels(cfg, shards)
+    merged = {
+        kind: _has_entry(store, kind, whole_key)
+        for kind, whole_key in _whole_keys(cfg).items()
+    }
+    progress = {}
+    if shards > 1:
+        from repro.store.shards import _SPECS
+
+        for spec in _SPECS.values():
+            keys = spec.keys(cfg, shards)
+            done = sum(1 for shard_key in keys if _has_entry(store, spec.kind, shard_key))
+            progress[spec.kind] = {"done": done, "total": len(keys)}
+    queue = ShardQueue(store.directory)
+    failure = None
+    for record in queue.failure_records():
+        task = record.get("task")
+        if task in labels:
+            failure = {"task": task, "shard": labels[task], "record": record}
+            break
+    if failure is not None:
+        state = "failed"
+    elif all(merged.values()):
+        state = "complete"
+    else:
+        claimed = any(
+            record.get("task") in labels for record in queue.claim_records()
+        )
+        touched = any(merged.values()) or any(
+            bucket["done"] for bucket in progress.values()
+        )
+        state = "running" if claimed or touched else "pending"
+    status = {
+        "plan": key,
+        "state": state,
+        "priority": plan_priority(value),
+        "shards": shards,
+        "merged": merged,
+        "progress": progress,
+    }
+    if failure is not None:
+        status["failure"] = failure
+    return status
+
+
+def plan_result(store, key: str) -> dict:
+    """The result summary of a *complete* plan (caller checks the state)."""
+    value = store.get("plan", key)
+    cfg = value["config"]
+    whole = _whole_keys(cfg)
+    synthesis = store.get("synthesis", whole["synthesis"])
+    suites = store.get("suite-measurements", whole["suite-measurements"])
+    measurements = store.get("synthetic-measurements", whole["synthetic-measurements"])
+    statistics = synthesis.statistics
+    return {
+        "plan": key,
+        "state": "complete",
+        "kernels": [kernel.source for kernel in synthesis.kernels],
+        "synthesis": {
+            "requested": statistics.requested,
+            "generated": statistics.generated,
+            "attempts": statistics.attempts,
+            "acceptance_rate": statistics.acceptance_rate,
+        },
+        "suite_measurements": sum(
+            len(batch) for batch in suites.suite_measurements.values()
+        ),
+        "synthetic_measurements": len(measurements),
+    }
+
+
+def quarantine_error(status: dict) -> dict:
+    """The structured HTTP error body for a quarantined plan."""
+    failure = status["failure"]
+    attempts = failure["record"].get("attempts", [])
+    return {
+        "error": "plan-quarantined",
+        "plan": status["plan"],
+        "poison_task": failure["task"],
+        "poison_shard": failure["shard"],
+        "detail": (
+            f"shard {failure['shard']} exhausted its retry budget "
+            f"({len(attempts)} failed attempt(s)); see queue/failures/"
+        ),
+        "record": failure["record"],
+    }
+
+
+def in_flight_plans(store) -> list[str]:
+    """Keys of published plans that are neither complete nor quarantined —
+    the backlog admission control counts against ``REPRO_SERVE_MAX_PLANS``."""
+    backlog = []
+    for key, _value in load_plans(store):
+        status = plan_status(store, key)
+        if status is not None and status["state"] in ("pending", "running"):
+            backlog.append(key)
+    return backlog
+
+
+class ReproServer(ThreadingHTTPServer):
+    """One front-door replica: a threading HTTP server plus its knobs.
+
+    Holds a store handle and scalar configuration only — no per-plan or
+    per-request state — so replicas are interchangeable and restartable.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address,
+        store,
+        max_plans: int | None = None,
+        deadline_seconds: float | None = None,
+        poll_seconds: float = 0.2,
+        quiet: bool = True,
+    ):
+        self.store = store
+        self.max_plans = max_plans if max_plans is not None else default_max_plans()
+        self.deadline_seconds = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else default_deadline_seconds()
+        )
+        self.poll_seconds = poll_seconds
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+def build_server(
+    store_directory,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_plans: int | None = None,
+    deadline_seconds: float | None = None,
+    poll_seconds: float = 0.2,
+    quiet: bool = True,
+) -> ReproServer:
+    """A ready-to-run front door over *store_directory* (port 0 = ephemeral)."""
+    from repro.store.artifact_store import resolve_store
+
+    store = resolve_store(str(store_directory))
+    if store.directory is None:
+        raise ValueError("repro serve needs an on-disk store directory")
+    return ReproServer(
+        (host, port),
+        store,
+        max_plans=max_plans,
+        deadline_seconds=deadline_seconds,
+        poll_seconds=poll_seconds,
+        quiet=quiet,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproServer
+
+    #: Request bodies larger than this are refused (nothing legitimate
+    #: comes close: a plan is a handful of scalar config overrides).
+    MAX_BODY_BYTES = 1 << 20
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict, headers=()) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _deadline_seconds(self, params: dict) -> float:
+        raw = params.get("deadline", [None])[0]
+        if raw is None:
+            return self.server.deadline_seconds
+        try:
+            value = float(raw)
+        except ValueError:
+            return self.server.deadline_seconds
+        return value if value > 0 else self.server.deadline_seconds
+
+    # ------------------------------------------------------------------
+    # Routes.
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        try:
+            self._route_get()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        try:
+            self._route_post()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _route_get(self) -> None:
+        path, _, query = self.path.partition("?")
+        params = urllib.parse.parse_qs(query)
+        parts = [part for part in path.split("/") if part]
+        store = self.server.store
+        if parts == ["healthz"]:
+            self._send_json(200, {"ok": True, "store": str(store.directory)})
+        elif parts == ["queue"]:
+            self._send_json(200, queue_status(store.directory))
+        elif parts == ["fleet"]:
+            status = read_fleet_status(store.directory)
+            if status is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": "no-fleet-status",
+                        "detail": "no supervisor has published fleet/status.json "
+                        "into this store; start one with `repro fleet run`",
+                    },
+                )
+            else:
+                self._send_json(200, status)
+        elif parts == ["plans"]:
+            statuses = [
+                status
+                for key, _value in load_plans(store)
+                if (status := plan_status(store, key)) is not None
+            ]
+            self._send_json(200, {"plans": statuses})
+        elif len(parts) == 2 and parts[0] == "plans":
+            status = plan_status(store, parts[1])
+            if status is None:
+                self._send_json(404, {"error": "unknown-plan", "plan": parts[1]})
+            else:
+                self._send_json(200, status)
+        elif len(parts) == 3 and parts[0] == "plans" and parts[2] == "result":
+            self._get_result(parts[1], params)
+        elif len(parts) == 3 and parts[0] == "plans" and parts[2] == "events":
+            self._get_events(parts[1], params)
+        else:
+            self._send_json(404, {"error": "unknown-route", "path": path})
+
+    def _get_result(self, key: str, params: dict) -> None:
+        """The plan's result — optionally blocking (``?wait=1``) until it
+        completes, fails, or the per-request deadline passes."""
+        store = self.server.store
+        wait = params.get("wait", ["0"])[0] not in ("0", "", "false")
+        deadline_seconds = self._deadline_seconds(params)
+        deadline = time.monotonic() + deadline_seconds
+        while True:
+            status = plan_status(store, key)
+            if status is None:
+                self._send_json(404, {"error": "unknown-plan", "plan": key})
+                return
+            if status["state"] == "failed":
+                self._send_json(502, quarantine_error(status))
+                return
+            if status["state"] == "complete":
+                self._send_json(200, plan_result(store, key))
+                return
+            if not wait:
+                self._send_json(202, status)
+                return
+            if time.monotonic() >= deadline:
+                self._send_json(
+                    504,
+                    {
+                        "error": "deadline",
+                        "plan": key,
+                        "deadline_seconds": deadline_seconds,
+                        "state": status["state"],
+                        "detail": "request abandoned: the plan stays published "
+                        "and its artifacts are left for workers and gc",
+                    },
+                )
+                return
+            time.sleep(self.server.poll_seconds)
+
+    def _get_events(self, key: str, params: dict) -> None:
+        """Newline-delimited JSON progress snapshots until the plan reaches
+        a terminal state or the request deadline passes."""
+        store = self.server.store
+        deadline_seconds = self._deadline_seconds(params)
+        deadline = time.monotonic() + deadline_seconds
+        first = plan_status(store, key)
+        if first is None:
+            self._send_json(404, {"error": "unknown-plan", "plan": key})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        last = None
+        while True:
+            status = plan_status(store, key)
+            if status is None:
+                break
+            if status != last:
+                self.wfile.write((json.dumps(status) + "\n").encode("utf-8"))
+                self.wfile.flush()
+                last = status
+            if status["state"] in ("complete", "failed"):
+                break
+            if time.monotonic() >= deadline:
+                self.wfile.write(
+                    (
+                        json.dumps(
+                            {
+                                "error": "deadline",
+                                "plan": key,
+                                "deadline_seconds": deadline_seconds,
+                                "state": status["state"],
+                            }
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                )
+                break
+            time.sleep(self.server.poll_seconds)
+
+    def _route_post(self) -> None:
+        path, _, _query = self.path.partition("?")
+        if [part for part in path.split("/") if part] != ["plans"]:
+            self._send_json(404, {"error": "unknown-route", "path": path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length > self.MAX_BODY_BYTES:
+            self._send_json(413, {"error": "request-too-large"})
+            return
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._send_json(400, {"error": "invalid-json"})
+            return
+        if not isinstance(body, dict):
+            self._send_json(400, {"error": "invalid-request", "detail": "body must be a JSON object"})
+            return
+        try:
+            cfg = build_config(body.get("config"))
+            shards = self._positive_int(body.get("shards", 1), "shards", maximum=4096)
+            priority = self._plain_int(body.get("priority", 0), "priority")
+        except ValidationError as error:
+            self._send_json(400, {"error": "invalid-request", "detail": str(error)})
+            return
+        store = self.server.store
+        key = plan_fingerprint(cfg, shards)
+        status = plan_status(store, key)
+        if status is not None and status["state"] == "complete":
+            # Idempotent fast path: the work already exists; no admission
+            # needed for a request that costs nothing.
+            self._send_json(200, status)
+            return
+        backlog = in_flight_plans(store)
+        if key not in backlog and len(backlog) >= self.server.max_plans:
+            self._send_json(
+                503,
+                {
+                    "error": "saturated",
+                    "detail": f"{len(backlog)} plans already in flight "
+                    f"(max {self.server.max_plans}); retry later",
+                    "retry_after_seconds": RETRY_AFTER_SECONDS,
+                },
+                headers=(("Retry-After", str(RETRY_AFTER_SECONDS)),),
+            )
+            return
+        publish_plan(store, cfg, shards, priority=priority)
+        status = plan_status(store, key)
+        status["links"] = {
+            "status": f"/plans/{key}",
+            "result": f"/plans/{key}/result",
+            "events": f"/plans/{key}/events",
+        }
+        self._send_json(202, status)
+
+    @staticmethod
+    def _positive_int(value, name: str, maximum: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ValidationError(f"{name!r} must be a positive integer")
+        if value > maximum:
+            raise ValidationError(f"{name!r} must be <= {maximum}")
+        return value
+
+    @staticmethod
+    def _plain_int(value, name: str) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValidationError(f"{name!r} must be an integer")
+        return value

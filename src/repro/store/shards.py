@@ -692,12 +692,15 @@ def _drain_fanout(runner, cfg, spec: _FanoutSpec) -> list:
     def sweep(claim: bool) -> bool:
         progressed = False
         queue = runner.queue()
-        # Worker-id-hashed start offset: wide fan-outs would otherwise have
-        # every worker contend for the same first pending shard, lose, and
-        # shift by one — O(workers) wasted claim attempts per shard.
-        order = sorted(pending)
-        offset = queue.sweep_offset(len(order))
-        for index in order[offset:] + order[:offset]:
+        # Priority classes first (the serve layer's per-plan priority rides
+        # on the runner), then the worker-id-hashed rotation within each
+        # class: wide fan-outs would otherwise have every worker contend
+        # for the same first pending shard, lose, and shift by one —
+        # O(workers) wasted claim attempts per shard.
+        order = queue.sweep_order(
+            sorted(pending), {index: runner.priority for index in pending}
+        )
+        for index in order:
             started = time.perf_counter()
             value = runner.store.get(spec.kind, keys[index])
             if value is not None:

@@ -325,6 +325,7 @@ class PipelineRunner:
         plan: ShardPlan | None = None,
         lease_seconds: float | None = None,
         poll_seconds: float | None = None,
+        priority: int = 0,
     ):
         self.store = store if store is not None else resolve_store(cache_dir)
         # workers without shards implies one shard per worker (an explicit
@@ -365,6 +366,10 @@ class PipelineRunner:
         #: the queue defaults / REPRO_QUEUE_LEASE).
         self._lease_seconds = lease_seconds
         self._poll_seconds = poll_seconds
+        #: The priority of the plan this runner is draining: claim sweeps
+        #: order pending shards by it (higher first) before the worker-id
+        #: rotation, so a fleet finishes urgent plans before backfill.
+        self.priority = priority
         self._shard_queue = None
         self.events: list[StageEvent] = []
         #: Live objects (the trained model instance, with its sampling memos

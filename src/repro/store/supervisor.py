@@ -1,0 +1,480 @@
+"""Crash-only supervision of a ``repro worker --watch`` fleet.
+
+PR 6 made a *single* worker crash-tolerant: claims expire, deaths are
+charged against attempt budgets, poison shards quarantine instead of
+livelocking.  This module makes the *fleet* a standing service: the
+supervisor spawns N resident workers, watches their exits, and keeps the
+pool at strength without ever trusting its own state — everything it
+believes is re-derivable from the store directory and the child process
+table, so killing the supervisor (even with SIGKILL) loses nothing.  Its
+workers are plain subprocesses with no death-pact: they keep draining
+through a supervisor crash, and a replacement supervisor simply spawns a
+fresh pool beside them (extra workers are benign by the claim protocol).
+
+Exit classification is the heart of the restart policy:
+
+* ``0`` — a clean drain (the worker was asked to stop, or finished).
+* ``70`` (:data:`~repro.store.faults.CRASH_EXIT_CODE`) — scripted chaos:
+  an injected fault killed the worker on purpose.  Respawned immediately
+  and *never* charged against the restart budget, so a chaos soak cannot
+  talk the supervisor into degrading a healthy fleet.
+* ``1`` with a quarantine artifact under ``queue/failures/`` — the worker
+  is fine; a *plan* is poisoned.  Respawned for free: burning restart
+  budget here would punish the messenger.
+* anything else (including death by signal: a negative returncode) — a
+  real crash.  Respawned under an exponential-backoff restart budget of
+  at most R restarts per rolling window; past that the slot is marked
+  **degraded** and the fleet keeps serving with the survivors.
+
+SIGTERM propagates as a graceful fleet drain: every worker gets SIGTERM,
+finishes its current stage, and exits through its own clean path.  The
+supervisor's observable state — slot states, pids, restart counts, last
+exits — lands in ``fleet/status.json`` inside the store on every change
+and on a heartbeat interval, so ``repro fleet status`` and the serve
+layer read fleet health through the same bus as every other artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.envutil import env_duration, env_int
+from repro.store.faults import CRASH_EXIT_CODE
+
+#: Exit classifications (`classify_exit`).
+CLEAN = "clean"
+CHAOS = "chaos"
+QUARANTINE = "quarantine"
+CRASH = "crash"
+
+#: Default fleet width (``REPRO_FLEET_SIZE``).
+DEFAULT_FLEET_SIZE = 2
+
+#: Default budget of real-crash restarts per slot per rolling window
+#: (``REPRO_FLEET_RESTARTS``).
+DEFAULT_FLEET_RESTARTS = 3
+
+#: Default rolling window the restart budget counts within
+#: (``REPRO_FLEET_WINDOW``).
+DEFAULT_RESTART_WINDOW = 60.0
+
+#: First-crash respawn delay; doubles per consecutive crash.
+DEFAULT_BACKOFF_BASE = 0.5
+
+#: Ceiling on the exponential respawn delay.
+DEFAULT_BACKOFF_CAP = 30.0
+
+#: A worker that survived this long ran real work: its next crash restarts
+#: the backoff ladder from the base instead of resuming where it left off.
+DEFAULT_HEALTHY_SECONDS = 10.0
+
+
+def default_fleet_size() -> int:
+    """The fleet width from ``REPRO_FLEET_SIZE``, hardened."""
+    return env_int("REPRO_FLEET_SIZE", default=DEFAULT_FLEET_SIZE, minimum=1)
+
+
+def default_fleet_restarts() -> int:
+    """The per-slot crash-restart budget from ``REPRO_FLEET_RESTARTS``.
+
+    The minimum is 1: a budget of zero would degrade a slot on its first
+    wobble, which is a monitor, not a supervisor.
+    """
+    return env_int("REPRO_FLEET_RESTARTS", default=DEFAULT_FLEET_RESTARTS, minimum=1)
+
+
+def default_restart_window() -> float:
+    """The restart-budget rolling window from ``REPRO_FLEET_WINDOW``."""
+    return env_duration(
+        "REPRO_FLEET_WINDOW", default=DEFAULT_RESTART_WINDOW, minimum=0.001
+    )
+
+
+def classify_exit(returncode: int, quarantine_present: bool) -> str:
+    """Map a worker exit to its supervision class.
+
+    *quarantine_present* is whether ``queue/failures/`` holds any failure
+    artifact — the only way to tell a worker's honest "a plan is poisoned"
+    exit 1 from a crash that happened to pick the same code.
+    """
+    if returncode == 0:
+        return CLEAN
+    if returncode == CRASH_EXIT_CODE:
+        return CHAOS
+    if returncode == 1 and quarantine_present:
+        return QUARANTINE
+    return CRASH
+
+
+class RestartBudget:
+    """Per-slot crash-restart accounting.
+
+    Two independent mechanisms, both keyed on *real* crashes only (chaos
+    kills and quarantine exits never reach here):
+
+    * a **rolling-window budget** — at most *max_restarts* charged crashes
+      within *window_seconds*; one more and :meth:`charge` answers that
+      the slot must degrade instead of respawn;
+    * an **exponential backoff** — consecutive crashes double the respawn
+      delay from *backoff_base* up to *backoff_cap*, and a worker that
+      stayed up past *healthy_seconds* resets the ladder (it did real
+      work; its next crash is a fresh incident, not a continuation).
+    """
+
+    def __init__(
+        self,
+        max_restarts: int,
+        window_seconds: float,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        healthy_seconds: float = DEFAULT_HEALTHY_SECONDS,
+    ):
+        self.max_restarts = max_restarts
+        self.window_seconds = window_seconds
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.healthy_seconds = healthy_seconds
+        self._charged: list[float] = []
+        self._consecutive = 0
+
+    def note_uptime(self, uptime_seconds: float) -> None:
+        """Record how long the worker ran before this exit; a healthy
+        stretch resets the consecutive-crash backoff ladder."""
+        if uptime_seconds >= self.healthy_seconds:
+            self._consecutive = 0
+
+    def charge(self, now: float) -> bool:
+        """Charge one real crash at *now*; ``True`` = respawn is allowed,
+        ``False`` = the window budget is spent and the slot degrades."""
+        cutoff = now - self.window_seconds
+        self._charged = [moment for moment in self._charged if moment > cutoff]
+        self._charged.append(now)
+        self._consecutive += 1
+        return len(self._charged) <= self.max_restarts
+
+    def backoff_seconds(self) -> float:
+        """The respawn delay after the most recently charged crash."""
+        exponent = max(self._consecutive - 1, 0)
+        return min(self.backoff_base * (2.0 ** exponent), self.backoff_cap)
+
+    @property
+    def charged_in_window(self) -> int:
+        return len(self._charged)
+
+
+class _Slot:
+    """One position in the fleet: a worker process plus its budget."""
+
+    def __init__(self, index: int, budget: RestartBudget):
+        self.index = index
+        self.budget = budget
+        self.process: subprocess.Popen | None = None
+        self.state = "stopped"  # running | backoff | degraded | stopped
+        self.started_at = 0.0
+        self.respawn_at = 0.0
+        self.respawns = 0
+        self.last_exit: int | None = None
+        self.last_class: str | None = None
+
+
+class FleetSupervisor:
+    """Spawn and supervise N ``repro worker --watch`` processes.
+
+    The supervisor holds no durable state: slot bookkeeping is advisory
+    and is republished to ``fleet/status.json`` on every change, so an
+    operator (or the serve layer) always sees where the fleet stands, and
+    a supervisor killed hard can simply be restarted — its orphaned
+    workers keep draining, the replacement's fresh pool joins them, and
+    the claim protocol keeps the overlap benign.
+    """
+
+    def __init__(
+        self,
+        store_directory: str | os.PathLike,
+        size: int | None = None,
+        max_restarts: int | None = None,
+        window_seconds: float | None = None,
+        lease_seconds: float | None = None,
+        poll_seconds: float = 5.0,
+        status_interval: float = 1.0,
+        drain_grace: float = 60.0,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        healthy_seconds: float = DEFAULT_HEALTHY_SECONDS,
+        worker_argv: list[str] | None = None,
+    ):
+        self.directory = Path(store_directory)
+        self.size = size if size is not None else default_fleet_size()
+        self.max_restarts = (
+            max_restarts if max_restarts is not None else default_fleet_restarts()
+        )
+        self.window_seconds = (
+            window_seconds if window_seconds is not None else default_restart_window()
+        )
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.status_interval = status_interval
+        self.drain_grace = drain_grace
+        self._worker_argv = worker_argv
+        self.slots = [
+            _Slot(
+                index,
+                RestartBudget(
+                    self.max_restarts,
+                    self.window_seconds,
+                    backoff_base=backoff_base,
+                    backoff_cap=backoff_cap,
+                    healthy_seconds=healthy_seconds,
+                ),
+            )
+            for index in range(self.size)
+        ]
+        self.quarantine_exits = 0
+        self.draining = False
+        self._stop = threading.Event()
+        self._started_wall = time.time()
+        self._status_written = 0.0
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Worker processes.
+    # ------------------------------------------------------------------
+
+    def worker_argv(self) -> list[str]:
+        if self._worker_argv is not None:
+            return list(self._worker_argv)
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--store",
+            str(self.directory),
+            "--watch",
+            "--poll",
+            str(self.poll_seconds),
+        ]
+        if self.lease_seconds is not None:
+            argv += ["--lease", str(self.lease_seconds)]
+        return argv
+
+    def _spawn(self, slot: _Slot, now: float) -> None:
+        if slot.process is not None:
+            slot.respawns += 1
+        try:
+            slot.process = subprocess.Popen(self.worker_argv())
+        except OSError as error:
+            # Treat an unspawnable worker like an instant crash: charge the
+            # budget so a broken command degrades the slot instead of
+            # spinning the supervisor in a hot spawn loop.
+            print(f"fleet: slot {slot.index} spawn failed: {error}", file=sys.stderr)
+            slot.last_exit, slot.last_class = None, CRASH
+            if slot.budget.charge(now):
+                slot.state = "backoff"
+                slot.respawn_at = now + slot.budget.backoff_seconds()
+            else:
+                slot.state = "degraded"
+            self._dirty = True
+            return
+        slot.state = "running"
+        slot.started_at = now
+        self._dirty = True
+
+    def _quarantine_present(self) -> bool:
+        try:
+            return any((self.directory / "queue" / "failures").glob("*.json"))
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # The supervision loop.
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float | None = None) -> None:
+        """One supervision pass: reap exits, classify, respawn or degrade."""
+        now = time.monotonic() if now is None else now
+        for slot in self.slots:
+            if slot.state == "running":
+                returncode = slot.process.poll() if slot.process else None
+                if returncode is None:
+                    continue
+                self._on_exit(slot, returncode, now)
+            elif slot.state == "backoff" and now >= slot.respawn_at and not self.draining:
+                self._spawn(slot, now)
+
+    def _on_exit(self, slot: _Slot, returncode: int, now: float) -> None:
+        uptime = now - slot.started_at
+        exit_class = classify_exit(returncode, self._quarantine_present())
+        slot.last_exit = returncode
+        slot.last_class = exit_class
+        slot.process = None
+        self._dirty = True
+        if exit_class == QUARANTINE:
+            self.quarantine_exits += 1
+        if self.draining:
+            slot.state = "stopped"
+            return
+        if exit_class in (CLEAN, CHAOS, QUARANTINE):
+            # Not the worker's fault: clean stops, scripted chaos kills and
+            # poisoned-plan reports all respawn immediately and for free.
+            self._spawn(slot, now)
+            return
+        slot.budget.note_uptime(uptime)
+        if slot.budget.charge(now):
+            slot.state = "backoff"
+            slot.respawn_at = now + slot.budget.backoff_seconds()
+            print(
+                f"fleet: slot {slot.index} crashed (exit {returncode}); "
+                f"respawn in {slot.budget.backoff_seconds():.1f}s "
+                f"({slot.budget.charged_in_window}/{self.max_restarts} "
+                f"restarts in window)",
+                file=sys.stderr,
+            )
+        else:
+            slot.state = "degraded"
+            print(
+                f"fleet: slot {slot.index} degraded after "
+                f"{slot.budget.charged_in_window} crashes within "
+                f"{self.window_seconds:.0f}s; serving with the survivors",
+                file=sys.stderr,
+            )
+
+    def request_drain(self) -> None:
+        """Ask the fleet to stop: workers get SIGTERM, finish their current
+        stage, and exit through their own clean (or quarantine) path."""
+        self._stop.set()
+
+    def run(self) -> int:
+        """Supervise until SIGTERM/SIGINT (or :meth:`request_drain`).
+
+        Returns 0 after a clean drain, 1 when any worker reported a
+        quarantined plan along the way — the same contract as a single
+        ``repro worker``.
+        """
+        previous_handlers = {}
+        if threading.current_thread() is threading.main_thread():
+            def handle(signum, frame):
+                self._stop.set()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous_handlers[signum] = signal.signal(signum, handle)
+        try:
+            now = time.monotonic()
+            for slot in self.slots:
+                self._spawn(slot, now)
+            self.write_status(force=True)
+            while not self._stop.is_set():
+                self.tick()
+                self.write_status()
+                self._stop.wait(0.1)
+            self._drain()
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+        return 1 if self.quarantine_exits else 0
+
+    def _drain(self) -> None:
+        self.draining = True
+        self._dirty = True
+        print("fleet: drain requested; stopping workers", file=sys.stderr)
+        for slot in self.slots:
+            if slot.state == "running" and slot.process is not None:
+                try:
+                    slot.process.terminate()
+                except OSError:
+                    pass
+            elif slot.state == "backoff":
+                slot.state = "stopped"
+        deadline = time.monotonic() + self.drain_grace
+        for slot in self.slots:
+            if slot.state != "running" or slot.process is None:
+                continue
+            try:
+                slot.process.wait(timeout=max(deadline - time.monotonic(), 0.1))
+            except subprocess.TimeoutExpired:
+                slot.process.kill()
+                slot.process.wait()
+            self._on_exit(slot, slot.process.returncode, time.monotonic())
+        self.write_status(force=True)
+
+    # ------------------------------------------------------------------
+    # Observable state: fleet/status.json.
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        now = time.monotonic()
+        workers = []
+        for slot in self.slots:
+            workers.append(
+                {
+                    "index": slot.index,
+                    "pid": slot.process.pid if slot.process is not None else None,
+                    "state": slot.state,
+                    "respawns": slot.respawns,
+                    "restarts_in_window": slot.budget.charged_in_window,
+                    "last_exit": slot.last_exit,
+                    "last_exit_class": slot.last_class,
+                    "uptime_seconds": (
+                        round(now - slot.started_at, 3)
+                        if slot.state == "running"
+                        else None
+                    ),
+                }
+            )
+        return {
+            "updated_at": time.time(),
+            "supervisor": {
+                "pid": os.getpid(),
+                "started_at": self._started_wall,
+                "draining": self.draining,
+            },
+            "size": self.size,
+            "max_restarts": self.max_restarts,
+            "window_seconds": self.window_seconds,
+            "running": sum(1 for slot in self.slots if slot.state == "running"),
+            "degraded": sum(1 for slot in self.slots if slot.state == "degraded"),
+            "quarantine_exits": self.quarantine_exits,
+            "workers": workers,
+        }
+
+    def write_status(self, force: bool = False) -> None:
+        """Publish :meth:`status` to ``<store>/fleet/status.json``.
+
+        Written atomically (temp + ``os.replace``) like every queue-side
+        artifact, throttled to the heartbeat interval unless something
+        changed; best-effort — a full disk must not kill the supervisor.
+        """
+        now = time.monotonic()
+        if not force and not self._dirty and now - self._status_written < self.status_interval:
+            return
+        path = self.directory / "fleet" / "status.json"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            temp.write_text(json.dumps(self.status(), indent=2))
+            os.replace(temp, path)
+        except OSError:
+            pass
+        self._status_written = now
+        self._dirty = False
+
+
+def read_fleet_status(store_directory: str | os.PathLike) -> dict | None:
+    """The last published ``fleet/status.json``, or ``None``.
+
+    Shared by ``repro fleet status`` and the serve layer's ``GET /fleet``
+    so both report fleet health from the same artifact.
+    """
+    path = Path(store_directory) / "fleet" / "status.json"
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None

@@ -30,6 +30,7 @@ from repro.store.queue import (
     drain_plan,
     load_plans,
     plan_fingerprint,
+    plan_priority,
     publish_plan,
 )
 from repro.store.shards import _SAMPLE, _SUITE_EXEC, ShardPlan, shard_ranges
@@ -168,7 +169,7 @@ class TestPlans:
         assert key == plan_fingerprint(cfg, SHARDS)
         plans = load_plans(store)
         assert [k for k, _ in plans] == [key]
-        assert plans[0][1] == {"config": cfg, "shards": SHARDS}
+        assert plans[0][1] == {"config": cfg, "shards": SHARDS, "priority": 0}
 
     def test_republishing_is_idempotent(self, tmp_path):
         store = ArtifactStore(directory=tmp_path / "store")
@@ -185,6 +186,34 @@ class TestPlans:
         publish_plan(store, tiny_config(), SHARDS)
         publish_plan(store, tiny_config().with_count(7), SHARDS)
         assert len(load_plans(store)) == 2
+
+    def test_load_plans_orders_by_priority_then_key(self, tmp_path):
+        store = ArtifactStore(directory=tmp_path / "store")
+        low = publish_plan(store, tiny_config(), SHARDS, priority=-1)
+        mid_a = publish_plan(store, tiny_config().with_count(7), SHARDS)
+        mid_b = publish_plan(store, tiny_config().with_count(8), SHARDS)
+        high = publish_plan(store, tiny_config().with_count(9), SHARDS, priority=10)
+        keys = [key for key, _value in load_plans(store)]
+        assert keys[0] == high
+        assert keys[-1] == low
+        assert keys[1:3] == sorted([mid_a, mid_b])  # ties break on key
+
+    def test_republish_reprioritizes_in_place(self, tmp_path):
+        """Priority is deliberately outside the fingerprint: posting the
+        same (config, shards) with a new priority updates the one plan."""
+        store = ArtifactStore(directory=tmp_path / "store")
+        key = publish_plan(store, tiny_config(), SHARDS, priority=0)
+        assert publish_plan(store, tiny_config(), SHARDS, priority=5) == key
+        plans = load_plans(store)
+        assert len(plans) == 1
+        assert plan_priority(plans[0][1]) == 5
+
+    def test_plan_priority_tolerates_legacy_values(self):
+        assert plan_priority({"config": None, "shards": 3}) == 0
+        assert plan_priority({"priority": "7"}) == 0  # malformed, not trusted
+        assert plan_priority({"priority": True}) == 0
+        assert plan_priority({"priority": -3}) == -3
+        assert plan_priority("not even a dict") == 0
 
 
 class TestQueueDrainedBitIdentity:
@@ -735,6 +764,33 @@ class TestHeartbeat:
         other.worker_id = "somewhere-else.424242.1"
         distinct.add(other.sweep_offset(1000))
         assert len(distinct) == 2
+
+    def test_sweep_order_without_priorities_is_a_rotation(self, tmp_path):
+        queue = ShardQueue(tmp_path)
+        tasks = [f"{index:02d}" for index in range(7)]
+        order = queue.sweep_order(tasks)
+        assert sorted(order) == tasks
+        offset = queue.sweep_offset(len(tasks))
+        assert order == tasks[offset:] + tasks[:offset]
+
+    def test_sweep_order_visits_priority_classes_descending(self, tmp_path):
+        queue = ShardQueue(tmp_path)
+        tasks = [f"{index:02d}" for index in range(9)]
+        priorities = {task: int(task) % 3 for task in tasks}
+        order = queue.sweep_order(tasks, priorities)
+        assert sorted(order) == tasks
+        seen_classes = [priorities[task] for task in order]
+        assert seen_classes == sorted(seen_classes, reverse=True)
+        # Within one class the worker's rotation still applies.
+        bucket = [task for task in tasks if priorities[task] == 2]
+        offset = queue.sweep_offset(len(bucket))
+        assert order[: len(bucket)] == bucket[offset:] + bucket[:offset]
+
+    def test_sweep_order_missing_priority_reads_zero(self, tmp_path):
+        queue = ShardQueue(tmp_path)
+        order = queue.sweep_order(["aa", "bb", "cc"], {"bb": 1})
+        assert order[0] == "bb"
+        assert sorted(order[1:]) == ["aa", "cc"]
 
 
 class TestPoisonShards:

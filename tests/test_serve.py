@@ -1,0 +1,341 @@
+"""Tests for the stateless HTTP front door (``repro.store.serve``).
+
+The service contract under test:
+
+* strict request validation — unknown config fields, bad shard counts and
+  malformed JSON are refused with structured 400s, never silently
+  defaulted;
+* admission control — past ``max_plans`` unfinished plans the door
+  answers 503 with a ``Retry-After``, but re-posting a plan already in
+  the backlog is never double-counted;
+* statelessness — every status answer is re-derived from the store, so a
+  plan drained by out-of-band workers turns complete with no server
+  involvement;
+* failure surfacing — a quarantined plan maps to a structured 502 naming
+  the poison shard, and a blocking result request past its deadline
+  answers 504 while leaving the plan published.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.store.artifact_store import ArtifactStore
+from repro.store.queue import (
+    ShardQueue,
+    load_plans,
+    plan_fingerprint,
+    plan_priority,
+    publish_plan,
+    queue_status,
+)
+from repro.store import serve as serve_mod
+from repro.store.serve import ValidationError, build_config, build_server
+from repro.store.stages import PipelineConfig, PipelineRunner
+
+
+def tiny_config(**overrides) -> PipelineConfig:
+    settings = dict(
+        repository_count=12,
+        seed=3,
+        synthetic_kernel_count=5,
+        executed_global_size=32,
+        local_size=16,
+        payload_seed=3,
+        suites=("NPB",),
+    )
+    settings.update(overrides)
+    return PipelineConfig(**settings)
+
+
+def tiny_config_json(**overrides) -> dict:
+    body = dict(
+        repository_count=12,
+        seed=3,
+        synthetic_kernel_count=5,
+        executed_global_size=32,
+        local_size=16,
+        payload_seed=3,
+        suites=["NPB"],
+    )
+    body.update(overrides)
+    return body
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running front door over a fresh store: (base_url, store_directory)."""
+    directory = tmp_path / "store"
+    server = build_server(directory, max_plans=2, deadline_seconds=30.0)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", directory
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
+def http(url: str, payload=None, raw: bytes | None = None):
+    """(status, decoded JSON body, headers); 4xx/5xx returned, not raised."""
+    data = raw if raw is not None else (
+        json.dumps(payload).encode() if payload is not None else None
+    )
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, json.load(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        try:
+            decoded = json.loads(body)
+        except (json.JSONDecodeError, ValueError):
+            decoded = {}
+        return error.code, decoded, dict(error.headers)
+
+
+class TestBuildConfig:
+    def test_round_trips_fields(self):
+        cfg = build_config(tiny_config_json())
+        assert cfg == tiny_config()
+        assert cfg.suites == ("NPB",)  # JSON list became the tuple field
+
+    def test_none_means_defaults(self):
+        assert build_config(None) == PipelineConfig()
+
+    def test_unknown_field_refused(self):
+        with pytest.raises(ValidationError, match="unknown config field"):
+            build_config({"repositry_count": 100})  # the typo must not run
+
+    def test_lstm_refused(self):
+        with pytest.raises(ValidationError, match="lstm"):
+            build_config({"lstm": {"layers": 2}})
+
+    def test_nested_object_refused(self):
+        with pytest.raises(ValidationError, match="unsupported type"):
+            build_config({"suites": [{"name": "NPB"}]})
+
+
+class TestValidation:
+    def test_invalid_json_answers_400(self, service):
+        url, _directory = service
+        status, body, _headers = http(url + "/plans", raw=b"{not json")
+        assert (status, body["error"]) == (400, "invalid-json")
+
+    def test_non_object_body_answers_400(self, service):
+        url, _directory = service
+        status, body, _headers = http(url + "/plans", payload=[1, 2])
+        assert (status, body["error"]) == (400, "invalid-request")
+
+    def test_unknown_config_field_answers_400(self, service):
+        url, _directory = service
+        status, body, _headers = http(
+            url + "/plans", payload={"config": {"no_such_knob": 1}}
+        )
+        assert (status, body["error"]) == (400, "invalid-request")
+        assert "no_such_knob" in body["detail"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"shards": 0},
+            {"shards": -1},
+            {"shards": "3"},
+            {"shards": True},
+            {"shards": 5000},  # over the ceiling
+            {"priority": "urgent"},
+            {"priority": 1.5},
+        ],
+    )
+    def test_bad_shards_and_priority_answer_400(self, service, payload):
+        url, _directory = service
+        payload = {"config": tiny_config_json(), **payload}
+        status, body, _headers = http(url + "/plans", payload=payload)
+        assert (status, body["error"]) == (400, "invalid-request")
+
+    def test_unknown_routes_answer_404(self, service):
+        url, _directory = service
+        for route in ("/nope", "/plans/x/y/z"):
+            status, body, _headers = http(url + route)
+            assert (status, body["error"]) == (404, "unknown-route")
+
+
+class TestAdmission:
+    def test_post_publishes_plan_with_priority(self, service):
+        url, directory = service
+        status, body, _headers = http(
+            url + "/plans",
+            payload={"config": tiny_config_json(), "shards": 3, "priority": 9},
+        )
+        assert status == 202
+        assert body["state"] == "pending"
+        assert body["links"]["result"] == f"/plans/{body['plan']}/result"
+        plans = load_plans(ArtifactStore(directory=directory))
+        assert [key for key, _value in plans] == [body["plan"]]
+        assert plan_priority(plans[0][1]) == 9
+
+    def test_saturation_answers_503_with_retry_after(self, service):
+        url, _directory = service
+        for seed in (1, 2):  # fill the max_plans=2 backlog
+            status, _body, _headers = http(
+                url + "/plans", payload={"config": tiny_config_json(seed=seed)}
+            )
+            assert status == 202
+        status, body, headers = http(
+            url + "/plans", payload={"config": tiny_config_json(seed=3)}
+        )
+        assert (status, body["error"]) == (503, "saturated")
+        assert headers.get("Retry-After") == str(body["retry_after_seconds"])
+
+    def test_reposting_backlogged_plan_is_not_saturation(self, service):
+        url, _directory = service
+        for seed in (1, 2):
+            http(url + "/plans", payload={"config": tiny_config_json(seed=seed)})
+        # Same fingerprint as an in-flight plan: admitted again (idempotent
+        # republish — this is also how a client re-prioritizes in place).
+        status, body, _headers = http(
+            url + "/plans",
+            payload={"config": tiny_config_json(seed=2), "priority": 5},
+        )
+        assert status == 202
+        assert body["priority"] == 5
+
+
+class TestLifecycle:
+    def test_healthz_queue_fleet(self, service):
+        url, directory = service
+        status, body, _headers = http(url + "/healthz")
+        assert (status, body["ok"]) == (200, True)
+        status, body, _headers = http(url + "/queue")
+        assert status == 200
+        assert body["claims"] == [] and body["failures"] == []
+        assert body == queue_status(directory)
+        status, body, _headers = http(url + "/fleet")
+        assert (status, body["error"]) == (404, "no-fleet-status")
+
+    def test_unknown_plan_answers_404(self, service):
+        url, _directory = service
+        status, body, _headers = http(url + "/plans/deadbeef")
+        assert (status, body["error"]) == (404, "unknown-plan")
+        status, body, _headers = http(url + "/plans/deadbeef/result")
+        assert (status, body["error"]) == (404, "unknown-plan")
+
+    def test_out_of_band_drain_turns_plan_complete(self, service):
+        url, directory = service
+        cfg = tiny_config()
+        status, body, _headers = http(
+            url + "/plans", payload={"config": tiny_config_json(), "shards": 1}
+        )
+        assert (status, body["state"]) == (202, "pending")
+        key = body["plan"]
+        # Drain out-of-band — the server holds no per-plan state, so the
+        # store alone must flip the answers below.
+        runner = PipelineRunner(store=ArtifactStore(directory=directory))
+        runner.content_files(cfg)
+        runner.synthesis(cfg)
+        runner.suite_measurements(cfg)
+        runner.synthetic_measurements(cfg)
+        status, body, _headers = http(url + f"/plans/{key}")
+        assert (status, body["state"]) == (200, "complete")
+        assert all(body["merged"].values())
+        status, result, _headers = http(url + f"/plans/{key}/result")
+        assert status == 200
+        assert len(result["kernels"]) == result["synthesis"]["generated"]
+        assert result["suite_measurements"] > 0
+        # Re-posting a completed plan short-circuits with 200, no admission.
+        status, body, _headers = http(
+            url + "/plans", payload={"config": tiny_config_json(), "shards": 1}
+        )
+        assert (status, body["state"]) == (200, "complete")
+
+    def test_blocking_result_times_out_with_504(self, service):
+        url, _directory = service
+        status, body, _headers = http(
+            url + "/plans", payload={"config": tiny_config_json(), "shards": 3}
+        )
+        key = body["plan"]
+        started = time.monotonic()
+        status, body, _headers = http(
+            url + f"/plans/{key}/result?wait=1&deadline=0.4"
+        )
+        assert (status, body["error"]) == (504, "deadline")
+        assert body["state"] == "pending"  # the plan stays published
+        assert time.monotonic() - started < 20.0
+
+    def test_quarantined_plan_answers_502_naming_the_shard(self, service):
+        url, directory = service
+        cfg = tiny_config()
+        status, body, _headers = http(
+            url + "/plans", payload={"config": tiny_config_json(), "shards": 3}
+        )
+        key = body["plan"]
+        # Quarantine one shard task the way a worker would.
+        labels = serve_mod._task_labels(cfg, 3)
+        task = next(task for task, label in labels.items() if "[1]" in label)
+        queue = ShardQueue(directory)
+        queue._quarantine(task, [{"worker": "w0", "error": "scripted"}])
+        status, body, _headers = http(url + f"/plans/{key}/result?wait=1")
+        assert (status, body["error"]) == (502, "plan-quarantined")
+        assert body["poison_shard"] == labels[task]
+        assert "shard" in body["poison_shard"]
+        assert body["record"]["task"] == task
+
+    def test_events_stream_emits_ndjson_until_deadline(self, service):
+        url, _directory = service
+        status, body, _headers = http(
+            url + "/plans", payload={"config": tiny_config_json(), "shards": 3}
+        )
+        key = body["plan"]
+        with urllib.request.urlopen(
+            f"{url}/plans/{key}/events?deadline=0.4", timeout=30.0
+        ) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [json.loads(line) for line in response.read().splitlines()]
+        assert lines[0]["state"] == "pending"
+        assert lines[-1]["error"] == "deadline"
+
+
+class TestQueueStatusCLI:
+    def _run(self, *argv, store: Path):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        env.pop("REPRO_STORE_DIR", None)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "queue", "status",
+             "--store", str(store), *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_json_output_matches_library(self, tmp_path):
+        publish_plan(ArtifactStore(directory=tmp_path), tiny_config(), 3)
+        result = self._run("--json", store=tmp_path)
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        library = queue_status(tmp_path)
+        assert payload["claims"] == library["claims"]
+        assert payload["failures"] == library["failures"]
+        assert payload["max_attempts"] == library["max_attempts"]
+
+    def test_failures_drive_exit_code(self, tmp_path):
+        ShardQueue(tmp_path)._quarantine("poisoned-task", [{"worker": "w0"}])
+        result = self._run("--json", store=tmp_path)
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["failures"][0]["task"] == "poisoned-task"

@@ -1,0 +1,301 @@
+"""Tests for the crash-only fleet supervisor (``repro.store.supervisor``).
+
+The supervision contract under test:
+
+* exit classification — clean drains, scripted chaos (exit 70) and honest
+  quarantine reports are never charged against the restart budget; real
+  crashes (including death by signal) are;
+* the restart budget — a rolling window caps charged crashes, consecutive
+  crashes back off exponentially up to a cap, and a healthy stretch of
+  uptime resets the ladder;
+* the supervisor itself, run against scripted fake workers — chaos kills
+  respawn for free, repeated real crashes degrade the slot while the
+  survivors keep serving, drains stop everything cleanly, and the whole
+  story lands in ``fleet/status.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.store.faults import CRASH_EXIT_CODE
+from repro.store.supervisor import (
+    CHAOS,
+    CLEAN,
+    CRASH,
+    QUARANTINE,
+    FleetSupervisor,
+    RestartBudget,
+    classify_exit,
+    default_fleet_restarts,
+    default_fleet_size,
+    read_fleet_status,
+)
+
+
+class TestClassifyExit:
+    """Table-driven: every (returncode, quarantine artifact?) pair."""
+
+    @pytest.mark.parametrize(
+        ("returncode", "quarantine_present", "expected"),
+        [
+            (0, False, CLEAN),
+            (0, True, CLEAN),
+            (CRASH_EXIT_CODE, False, CHAOS),
+            (CRASH_EXIT_CODE, True, CHAOS),
+            (1, True, QUARANTINE),
+            (1, False, CRASH),
+            (2, False, CRASH),
+            (2, True, CRASH),
+            (-9, False, CRASH),  # SIGKILL
+            (-9, True, CRASH),  # a signal death is never a quarantine report
+            (-15, False, CRASH),  # SIGTERM that skipped the clean path
+        ],
+    )
+    def test_classification_table(self, returncode, quarantine_present, expected):
+        assert classify_exit(returncode, quarantine_present) == expected
+
+
+class TestRestartBudget:
+    def test_window_exhaustion_degrades(self):
+        budget = RestartBudget(max_restarts=3, window_seconds=60.0)
+        assert budget.charge(now=0.0)
+        assert budget.charge(now=1.0)
+        assert budget.charge(now=2.0)
+        assert not budget.charge(now=3.0)  # fourth within the window
+
+    def test_window_rolls(self):
+        budget = RestartBudget(max_restarts=2, window_seconds=10.0)
+        assert budget.charge(now=0.0)
+        assert budget.charge(now=1.0)
+        # Both earlier charges have aged out of the window by t=20.
+        assert budget.charge(now=20.0)
+        assert budget.charged_in_window == 1
+
+    def test_backoff_doubles_and_caps(self):
+        budget = RestartBudget(
+            max_restarts=100, window_seconds=1e6, backoff_base=0.5, backoff_cap=4.0
+        )
+        delays = []
+        for moment in range(6):
+            budget.charge(now=float(moment))
+            delays.append(budget.backoff_seconds())
+        assert delays == [0.5, 1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_healthy_uptime_resets_ladder(self):
+        budget = RestartBudget(
+            max_restarts=100,
+            window_seconds=1e6,
+            backoff_base=0.5,
+            healthy_seconds=10.0,
+        )
+        budget.charge(now=0.0)
+        budget.charge(now=1.0)
+        assert budget.backoff_seconds() == 1.0
+        budget.note_uptime(11.0)  # the worker ran real work before dying
+        budget.charge(now=2.0)
+        assert budget.backoff_seconds() == 0.5
+        # A short-lived worker does NOT reset the ladder.
+        budget.note_uptime(0.2)
+        budget.charge(now=3.0)
+        assert budget.backoff_seconds() == 1.0
+
+    def test_defaults_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_SIZE", "5")
+        monkeypatch.setenv("REPRO_FLEET_RESTARTS", "7")
+        assert default_fleet_size() == 5
+        assert default_fleet_restarts() == 7
+        monkeypatch.setenv("REPRO_FLEET_SIZE", "not-a-number")
+        monkeypatch.setenv("REPRO_FLEET_RESTARTS", "0")  # below the minimum of 1
+        with pytest.warns(RuntimeWarning):
+            assert default_fleet_size() == 2
+        with pytest.warns(RuntimeWarning):
+            assert default_fleet_restarts() == 1
+
+
+def _fake_worker_argv(exit_code: int, sleep_seconds: float = 0.0) -> list:
+    """A scripted stand-in for ``repro worker --watch``."""
+    return [
+        sys.executable,
+        "-c",
+        f"import sys, time; time.sleep({sleep_seconds}); sys.exit({exit_code})",
+    ]
+
+
+def _supervisor(tmp_path: Path, **kwargs) -> FleetSupervisor:
+    kwargs.setdefault("size", 1)
+    kwargs.setdefault("status_interval", 0.0)
+    return FleetSupervisor(tmp_path / "store", **kwargs)
+
+
+def _wait(predicate, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestFleetSupervisor:
+    def test_chaos_exit_respawns_for_free(self, tmp_path):
+        supervisor = _supervisor(
+            tmp_path, worker_argv=_fake_worker_argv(CRASH_EXIT_CODE)
+        )
+        slot = supervisor.slots[0]
+        supervisor._spawn(slot, now=0.0)
+        assert _wait(lambda: slot.process.poll() is not None)
+        supervisor.tick(now=100.0)
+        assert slot.last_class == CHAOS
+        assert slot.state == "running"  # respawned immediately
+        assert slot.budget.charged_in_window == 0  # and never charged
+        slot.process.kill()
+        slot.process.wait()
+
+    def test_repeated_crashes_degrade_slot(self, tmp_path):
+        supervisor = _supervisor(
+            tmp_path,
+            max_restarts=2,
+            window_seconds=1e6,
+            backoff_base=0.0,
+            worker_argv=_fake_worker_argv(3),
+        )
+        slot = supervisor.slots[0]
+        supervisor._spawn(slot, now=0.0)
+        for moment in (10.0, 20.0, 30.0):
+            assert _wait(lambda: slot.process.poll() is not None)
+            supervisor.tick(now=moment)  # reap the crash
+            supervisor.tick(now=moment)  # respawn if in backoff
+            if slot.state == "degraded":
+                break
+        assert slot.last_class == CRASH
+        assert slot.state == "degraded"
+        assert slot.budget.charged_in_window > supervisor.max_restarts - 1
+        # A degraded slot stays down: further ticks must not resurrect it.
+        supervisor.tick(now=1000.0)
+        assert slot.state == "degraded"
+        assert slot.process is None
+
+    def test_quarantine_exit_respawns_and_counts(self, tmp_path):
+        store = tmp_path / "store"
+        failures = store / "queue" / "failures"
+        failures.mkdir(parents=True)
+        (failures / "poisoned.json").write_text("{}")
+        supervisor = _supervisor(tmp_path, worker_argv=_fake_worker_argv(1))
+        slot = supervisor.slots[0]
+        supervisor._spawn(slot, now=0.0)
+        assert _wait(lambda: slot.process.poll() is not None)
+        supervisor.tick(now=50.0)
+        assert slot.last_class == QUARANTINE
+        assert slot.state == "running"
+        assert slot.budget.charged_in_window == 0
+        assert supervisor.quarantine_exits == 1
+        slot.process.kill()
+        slot.process.wait()
+
+    def test_sigkilled_worker_is_a_real_crash(self, tmp_path):
+        supervisor = _supervisor(
+            tmp_path, worker_argv=_fake_worker_argv(0, sleep_seconds=600)
+        )
+        slot = supervisor.slots[0]
+        supervisor._spawn(slot, now=0.0)
+        slot.process.kill()
+        assert _wait(lambda: slot.process.poll() is not None)
+        supervisor.tick(now=1.0)
+        assert slot.last_exit == -9
+        assert slot.last_class == CRASH
+        assert slot.state == "backoff"
+        assert slot.budget.charged_in_window == 1
+        supervisor.request_drain()
+
+    def test_run_drains_on_request_and_writes_status(self, tmp_path):
+        supervisor = _supervisor(
+            tmp_path,
+            size=2,
+            drain_grace=30.0,
+            worker_argv=_fake_worker_argv(0, sleep_seconds=600),
+        )
+        result: list = []
+        thread = threading.Thread(
+            target=lambda: result.append(supervisor.run()), daemon=True
+        )
+        thread.start()
+        assert _wait(
+            lambda: all(slot.state == "running" for slot in supervisor.slots)
+        )
+        status = read_fleet_status(tmp_path / "store")
+        assert status is not None
+        assert status["running"] == 2
+        assert [worker["state"] for worker in status["workers"]] == [
+            "running",
+            "running",
+        ]
+        supervisor.request_drain()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert result == [0]
+        final = read_fleet_status(tmp_path / "store")
+        assert final["supervisor"]["draining"] is True
+        assert final["running"] == 0
+        assert all(worker["state"] == "stopped" for worker in final["workers"])
+
+    def test_status_json_is_valid_and_atomic_target(self, tmp_path):
+        supervisor = _supervisor(tmp_path, worker_argv=_fake_worker_argv(0))
+        supervisor.write_status(force=True)
+        path = tmp_path / "store" / "fleet" / "status.json"
+        record = json.loads(path.read_text())
+        assert record["size"] == 1
+        assert record["supervisor"]["pid"]
+        assert not list(path.parent.glob("*.tmp.*"))  # no torn temp left
+
+    def test_read_fleet_status_missing_or_corrupt(self, tmp_path):
+        assert read_fleet_status(tmp_path) is None
+        path = tmp_path / "fleet" / "status.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{ torn")
+        assert read_fleet_status(tmp_path) is None
+        path.write_text('"not a dict"')
+        assert read_fleet_status(tmp_path) is None
+
+
+def _cli_env() -> dict:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env.pop("REPRO_STORE_DIR", None)
+    return env
+
+
+class TestFleetCLI:
+    def test_fleet_status_human_and_json(self, tmp_path):
+        supervisor = _supervisor(tmp_path, worker_argv=_fake_worker_argv(0))
+        supervisor.write_status(force=True)
+        env = _cli_env()
+        base = [sys.executable, "-m", "repro", "fleet", "status", "--store",
+                str(tmp_path / "store")]
+        human = subprocess.run(base, capture_output=True, text=True, env=env)
+        assert human.returncode == 0
+        assert "running" in human.stdout
+        machine = subprocess.run(
+            base + ["--json"], capture_output=True, text=True, env=env
+        )
+        assert machine.returncode == 0
+        assert json.loads(machine.stdout)["size"] == 1
+
+    def test_fleet_status_without_status_file(self, tmp_path):
+        env = _cli_env()
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "fleet", "status", "--store",
+             str(tmp_path)],
+            capture_output=True, text=True, env=env,
+        )
+        assert result.returncode == 1
+        assert "no fleet status" in result.stderr
