@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 sweep, then (opt-in) the chaos soak.
+# CI entry point: the tier-1 sweep, then (opt-in) the chaos soak and the
+# perf gate.
 #
 #   scripts/ci_check.sh            # tier-1 only: the merge gate
 #   CHAOS=1 scripts/ci_check.sh    # + the -m chaos soak, including the
 #                                  #   supervisor/service rounds
+#   PERFGATE=1 scripts/ci_check.sh # + the -m perfgate timed run against
+#                                  #   the committed BENCH snapshot
 #
 # Tier-1 is every default-selected test under tests/ — the chaos soak and
 # the perf gate stay opt-in because they spawn real worker fleets and
 # timed runs, which are too heavy (and too jitter-prone) for the gate.
+# The perf gate needs a quiet machine and a cold store; it restores the
+# snapshot the bench session writes so an opt-in gate run never dirties
+# the committed BENCH artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +25,15 @@ python -m pytest -x -q
 if [[ "${CHAOS:-0}" != "0" ]]; then
     echo "== chaos soak (-m chaos): fault menu + supervised service rounds =="
     python -m pytest tests/test_chaos.py -m chaos -x -q
+fi
+
+if [[ "${PERFGATE:-0}" != "0" ]]; then
+    echo "== perf gate (-m perfgate): phase timings vs committed BENCH =="
+    python -m pytest benchmarks -m perfgate -x -q
+    # The bench session rewrites the default snapshot with this run's
+    # timings; the gate already compared against the committed bytes
+    # (git show HEAD:...), so put the committed artifact back.
+    git checkout -- BENCH_PR8.json 2>/dev/null || true
 fi
 
 echo "ci_check: OK"

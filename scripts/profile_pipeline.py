@@ -110,6 +110,7 @@ def run_pipeline_staged(
     shards: int | None = None,
     workers: int | None = None,
     steal: bool = False,
+    sample_batch: int | None = None,
 ):
     """Run through the stage graph; returns None when unavailable (old tree)."""
     try:
@@ -122,6 +123,17 @@ def run_pipeline_staged(
     config.synthetic_kernel_count = kernel_count
     config.corpus_repository_count = repository_count
     stage_config = PipelineConfig.from_experiment(config)
+    if sample_batch is not None:
+        try:
+            from dataclasses import replace
+
+            stage_config = replace(stage_config, sample_batch=sample_batch)
+        except TypeError:  # older stage graph without the wavefront knob
+            print(
+                "warning: this checkout's stage graph has no sample_batch "
+                "knob; --sample-batch ignored",
+                file=sys.stderr,
+            )
 
     try:
         # Same precedence semantics as the repro CLI: explicit flags beat
@@ -196,11 +208,13 @@ def run_pipeline(
     shards: int | None = None,
     workers: int | None = None,
     steal: bool = False,
+    sample_batch: int | None = None,
 ) -> dict:
     if not legacy:
         counts = run_pipeline_staged(
             kernel_count, repository_count, timings, cache_dir, stage_report,
             shards=shards, workers=workers, steal=steal,
+            sample_batch=sample_batch,
         )
         if counts is not None:
             return counts
@@ -253,6 +267,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="resolve through the work-stealing claim queue (needs "
                              "--cache-dir) and publish the plan so concurrent "
                              "`repro worker --store DIR` processes can join this run")
+    parser.add_argument("--sample-batch", type=int, default=None, metavar="WIDTH",
+                        help="wavefront width for the sample stage (default: "
+                             "$REPRO_SAMPLE_BATCH, else 64; every width is "
+                             "byte-identical, so this only changes speed)")
     parser.add_argument("--legacy", action="store_true",
                         help="force the pre-stage-graph direct pipeline API")
     args = parser.parse_args(argv)
@@ -261,6 +279,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.legacy and (args.shards is not None or args.workers is not None or args.steal):
         parser.error("--shards/--workers/--steal need the stage graph; "
                      "they cannot combine with --legacy")
+    if args.legacy and args.sample_batch is not None:
+        parser.error("--sample-batch needs the stage graph; "
+                     "it cannot combine with --legacy")
     if args.steal and not args.cache_dir and not os.environ.get("REPRO_STORE_DIR"):
         parser.error("--steal needs an on-disk store; pass --cache-dir "
                      "(or set REPRO_STORE_DIR)")
@@ -274,7 +295,7 @@ def main(argv: list[str] | None = None) -> int:
                               cache_dir=args.cache_dir, legacy=args.legacy,
                               stage_report=cold_stages,
                               shards=args.shards, workers=args.workers,
-                              steal=args.steal)
+                              steal=args.steal, sample_batch=args.sample_batch)
         profiler.disable()
         profiler.dump_stats(args.profile)
         stats = pstats.Stats(profiler)
@@ -285,7 +306,7 @@ def main(argv: list[str] | None = None) -> int:
                               cache_dir=args.cache_dir, legacy=args.legacy,
                               stage_report=cold_stages,
                               shards=args.shards, workers=args.workers,
-                              steal=args.steal)
+                              steal=args.steal, sample_batch=args.sample_batch)
 
     warm_timings: dict[str, float] = {}
     warm_stages: list[dict] = []
@@ -298,7 +319,7 @@ def main(argv: list[str] | None = None) -> int:
                      cache_dir=args.cache_dir, legacy=args.legacy,
                      stage_report=warm_stages,
                      shards=args.shards, workers=args.workers,
-                     steal=args.steal)
+                     steal=args.steal, sample_batch=args.sample_batch)
 
     total = sum(timings.values())
     if warm_timings:

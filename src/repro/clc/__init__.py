@@ -71,6 +71,12 @@ class CompilationResult:
     ir: IRModule
     semantics: SemanticReport
     included_headers: list[str] = field(default_factory=list)
+    #: The translation unit of the input *body* alone: when a registered
+    #: prelude fast-path compiled this source, ``unit`` is the merged
+    #: prelude+body tree and this is the body subtree (sharing nodes with
+    #: ``unit``); without a prelude the body is the whole unit.  The code
+    #: rewriter's AST-reuse path consumes it to skip a second parse.
+    body_unit: TranslationUnit | None = None
 
     @property
     def kernels(self) -> list[FunctionDecl]:
@@ -141,6 +147,7 @@ def _compile_with_prelude(
         ir=ir,
         semantics=report,
         included_headers=prelude.included_headers + result.included_headers,
+        body_unit=body_unit,
     )
 
 
@@ -195,4 +202,5 @@ def compile_source(
         ir=ir,
         semantics=report,
         included_headers=result.included_headers,
+        body_unit=unit,
     )

@@ -184,6 +184,48 @@ _NUMBER_SUFFIXES = frozenset("uUlLfFhH")
 _FLOAT_SUFFIXES = frozenset("fFhH")
 _SIGNS = frozenset("+-")
 
+#: One alternation covering every token class, tried in the same precedence
+#: order as :meth:`Lexer._next_token`: whitespace/comment runs, identifiers,
+#: numbers (guarded by the same digit-or-dot-digit trigger), string and
+#: character literals, then punctuators (longest first, so maximal munch is
+#: preserved).  The ``bad`` group catches an unterminated block comment
+#: opener that would otherwise mis-lex as ``/`` ``*`` punctuators; it and
+#: every non-match route through the character-by-character machinery, which
+#: raises the exact same :class:`LexerError`s as before.
+_MASTER_RE = re.compile(
+    r"(?P<ws>(?:[ \t\r\n\f\v]+|//[^\n]*|/\*[\s\S]*?\*/|\\\n)+)"
+    r"|(?P<id>(?:[A-Za-z_]|[^\x00-\x7f])(?:[A-Za-z0-9_]|[^\x00-\x7f])*)"
+    r"|(?P<num>(?=[0-9]|\.[0-9])"
+    r"(?:0[xX][0-9a-fA-F]*[uUlLfFhH]*|[0-9]*(?:\.[0-9]*)?(?:[eE][+-]?[0-9]+)?[uUlLfFhH]*))"
+    r'|(?P<str>"(?:\\[\s\S]|[^"\\])*")'
+    r"|(?P<char>'(?:\\[\s\S]|[^'\\])*')"
+    r"|(?P<bad>/\*)"
+    r"|(?P<punct>#|"
+    + "|".join(re.escape(p) for p in sorted(_PUNCTUATORS, key=len, reverse=True))
+    + r")"
+)
+
+
+def _classify_number(text: str) -> TokenKind:
+    """INT vs FLOAT literal, identically to the character scanner."""
+    if text[:2] in ("0x", "0X"):
+        # The hex-digit run greedily claims f/F, so only suffix characters
+        # that cannot be hex digits (after a u/U/l/L) remain in the tail —
+        # an h/H or trailing f/F there marks a float, exactly as the
+        # character-by-character scanner classified it.
+        tail = text[2:].lstrip("0123456789abcdefABCDEF")
+        is_float = any(c in _FLOAT_SUFFIXES for c in tail)
+    else:
+        body = text.rstrip("uUlLfFhH")
+        suffixes = text[len(body):]
+        is_float = (
+            "." in body
+            or "e" in body
+            or "E" in body
+            or any(c in _FLOAT_SUFFIXES for c in suffixes)
+        )
+    return TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+
 
 class Lexer:
     """Converts OpenCL C source text into a list of :class:`Token`."""
@@ -195,13 +237,69 @@ class Lexer:
         self._column = 1
 
     def tokenize(self) -> list[Token]:
-        """Return the full token stream, terminated by an EOF token."""
+        """Return the full token stream, terminated by an EOF token.
+
+        Drives :data:`_MASTER_RE` down the source — one regex match and one
+        ``Token`` construction per token — and drops to the per-character
+        :meth:`_next_token` machinery only where the master pattern does not
+        apply (unterminated comments/strings, unexpected characters), so the
+        token stream and every error message are identical to the scanner it
+        replaces.
+        """
+        source = self._source
+        length = len(source)
         tokens: list[Token] = []
-        while True:
-            token = self._next_token()
-            tokens.append(token)
-            if token.kind is TokenKind.EOF:
-                return tokens
+        append = tokens.append
+        master = _MASTER_RE.match
+        pos = 0
+        line = 1
+        line_start = 0  # index just past the most recent newline
+        while pos < length:
+            match = master(source, pos)
+            if match is None or match.lastgroup == "bad":
+                # Sync the slow scanner, let it produce the token or raise
+                # the precise error, then resume the fast loop after it.
+                self._pos = pos
+                self._line = line
+                self._column = pos - line_start + 1
+                append(self._next_token())
+                pos = self._pos
+                line = self._line
+                line_start = self._pos - self._column + 1
+                continue
+            group = match.lastgroup
+            text = match.group()
+            end = match.end()
+            if group == "ws":
+                newlines = text.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = pos + text.rfind("\n") + 1
+                pos = end
+                continue
+            token_line = line
+            column = pos - line_start + 1
+            if group == "id":
+                # Interning collapses the many repeats of each identifier or
+                # keyword across a corpus into one string object, cutting
+                # parse-time memory and making dict lookups keyed on token
+                # text pointer-comparison fast.
+                text = sys.intern(text)
+                kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+            elif group == "punct":
+                kind = TokenKind.PUNCTUATOR
+            elif group == "num":
+                kind = _classify_number(text)
+            else:  # str / char — literals may span lines via escaped newlines
+                kind = TokenKind.STRING_LITERAL if group == "str" else TokenKind.CHAR_LITERAL
+                newlines = text.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = pos + text.rfind("\n") + 1
+            append(Token(kind, text, token_line, column))
+            pos = end
+        append(Token(TokenKind.EOF, "", line, length - line_start + 1))
+        return tokens
 
     # ------------------------------------------------------------------
     # Internal machinery.
@@ -299,24 +397,7 @@ class Lexer:
         text = match.group()
         self._pos = match.end()
         self._column += len(text)
-        if text[:2] in ("0x", "0X"):
-            # The hex-digit run greedily claims f/F, so only suffix
-            # characters that cannot be hex digits (after a u/U/l/L) remain
-            # in the tail — an h/H or trailing f/F there marks a float,
-            # exactly as the character-by-character scanner classified it.
-            tail = text[2:].lstrip("0123456789abcdefABCDEF")
-            is_float = any(c in _FLOAT_SUFFIXES for c in tail)
-        else:
-            body = text.rstrip("uUlLfFhH")
-            suffixes = text[len(body):]
-            is_float = (
-                "." in body
-                or "e" in body
-                or "E" in body
-                or any(c in _FLOAT_SUFFIXES for c in suffixes)
-            )
-        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
-        return Token(kind, text, line, column)
+        return Token(_classify_number(text), text, line, column)
 
     def _lex_string(self, line: int, column: int) -> Token:
         start = self._pos

@@ -28,6 +28,10 @@ from repro.errors import PreprocessorError
 IncludeResolver = Callable[[str], "str | None"]
 
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+#: Expansion scanner: a string literal (escapes included, closing quote
+#: optional so an unterminated literal still consumes to end of line) or an
+#: identifier.  Text between matches cannot start a string or a macro name.
+_EXPAND_SCAN_RE = re.compile(r'"(?:\\[\s\S]|[^"\\])*"?|[A-Za-z_][A-Za-z0-9_]*')
 _DEFINED_CALL_RE = re.compile(r"defined\s*(?:\(\s*(\w+)\s*\)|(\w+))")
 
 
@@ -57,6 +61,10 @@ class PreprocessorResult:
 
 def strip_comments(source: str) -> str:
     """Remove block and line comments, preserving newlines for line numbers."""
+    # No comment opener anywhere (even inside a string, where it would be
+    # copied verbatim) means the scan below is the identity.
+    if "//" not in source and "/*" not in source:
+        return source
     out: list[str] = []
     i = 0
     n = len(source)
@@ -312,43 +320,45 @@ class Preprocessor:
         return text
 
     def _expand_once(self, text: str) -> str:
+        # Jump from string literal to identifier with one regex search
+        # instead of visiting every character: everything between matches is
+        # copied through in slices, strings verbatim, and only identifiers
+        # hit the macro table.
+        macros = self._macros
+        search = _EXPAND_SCAN_RE.search
         out: list[str] = []
         i = 0
         n = len(text)
         while i < n:
-            ch = text[i]
-            if ch == '"':
-                end = i + 1
-                while end < n and text[end] != '"':
-                    end += 2 if text[end] == "\\" else 1
-                out.append(text[i : min(end + 1, n)])
-                i = min(end + 1, n)
+            match = search(text, i)
+            if match is None:
+                out.append(text[i:])
+                break
+            start = match.start()
+            if start > i:
+                out.append(text[i:start])
+            name = match.group()
+            i = match.end()
+            if name[0] == '"':
+                out.append(name)
                 continue
-            if ch.isalpha() or ch == "_":
-                match = _IDENT_RE.match(text, i)
-                assert match is not None
-                name = match.group(0)
-                i = match.end()
-                macro = self._macros.get(name)
-                if macro is None:
-                    out.append(name)
-                    continue
-                if not macro.is_function_like:
-                    out.append(macro.body)
-                    continue
-                # Function-like macro: require an argument list.
-                j = i
-                while j < n and text[j] in " \t":
-                    j += 1
-                if j >= n or text[j] != "(":
-                    out.append(name)
-                    continue
-                args, end = self._parse_macro_args(text, j)
-                out.append(self._substitute(macro, args))
-                i = end
+            macro = macros.get(name)
+            if macro is None:
+                out.append(name)
                 continue
-            out.append(ch)
-            i += 1
+            if not macro.is_function_like:
+                out.append(macro.body)
+                continue
+            # Function-like macro: require an argument list.
+            j = i
+            while j < n and text[j] in " \t":
+                j += 1
+            if j >= n or text[j] != "(":
+                out.append(name)
+                continue
+            args, end = self._parse_macro_args(text, j)
+            out.append(self._substitute(macro, args))
+            i = end
         return "".join(out)
 
     def _parse_macro_args(self, text: str, open_paren: int) -> tuple[list[str], int]:

@@ -215,11 +215,16 @@ def _builtin_type_names() -> dict[str, Type]:
     return names
 
 
+#: Built once and copied per table: every compile makes a TypeTable, and the
+#: Type values are immutable, so only the dict itself needs to be fresh.
+_BUILTIN_TYPE_NAMES = _builtin_type_names()
+
+
 class TypeTable:
     """Maps type names (builtins plus typedefs) to :class:`Type` objects."""
 
     def __init__(self) -> None:
-        self._names: dict[str, Type] = _builtin_type_names()
+        self._names: dict[str, Type] = dict(_BUILTIN_TYPE_NAMES)
         self._structs: dict[str, StructType] = {}
 
     def is_type_name(self, name: str) -> bool:

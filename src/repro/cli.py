@@ -209,6 +209,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         sampler_temperature=args.temperature,
         synthetic_kernel_count=args.count,
         sample_seed=args.seed,
+        sample_batch=args.sample_batch,
         executed_global_size=args.global_size,
         local_size=args.local_size,
         payload_seed=args.seed,
@@ -731,6 +732,15 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--count", type=int, default=50)
     pipeline.add_argument("--global-size", type=int, default=128)
     pipeline.add_argument("--local-size", type=int, default=32)
+    pipeline.add_argument(
+        "--sample-batch",
+        type=int,
+        default=None,
+        metavar="WIDTH",
+        help="wavefront width for the batched sample stage (default: "
+             "$REPRO_SAMPLE_BATCH, else 64; byte-identical output at every "
+             "width, so it never affects fingerprints)",
+    )
     pipeline.add_argument(
         "--priority",
         type=int,

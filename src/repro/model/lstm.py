@@ -317,13 +317,14 @@ class LSTMLanguageModel(LanguageModel):
     def make_batch_sampler(self, context: str = "", batch_size: int = 1) -> "LSTMBatchSamplerState":
         """A stateful sampler advancing *batch_size* chains in lock-step.
 
-        All chains share *context*; each forward pass moves every chain one
-        character through :meth:`_step_forward` as a single ``(N, vocab)``
-        batch, amortizing the matrix products that dominate sampling cost.
+        All chains share *context*: it is primed through the network once
+        and the resulting state cloned per chain, so widening the batch
+        costs one copy per lane instead of one forward pass per character
+        per lane.  Every subsequent step is bit-identical to
+        :class:`LSTMSamplerState` — see the class docstring for why the
+        chains do *not* share one ``(N, vocab)`` forward pass.
         """
-        sampler = LSTMBatchSamplerState(self, batch_size)
-        sampler.feed(context)
-        return sampler
+        return LSTMBatchSamplerState(self, batch_size, context)
 
     # ------------------------------------------------------------------
     # Serialization.
@@ -376,90 +377,78 @@ class LSTMSamplerState:
         return character
 
 
-def _apply_temperature_rows(distributions: np.ndarray, temperature: float) -> np.ndarray:
-    """Row-wise :func:`repro.model.backend.apply_temperature` over ``(N, vocab)``."""
-    if temperature == 1.0:
-        return distributions
-    temperature = max(temperature, 1e-3)
-    logits = np.log(np.maximum(distributions, 1e-12)) / temperature
-    logits -= logits.max(axis=1, keepdims=True)
-    out = np.exp(logits)
-    return out / out.sum(axis=1, keepdims=True)
-
-
 class LSTMBatchSamplerState:
     """Incremental sampling state for N synthesis chains advanced together.
 
-    The single-chain :class:`LSTMSamplerState` pays one full forward pass
-    per character per candidate; here N candidates share each forward pass.
-    Chains that finish early are dropped with :meth:`compact` so the batch
-    shrinks as candidates complete.
+    Each chain is its own :class:`LSTMSamplerState` stepped with the same
+    batch-1 forward pass the sequential sampler uses.  Earlier revisions
+    advanced all chains through one shared ``(N, vocab)`` forward pass;
+    that shape is *not* bit-stable across batch widths — BLAS gemm rows for
+    ``N >= 2`` differ from the ``N == 1`` product by ~1e-14 — which would
+    break the wavefront guarantee that batched sampling reproduces the
+    sequential stream bytes at every width (ARCHITECTURE.md "Sample
+    wavefront").  What the batch amortizes instead is context priming: the
+    shared seed context is pushed through the network once and cloned per
+    lane, and :meth:`reset_lane` reuses the same clone for a refilled lane
+    instead of re-feeding the seed.  Chains that finish early are dropped
+    with :meth:`compact` so the batch shrinks as candidates complete.
     """
 
-    def __init__(self, model: LSTMLanguageModel, batch_size: int):
+    def __init__(self, model: LSTMLanguageModel, batch_size: int, context: str = ""):
         if batch_size < 1:
             raise ModelError("batch size must be positive")
         self._model = model
-        self._batch_size = batch_size
-        self._state = model.zero_state(batch_size)
-        vocabulary_size = model.vocabulary.size
-        self._distribution = np.full((batch_size, vocabulary_size), 1.0 / vocabulary_size)
+        self._template = LSTMSamplerState(model)
+        self._template.feed(context)
+        self._lanes = [self._clone_template() for _ in range(batch_size)]
+
+    def _clone_template(self) -> LSTMSamplerState:
+        lane = LSTMSamplerState(self._model)
+        lane._state = [(h.copy(), c.copy()) for h, c in self._template._state]
+        lane._distribution = self._template._distribution.copy()
+        return lane
 
     @property
     def batch_size(self) -> int:
-        return self._batch_size
+        return len(self._lanes)
 
     def feed(self, text: str) -> None:
-        """Advance every chain's hidden state over the shared *text*."""
-        vocabulary = self._model.vocabulary
-        for character in text:
-            x = np.zeros((self._batch_size, vocabulary.size))
-            x[:, vocabulary.index(character)] = 1.0
-            probabilities, self._state, _ = self._model._step_forward(x, self._state)
-            self._distribution = probabilities
+        """Advance every chain's hidden state over the shared *text*.
+
+        The template advances too, so a later :meth:`reset_lane` rewinds to
+        the full primed context (constructor context plus every shared feed).
+        """
+        for lane in self._lanes:
+            lane.feed(text)
+        self._template.feed(text)
 
     def next_distribution(self) -> np.ndarray:
         """The ``(N, vocab)`` distribution over each chain's next character."""
-        return self._distribution
+        return np.stack([lane._distribution for lane in self._lanes])
 
     def sample(self, rng, temperature: float = 1.0) -> list[str]:
         """Draw one character per chain and advance all chains one step.
 
         *rng* is either one shared :class:`random.Random` (every chain draws
-        from the same stream, in row order) or a sequence of per-chain
-        generators — one per active row, as the independently-seeded sample
+        from the same stream, in lane order) or a sequence of per-chain
+        generators — one per active lane, as the independently-seeded sample
         streams use — so chain *k* consumes only its own stream regardless
         of which other chains ride in the batch.
         """
-        distributions = _apply_temperature_rows(self._distribution, temperature)
-        cumulative = np.cumsum(distributions, axis=1)
-        vocabulary = self._model.vocabulary
-        characters: list[str] = []
-        indices = np.empty(self._batch_size, dtype=np.int64)
-        per_row = None if isinstance(rng, random.Random) else list(rng)
-        if per_row is not None and len(per_row) != self._batch_size:
+        per_lane = None if isinstance(rng, random.Random) else list(rng)
+        if per_lane is not None and len(per_lane) != len(self._lanes):
             raise ModelError(
-                f"expected {self._batch_size} per-chain rngs, got {len(per_row)}"
+                f"expected {len(self._lanes)} per-chain rngs, got {len(per_lane)}"
             )
-        for row in range(self._batch_size):
-            source = rng if per_row is None else per_row[row]
-            draw = source.random() * cumulative[row, -1]
-            index = int(np.searchsorted(cumulative[row], draw, side="right"))
-            index = min(index, vocabulary.size - 1)
-            character = vocabulary.character(index) or " "
-            characters.append(character)
-            indices[row] = vocabulary.index(character)
-        x = np.zeros((self._batch_size, vocabulary.size))
-        x[np.arange(self._batch_size), indices] = 1.0
-        probabilities, self._state, _ = self._model._step_forward(x, self._state)
-        self._distribution = probabilities
-        return characters
+        return [
+            lane.sample(rng if per_lane is None else per_lane[position], temperature)
+            for position, lane in enumerate(self._lanes)
+        ]
 
     def compact(self, keep: list[int]) -> None:
         """Retain only the chains at positions *keep* (in order)."""
-        if len(keep) == self._batch_size:
-            return
-        rows = np.asarray(keep, dtype=np.int64)
-        self._state = [(h[rows], c[rows]) for h, c in self._state]
-        self._distribution = self._distribution[rows]
-        self._batch_size = len(keep)
+        self._lanes = [self._lanes[position] for position in keep]
+
+    def reset_lane(self, position: int) -> None:
+        """Rewind one lane to the primed context (wavefront refill)."""
+        self._lanes[position] = self._clone_template()

@@ -42,6 +42,10 @@ class NgramLanguageModel(LanguageModel):
         #: from O(order * vocab) per character into a dict hit + bisect.
         self._distribution_cache: dict[str, np.ndarray] = {}
         self._cumulative_cache: dict[tuple[str, float], np.ndarray] = {}
+        #: context tail -> the character the unknown-symbol fallback resolves
+        #: to.  Without this every degenerate draw re-argsorts the whole
+        #: distribution (O(vocab log vocab) per character).
+        self._fallback_cache: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Training.
@@ -54,6 +58,7 @@ class NgramLanguageModel(LanguageModel):
         self._counts = [defaultdict(Counter) for _ in range(self.order)]
         self._distribution_cache = {}
         self._cumulative_cache = {}
+        self._fallback_cache = {}
         for position, character in enumerate(text):
             for context_length in range(self.order):
                 if position < context_length:
@@ -139,6 +144,28 @@ class NgramLanguageModel(LanguageModel):
             self._cumulative_cache[key] = cumulative
         return cumulative
 
+    def _cached_fallback(self, tail: str) -> str:
+        """The character an unknown-symbol draw at *tail* resolves to.
+
+        Mirrors the inline loop :meth:`NgramSamplerState.sample` used to run
+        on every degenerate draw — the most likely real character of the
+        tail's distribution, or a space when the vocabulary has none — but
+        computes it once per tail instead of re-argsorting per character.
+        """
+        character = self._fallback_cache.get(tail)
+        if character is None:
+            distribution = self._cached_distribution(tail)
+            character = " "
+            for candidate in np.argsort(distribution)[::-1]:
+                real = self.vocabulary.character(int(candidate))
+                if real:
+                    character = real
+                    break
+            if len(self._fallback_cache) >= self._CACHE_LIMIT:
+                self._fallback_cache.clear()
+            self._fallback_cache[tail] = character
+        return character
+
     def make_sampler(self, context: str = "") -> "NgramSamplerState":
         """A stateful sampler primed with *context*.
 
@@ -154,11 +181,13 @@ class NgramLanguageModel(LanguageModel):
     def make_batch_sampler(self, context: str = "", batch_size: int = 1) -> "NgramBatchSamplerState":
         """A sampler advancing *batch_size* independent chains together.
 
-        Unlike the LSTM there is no matrix product to amortize — each lane
-        is an ordinary :class:`NgramSamplerState` — but exposing the same
-        batch interface lets :meth:`KernelSampler.sample_many` drive both
-        backends identically, including with one independently-seeded RNG
-        per chain (the parallel sample streams).
+        The lanes share one vectorized draw per step (cumulative rows
+        gathered into an ``(N, vocab)`` matrix, one comparison-count for
+        every lane's index) while staying bit-identical to running each
+        chain through :class:`NgramSamplerState` alone, so
+        :meth:`KernelSampler.sample_many` and the wavefront driver can use
+        it with one independently-seeded RNG per chain (the parallel sample
+        streams) without changing any sampled byte.
         """
         if not self._trained:
             raise ModelError("model has not been trained")
@@ -217,50 +246,175 @@ class NgramSamplerState:
         character = model.vocabulary.character(index)
         if not character:
             # Unknown symbol sampled: fall back to the most likely real
-            # character (mirrors LanguageModel.sample_next).
-            distribution = model._cached_distribution(self._tail)
-            for candidate in np.argsort(distribution)[::-1]:
-                character = model.vocabulary.character(int(candidate))
-                if character:
-                    break
-            else:
-                character = " "
+            # character (mirrors LanguageModel.sample_next), memoized per
+            # tail so the degenerate path stops re-argsorting per draw.
+            character = model._cached_fallback(self._tail)
         self.feed(character)
         return character
 
 
 class NgramBatchSamplerState:
-    """N independent :class:`NgramSamplerState` lanes behind the batch
-    sampler interface (``sample`` / ``compact``) the LSTM exposes."""
+    """NumPy-lane batch sampler: N chains advanced through vectorized draws.
+
+    Each lane is just a context-tail string; per step the lanes' cached
+    cumulative distributions are gathered as rows of one ``(N, vocab)``
+    matrix (lanes sharing a tail share a row — the tail-grouping happens in
+    the ``(tail, temperature) -> row`` table) and every lane's draw resolves
+    through one vectorized comparison-count, replacing the old Python loop
+    over :class:`NgramSamplerState` lanes with per-lane ``searchsorted``
+    calls.  Bit-identity with the scalar path is by construction: the draw
+    is the same ``rng.random() * cumulative[-1]`` product of the same
+    doubles, and counting ``cumulative <= draw`` per row *is*
+    ``np.searchsorted(cumulative, draw, side="right")`` on a nondecreasing
+    row, clamped identically.
+    """
+
+    #: Bound on the per-state row table (distinct tails seen while
+    #: sampling), mirroring the model-level memo bound.
+    _ROW_LIMIT = 65_536
 
     def __init__(self, model: NgramLanguageModel, context: str, batch_size: int):
         if batch_size < 1:
             raise ModelError("batch size must be positive")
-        self._lanes = [NgramSamplerState(model, context) for _ in range(batch_size)]
+        self._model = model
+        self._initial_tail = model._tail_of(context)
+        #: `_tail_of` inlined for the hot loop: slicing with [-max_context:]
+        #: equals `_tail_of` for every length once max_context >= 1.
+        self._max_context = max(model.order - 1, 1)
+        self._characters = [
+            model.vocabulary.character(index) for index in range(model.vocabulary.size)
+        ]
+        #: Tail-grouping state, rebuilt whenever the sampling temperature
+        #: changes: each distinct tail owns one row of the growing
+        #: cumulative matrix, lanes carry row *ids* (lanes sharing a tail
+        #: share a row), and ``_transitions`` short-circuits the
+        #: tail-string update — ``row * vocab + sampled_index -> next row``
+        #: — so steady-state steps never touch a string key at all.
+        self._row_temperature: float | None = None
+        self._row_ids: dict[str, int] = {}
+        self._row_tails: list[str] = []
+        self._rows = np.empty((0, model.vocabulary.size), dtype=float)
+        #: ``_transitions[row, sampled_index] -> next row`` (-1 = not yet
+        #: registered), gathered for all lanes in one fancy-indexing read.
+        self._transitions = np.empty((0, model.vocabulary.size), dtype=np.int32)
+        self._lane_rows: list[int] = []
+        self._lane_tails = [self._initial_tail] * batch_size
 
     @property
     def batch_size(self) -> int:
-        return len(self._lanes)
+        return len(self._lane_tails)
 
     def feed(self, text: str) -> None:
-        for lane in self._lanes:
-            lane.feed(text)
+        if not text:
+            return
+        max_context = self._max_context
+        self._lane_tails = [
+            (tail + text)[-max_context:] for tail in self._current_tails()
+        ]
+        self._lane_rows = []
+
+    def _current_tails(self) -> list[str]:
+        if self._lane_rows:
+            return [self._row_tails[row] for row in self._lane_rows]
+        return self._lane_tails
+
+    def _row_for(self, tail: str) -> int:
+        row = self._row_ids.get(tail)
+        if row is None:
+            cumulative = self._model._cached_cumulative(tail, self._row_temperature)
+            if len(self._row_tails) == len(self._rows):
+                capacity = max(64, 2 * len(self._rows))
+                grown = np.empty((capacity, cumulative.size), dtype=float)
+                grown[: len(self._row_tails)] = self._rows[: len(self._row_tails)]
+                self._rows = grown
+                grown_transitions = np.full(
+                    (capacity, cumulative.size), -1, dtype=np.int32
+                )
+                grown_transitions[: len(self._row_tails)] = self._transitions[
+                    : len(self._row_tails)
+                ]
+                self._transitions = grown_transitions
+            row = len(self._row_tails)
+            self._rows[row] = cumulative
+            self._row_ids[tail] = row
+            self._row_tails.append(tail)
+        return row
+
+    def _reset_rows(self, temperature: float) -> None:
+        """Flush the row/transition tables (temperature switch or growth cap)."""
+        self._lane_tails = self._current_tails()
+        self._lane_rows = []
+        self._row_ids.clear()
+        self._row_tails = []
+        self._transitions.fill(-1)
+        self._row_temperature = temperature
 
     def sample(self, rng, temperature: float = 1.0) -> list[str]:
         """One character per lane: *rng* is a shared :class:`random.Random`
-        (lanes draw from it in order) or one generator per lane."""
+        (lanes draw from it in position order, exactly as the old per-lane
+        loop consumed it) or one generator per lane."""
+        lanes = len(self._lane_tails)
         if isinstance(rng, random.Random):
-            return [lane.sample(rng, temperature) for lane in self._lanes]
-        per_lane = list(rng)
-        if len(per_lane) != len(self._lanes):
-            raise ModelError(
-                f"expected {len(self._lanes)} per-chain rngs, got {len(per_lane)}"
-            )
-        return [
-            lane.sample(source, temperature)
-            for lane, source in zip(self._lanes, per_lane)
-        ]
+            draws = [rng.random() for _ in range(lanes)]
+        else:
+            per_lane = list(rng)
+            if len(per_lane) != lanes:
+                raise ModelError(
+                    f"expected {lanes} per-chain rngs, got {len(per_lane)}"
+                )
+            draws = [source.random() for source in per_lane]
+        if temperature != self._row_temperature or len(self._row_tails) >= self._ROW_LIMIT:
+            self._reset_rows(temperature)
+        lane_rows = self._lane_rows
+        if not lane_rows:
+            # Resolve row ids before indexing: _row_for may replace
+            # self._rows with a grown copy, and `a[b]` evaluates `a` first.
+            lane_rows = [self._row_for(tail) for tail in self._lane_tails]
+            self._lane_rows = lane_rows
+        rows = self._rows[lane_rows]
+        scaled = np.asarray(draws) * rows[:, -1]
+        indices = np.minimum(
+            (rows <= scaled[:, None]).sum(axis=1), len(self._characters) - 1
+        ).tolist()
+        vocabulary_characters = self._characters
+        characters = [vocabulary_characters[index] for index in indices]
+        next_rows = self._transitions[lane_rows, indices].tolist()
+        # A -1 marks an unregistered transition: the row/index pair's first
+        # visit, or an unknown-symbol draw — whose slot deliberately stays
+        # -1, since resolving it requires the fallback substitution below.
+        if -1 in next_rows:
+            max_context = self._max_context
+            row_tails = self._row_tails
+            for lane, next_row in enumerate(next_rows):
+                if next_row >= 0:
+                    continue
+                row = lane_rows[lane]
+                character = characters[lane]
+                if character:
+                    next_row = self._row_for((row_tails[row] + character)[-max_context:])
+                    self._transitions[row, indices[lane]] = next_row
+                else:
+                    # Unknown symbol: same memoized fallback the scalar
+                    # path uses, then transition on the resolved character.
+                    character = self._model._cached_fallback(row_tails[row])
+                    characters[lane] = character
+                    next_row = self._row_for((row_tails[row] + character)[-max_context:])
+                next_rows[lane] = next_row
+        self._lane_rows = next_rows
+        return characters
 
     def compact(self, keep: list[int]) -> None:
         """Retain only the lanes at positions *keep* (in order)."""
-        self._lanes = [self._lanes[position] for position in keep]
+        if self._lane_rows:
+            self._lane_rows = [self._lane_rows[position] for position in keep]
+            self._lane_tails = [self._row_tails[row] for row in self._lane_rows]
+        else:
+            self._lane_tails = [self._lane_tails[position] for position in keep]
+
+    def reset_lane(self, position: int) -> None:
+        """Rewind one lane to the constructor context (wavefront refill)."""
+        if self._lane_rows:
+            self._lane_rows[position] = self._row_for(self._initial_tail)
+            self._lane_tails[position] = self._initial_tail
+        else:
+            self._lane_tails[position] = self._initial_tail

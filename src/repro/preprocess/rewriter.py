@@ -192,6 +192,29 @@ class CodeRewriter:
         except CompileError as error:
             raise RewriterError(f"parsing failed: {error}") from error
 
+        return self._rename_and_print(source, unit, original_vocabulary)
+
+    def rewrite_parsed(self, source: str, unit: ast.TranslationUnit) -> RewriteResult:
+        """Rename + re-style an already-parsed *source* (the synthesis hot path).
+
+        Skips the preprocess/tokenize/parse of :meth:`rewrite` when the
+        caller already holds *source*'s parsed body unit from the rejection
+        check's compilation (:attr:`repro.clc.CompilationResult.body_unit`).
+        Byte-identical to :meth:`rewrite` provided the unit came from an
+        equivalent macro/typedef environment — in particular *source* must
+        contain no preprocessor directives and reference no shim name that
+        only one of the two environments defines; the synthesizer gates on
+        exactly that before calling this.  *unit* is renamed in place: the
+        caller hands over ownership.
+        """
+        return self._rename_and_print(source, unit, bag_of_words_vocabulary(source))
+
+    def _rename_and_print(
+        self,
+        source: str,
+        unit: ast.TranslationUnit,
+        original_vocabulary: set[str],
+    ) -> RewriteResult:
         variable_mapping: dict[str, str] = {}
         function_mapping: dict[str, str] = {}
         if self.rename_identifiers:

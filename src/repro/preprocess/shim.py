@@ -14,6 +14,8 @@ rejection.
 
 from __future__ import annotations
 
+import functools
+
 #: Inferred type aliases, in the spirit of Listing 1 ("36 more").
 SHIM_TYPEDEFS: dict[str, str] = {
     "FLOAT_T": "float",
@@ -182,8 +184,13 @@ KNOWN_HEADERS = frozenset(
 )
 
 
+@functools.lru_cache(maxsize=None)
 def shim_header_text(include_feature_macros: bool = True) -> str:
-    """Render the shim header as OpenCL C source (Listing 1)."""
+    """Render the shim header as OpenCL C source (Listing 1).
+
+    The tables above are module constants, so the rendering is memoized —
+    the rejection filter prepends this header to every candidate it checks.
+    """
     lines = ["/* Enable OpenCL features */"]
     if include_feature_macros:
         for name, value in SHIM_FEATURE_MACROS.items():

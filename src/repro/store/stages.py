@@ -91,6 +91,12 @@ class PipelineConfig:
     synthetic_kernel_count: int = 100
     max_attempts_per_kernel: int = 40
     sample_seed: int = 0
+    #: Wavefront width for the batched sample stage.  Like
+    #: ``preprocess_jobs``, deliberately *not* part of any fingerprint:
+    #: every width produces byte-identical kernels (per-stream RNG
+    #: isolation), so batched and sequential runs share store entries.
+    #: ``None`` defers to ``REPRO_SAMPLE_BATCH``, then the built-in default.
+    sample_batch: int | None = None
     # execute
     executed_global_size: int = 128
     local_size: int = 32
@@ -520,6 +526,7 @@ class PipelineRunner:
                 max_kernel_length=cfg.max_kernel_length,
                 temperature=cfg.sampler_temperature,
                 seed_kernel_name=cfg.seed_kernel_name,
+                batch_size=cfg.sample_batch,
             ),
             min_static_instructions=cfg.min_static_instructions,
         )

@@ -35,6 +35,13 @@ def stream_rng(sample_seed: int, index: int) -> random.Random:
     return random.Random(stream_seed(sample_seed, index))
 
 
+#: Default wavefront width when neither ``SamplerConfig.batch_size`` nor
+#: ``REPRO_SAMPLE_BATCH`` says otherwise (chosen by the batch-width sweep in
+#: ARCHITECTURE.md "Sample wavefront": throughput flattens past 64, and a
+#: wider batch only holds more lanes open near the tail of a range).
+DEFAULT_SAMPLE_BATCH = 64
+
+
 @dataclass
 class SamplerConfig:
     """Knobs of the character-level sampler."""
@@ -42,6 +49,21 @@ class SamplerConfig:
     max_kernel_length: int = 2048
     temperature: float = 0.7
     seed_kernel_name: str = "A"
+    #: Wavefront width for batched cross-stream synthesis
+    #: (:meth:`repro.synthesis.generator.CLgen.generate_kernel_wavefront`).
+    #: ``None`` defers to the ``REPRO_SAMPLE_BATCH`` environment knob, then
+    #: to :data:`DEFAULT_SAMPLE_BATCH`.  Purely an execution-shape knob:
+    #: every width produces byte-identical kernels (per-stream RNG
+    #: isolation), so it is never fingerprinted.
+    batch_size: int | None = None
+
+    def resolved_batch_size(self) -> int:
+        """The effective wavefront width (explicit config > env > default)."""
+        if self.batch_size is not None:
+            return max(1, self.batch_size)
+        from repro.envutil import env_int
+
+        return env_int("REPRO_SAMPLE_BATCH", DEFAULT_SAMPLE_BATCH, minimum=1)
 
 
 @dataclass
@@ -114,11 +136,12 @@ class KernelSampler:
         produced by :func:`stream_rng`.  With per-candidate generators each
         candidate consumes only its own stream, so batched and sequential
         sampling produce identical candidates and any subset can be
-        resampled in isolation.  (The parallel sample shards currently
-        sample their streams one at a time through :meth:`sample`; this
-        per-candidate mode is what makes lock-step batching *compatible*
-        with them — see ROADMAP "Sample-stage LSTM batching across
-        streams".)
+        resampled in isolation.  (This per-candidate mode is what the
+        wavefront driver —
+        :meth:`repro.synthesis.generator.CLgen.generate_kernel_wavefront` —
+        builds on to batch attempts *across* kernel streams, including the
+        rejection/refill loop; see ROADMAP "Make sample as fast as execute
+        became".)
         """
         if count <= 0:
             return []

@@ -88,6 +88,100 @@ class TestBatchSampler:
         assert len(only) == 1
 
 
+def _stream_outcomes(results):
+    """The observable per-stream outcome tuple used for bit-identity checks."""
+    return [
+        (
+            entry.index,
+            entry.kernel.source if entry.kernel else None,
+            entry.kernel.raw_sample if entry.kernel else None,
+            entry.kernel.attempt_index if entry.kernel else None,
+            dataclasses.asdict(entry.statistics),
+        )
+        for entry in results
+    ]
+
+
+class TestWavefront:
+    """The batched cross-stream sample stage must be invisible in the output:
+    every wavefront width produces bit-identical kernels and statistics to
+    the sequential reference (per-stream RNG isolation)."""
+
+    BUDGET = 6
+
+    def _sequential(self, clgen, count, seed):
+        """The sequential reference: ``generate_kernel_range`` with the
+        wavefront forced off (width one takes the plain attempt loop)."""
+        original = clgen.sampler.config
+        clgen.sampler.config = dataclasses.replace(original, batch_size=1)
+        try:
+            return clgen.generate_kernel_range(
+                0, count, seed=seed, max_attempts_per_kernel=self.BUDGET
+            )
+        finally:
+            clgen.sampler.config = original
+
+    def test_ngram_widths_match_sequential(self, clgen):
+        reference = _stream_outcomes(self._sequential(clgen, 8, seed=5))
+        for width in (1, 2, 3, 8, 50):
+            batched = clgen.generate_kernel_wavefront(
+                0, 8, seed=5, max_attempts_per_kernel=self.BUDGET, batch_size=width
+            )
+            assert _stream_outcomes(batched) == reference, f"width {width}"
+        # The equality above is only meaningful if the run exercised the
+        # refill path: rejected attempts must have recycled their lanes.
+        assert any(outcome[4]["rejected"] > 0 for outcome in reference)
+
+    def test_budget_exhaustion_mid_batch(self, clgen):
+        """Streams that exhaust their attempt budget while others are still
+        in flight must drop out without disturbing any other stream."""
+        reference = _stream_outcomes(
+            self._sequential(type(clgen)(clgen.model, min_static_instructions=999), 6, seed=2)
+        )
+        strict = type(clgen)(clgen.model, min_static_instructions=999)
+        for width in (2, 6):
+            batched = strict.generate_kernel_wavefront(
+                0, 6, seed=2, max_attempts_per_kernel=self.BUDGET, batch_size=width
+            )
+            assert _stream_outcomes(batched) == reference, f"width {width}"
+        # With an unsatisfiable filter every stream exhausts its budget.
+        assert all(outcome[1] is None for outcome in reference)
+        assert all(outcome[4]["attempts"] == self.BUDGET for outcome in reference)
+
+    def test_lstm_widths_match_sequential(self, tiny_lstm, corpus):
+        from repro.synthesis.generator import CLgen
+
+        clgen = CLgen(
+            tiny_lstm, corpus=corpus, sampler_config=SamplerConfig(max_kernel_length=120)
+        )
+        reference = _stream_outcomes(self._sequential(clgen, 4, seed=7))
+        for width in (2, 4):
+            batched = clgen.generate_kernel_wavefront(
+                0, 4, seed=7, max_attempts_per_kernel=self.BUDGET, batch_size=width
+            )
+            assert _stream_outcomes(batched) == reference, f"width {width}"
+
+    def test_env_width_one_is_the_sequential_path(self, clgen, monkeypatch):
+        """``REPRO_SAMPLE_BATCH=1`` must not merely match the sequential
+        output — it must *be* the sequential code path."""
+        monkeypatch.setenv("REPRO_SAMPLE_BATCH", "1")
+
+        def _boom(*args, **kwargs):  # pragma: no cover - the assertion
+            raise AssertionError("wavefront invoked despite REPRO_SAMPLE_BATCH=1")
+
+        monkeypatch.setattr(clgen, "generate_kernel_wavefront", _boom)
+        results = clgen.generate_kernel_range(0, 3, seed=5, max_attempts_per_kernel=self.BUDGET)
+        assert len(results) == 3
+
+    def test_env_width_drives_range(self, clgen, monkeypatch):
+        """An explicit env width must route ``generate_kernel_range`` through
+        the wavefront at that width, byte-identically."""
+        reference = _stream_outcomes(self._sequential(clgen, 5, seed=5))
+        monkeypatch.setenv("REPRO_SAMPLE_BATCH", "3")
+        routed = clgen.generate_kernel_range(0, 5, seed=5, max_attempts_per_kernel=self.BUDGET)
+        assert _stream_outcomes(routed) == reference
+
+
 ACCEPTED_SOURCE = (
     "__kernel void foo(__global float* data, const int n) {\n"
     "  int i = get_global_id(0);\n"

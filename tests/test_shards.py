@@ -9,6 +9,7 @@ by separate processes sharing one store.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import random
 from concurrent.futures import ProcessPoolExecutor
@@ -188,6 +189,33 @@ class TestShardedBitIdentity:
                 twin = sharded_dir / kind / entry.parent.name / entry.name
                 assert twin.exists(), f"{kind}: sharded run missed key {entry.name}"
                 assert entry.read_bytes() == twin.read_bytes(), kind
+
+    def test_batched_sharded_entries_match_unbatched_unsharded(self, tmp_path):
+        """The wavefront knob is pure execution shape: a batched sharded run
+        must leave byte-identical store entries (same keys, same bytes) to an
+        unbatched unsharded run — including the sample artifacts, because
+        ``sample_batch`` is never fingerprinted."""
+        plain_dir, batched_dir = tmp_path / "plain", tmp_path / "batched"
+        for directory, shards, batch in ((plain_dir, 1, 1), (batched_dir, SHARDS, 16)):
+            cfg = dataclasses.replace(tiny_config(), sample_batch=batch)
+            runner = PipelineRunner(store=ArtifactStore(directory=directory), shards=shards)
+            runner.synthesis(cfg)
+            runner.synthetic_measurements(cfg)
+        for kind in ("synthesis", "synthetic-measurements"):
+            entries = sorted((plain_dir / kind).glob("*/*.pkl"))
+            assert entries, kind
+            for entry in entries:
+                twin = batched_dir / kind / entry.parent.name / entry.name
+                assert twin.exists(), f"{kind}: batched run stored a different key"
+                assert twin.read_bytes() == entry.read_bytes(), (
+                    f"{kind}/{entry.name}: batched-sharded entry diverges"
+                )
+
+    def test_sample_batch_never_fingerprints(self):
+        cfg = tiny_config()
+        for batch in (None, 1, 16, 128):
+            tweaked = dataclasses.replace(cfg, sample_batch=batch)
+            assert synthesis_fingerprint(tweaked) == synthesis_fingerprint(cfg)
 
     def test_non_default_min_static_instructions_matches_unsharded(self):
         # Regression: the unsharded corpus compute used to drop
