@@ -8,7 +8,7 @@ kernel counts).  They resolve through the pipeline stage graph
 (:mod:`repro.store`), so pointing ``REPRO_STORE_DIR`` at a directory makes
 repeat sessions reuse every unchanged stage artifact.
 
-The session also emits a perf snapshot at the repo root — ``BENCH_PR8.json``
+The session also emits a perf snapshot at the repo root — ``BENCH_PR9.json``
 by default, overridable with the ``REPRO_BENCH_OUT`` environment variable so
 each PR's bench run stops clobbering the previous PR's artifact — recording
 wall-clock seconds per pipeline phase (preprocess, train, sample, execute)
@@ -59,7 +59,7 @@ _PHASE_TIMINGS: dict[str, float] = {}
 _RUNNER_MARK = 0
 
 _SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / os.environ.get(
-    "REPRO_BENCH_OUT", "BENCH_PR8.json"
+    "REPRO_BENCH_OUT", "BENCH_PR9.json"
 )
 
 #: Pre-PR-1 reference numbers for the quick-scale synthesize-and-measure

@@ -5,6 +5,9 @@
 #   scripts/ci_check.sh            # tier-1 only: the merge gate
 #   CHAOS=1 scripts/ci_check.sh    # + the -m chaos soak, including the
 #                                  #   supervisor/service rounds
+#   LINT=1 scripts/ci_check.sh     # + the static-analyzer soundness leg:
+#                                  #   lints every suite kernel and
+#                                  #   cross-checks static vs dynamic
 #   PERFGATE=1 scripts/ci_check.sh # + the -m perfgate timed run against
 #                                  #   the committed BENCH snapshot
 #
@@ -27,13 +30,21 @@ if [[ "${CHAOS:-0}" != "0" ]]; then
     python -m pytest tests/test_chaos.py -m chaos -x -q
 fi
 
+if [[ "${LINT:-0}" != "0" ]]; then
+    echo "== lint: suite verdicts + static-vs-dynamic soundness cross-check =="
+    python -m repro lint
+    # The soundness gate: a "safe" verdict for a kernel that dynamically
+    # bails is a hard failure (exit 1); precision misses only print.
+    python -m repro lint --soundness
+fi
+
 if [[ "${PERFGATE:-0}" != "0" ]]; then
     echo "== perf gate (-m perfgate): phase timings vs committed BENCH =="
     python -m pytest benchmarks -m perfgate -x -q
     # The bench session rewrites the default snapshot with this run's
     # timings; the gate already compared against the committed bytes
     # (git show HEAD:...), so put the committed artifact back.
-    git checkout -- BENCH_PR8.json 2>/dev/null || true
+    git checkout -- BENCH_PR9.json 2>/dev/null || true
 fi
 
 echo "ci_check: OK"

@@ -1,0 +1,76 @@
+"""The divergence lattice shared by all static-analysis passes.
+
+Each abstract value describes how a runtime value varies across the
+work-items of one lockstep dispatch:
+
+========= ==================================================================
+element   meaning
+========= ==================================================================
+BOTTOM    no information yet (unreached code)
+UNIFORM   identical on every work-item (literals, scalar kernel arguments,
+          ``get_global_size`` and friends)
+AFFINE    an *injective* per-lane value: the raw work-item id scaled by a
+          non-zero literal plus a uniform offset (``gid``, ``gid + 4``,
+          ``2 * gid - n``).  Distinct lanes are guaranteed distinct values,
+          which is what makes a store subscript hazard-free.
+DIVERGENT lane-dependent with no injectivity guarantee (``gid % 8``,
+          ``data[gid]``, ``get_local_id(0)``)
+========= ==================================================================
+
+The order is total (``BOTTOM < UNIFORM < AFFINE < DIVERGENT``), so the join
+is ``max`` and every fixpoint over environments terminates after at most
+``len(env) * 3`` strict increases.  ``AFFINE`` deliberately does *not*
+survive arbitrary arithmetic: any operator outside the injectivity-
+preserving set degrades it to ``DIVERGENT``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Div(IntEnum):
+    """Abstract divergence of one value across the lanes of a dispatch."""
+
+    BOTTOM = 0
+    UNIFORM = 1
+    AFFINE = 2
+    DIVERGENT = 3
+
+
+def join(*values: Div) -> Div:
+    """Least upper bound; the lattice is a chain, so this is ``max``."""
+    result = Div.BOTTOM
+    for value in values:
+        if value > result:
+            result = value
+    return result
+
+
+def join_env(left: dict[str, Div], right: dict[str, Div]) -> dict[str, Div]:
+    """Pointwise join of two abstract environments.
+
+    A name bound on only one side keeps its binding (the other path never
+    touched it, i.e. contributes BOTTOM).
+    """
+    merged = dict(left)
+    for name, value in right.items():
+        existing = merged.get(name, Div.BOTTOM)
+        if value > existing:
+            merged[name] = value
+    return merged
+
+
+def env_le(left: dict[str, Div], right: dict[str, Div]) -> bool:
+    """Whether *left* ⊑ *right* pointwise (missing names are BOTTOM)."""
+    for name, value in left.items():
+        if value > right.get(name, Div.BOTTOM):
+            return False
+    return True
+
+
+#: Upper bound on loop re-analysis rounds.  The chain has height 4 and
+#: loop bodies bind finitely many names, so convergence is guaranteed well
+#: before this; the cap is a safety net against analysis bugs, not a
+#: precision knob.
+FIXPOINT_LIMIT = 8

@@ -1,0 +1,245 @@
+"""The barrier-divergence and shared-memory race passes.
+
+Both consume the facts produced by :class:`~repro.analysis.divergence.
+DivergenceAnalysis` and distill them into the site lists the bailout
+classifier (and the feature extractor) read.
+
+**Barrier divergence.**  The lockstep tier executes a ``barrier()`` by
+comparing the live lane mask against the group mask; any mismatch is an
+immediate :class:`~repro.errors.LockstepBailout` (``"divergent work-group
+barrier"``).  Statically, a barrier whose control context depends on a
+work-item id (directly or through a divergent early return upstream) is
+therefore classified a guaranteed bailout.  Barriers inside helper
+functions never synchronise in the lockstep tier (they degrade to step
+bumps), so they are reported separately and never count as bailouts.
+
+**Race / hazard detection.**  The lockstep memory model tracks, per cell,
+the last writing lane and the highest reading lane; any cross-lane
+read-after-write, write-after-write or write-after-read conflict bails out
+(see ``LockstepBuffer`` in :mod:`repro.execution.memory`).  Per written
+buffer, the pass checks whether every access is *provably per-lane
+disjoint*: an AFFINE subscript (injective per lane) with one single
+canonical form across all sites.  Everything else is a potential hazard:
+
+* a DIVERGENT-subscript write — lanes may collide (``out[a[gid]]``),
+* a UNIFORM-subscript write combined with any other access — every lane
+  hits the same cell, so the second touch observes a foreign lane,
+* mixed or unresolvable subscript forms — ``out[gid+1]`` vs ``out[gid]``
+  aliases neighbouring lanes' cells,
+* atomics mixed with plain accesses on one buffer.
+
+A site is *certain* (drives the bailout-certain verdict used for engine
+routing) only when both conflicting accesses execute unconditionally, no
+barrier separates them (a kernel-body barrier resets the hazard epochs),
+and the collision is structural rather than data-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.divergence import AccessSite, BarrierSite, KernelFacts
+from repro.analysis.lattice import Div
+
+
+# ---------------------------------------------------------------------------
+# Barrier divergence.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class BarrierReport:
+    """Outcome of the barrier-divergence pass for one kernel."""
+
+    total: int
+    divergent: list[BarrierSite]
+    helper_sites: int
+
+    @property
+    def divergent_count(self) -> int:
+        return len(self.divergent)
+
+
+def barrier_divergence(facts: KernelFacts) -> BarrierReport:
+    """Classify every barrier site of *facts* by its control context."""
+    divergent = [
+        site
+        for site in facts.barriers
+        if not site.in_helper and site.control_div > Div.UNIFORM
+    ]
+    helper_sites = sum(1 for site in facts.barriers if site.in_helper)
+    return BarrierReport(
+        total=len(facts.barriers), divergent=divergent, helper_sites=helper_sites
+    )
+
+
+# ---------------------------------------------------------------------------
+# Race / cross-lane hazard detection.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class RaceSite:
+    """One potential (or certain) cross-lane hazard on a shared buffer."""
+
+    buffer: str
+    space: str
+    hazard: str  # "waw" | "raw" | "war" | "atomic-mix"
+    certain: bool
+    detail: str = ""
+
+
+def _unconditional(site: AccessSite) -> bool:
+    # A lane-uniform data-dependent guard (``if (d < c)``) executes
+    # all-or-nothing dynamically, so sites under one cannot back a
+    # *certain* verdict: the guard may simply never be taken.
+    return (
+        site.control_div <= Div.UNIFORM
+        and site.loop_depth == 0
+        and not site.conditional
+    )
+
+
+def race_hazards(facts: KernelFacts) -> list[RaceSite]:
+    """Detect cross-lane hazards per shared buffer."""
+    sites: list[RaceSite] = []
+    has_barrier = any(not site.in_helper for site in facts.barriers)
+    buffers = sorted({site.buffer for site in facts.accesses})
+    for buffer in buffers:
+        accesses = facts.accesses_for(buffer)
+        space = accesses[0].space
+        writes = [site for site in accesses if site.kind == "write"]
+        reads = [site for site in accesses if site.kind == "read"]
+        atomics = [site for site in accesses if site.kind == "atomic"]
+
+        if atomics and (writes or reads):
+            sites.append(
+                RaceSite(
+                    buffer=buffer,
+                    space=space,
+                    hazard="atomic-mix",
+                    certain=False,
+                    detail="atomic combined with plain accesses",
+                )
+            )
+        if not writes:
+            continue
+
+        divergent_writes = [site for site in writes if site.index_div >= Div.DIVERGENT]
+        for site in divergent_writes:
+            sites.append(
+                RaceSite(
+                    buffer=buffer,
+                    space=space,
+                    hazard="waw",
+                    certain=False,
+                    detail="write with a non-injective lane-dependent subscript",
+                )
+            )
+
+        uniform_writes = [site for site in writes if site.index_div <= Div.UNIFORM]
+        if uniform_writes and len(writes) + len(reads) + len(atomics) >= 2:
+            # Every lane scatters onto one cell; the next touch of that cell
+            # observes the last lane's write.
+            partner_reads = [site for site in reads]
+            partner_writes = [site for site in writes if site is not uniform_writes[0]]
+
+            def _touches(write: AccessSite, partner: AccessSite) -> bool:
+                # Does *partner* provably touch the cell *write* scattered on?
+                # A non-uniform subscript spans all cells; an unresolvable or
+                # matching form may/must hit it.
+                return (
+                    partner.index_div > Div.UNIFORM
+                    or partner.index_form is None
+                    or partner.index_form == write.index_form
+                )
+
+            certain = not has_barrier and any(
+                _unconditional(write)
+                and _unconditional(partner)
+                and _touches(write, partner)
+                for write in uniform_writes
+                for partner in partner_reads + partner_writes
+            )
+            hazard = "raw" if partner_reads else "waw"
+            sites.append(
+                RaceSite(
+                    buffer=buffer,
+                    space=space,
+                    hazard=hazard,
+                    certain=certain,
+                    detail="uniform-subscript write shared with other accesses",
+                )
+            )
+        elif uniform_writes and any(site.loop_depth >= 2 for site in uniform_writes):
+            sites.append(
+                RaceSite(
+                    buffer=buffer,
+                    space=space,
+                    hazard="waw",
+                    certain=False,
+                    detail="uniform-subscript write re-executed by nested loops",
+                )
+            )
+
+        affine_writes = [site for site in writes if site.index_div == Div.AFFINE]
+        if affine_writes:
+            considered = affine_writes + [
+                site for site in reads if site.index_div == Div.AFFINE
+            ]
+            forms = {site.index_form for site in considered}
+            loop_varying = [
+                site
+                for site in considered
+                if site.index_form is None and site.loop_depth > 0
+            ]
+            if loop_varying:
+                sites.append(
+                    RaceSite(
+                        buffer=buffer,
+                        space=space,
+                        hazard="waw",
+                        certain=False,
+                        detail="loop-varying per-lane subscript revisits other lanes' cells",
+                    )
+                )
+            elif len(forms) > 1 or (None in forms and len(considered) > 1):
+                # Two sites whose subscripts are not provably the same cell
+                # per lane (different forms, or forms we could not resolve).
+                sites.append(
+                    RaceSite(
+                        buffer=buffer,
+                        space=space,
+                        hazard="raw",
+                        certain=False,
+                        detail="mismatched per-lane subscript forms alias neighbouring cells",
+                    )
+                )
+            uniform_reads = [site for site in reads if site.index_div <= Div.UNIFORM]
+            if uniform_reads:
+                certain = (
+                    not has_barrier
+                    and any(_unconditional(site) for site in affine_writes)
+                    and any(_unconditional(site) for site in uniform_reads)
+                )
+                sites.append(
+                    RaceSite(
+                        buffer=buffer,
+                        space=space,
+                        hazard="raw",
+                        certain=certain,
+                        detail="uniform read of a per-lane-written buffer",
+                    )
+                )
+            divergent_reads = [site for site in reads if site.index_div >= Div.DIVERGENT]
+            if divergent_reads:
+                sites.append(
+                    RaceSite(
+                        buffer=buffer,
+                        space=space,
+                        hazard="raw",
+                        certain=False,
+                        detail="lane-dependent read of a per-lane-written buffer",
+                    )
+                )
+    return sites

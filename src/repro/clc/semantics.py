@@ -75,6 +75,10 @@ class SemanticChecker:
         self._require_kernel = require_kernel
         self._report = SemanticReport()
         self._function_names = {f.name for f in unit.functions}
+        #: Arity of every user-defined function (``f(void)`` parses to an
+        #: empty parameter list, so the count is exact).  Builtins are not
+        #: checked — several are genuinely overloaded.
+        self._function_arity = {f.name: len(f.parameters) for f in unit.functions}
         self._global_names = {g.declarator.name for g in unit.globals if g.declarator}
         self._typedef_names = {t.name for t in unit.typedefs}
 
@@ -176,6 +180,22 @@ class SemanticChecker:
                         line=expression.line,
                     )
                 )
+            elif expression.callee in self._function_arity:
+                expected = self._function_arity[expression.callee]
+                supplied = len(expression.arguments)
+                if supplied != expected:
+                    self._report.issues.append(
+                        SemanticIssue(
+                            kind="wrong-arity",
+                            message=(
+                                f"call to '{expression.callee}' with {supplied} "
+                                f"argument(s); it takes {expected}"
+                            ),
+                            name=expression.callee,
+                            function=function,
+                            line=expression.line,
+                        )
+                    )
             for argument in expression.arguments:
                 self._check_expression(argument, scope, function)
         elif isinstance(expression, (ast.UnaryOp, ast.PostfixOp)):

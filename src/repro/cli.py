@@ -11,6 +11,7 @@ Sub-commands mirror the original tool's workflow:
 * ``fleet``       — supervise a standing pool of resident workers
 * ``serve``       — stateless HTTP front door publishing plans into the store
 * ``store``       — ``stats`` / ``gc`` for the on-disk artifact store
+* ``lint``        — static kernel analyzer (bailout prediction, soundness gate)
 
 ``--shards N`` splits the data-parallel stages (mine/preprocess by
 repository range, sample by kernel-stream range, execute by
@@ -624,6 +625,52 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.lint import lint_paths, lint_suites
+
+    if args.soundness:
+        from repro.analysis.soundness import check_suites, check_synthesized
+
+        report = check_suites()
+        if args.synthesized:
+            synth = check_synthesized(count=args.synthesized, seed=args.seed)
+            report.records.extend(synth.records)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"soundness: {report.summary()}")
+            for record in report.disagreements:
+                marker = "VIOLATION" if record.violation else "miss"
+                print(
+                    f"  [{marker}] {record.name}: static={record.static} "
+                    f"dynamic={record.dynamic} {record.dynamic_cause}"
+                )
+        if not report.sound:
+            print(
+                f"error: {len(report.violations)} lockstep-safe kernel(s) "
+                "dynamically bailed out",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    report = lint_paths(args.paths) if args.paths else lint_suites()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"lint: {report.summary()}")
+        for record in report.records:
+            if record.error:
+                print(f"  [error] {record.name}: {record.error}")
+            elif record.verdict is not None and record.verdict.causes:
+                causes = "; ".join(record.verdict.cause_strings())
+                print(f"  [{record.classification}] {record.name}: {causes}")
+    failed = [record for record in report.records if record.error]
+    return 1 if (args.paths and failed) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clgen-repro",
@@ -971,6 +1018,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop entries older than AGE (accepts suffixes: 30m, 12h, 7d, ...)",
     )
     store_gc.set_defaults(func=_cmd_store_gc)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static kernel analyzer: predict lockstep bailouts without "
+             "executing (default target: the benchmark suites)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="FILE",
+        help="OpenCL kernel files to lint (default: every suite benchmark)",
+    )
+    lint.add_argument(
+        "--soundness",
+        action="store_true",
+        help="cross-check static verdicts against dynamic lockstep execution; "
+             "exits 1 if any statically-safe kernel bails out",
+    )
+    lint.add_argument(
+        "--synthesized",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --soundness, additionally cross-check N freshly "
+             "synthesized kernels",
+    )
+    lint.add_argument("--seed", type=int, default=0)
+    lint.add_argument("--json", action="store_true", help="emit the raw report")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -75,12 +75,24 @@ class DynamicChecker:
 
     # ------------------------------------------------------------------
 
-    def check_source(self, source: str, kernel_name: str | None = None) -> DynamicCheckResult:
-        """Parse *source* and check its (first) kernel."""
-        try:
-            unit = parse(source)
-        except Exception as error:  # rejected sources should not reach here
-            return DynamicCheckResult(outcome=CheckOutcome.EXECUTION_ERROR, detail=str(error))
+    def check_source(
+        self,
+        source: str,
+        kernel_name: str | None = None,
+        unit: TranslationUnit | None = None,
+    ) -> DynamicCheckResult:
+        """Check the (first) kernel of *source*.
+
+        Callers that already compiled the source (the host driver, the
+        rejection filter) pass the parsed *unit* so the check reuses it —
+        and with it every cached engine artifact keyed on that unit —
+        instead of re-parsing the text.
+        """
+        if unit is None:
+            try:
+                unit = parse(source)
+            except Exception as error:  # rejected sources should not reach here
+                return DynamicCheckResult(outcome=CheckOutcome.EXECUTION_ERROR, detail=str(error))
         return self.check(unit, kernel_name)
 
     def check(self, unit: TranslationUnit, kernel_name: str | None = None) -> DynamicCheckResult:

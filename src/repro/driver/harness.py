@@ -372,8 +372,20 @@ class HostDriver:
         return measurements
 
     def check_useful(self, source: str) -> DynamicCheckResult:
-        """Run only the dynamic checker on *source* (used by the synthesizer)."""
-        return self._checker.check_source(source)
+        """Run only the dynamic checker on *source* (used by the synthesizer).
+
+        The source is compiled through the shimmed frontend cache first and
+        the parsed unit threaded into the checker, so the four differential
+        executions reuse the cached compilation (and its engine artifacts)
+        instead of re-parsing the text.
+        """
+        try:
+            compilation = cached_compile_source(
+                with_shim(source), include_resolver=shim_include_resolver, strict=False
+            )
+        except CompileError:
+            return self._checker.check_source(source)
+        return self._checker.check_source(source, unit=compilation.unit)
 
     # ------------------------------------------------------------------
 
@@ -395,21 +407,7 @@ class HostDriver:
 
     @staticmethod
     def _kernel_work_dim(kernel) -> int:
-        """Detect 2D kernels by their use of dimension-1 work-item queries."""
-        if kernel.body is None:
-            return 1
-        for node in walk(kernel.body):
-            if isinstance(node, Call) and node.callee in (
-                "get_global_id",
-                "get_group_id",
-                "get_local_id",
-            ):
-                if node.arguments:
-                    argument = node.arguments[0]
-                    value = getattr(argument, "value", None)
-                    if value == 1:
-                        return 2
-        return 1
+        return kernel_work_dim(kernel)
 
     @staticmethod
     def _ir_function(compilation: CompilationResult, kernel_name: str):
@@ -417,6 +415,29 @@ class HostDriver:
             return compilation.ir.function(kernel_name)
         except KeyError:
             return None
+
+
+def kernel_work_dim(kernel) -> int:
+    """Detect 2D kernels by their use of dimension-1 work-item queries.
+
+    The static analyzer mirrors this rule (``DivergenceAnalysis.multi_dim``)
+    and the soundness harness dispatches with it, so all three layers agree
+    on which kernels get a 2-D NDRange.
+    """
+    if kernel.body is None:
+        return 1
+    for node in walk(kernel.body):
+        if isinstance(node, Call) and node.callee in (
+            "get_global_id",
+            "get_group_id",
+            "get_local_id",
+        ):
+            if node.arguments:
+                argument = node.arguments[0]
+                value = getattr(argument, "value", None)
+                if value == 1:
+                    return 2
+    return 1
 
 
 def _measure_chunk_worker(task) -> list[KernelMeasurement | None]:

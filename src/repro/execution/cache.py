@@ -46,10 +46,13 @@ def _cache_capacity(default: int = 512) -> int:
 class CompilationCache:
     """Bounded, thread-safe cache of compiled kernel artifacts.
 
-    Two artifact kinds share the cache structure: ``"closure"`` (the
-    :class:`CompiledKernel` engine) and ``"vectorized"`` (the lockstep
+    Three artifact kinds share the cache structure: ``"closure"`` (the
+    :class:`CompiledKernel` engine), ``"vectorized"`` (the lockstep
     :class:`VectorizedKernel` tier, where a *not vectorizable* verdict is
-    cached too, so rejected kernels are analysed at most once).
+    cached too, so rejected kernels are analysed at most once), and
+    ``"analysis"`` (the static analyzer's
+    :class:`~repro.analysis.KernelVerdict`, consulted by the engine router
+    before each lockstep attempt).
     """
 
     def __init__(self, max_entries: int | None = None):
@@ -69,6 +72,10 @@ class CompilationCache:
         if artifact == "vectorized":
             compiled = try_vectorize(unit, kernel_name, max_steps_per_item)
             return _NOT_VECTORIZABLE if compiled is None else compiled
+        if artifact == "analysis":
+            from repro.analysis import analyze_kernel
+
+            return analyze_kernel(unit, kernel_name)
         return CompiledKernel(unit, kernel_name, max_steps_per_item)
 
     def get(
@@ -178,6 +185,20 @@ def compiled_kernel_for(
     return GLOBAL_COMPILATION_CACHE.get(unit, kernel_name, max_steps_per_item)
 
 
+def analysis_verdict_for(
+    unit: ast.TranslationUnit,
+    kernel_name: str | None = None,
+):
+    """Fetch (or compute) the static analyzer's verdict for *unit*'s kernel.
+
+    The verdict is cached alongside the compiled artifacts, so the router
+    pays for the analysis once per kernel per process.  Step-budget knobs do
+    not change the facts the analyzer gathers, so the cache key pins the
+    step dimension to the 50k default.
+    """
+    return GLOBAL_COMPILATION_CACHE.get(unit, kernel_name, artifact="analysis")
+
+
 def vectorized_kernel_for(
     unit: ast.TranslationUnit,
     kernel_name: str | None = None,
@@ -241,6 +262,17 @@ def cached_compile_source(source: str, **kwargs):
 # Engine-routing convenience entry point.
 # ---------------------------------------------------------------------------
 
+
+def _static_routing_enabled() -> bool:
+    """Whether ``engine="auto"`` consults the static analyzer before the
+    lockstep attempt.  ``REPRO_STATIC_ROUTING=0`` disables routing for
+    routed-vs-unrouted A/B comparisons; routing never changes outputs (all
+    engines are bit-identical), only which engine runs first."""
+    from repro.envutil import env_flag
+
+    return env_flag("REPRO_STATIC_ROUTING", default=True)
+
+
 def run_kernel(
     unit: ast.TranslationUnit,
     pool: MemoryPool,
@@ -258,7 +290,11 @@ def run_kernel(
       in the vectorizable subset, transparently falling back to the closure
       engine on a :class:`~repro.errors.LockstepBailout` (the pool is
       untouched at bailout, so the fallback is exact); the closure engine
-      otherwise.  ``"vectorized"`` is an alias.
+      otherwise.  Before attempting lockstep, the static analyzer's cached
+      verdict is consulted: kernels it proves bailout-certain skip straight
+      to the closure engine (disable with ``REPRO_STATIC_ROUTING=0``).
+    * ``"vectorized"`` — like ``"auto"`` but always attempts lockstep,
+      ignoring the static verdict.
     * ``"compiled"`` — the closure engine only.
     * ``"interpreter"`` — the legacy tree walker (differential tests).
     """
@@ -266,11 +302,20 @@ def run_kernel(
         interpreter = KernelInterpreter(unit, kernel_name, max_steps_per_item)
         return interpreter.execute(pool, scalar_args, ndrange)
     if engine in ("auto", "vectorized"):
-        vectorized = vectorized_kernel_for(unit, kernel_name, max_steps_per_item)
-        if vectorized is not None:
-            try:
-                return vectorized.execute(pool, scalar_args, ndrange)
-            except LockstepBailout:
-                pass
+        attempt = True
+        if engine == "auto" and _static_routing_enabled():
+            verdict = analysis_verdict_for(unit, kernel_name)
+            if getattr(verdict, "skip_vectorization", False):
+                from repro.analysis import ANALYSIS_STATS
+
+                ANALYSIS_STATS.routed_skips += 1
+                attempt = False
+        if attempt:
+            vectorized = vectorized_kernel_for(unit, kernel_name, max_steps_per_item)
+            if vectorized is not None:
+                try:
+                    return vectorized.execute(pool, scalar_args, ndrange)
+                except LockstepBailout:
+                    pass
     compiled = compiled_kernel_for(unit, kernel_name, max_steps_per_item)
     return compiled.execute(pool, scalar_args, ndrange)

@@ -31,6 +31,7 @@ class RejectionReason(Enum):
     PARSE_ERROR = "parse error"
     UNDECLARED_IDENTIFIER = "undeclared identifier"
     UNDECLARED_FUNCTION = "undeclared function"
+    WRONG_ARITY = "wrong call arity"
     NO_KERNEL = "no kernel function"
     TOO_FEW_INSTRUCTIONS = "fewer than minimum static instructions"
     CODEGEN_ERROR = "code generation error"
@@ -84,11 +85,10 @@ class RejectionFilter:
                     detail=first.message,
                     compilation=compilation,
                 )
-            reason = (
-                RejectionReason.UNDECLARED_FUNCTION
-                if first.kind == "undeclared-function"
-                else RejectionReason.UNDECLARED_IDENTIFIER
-            )
+            reason = {
+                "undeclared-function": RejectionReason.UNDECLARED_FUNCTION,
+                "wrong-arity": RejectionReason.WRONG_ARITY,
+            }.get(first.kind, RejectionReason.UNDECLARED_IDENTIFIER)
             return RejectionResult(
                 accepted=False, reason=reason, detail=first.message, compilation=compilation
             )

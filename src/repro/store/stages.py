@@ -103,6 +103,12 @@ class PipelineConfig:
     payload_seed: int = 0
     dataset_scales: tuple[float, ...] = (4.0, 16.0, 64.0, 256.0, 1024.0)
     suites: tuple[str, ...] | None = None
+    #: Pre-execution static lint filter: when on, synthesized kernels the
+    #: analyzer proves bailout-certain are dropped before measurement (their
+    #: verdicts persist in the ``lint-verdicts`` artifact either way).  Joins
+    #: the execute fingerprint only when enabled, so every existing
+    #: default-config artifact keeps its address (the ``lstm`` pattern).
+    lint_filter: bool = False
 
     @classmethod
     def from_experiment(cls, config, suites=None, count: int | None = None) -> "PipelineConfig":
@@ -222,15 +228,22 @@ def suite_execution_fingerprint(cfg: PipelineConfig) -> str:
     )
 
 
+def lint_fingerprint(cfg: PipelineConfig) -> str:
+    """Address of the static-analyzer verdicts for the synthesized batch."""
+    return fingerprint("lint-verdicts", {"synthesis": synthesis_fingerprint(cfg)})
+
+
 def synthetic_execution_fingerprint(cfg: PipelineConfig) -> str:
-    return fingerprint(
-        "synthetic-measurements",
-        {
-            "synthesis": synthesis_fingerprint(cfg),
-            "driver": _driver_payload(cfg),
-            "dataset_scales": list(cfg.dataset_scales),
-        },
-    )
+    payload = {
+        "synthesis": synthesis_fingerprint(cfg),
+        "driver": _driver_payload(cfg),
+        "dataset_scales": list(cfg.dataset_scales),
+    }
+    if cfg.lint_filter:
+        # Only when enabled: filtered and unfiltered runs must never share
+        # a measurement artifact, but default-config addresses stay stable.
+        payload["lint_filter"] = True
+    return fingerprint("synthetic-measurements", payload)
 
 
 # ---------------------------------------------------------------------------
@@ -594,9 +607,29 @@ class PipelineRunner:
             "execute", "suite-measurements", suite_execution_fingerprint(cfg), compute
         )
 
+    def lint_verdicts(self, cfg: PipelineConfig) -> list[dict]:
+        """Stage ``execute`` (lint side): static verdicts for the kernel batch.
+
+        One JSON-encodable record per synthesized kernel, keyed off the
+        synthesis fingerprint — the verdicts are a pure function of the
+        kernel sources, so they are shared by filtered and unfiltered
+        measurement runs.
+        """
+
+        def compute() -> list[dict]:
+            from repro.analysis.lint import lint_source
+
+            synthesis = self.synthesis(cfg)
+            return [
+                lint_source(kernel.source, name=f"clgen.{index}").to_dict()
+                for index, kernel in enumerate(synthesis.kernels)
+            ]
+
+        return self._stage("execute", "lint-verdicts", lint_fingerprint(cfg), compute)
+
     def synthetic_measurements(self, cfg: PipelineConfig) -> list[KernelMeasurement]:
         """Stage ``execute`` (synthetic side): measurements of the kernel batch."""
-        if self.plan.sharded:
+        if self.plan.sharded and not cfg.lint_filter:
             from repro.store import shards as shardlib
 
             return shardlib.sharded_synthetic_measurements(self, cfg)
@@ -605,12 +638,26 @@ class PipelineRunner:
             synthesis = self.synthesis(cfg)
             driver = self._make_driver(cfg)
             scales = cfg.dataset_scales
+            batch = list(enumerate(synthesis.kernels))
+            if cfg.lint_filter:
+                # Drop bailout-certain kernels before measurement; indices
+                # (and therefore names and dataset scales) of the surviving
+                # kernels are preserved, so a filtered run is the unfiltered
+                # run minus the doomed rows.
+                doomed = {
+                    record["name"]
+                    for record in self.lint_verdicts(cfg)
+                    if record["classification"] == "bailout"
+                }
+                batch = [
+                    (index, kernel)
+                    for index, kernel in batch
+                    if f"clgen.{index}" not in doomed
+                ]
             measured = driver.measure_many(
-                [kernel.source for kernel in synthesis.kernels],
-                names=[f"clgen.{index}" for index in range(len(synthesis.kernels))],
-                dataset_scales=[
-                    scales[index % len(scales)] for index in range(len(synthesis.kernels))
-                ],
+                [kernel.source for index, kernel in batch],
+                names=[f"clgen.{index}" for index, kernel in batch],
+                dataset_scales=[scales[index % len(scales)] for index, kernel in batch],
             )
             return [detached(measurement) for measurement in measured]
 

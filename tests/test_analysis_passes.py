@@ -1,0 +1,325 @@
+"""Unit tests for the dataflow passes: lattice, divergence, barriers, races."""
+
+from repro.analysis import (
+    Div,
+    DivergenceAnalysis,
+    analyze_source,
+    barrier_divergence,
+    race_hazards,
+)
+from repro.analysis.lattice import env_le, join, join_env
+from repro.clc import compile_source
+from repro.preprocess.shim import shim_include_resolver, with_shim
+
+
+def _facts(source, kernel_name=None):
+    compilation = compile_source(
+        with_shim(source), include_resolver=shim_include_resolver, strict=False
+    )
+    return DivergenceAnalysis(compilation.unit, kernel_name).run()
+
+
+class TestLattice:
+    def test_join_is_max(self):
+        assert join() is Div.BOTTOM
+        assert join(Div.UNIFORM, Div.AFFINE) is Div.AFFINE
+        assert join(Div.DIVERGENT, Div.BOTTOM, Div.UNIFORM) is Div.DIVERGENT
+
+    def test_join_env_pointwise(self):
+        left = {"a": Div.UNIFORM, "b": Div.AFFINE}
+        right = {"b": Div.UNIFORM, "c": Div.DIVERGENT}
+        merged = join_env(left, right)
+        assert merged == {"a": Div.UNIFORM, "b": Div.AFFINE, "c": Div.DIVERGENT}
+
+    def test_env_le(self):
+        assert env_le({}, {"a": Div.UNIFORM})
+        assert env_le({"a": Div.UNIFORM}, {"a": Div.AFFINE})
+        assert not env_le({"a": Div.DIVERGENT}, {"a": Div.AFFINE})
+
+
+class TestDivergence:
+    def test_global_id_is_affine(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a) {
+                int gid = get_global_id(0);
+                a[gid] = 1.0f;
+            }
+            """
+        )
+        (write,) = facts.accesses_for("a")
+        assert write.kind == "write"
+        assert write.index_div is Div.AFFINE
+        assert write.index_form == "g0"
+
+    def test_scaled_gid_stays_affine_modulo_degrades(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, global float* b, const int n) {
+                int gid = get_global_id(0);
+                a[2 * gid + n] = 1.0f;
+                b[gid % 4] = 1.0f;
+            }
+            """
+        )
+        (a_write,) = facts.accesses_for("a")
+        assert a_write.index_div is Div.AFFINE
+        (b_write,) = facts.accesses_for("b")
+        assert b_write.index_div is Div.DIVERGENT
+
+    def test_local_id_is_divergent_sizes_uniform(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, global float* b) {
+                int lid = get_local_id(0);
+                int n = get_global_size(0);
+                a[lid] = 1.0f;
+                b[n - 1] = 2.0f;
+            }
+            """
+        )
+        (a_write,) = facts.accesses_for("a")
+        assert a_write.index_div is Div.DIVERGENT
+        (b_write,) = facts.accesses_for("b")
+        assert b_write.index_div is Div.UNIFORM
+
+    def test_divergent_data_taints_loads(self):
+        facts = _facts(
+            """
+            kernel void k(global int* idx, global float* a) {
+                int gid = get_global_id(0);
+                int j = idx[gid];
+                a[j] = 1.0f;
+            }
+            """
+        )
+        (write,) = facts.accesses_for("a")
+        assert write.index_div is Div.DIVERGENT
+
+    def test_control_divergence_marks_guarded_accesses(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, const int n) {
+                int gid = get_global_id(0);
+                if (gid < n) { a[gid] = 1.0f; }
+            }
+            """
+        )
+        (write,) = facts.accesses_for("a")
+        assert write.control_div > Div.UNIFORM
+
+    def test_uniform_guard_stays_uniform(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, const int n) {
+                int gid = get_global_id(0);
+                if (n > 4) { a[gid] = 1.0f; }
+            }
+            """
+        )
+        (write,) = facts.accesses_for("a")
+        assert write.control_div <= Div.UNIFORM
+
+    def test_divergent_early_return_taints_later_code(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, local float* tmp, const int n) {
+                int gid = get_global_id(0);
+                if (gid >= n) { return; }
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[gid] = 1.0f;
+            }
+            """
+        )
+        (site,) = facts.barriers
+        assert site.control_div > Div.UNIFORM
+
+    def test_bounded_loop_step_estimate(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a) {
+                int gid = get_global_id(0);
+                for (int i = 0; i < 4; i++) { a[gid] = a[gid] + 1.0f; }
+            }
+            """
+        )
+        assert 8 < facts.step_estimate < 100
+
+    def test_while_loop_is_unbounded(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, const int n) {
+                int gid = get_global_id(0);
+                int i = 0;
+                while (i < n) { a[gid] += 1.0f; }
+            }
+            """
+        )
+        assert facts.step_estimate == float("inf")
+
+    def test_helper_calls_are_analyzed_through(self):
+        facts = _facts(
+            """
+            int pick(int value) { return value * 3; }
+            kernel void k(global float* a) {
+                int gid = get_global_id(0);
+                a[pick(gid)] = 1.0f;
+            }
+            """
+        )
+        (write,) = facts.accesses_for("a")
+        assert write.index_div is Div.AFFINE
+
+
+class TestBarrierPass:
+    def test_uniform_barrier_not_divergent(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, local float* tmp) {
+                int lid = get_local_id(0);
+                tmp[lid] = a[lid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[lid] = tmp[lid];
+            }
+            """
+        )
+        report = barrier_divergence(facts)
+        assert report.total == 1
+        assert report.divergent_count == 0
+
+    def test_divergent_barrier_detected(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, local float* tmp) {
+                int gid = get_global_id(0);
+                if (gid % 2 == 0) { barrier(CLK_LOCAL_MEM_FENCE); }
+                a[gid] = 1.0f;
+            }
+            """
+        )
+        report = barrier_divergence(facts)
+        assert report.divergent_count == 1
+
+    def test_helper_barrier_reported_separately(self):
+        facts = _facts(
+            """
+            void sync_step(local float* tmp) { barrier(CLK_LOCAL_MEM_FENCE); }
+            kernel void k(global float* a, local float* tmp) {
+                int gid = get_global_id(0);
+                sync_step(tmp);
+                a[gid] = 1.0f;
+            }
+            """
+        )
+        report = barrier_divergence(facts)
+        assert report.helper_sites == 1
+        assert report.divergent_count == 0
+
+
+class TestRacePass:
+    def test_disjoint_affine_writes_are_race_free(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, global float* out) {
+                int gid = get_global_id(0);
+                out[gid] = a[gid] * 2.0f;
+            }
+            """
+        )
+        assert race_hazards(facts) == []
+
+    def test_uniform_write_with_read_is_certain_race(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, global float* out) {
+                int gid = get_global_id(0);
+                out[0] = out[0] + a[gid];
+            }
+            """
+        )
+        sites = [site for site in race_hazards(facts) if site.buffer == "out"]
+        assert sites and sites[0].certain
+
+    def test_distinct_uniform_cells_not_certain(self):
+        facts = _facts(
+            """
+            kernel void k(global float* out, const int n) {
+                out[0] = 1.0f;
+                out[1] = out[1] + 1.0f;
+            }
+            """
+        )
+        # out[0] write vs out[1] read/write: provably different fixed cells
+        # must not produce a *certain* hazard (out[1]'s own read-modify-write
+        # is a uniform-write race of its own, but against itself).
+        for site in race_hazards(facts):
+            if site.buffer == "out" and site.certain:
+                detail = site.detail
+                assert "uniform-subscript write" in detail
+
+    def test_mismatched_affine_forms_flagged(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, global float* out) {
+                int gid = get_global_id(0);
+                out[gid] = a[gid];
+                out[gid + 1] = a[gid];
+            }
+            """
+        )
+        sites = [site for site in race_hazards(facts) if site.buffer == "out"]
+        assert sites
+
+    def test_barrier_downgrades_certainty(self):
+        facts = _facts(
+            """
+            kernel void k(global float* a, global float* out, local float* tmp) {
+                int gid = get_global_id(0);
+                out[0] = 1.0f;
+                barrier(CLK_GLOBAL_MEM_FENCE);
+                a[gid] = out[0];
+            }
+            """
+        )
+        sites = [site for site in race_hazards(facts) if site.buffer == "out"]
+        assert sites
+        assert not any(site.certain for site in sites)
+
+    def test_atomic_mixed_with_plain_access(self):
+        facts = _facts(
+            """
+            kernel void k(global int* bins) {
+                int gid = get_global_id(0);
+                atomic_add(&bins[0], 1);
+                bins[1] = gid;
+            }
+            """
+        )
+        hazards = {site.hazard for site in race_hazards(facts) if site.buffer == "bins"}
+        assert "atomic-mix" in hazards
+
+
+class TestAnalyzeSource:
+    def test_uncompilable_returns_none(self):
+        assert analyze_source("kernel void k(") is None
+
+    def test_no_kernel_returns_none(self):
+        assert analyze_source("float helper(float x) { return x; }") is None
+
+    def test_named_kernel_selected(self):
+        verdict = analyze_source(
+            """
+            kernel void first(global float* a) {
+                int gid = get_global_id(0);
+                a[gid] = 1.0f;
+            }
+            kernel void second(global float* a, local float* tmp) {
+                int gid = get_global_id(0);
+                if (gid % 2 == 0) { barrier(CLK_LOCAL_MEM_FENCE); }
+                a[gid] = 2.0f;
+            }
+            """,
+            kernel_name="second",
+        )
+        assert verdict.kernel_name == "second"
+        assert verdict.divergent_barriers == 1
