@@ -8,7 +8,7 @@ kernel counts).  They resolve through the pipeline stage graph
 (:mod:`repro.store`), so pointing ``REPRO_STORE_DIR`` at a directory makes
 repeat sessions reuse every unchanged stage artifact.
 
-The session also emits a perf snapshot at the repo root — ``BENCH_PR9.json``
+The session also emits a perf snapshot at the repo root — ``BENCH_PR10.json``
 by default, overridable with the ``REPRO_BENCH_OUT`` environment variable so
 each PR's bench run stops clobbering the previous PR's artifact — recording
 wall-clock seconds per pipeline phase (preprocess, train, sample, execute)
@@ -59,7 +59,7 @@ _PHASE_TIMINGS: dict[str, float] = {}
 _RUNNER_MARK = 0
 
 _SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / os.environ.get(
-    "REPRO_BENCH_OUT", "BENCH_PR9.json"
+    "REPRO_BENCH_OUT", "BENCH_PR10.json"
 )
 
 #: Pre-PR-1 reference numbers for the quick-scale synthesize-and-measure
@@ -90,18 +90,17 @@ _PR4_REMEASURED_SECONDS = {
 }
 
 
-#: PR-7 full-scale reference numbers re-measured at commit 4125ba2 with
-#: this same harness on the same day/machine state as the PR 8 snapshot
-#: (mean of two clean runs; a first run overlapping background load was
-#: discarded per the ROADMAP interference rule).  The committed
-#: ``BENCH_PR5_full.json`` numbers were recorded on a ~1.7x faster machine
-#: state, so the wavefront's sample speedup must be read against these,
-#: not against the committed snapshot.
-_PR7_FULL_REMEASURED_SECONDS = {
-    "preprocess": 2.152,
-    "train": 0.412,
-    "sample": 6.754,
-    "execute": 4.954,
+#: PR-9 full-scale reference numbers re-measured at commit edd9b4c with
+#: this same harness on the same day/machine state as the PR 10 snapshot
+#: (mean of two clean runs in a pristine worktree of the PR 9 tree).  The
+#: analyzer-guided specialization PR's execute speedup must be read
+#: against these — machine state has drifted repeatedly since the PR 5–8
+#: snapshots were recorded (see the PR 8 note in ROADMAP "Performance").
+_PR9_FULL_REMEASURED_SECONDS = {
+    "preprocess": 1.712,
+    "train": 0.383,
+    "sample": 2.290,
+    "execute": 2.687,
 }
 
 
@@ -242,10 +241,10 @@ def _build_snapshot() -> dict | None:
             sum(_PR4_REMEASURED_SECONDS.values()) / max(total, 1e-9), 2
         )
     else:
-        snapshot["pr7_remeasured_seconds"] = dict(_PR7_FULL_REMEASURED_SECONDS)
-        snapshot["sample_speedup_vs_pr7_remeasured"] = round(
-            _PR7_FULL_REMEASURED_SECONDS["sample"]
-            / max(_PHASE_TIMINGS["sample"], 1e-9),
+        snapshot["pr9_remeasured_seconds"] = dict(_PR9_FULL_REMEASURED_SECONDS)
+        snapshot["execute_speedup_vs_pr9_remeasured"] = round(
+            _PR9_FULL_REMEASURED_SECONDS["execute"]
+            / max(_PHASE_TIMINGS["execute"], 1e-9),
             2,
         )
     return snapshot

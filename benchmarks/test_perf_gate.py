@@ -30,9 +30,10 @@ _COMPARE = _ROOT / "scripts" / "bench_compare.py"
 #: (the PR 8 machine ran ~3x slower than the one that recorded the PR 5–7
 #: snapshots — see `pr7_remeasured_seconds` inside BENCH_PR8_full.json for
 #: the same-day anchor).  Since PR 5 the synthesis schema is v2; no bump in
-#: PR 9 (the static analyzer routes engines but never changes what any
-#: engine computes), so sample gates honestly against this snapshot.
-_BASELINE = _ROOT / "BENCH_PR9.json"
+#: PR 9 or PR 10 (specialization changes *how* the lockstep tier computes,
+#: never *what* any engine computes), so sample gates honestly against this
+#: snapshot.
+_BASELINE = _ROOT / "BENCH_PR10.json"
 #: Documented per-phase regression tolerance (ROADMAP "Performance").
 _THRESHOLD = 0.10
 
@@ -43,7 +44,7 @@ def _baseline_snapshot(tmp_path) -> Path | None:
     The default bench output and the gate baseline are the same file since
     PR 5 (the gate pins this PR's own re-baselined snapshot), so a casual
     local bench run overwrites the working-tree copy.  Preferring
-    ``git show HEAD:BENCH_PR9.json`` keeps the gate pinned to the committed
+    ``git show HEAD:BENCH_PR10.json`` keeps the gate pinned to the committed
     reference regardless of local clobbers; outside a git checkout the
     working-tree file is used as-is.
     """

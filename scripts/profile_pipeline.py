@@ -198,6 +198,83 @@ def run_pipeline_staged(
     }
 
 
+def _clear_execution_caches() -> None:
+    """Drop the process-wide compile/execute caches between repeats."""
+    from repro.execution.cache import _SOURCE_CACHE, GLOBAL_COMPILATION_CACHE
+
+    GLOBAL_COMPILATION_CACHE.clear()
+    _SOURCE_CACHE.clear()
+
+
+#: Artifact kinds produced by the execute phase — a repeat run must not
+#: inherit these from a previous repeat's store.
+_EXECUTE_KINDS = frozenset({
+    "suite-measurements",
+    "synthetic-measurements",
+    "suite-measurements-shard",
+    "synthetic-measurements-shard",
+    "lint-verdicts",
+})
+
+
+def run_execute_repeats(
+    kernel_count: int,
+    repository_count: int,
+    repeats: int,
+    sample_batch: int | None = None,
+) -> list[float] | None:
+    """``--phase execute --repeat N``: time the execute phase N times.
+
+    The upstream phases (preprocess, train, sample) run once into an
+    in-memory store; every repeat then resolves the execute stages against
+    a fresh store seeded with only the upstream artifacts, with the
+    process-wide compilation caches cleared first — so each sample is one
+    cold, isolated execute phase over identical inputs.  Returns ``None``
+    when the stage graph is unavailable (old checkouts).
+    """
+    try:
+        from repro.store import PipelineConfig, PipelineRunner
+        from repro.store.artifact_store import ArtifactStore
+    except ImportError:
+        return None
+    from repro.experiments.common import ExperimentConfig
+
+    config = ExperimentConfig.quick()
+    config.synthetic_kernel_count = kernel_count
+    config.corpus_repository_count = repository_count
+    stage_config = PipelineConfig.from_experiment(config)
+    if sample_batch is not None:
+        from dataclasses import replace
+
+        stage_config = replace(stage_config, sample_batch=sample_batch)
+
+    upstream_store = ArtifactStore(memory_entries=256)
+    upstream = PipelineRunner(store=upstream_store)
+    upstream.corpus(stage_config)
+    upstream.trained_model(stage_config)
+    upstream.synthesis(stage_config)
+    # Serialized upstream artifacts to seed each repeat's fresh store with
+    # (the store keeps its memory layer as (kind, key) -> pickled bytes).
+    seed_entries = {
+        token: blob
+        for token, blob in upstream_store._memory.items()
+        if token[0] not in _EXECUTE_KINDS
+    }
+
+    samples: list[float] = []
+    for repeat in range(repeats):
+        _clear_execution_caches()
+        store = ArtifactStore(memory_entries=256)
+        store._memory.update(seed_entries)
+        runner = PipelineRunner(store=store)
+        runner.suite_measurements(stage_config)
+        runner.synthetic_measurements(stage_config)
+        seconds = runner.phase_seconds().get("execute", 0.0)
+        samples.append(seconds)
+        print(f"execute repeat {repeat + 1}/{repeats}: {seconds:8.3f} s", file=sys.stderr)
+    return samples
+
+
 def run_pipeline(
     kernel_count: int,
     repository_count: int,
@@ -273,7 +350,40 @@ def main(argv: list[str] | None = None) -> int:
                              "byte-identical, so this only changes speed)")
     parser.add_argument("--legacy", action="store_true",
                         help="force the pre-stage-graph direct pipeline API")
+    parser.add_argument("--phase", choices=("execute",), default=None,
+                        help="with --repeat, the single phase to time repeatedly "
+                             "(only 'execute' is supported)")
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="time the phase named by --phase N times (upstream "
+                             "phases run once; each repeat is cold and isolated) "
+                             "and report mean/min/stdev")
     args = parser.parse_args(argv)
+    if (args.repeat is None) != (args.phase is None):
+        parser.error("--phase and --repeat must be given together")
+    if args.repeat is not None:
+        if args.repeat < 1:
+            parser.error("--repeat must be at least 1")
+        incompatible = (args.profile or args.json or args.warm or args.legacy
+                        or args.cache_dir or args.shards is not None
+                        or args.workers is not None or args.steal)
+        if incompatible:
+            parser.error("--phase/--repeat runs in-memory and unsharded; it "
+                         "cannot combine with --profile/--json/--warm/--legacy/"
+                         "--cache-dir/--shards/--workers/--steal")
+        samples = run_execute_repeats(
+            args.kernels, args.repositories, args.repeat,
+            sample_batch=args.sample_batch,
+        )
+        if samples is None:
+            print("--phase/--repeat needs the stage graph", file=sys.stderr)
+            return 1
+        import statistics
+
+        mean = statistics.fmean(samples)
+        stdev = statistics.stdev(samples) if len(samples) > 1 else 0.0
+        print(f"execute: mean {mean:.3f} s  min {min(samples):.3f} s  "
+              f"stdev {stdev:.3f} s  ({len(samples)} repeats)")
+        return 0
     if args.warm and args.legacy:
         parser.error("--warm needs the stage graph; it cannot combine with --legacy")
     if args.legacy and (args.shards is not None or args.workers is not None or args.steal):

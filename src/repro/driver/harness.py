@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import math
 from dataclasses import dataclass, field
 
 from repro.clc import CompilationResult
@@ -24,12 +25,22 @@ from repro.errors import CompileError, ExecutionError, KernelTimeoutError
 from repro.execution.cache import cached_compile_source, run_kernel
 from repro.execution.device import KernelProfile, Platform, all_platforms
 from repro.execution.interpreter import ExecutionStats
+from repro.execution.memory import LaneArena
 from repro.preprocess.shim import shim_include_resolver, with_shim
 
 
 @dataclass
 class KernelMeasurement:
-    """One kernel's complete measurement record."""
+    """One kernel's complete measurement record.
+
+    Pickles slim: the embedded :class:`CompilationResult` is a pure function
+    of ``source`` (via the shimmed frontend cache) and dominates the pickled
+    size by an order of magnitude, so ``__getstate__`` drops it and the
+    ``compilation`` attribute is recompiled lazily on first access after
+    unpickling.  Everything downstream — the feature extractor is the sole
+    consumer — sees an identical object because the recompile is the exact
+    call that produced the original.
+    """
 
     name: str
     source: str
@@ -44,6 +55,22 @@ class KernelMeasurement:
     runtimes: dict[str, dict[str, float]] = field(default_factory=dict)
     oracles: dict[str, str] = field(default_factory=dict)
     check: DynamicCheckResult | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("compilation", None)
+        return state
+
+    def __getattr__(self, name: str):
+        if name == "compilation":
+            compilation = cached_compile_source(
+                with_shim(self.source),
+                include_resolver=shim_include_resolver,
+                strict=False,
+            )
+            self.compilation = compilation
+            return compilation
+        raise AttributeError(name)
 
     def runtime(self, platform: str, device: str) -> float:
         return self.runtimes[platform][device]
@@ -104,6 +131,9 @@ class _ExecutionRecord:
     transfer_bytes: float
     work_group_size: int
     transfer_count: int
+    #: The unscaled profile, built once per execution: dataset scales only
+    #: rescale it, so N datasets share one ``KernelProfile.from_stats``.
+    base_profile: KernelProfile = None  # type: ignore[assignment]
 
 
 class HostDriver:
@@ -122,6 +152,20 @@ class HostDriver:
         #: (source sha1, kernel name) -> _ExecutionRecord | None (None caches
         #: a compile/execution failure so it is not retried per dataset).
         self._execution_cache: dict[tuple[str, str | None], _ExecutionRecord | None] = {}
+        #: Lane-buffer arena shared by every execution on this driver: the
+        #: lockstep tier recycles its per-launch NumPy allocations through
+        #: it instead of re-allocating per kernel.
+        self._arena = LaneArena()
+        #: Payload generation is configured once per driver; the generator
+        #: itself is stateless across ``generate`` calls (each draws from a
+        #: fresh seeded RNG), so one instance serves the whole batch.
+        self._generator = PayloadGenerator(
+            PayloadConfig(
+                global_size=self.config.executed_global_size,
+                local_size=self.config.local_size,
+                seed=self.config.payload_seed,
+            )
+        )
         self._checker = DynamicChecker(
             payload_config=PayloadConfig(
                 global_size=min(self.config.executed_global_size, 128),
@@ -152,13 +196,7 @@ class HostDriver:
         if record is None:
             return None
 
-        profile = KernelProfile.from_stats(
-            record.stats,
-            coalesced_fraction=record.coalesced_fraction,
-            transfer_bytes=record.transfer_bytes,
-            work_group_size=record.work_group_size,
-            transfer_count=record.transfer_count,
-        ).scaled(scale)
+        profile = record.base_profile.scaled(scale)
 
         runtimes: dict[str, dict[str, float]] = {}
         oracles: dict[str, str] = {}
@@ -227,14 +265,7 @@ class HostDriver:
         kernel = compilation.unit.kernel(kernel_name) if kernel_name else kernels[0]
 
         work_dim = self._kernel_work_dim(kernel)
-        generator = PayloadGenerator(
-            PayloadConfig(
-                global_size=self.config.executed_global_size,
-                local_size=self.config.local_size,
-                seed=self.config.payload_seed,
-            )
-        )
-        payload = generator.generate(kernel, work_dim=work_dim)
+        payload = self._generator.generate(kernel, work_dim=work_dim)
 
         try:
             execution = run_kernel(
@@ -245,6 +276,7 @@ class HostDriver:
                 kernel_name=kernel.name,
                 max_steps_per_item=self.config.max_steps_per_item,
                 engine=self.config.engine,
+                arena=self._arena,
             )
         except (KernelTimeoutError, ExecutionError):
             return None
@@ -256,6 +288,13 @@ class HostDriver:
                 ir_kernel.coalesced_memory_accesses / ir_kernel.global_memory_accesses
             )
 
+        base_profile = KernelProfile.from_stats(
+            execution.stats,
+            coalesced_fraction=coalesced_fraction,
+            transfer_bytes=float(payload.transfer_bytes),
+            work_group_size=payload.ndrange.work_group_size,
+            transfer_count=payload.transfer_count,
+        )
         return _ExecutionRecord(
             compilation=compilation,
             kernel_name=kernel.name,
@@ -264,6 +303,7 @@ class HostDriver:
             transfer_bytes=float(payload.transfer_bytes),
             work_group_size=payload.ndrange.work_group_size,
             transfer_count=payload.transfer_count,
+            base_profile=base_profile,
         )
 
     def measure_benchmark(self, benchmark) -> list[KernelMeasurement]:
@@ -322,14 +362,29 @@ class HostDriver:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-        measurements: list[KernelMeasurement] = []
-        for index, source in enumerate(sources):
-            name = names[index] if names else None
-            scale = dataset_scales[index] if dataset_scales else None
-            measurement = self.measure_source(source, name=name, dataset_scale=scale)
-            if measurement is not None:
-                measurements.append(measurement)
+        # Batched measure loop: the job list is zipped once, and the
+        # per-measurement fixed costs (payload generator, lane arena,
+        # unscaled profile) live on the driver, shared across the batch.
+        measure = self.measure_source
+        measurements = [
+            measurement
+            for source, name, scale in self._batch_jobs(sources, names, dataset_scales)
+            if (measurement := measure(source, name=name, dataset_scale=scale)) is not None
+        ]
         return measurements
+
+    @staticmethod
+    def _batch_jobs(
+        sources: list[str],
+        names: list[str] | None,
+        dataset_scales: list[float] | None,
+    ) -> list[tuple[str, str | None, float | None]]:
+        """Zip one (source, name, scale) job tuple per batch entry."""
+        return [
+            (source, names[index] if names else None,
+             dataset_scales[index] if dataset_scales else None)
+            for index, source in enumerate(sources)
+        ]
 
     def _resolve_workers(self, workers: int | None) -> int:
         if workers is not None:
@@ -351,11 +406,7 @@ class HostDriver:
     ) -> list[KernelMeasurement]:
         from concurrent.futures import ProcessPoolExecutor
 
-        jobs = [
-            (source, names[index] if names else None,
-             dataset_scales[index] if dataset_scales else None)
-            for index, source in enumerate(sources)
-        ]
+        jobs = self._batch_jobs(sources, names, dataset_scales)
         workers = min(workers, len(jobs))
         chunk_size = (len(jobs) + workers - 1) // workers
         chunks = [jobs[at:at + chunk_size] for at in range(0, len(jobs), chunk_size)]
@@ -393,9 +444,6 @@ class HostDriver:
         """Deterministic log-normal measurement noise for one runtime."""
         if self.config.measurement_noise <= 0:
             return 1.0
-        import hashlib
-        import math
-
         digest = hashlib.sha256(
             f"{name}|{platform}|{device}|{self.config.payload_seed}".encode("utf-8")
         ).digest()

@@ -31,7 +31,12 @@ from repro.execution.compiler import CompiledKernel
 from repro.execution.interpreter import ExecutionResult, KernelInterpreter
 from repro.execution.memory import MemoryPool
 from repro.execution.ndrange import NDRange
-from repro.execution.vectorizer import VectorizedKernel, try_vectorize
+from repro.execution.vectorizer import (
+    VECTORIZER_STATS,
+    NotVectorizable,
+    VectorizedKernel,
+    try_vectorize,
+)
 
 #: Cached marker for "this kernel is outside the lockstep subset".
 _NOT_VECTORIZABLE = object()
@@ -46,20 +51,25 @@ def _cache_capacity(default: int = 512) -> int:
 class CompilationCache:
     """Bounded, thread-safe cache of compiled kernel artifacts.
 
-    Three artifact kinds share the cache structure: ``"closure"`` (the
+    Four artifact kinds share the cache structure: ``"closure"`` (the
     :class:`CompiledKernel` engine), ``"vectorized"`` (the lockstep
     :class:`VectorizedKernel` tier, where a *not vectorizable* verdict is
-    cached too, so rejected kernels are analysed at most once), and
-    ``"analysis"`` (the static analyzer's
-    :class:`~repro.analysis.KernelVerdict`, consulted by the engine router
-    before each lockstep attempt).
+    cached too, so rejected kernels are analysed at most once),
+    ``"vectorized-specialized"`` (the analyzer-guided specialized lockstep
+    instance, cached beside — never instead of — the generic one, so
+    ``REPRO_SPECIALIZE=0`` and misprediction fallback always find the
+    generic artifact under its unchanged key), and ``"analysis"`` (the
+    static analyzer's :class:`~repro.analysis.KernelVerdict`, consulted by
+    the engine router before each lockstep attempt).
     """
 
     def __init__(self, max_entries: int | None = None):
         self._max_entries = max_entries or _cache_capacity()
         self._lock = threading.Lock()
-        #: id(unit) -> (weakref-or-None, {(artifact, kernel_name, max_steps): artifact})
-        self._by_identity: dict[int, tuple[object, dict]] = {}
+        #: id(unit) -> (weakref-or-None,
+        #:              {(artifact, kernel_name, max_steps): artifact},
+        #:              [digest computed?, content digest])
+        self._by_identity: dict[int, tuple] = {}
         #: (content_hash, artifact, kernel_name, max_steps) -> artifact  (LRU)
         self._by_content: OrderedDict[tuple, object] = OrderedDict()
         self.hits = 0
@@ -67,11 +77,26 @@ class CompilationCache:
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _build(unit, kernel_name, max_steps_per_item, artifact):
+    def _build(self, unit, kernel_name, max_steps_per_item, artifact):
         if artifact == "vectorized":
             compiled = try_vectorize(unit, kernel_name, max_steps_per_item)
             return _NOT_VECTORIZABLE if compiled is None else compiled
+        if artifact == "vectorized-specialized":
+            # The specialized instance leans on the analyzer's verdict (an
+            # instance-level fetch so the "analysis" artifact is shared);
+            # ineligible kernels cache the sentinel and run the generic tier.
+            verdict = self.get(unit, kernel_name, artifact="analysis")
+            facts = getattr(verdict, "specialization", None)
+            if facts is None or not facts.eligible:
+                return _NOT_VECTORIZABLE
+            try:
+                compiled = VectorizedKernel(
+                    unit, kernel_name, max_steps_per_item, specialization=facts
+                )
+            except NotVectorizable:
+                return _NOT_VECTORIZABLE
+            VECTORIZER_STATS.kernels_specialized += 1
+            return compiled
         if artifact == "analysis":
             from repro.analysis import analyze_kernel
 
@@ -100,19 +125,27 @@ class CompilationCache:
                 if compiled is not None:
                     self.hits += 1
                     return compiled
-
-        compiled = self._get_by_content(unit, kernel_name, max_steps_per_item, artifact)
-
-        with self._lock:
-            entry = self._by_identity.get(unit_id)
-            if entry is None:
+            else:
                 ref = self._make_reaper(unit, unit_id)
-                entry = (ref, {})
+                # [digest computed?, digest] — one source print per unit even
+                # when several artifact kinds (analysis, vectorized,
+                # specialized, closure) miss at identity level in a row.
+                entry = (ref, {}, [False, None])
                 self._by_identity[unit_id] = entry
                 if ref is None and len(self._by_identity) > 4 * self._max_entries:
                     # No weakref support: fall back to wholesale pruning so
                     # unbounded unit churn cannot leak.
                     self._by_identity = {unit_id: entry}
+
+        digest_cell = entry[2]
+        if not digest_cell[0]:
+            digest_cell[1] = self._content_hash(unit)
+            digest_cell[0] = True
+        compiled = self._get_by_content(
+            unit, kernel_name, max_steps_per_item, artifact, digest_cell[1]
+        )
+
+        with self._lock:
             entry[1][key] = compiled
         return compiled
 
@@ -127,8 +160,7 @@ class CompilationCache:
         except TypeError:
             return None
 
-    def _get_by_content(self, unit, kernel_name, max_steps_per_item, artifact):
-        digest = self._content_hash(unit)
+    def _get_by_content(self, unit, kernel_name, max_steps_per_item, artifact, digest):
         if digest is None:
             self.misses += 1
             return self._build(unit, kernel_name, max_steps_per_item, artifact)
@@ -215,6 +247,24 @@ def vectorized_kernel_for(
     return None if artifact is _NOT_VECTORIZABLE else artifact
 
 
+def specialized_kernel_for(
+    unit: ast.TranslationUnit,
+    kernel_name: str | None = None,
+    max_steps_per_item: int = 50_000,
+) -> VectorizedKernel | None:
+    """Fetch (or build) the analyzer-specialized lockstep artifact.
+
+    ``None`` when the kernel is not eligible — the analyzer did not prove it
+    SAFE with uniform control — in which case the caller runs the generic
+    lockstep tier.  The specialized instance is cached under its own
+    artifact kind, beside (never instead of) the generic one.
+    """
+    artifact = GLOBAL_COMPILATION_CACHE.get(
+        unit, kernel_name, max_steps_per_item, artifact="vectorized-specialized"
+    )
+    return None if artifact is _NOT_VECTORIZABLE else artifact
+
+
 # ---------------------------------------------------------------------------
 # Frontend (source text -> CompilationResult) caching.
 # ---------------------------------------------------------------------------
@@ -223,16 +273,14 @@ _SOURCE_LOCK = threading.Lock()
 _SOURCE_CACHE: OrderedDict[tuple, object] = OrderedDict()
 
 
-def cached_compile_source(source: str, **kwargs):
-    """Memoized :func:`repro.clc.compile_source` keyed by text and options.
+def _source_cache_key(source: str, kwargs: dict) -> tuple:
+    """The cache key ``cached_compile_source(source, **kwargs)`` uses.
 
     Only hashable keyword options participate in the key; calls with
     unhashable options (e.g. a closure include resolver) are keyed by the
     option's qualified name, which is stable for the module-level resolvers
     used throughout the pipeline.
     """
-    from repro.clc import compile_source
-
     key_parts = [hashlib.sha1(source.encode("utf-8", "replace")).hexdigest()]
     for name in sorted(kwargs):
         value = kwargs[name]
@@ -241,7 +289,30 @@ def cached_compile_source(source: str, **kwargs):
         except TypeError:
             value = getattr(value, "__qualname__", repr(value))
         key_parts.append((name, value))
-    key = tuple(key_parts)
+    return tuple(key_parts)
+
+
+def _source_cache_put(key: tuple, result: object) -> None:
+    with _SOURCE_LOCK:
+        _SOURCE_CACHE[key] = result
+        # A compilation is ~20KB in memory, so a deep cache is cheap — and it
+        # must hold the full sample-phase working set (every accepted
+        # candidate's seeded compilation, ~1000 at paper scale) long enough
+        # for the execute phase to reuse it, or the LRU scan-thrashes and
+        # every measurement recompiles from scratch.
+        capacity = _cache_capacity(default=4096)
+        while len(_SOURCE_CACHE) > capacity:
+            _SOURCE_CACHE.popitem(last=False)
+
+
+def cached_compile_source(source: str, **kwargs):
+    """Memoized :func:`repro.clc.compile_source` keyed by text and options.
+
+    See :func:`_source_cache_key` for how options participate in the key.
+    """
+    from repro.clc import compile_source
+
+    key = _source_cache_key(source, kwargs)
 
     with _SOURCE_LOCK:
         if key in _SOURCE_CACHE:
@@ -250,12 +321,23 @@ def cached_compile_source(source: str, **kwargs):
 
     result = compile_source(source, **kwargs)
 
-    with _SOURCE_LOCK:
-        _SOURCE_CACHE[key] = result
-        capacity = _cache_capacity()
-        while len(_SOURCE_CACHE) > capacity:
-            _SOURCE_CACHE.popitem(last=False)
+    _source_cache_put(key, result)
     return result
+
+
+def seed_compiled_source(source: str, result, **kwargs) -> None:
+    """Insert *result* as the cached compilation of ``(source, kwargs)``.
+
+    The synthesizer calls this when normalizing an accepted candidate: the
+    rewriter's renamed AST *is* the parse of the normalized text it prints,
+    so a :class:`~repro.clc.CompilationResult` built from it
+    (:func:`repro.clc.compile_parsed_body`) stands in for the compile the
+    measurement harness would otherwise pay per kernel in the execute
+    phase.  The key must be built with exactly the keyword options the
+    reader passes — the harness uses ``include_resolver=...`` and
+    ``strict=False``.
+    """
+    _source_cache_put(_source_cache_key(source, kwargs), result)
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +355,18 @@ def _static_routing_enabled() -> bool:
     return env_flag("REPRO_STATIC_ROUTING", default=True)
 
 
+def _specialize_enabled() -> bool:
+    """Whether ``engine="auto"`` tries the analyzer-specialized lockstep
+    instance before the generic one.  ``REPRO_SPECIALIZE=0`` reproduces the
+    generic tier's behavior exactly (same artifacts, same code paths);
+    specialization never changes outputs, only how fast they are computed.
+    Independent of ``REPRO_STATIC_ROUTING`` — routing decides *whether* to
+    attempt lockstep, specialization decides *which* lockstep runs first."""
+    from repro.envutil import env_flag
+
+    return env_flag("REPRO_SPECIALIZE", default=True)
+
+
 def run_kernel(
     unit: ast.TranslationUnit,
     pool: MemoryPool,
@@ -281,6 +375,7 @@ def run_kernel(
     kernel_name: str | None = None,
     max_steps_per_item: int = 50_000,
     engine: str = "auto",
+    arena=None,
 ) -> ExecutionResult:
     """Execute *kernel_name* (or the first kernel) of *unit*.
 
@@ -292,11 +387,18 @@ def run_kernel(
       untouched at bailout, so the fallback is exact); the closure engine
       otherwise.  Before attempting lockstep, the static analyzer's cached
       verdict is consulted: kernels it proves bailout-certain skip straight
-      to the closure engine (disable with ``REPRO_STATIC_ROUTING=0``).
-    * ``"vectorized"`` — like ``"auto"`` but always attempts lockstep,
-      ignoring the static verdict.
+      to the closure engine (disable with ``REPRO_STATIC_ROUTING=0``), and
+      kernels it proves SAFE with uniform control run the analyzer-
+      specialized lockstep instance first (disable with
+      ``REPRO_SPECIALIZE=0``).  The fallback lattice is specialized →
+      generic lockstep → closure; every tier is bit-identical.
+    * ``"vectorized"`` — like ``"auto"`` but always attempts the *generic*
+      lockstep tier, ignoring the static verdict (and the specializer).
     * ``"compiled"`` — the closure engine only.
     * ``"interpreter"`` — the legacy tree walker (differential tests).
+
+    *arena* is an optional :class:`~repro.execution.memory.LaneArena` the
+    lockstep tiers recycle their scratch NumPy allocations through.
     """
     if engine == "interpreter":
         interpreter = KernelInterpreter(unit, kernel_name, max_steps_per_item)
@@ -311,10 +413,17 @@ def run_kernel(
                 ANALYSIS_STATS.routed_skips += 1
                 attempt = False
         if attempt:
+            if engine == "auto" and _specialize_enabled():
+                specialized = specialized_kernel_for(unit, kernel_name, max_steps_per_item)
+                if specialized is not None:
+                    try:
+                        return specialized.execute(pool, scalar_args, ndrange, arena)
+                    except LockstepBailout:
+                        pass  # misprediction: re-run on the generic tier
             vectorized = vectorized_kernel_for(unit, kernel_name, max_steps_per_item)
             if vectorized is not None:
                 try:
-                    return vectorized.execute(pool, scalar_args, ndrange)
+                    return vectorized.execute(pool, scalar_args, ndrange, arena)
                 except LockstepBailout:
                     pass
     compiled = compiled_kernel_for(unit, kernel_name, max_steps_per_item)

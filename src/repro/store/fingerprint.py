@@ -41,9 +41,13 @@ SCHEMA_VERSIONS: dict[str, int] = {
     #: v1 batch (and everything fingerprint-downstream of it) is invalid.
     "synthesis": 2,
     #: Benchmark-suite measurement sets (dict of suite -> measurements).
-    "suite-measurements": 1,
-    #: Synthetic-kernel measurement lists.
-    "synthetic-measurements": 1,
+    #: v2: measurements pickle slim — the embedded compilation is dropped
+    #: from the stored bytes and recompiled lazily (KernelMeasurement
+    #: __getstate__), so v1 artifacts have a different layout.
+    "suite-measurements": 2,
+    #: Synthetic-kernel measurement lists.  v2: slim measurement pickling
+    #: (see suite-measurements).
+    "synthetic-measurements": 2,
     #: Per-file preprocessing outcomes (repro.preprocess.cache).  v2:
     #: FileOutcome vocabularies became sorted tuples (hash-seed-stable
     #: serialization for shared stores).
@@ -57,10 +61,12 @@ SCHEMA_VERSIONS: dict[str, int] = {
     #: independently-seeded fan-out shards (lists of
     #: :class:`repro.synthesis.generator.KernelStreamResult`).
     "synthesis-shard": 2,
-    #: Per-benchmark-range suite measurements.
-    "suite-measurements-shard": 1,
-    #: Per-kernel-range synthetic measurements.
-    "synthetic-measurements-shard": 1,
+    #: Per-benchmark-range suite measurements.  v2: slim measurement
+    #: pickling (see suite-measurements).
+    "suite-measurements-shard": 2,
+    #: Per-kernel-range synthetic measurements.  v2: slim measurement
+    #: pickling (see suite-measurements).
+    "synthetic-measurements-shard": 2,
     #: A published work-stealing pipeline plan (config + shard count) that
     #: ``repro worker`` instances discover and drain (repro.store.queue).
     "plan": 1,

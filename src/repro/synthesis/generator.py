@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.clc import CompilationResult
 from repro.corpus.corpus import Corpus
-from repro.errors import RewriterError, SynthesisError
+from repro.errors import CompileError, RewriterError, SynthesisError
 from repro.model.backend import LanguageModel
 from repro.model.lstm import LSTMConfig
 from repro.model.trainer import TrainerConfig, ModelTrainer
@@ -362,11 +362,60 @@ class CLgen:
         body_unit = compilation.body_unit if compilation is not None else None
         if body_unit is not None and _REWRITE_TEXT_PATH.search(text) is None:
             try:
-                return self.rewriter.rewrite_parsed(text, body_unit).text
+                normalized = self.rewriter.rewrite_parsed(text, body_unit).text
             except RewriterError:
                 return None
+            self._seed_measure_compilation(normalized, body_unit)
+            return normalized
         rewritten = self.rewriter.rewrite_or_none(text)
         return None if rewritten is None else rewritten.text
+
+    @staticmethod
+    def _seed_measure_compilation(normalized: str, body_unit) -> None:
+        """Hand the renamed AST to the execute phase as a pre-built compile.
+
+        After :meth:`repro.preprocess.rewriter.CodeRewriter.rewrite_parsed`,
+        *body_unit* is the parse tree of exactly the text it printed — the
+        normalized source the measurement harness will later compile with
+        ``cached_compile_source(with_shim(source), include_resolver=
+        shim_include_resolver, strict=False)``.  Building the
+        :class:`~repro.clc.CompilationResult` here (semantic check + IR
+        lowering on the merged shim+body tree, no tokenize/parse) and
+        seeding the process-wide source cache under that same key turns the
+        execute phase's per-kernel frontend cost into a cache hit.  Purely
+        an optimization: any gate failure falls back to the real compile.
+        """
+        from repro.clc import compile_parsed_body
+        from repro.execution.cache import analysis_verdict_for, seed_compiled_source
+        from repro.preprocess.shim import shim_include_resolver, with_shim
+
+        source = with_shim(normalized)
+        try:
+            result = compile_parsed_body(
+                source,
+                body_unit,
+                include_resolver=shim_include_resolver,
+                require_kernel=True,
+                strict=False,
+            )
+        except CompileError:
+            return
+        if result is None:
+            return
+        seed_compiled_source(
+            source,
+            result,
+            include_resolver=shim_include_resolver,
+            strict=False,
+        )
+        # Derive the static analyzer's verdict now, while the kernel is being
+        # accepted: the verdict is a synthesis-time classification (it never
+        # depends on payloads or step budgets — the cache pins its key to the
+        # default), and the execute phase's engine router then finds it
+        # identity-cached on this same unit instead of analyzing mid-measure.
+        kernels = result.unit.kernels
+        if kernels:
+            analysis_verdict_for(result.unit, kernels[0].name)
 
     def generate_kernel_range(
         self,

@@ -140,8 +140,7 @@ class KernelSampler:
         wavefront driver —
         :meth:`repro.synthesis.generator.CLgen.generate_kernel_wavefront` —
         builds on to batch attempts *across* kernel streams, including the
-        rejection/refill loop; see ROADMAP "Make sample as fast as execute
-        became".)
+        rejection/refill loop; see ARCHITECTURE "The sample wavefront".)
         """
         if count <= 0:
             return []

@@ -85,6 +85,7 @@ class TestDifferentialSuites:
         payload = generator.generate(kernel, work_dim=work_dim)
         payload_interpreted = payload.clone()
         payload_lockstep = payload.clone()
+        payload_specialized = payload.clone()
 
         compiled = CompiledKernel(unit, kernel.name)
         results_compiled = _execute(compiled, payload)
@@ -106,6 +107,23 @@ class TestDifferentialSuites:
             fallback = CompiledKernel(unit, kernel.name)
             results_lockstep = _execute(fallback, payload_lockstep)
         _assert_same(results_legacy, results_lockstep, "lockstep-vs-interpreter")
+
+        # Fourth way: the analyzer-specialized lockstep tier, for kernels
+        # the analyzer proves eligible (SAFE + uniform control).  Eligible
+        # kernels carry the never-bails promise, so a bailout here is a
+        # soundness failure, not a fallback.
+        from repro.analysis import analyze_kernel
+        from repro.execution.vectorizer import NotVectorizable, VectorizedKernel
+
+        facts = analyze_kernel(unit, kernel.name).specialization
+        if facts is None or not facts.eligible:
+            return
+        try:
+            specialized = VectorizedKernel(unit, kernel.name, specialization=facts)
+        except NotVectorizable:
+            return
+        results_specialized = _execute(specialized, payload_specialized)
+        _assert_same(results_legacy, results_specialized, "specialized-vs-interpreter")
 
 
 class TestLockstepCoverage:

@@ -354,3 +354,38 @@ class TestBenchCompareSchemaFlag:
         completed = self._compare(tmp_path, old, new)
         assert completed.returncode == 1
         assert "REGRESSION" in completed.stderr
+
+
+class TestBenchCompareAllowRegression:
+    """PR 10's specialization moves per-candidate frontend + analysis work
+    from execute into sample-time seeding — a deliberate cost shift.
+    ``--allow-regression PHASE`` acknowledges it: the slowdown still prints
+    as a FLAG, but only unlisted phases fail the comparison."""
+
+    _compare = staticmethod(TestBenchCompareSchemaFlag._compare)
+
+    def test_allowed_phase_regression_is_flagged_not_failed(self, tmp_path):
+        old = {"scale": "full", "phases_seconds": {"sample": 2.29, "execute": 2.69}}
+        new = {"scale": "full", "phases_seconds": {"sample": 2.61, "execute": 1.34}}
+        completed = self._compare(tmp_path, old, new, "--allow-regression", "sample")
+        assert completed.returncode == 0
+        assert "FLAG" in completed.stderr
+        assert "'sample'" in completed.stderr
+        assert "REGRESSION" not in completed.stderr
+
+    def test_unlisted_phase_still_fails(self, tmp_path):
+        old = {"scale": "full", "phases_seconds": {"sample": 2.29, "execute": 2.69}}
+        new = {"scale": "full", "phases_seconds": {"sample": 2.61, "execute": 3.40}}
+        completed = self._compare(tmp_path, old, new, "--allow-regression", "sample")
+        assert completed.returncode == 1
+        assert "'execute'" in completed.stderr
+
+    def test_flag_is_repeatable(self, tmp_path):
+        old = {"scale": "full", "phases_seconds": {"sample": 2.29, "train": 0.38}}
+        new = {"scale": "full", "phases_seconds": {"sample": 2.61, "train": 0.50}}
+        completed = self._compare(
+            tmp_path, old, new,
+            "--allow-regression", "sample", "--allow-regression", "train",
+        )
+        assert completed.returncode == 0
+        assert "REGRESSION" not in completed.stderr
